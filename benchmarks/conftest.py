@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_bench_figure*.py`` module regenerates (a scaled-down slice of) one
+figure of the paper.  The fixtures here build small, deterministic scenarios
+once per session so the benchmark timers measure the repair algorithms rather
+than workload generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import synthetic_scenario
+from repro.workload.scenario import Scenario
+
+
+@pytest.fixture(scope="session")
+def small_update_scenario() -> Scenario:
+    """A 60-tuple, 10-query UPDATE-only log with one corrupted query."""
+    return synthetic_scenario(
+        n_tuples=60, n_queries=10, corruption_indices=[5], seed=1
+    )
+
+
+@pytest.fixture(scope="session")
+def multi_corruption_scenario() -> Scenario:
+    """A 60-tuple, 10-query log with corruptions at q1 (the Figure 6a setting)."""
+    return synthetic_scenario(
+        n_tuples=60, n_queries=10, corruption_indices=[0], seed=2
+    )
+
+
+@pytest.fixture(scope="session")
+def wide_table_scenario() -> Scenario:
+    """A 40-tuple, 10-query log over a 40-attribute table (Figure 7 setting)."""
+    return synthetic_scenario(
+        n_tuples=40, n_queries=10, corruption_indices=[5], n_attributes=40, seed=3
+    )

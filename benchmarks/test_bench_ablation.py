@@ -1,0 +1,79 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+These go beyond the paper's figures: they quantify the cost of the two DELETE
+encodings (the paper's sentinel value vs. the explicit liveness variable
+extension), the two MILP solver backends, and the refinement step of tuple
+slicing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QFixConfig
+from repro.core.qfix import QFix
+from repro.experiments.common import incremental_config, synthetic_scenario
+from repro.milp.solvers import get_solver
+
+
+@pytest.fixture(scope="module")
+def delete_scenario():
+    scenario = synthetic_scenario(
+        n_tuples=60,
+        n_queries=10,
+        corruption_indices=[5],
+        seed=12,
+        query_type="delete",
+        selectivity=0.05,
+    )
+    if not scenario.has_errors:
+        pytest.skip("corruption produced no observable errors for this seed")
+    return scenario
+
+
+@pytest.mark.parametrize("encoding", ["sentinel", "alive"])
+def test_delete_encoding(benchmark, delete_scenario, encoding):
+    """Sentinel (paper) vs. alive-flag (extension) DELETE encodings."""
+    config = incremental_config(1)
+    config = config.with_overrides(encoding=config.encoding.__class__(delete_encoding=encoding))
+    scenario = delete_scenario
+
+    def run():
+        return QFix(config).diagnose(
+            scenario.initial, scenario.dirty, scenario.corrupted_log, scenario.complaints
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("solver_name", ["highs", "branch-and-bound"])
+def test_solver_backends(benchmark, small_update_scenario, solver_name):
+    """HiGHS vs. the pure-Python branch-and-bound backend on the same MILPs."""
+    scenario = small_update_scenario
+    config = incremental_config(1, solver=solver_name)
+    solver = get_solver(solver_name, time_limit=30.0)
+
+    def run():
+        result = QFix(config, solver).diagnose(
+            scenario.initial, scenario.dirty, scenario.corrupted_log, scenario.complaints
+        )
+        assert result.feasible
+        return result
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("refinement", [True, False], ids=["with-refinement", "no-refinement"])
+def test_refinement_overhead(benchmark, small_update_scenario, refinement):
+    """Cost of the tuple-slicing refinement step (paper: 0.1-0.5% overhead)."""
+    scenario = small_update_scenario
+    config = QFixConfig.fully_optimized(refinement=refinement)
+
+    def run():
+        result = QFix(config).diagnose(
+            scenario.initial, scenario.dirty, scenario.corrupted_log, scenario.complaints
+        )
+        assert result.feasible
+        return result
+
+    benchmark(run)

@@ -1,0 +1,33 @@
+"""Example 2 / Figure 2 benchmark: the tax-bracket repair (paper: 35 ms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.complaints import ComplaintSet
+from repro.core.qfix import QFix
+from repro.experiments.common import incremental_config
+from repro.experiments.example2 import build_example
+from repro.queries.executor import replay
+
+
+@pytest.fixture(scope="module")
+def example2_setup():
+    schema, initial, corrupted_log, true_log = build_example()
+    dirty = replay(initial, corrupted_log)
+    truth = replay(initial, true_log)
+    complaints = ComplaintSet.from_states(dirty, truth)
+    return initial, dirty, corrupted_log, complaints
+
+
+def test_tax_bracket_repair(benchmark, example2_setup):
+    """End-to-end repair of the running example; the paper reports 35 ms."""
+    initial, dirty, corrupted_log, complaints = example2_setup
+    qfix = QFix(incremental_config(1))
+
+    def run():
+        result = qfix.diagnose(initial, dirty, corrupted_log, complaints)
+        assert result.feasible
+        return result
+
+    benchmark(run)

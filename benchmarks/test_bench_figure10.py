@@ -1,0 +1,53 @@
+"""Figure 10 benchmarks: the DecTree baseline vs. QFix on a single-query log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dectree_repair import DecTreeRepairer
+from repro.core.qfix import QFix
+from repro.experiments.common import incremental_config, synthetic_scenario
+
+
+@pytest.fixture(scope="module")
+def single_query_scenario():
+    return synthetic_scenario(
+        n_tuples=200,
+        n_queries=1,
+        corruption_indices=[0],
+        seed=9,
+        n_predicates=2,
+        selectivity=0.2,
+    )
+
+
+def test_qfix_single_query(benchmark, single_query_scenario):
+    """Figure 10(a): QFix on the single-corrupted-query setting."""
+    scenario = single_query_scenario
+
+    def run():
+        result = QFix(incremental_config(1)).diagnose(
+            scenario.initial, scenario.dirty, scenario.corrupted_log, scenario.complaints
+        )
+        assert result.feasible
+        return result
+
+    benchmark(run)
+
+
+def test_dectree_single_query(benchmark, single_query_scenario):
+    """Figure 10(a): the decision-tree baseline on the same setting."""
+    scenario = single_query_scenario
+    repairer = DecTreeRepairer()
+
+    def run():
+        return repairer.repair(
+            scenario.schema,
+            scenario.initial,
+            scenario.dirty,
+            scenario.corrupted_log,
+            scenario.complaints,
+            query_index=0,
+        )
+
+    benchmark(run)

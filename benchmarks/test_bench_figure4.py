@@ -1,0 +1,36 @@
+"""Figure 4 benchmark: basic (all queries parameterized) vs. single-query repair.
+
+The paper's Figure 4 shows the basic encoding collapsing as the log grows while
+parameterizing a single query stays cheap.  The benchmark measures both
+algorithms on the same small scenario; run the full sweep with
+``qfix-experiments figure4``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import QFixConfig
+from repro.core.qfix import QFix
+
+
+def _diagnose(scenario, config, method):
+    qfix = QFix(config)
+    result = qfix.diagnose(
+        scenario.initial, scenario.dirty, scenario.corrupted_log, scenario.complaints, method=method
+    )
+    assert result.feasible
+    return result
+
+
+def test_basic_full_parameterization(benchmark, small_update_scenario):
+    """basic: every query in the log is parameterized at once."""
+    benchmark(_diagnose, small_update_scenario, QFixConfig.basic(), "basic")
+
+
+def test_single_query_parameterization(benchmark, small_update_scenario):
+    """Single-query parameterization (the blue bars of Figure 4)."""
+    benchmark(
+        _diagnose,
+        small_update_scenario,
+        QFixConfig.fully_optimized(incremental_batch=1),
+        "incremental",
+    )

@@ -1,0 +1,55 @@
+"""Figure 6 benchmarks: slicing ablation (6a/6d) and incremental variants (6b/6e)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qfix import QFix
+from repro.experiments.common import ABLATION_CONFIGS, incremental_config
+
+
+def _diagnose(scenario, config, method):
+    result = QFix(config).diagnose(
+        scenario.initial, scenario.dirty, scenario.corrupted_log, scenario.complaints, method=method
+    )
+    assert result.feasible
+    return result
+
+
+@pytest.mark.parametrize("series", sorted(ABLATION_CONFIGS))
+def test_basic_slicing_ablation(benchmark, multi_corruption_scenario, series):
+    """Figure 6(a): basic vs basic-tuple / basic-query / basic-attr / basic-all."""
+    benchmark(_diagnose, multi_corruption_scenario, ABLATION_CONFIGS[series], "basic")
+
+
+@pytest.mark.parametrize("batch", [1, 2, 8])
+def test_incremental_batch_sizes(benchmark, small_update_scenario, batch):
+    """Figure 6(b): inc_k with tuple slicing at batch sizes 1, 2, 8."""
+    benchmark(_diagnose, small_update_scenario, incremental_config(batch), "incremental")
+
+
+def test_incremental_without_tuple_slicing(benchmark, small_update_scenario):
+    """Figure 6(b): inc1 without tuple slicing (encodes every tuple)."""
+    benchmark(
+        _diagnose,
+        small_update_scenario,
+        incremental_config(1, tuple_slicing=False),
+        "incremental",
+    )
+
+
+@pytest.mark.parametrize("query_type", ["insert", "update", "delete"])
+def test_query_type_workloads(benchmark, query_type):
+    """Figure 6(c): INSERT / UPDATE / DELETE-only workloads, oldest query corrupted."""
+    from repro.experiments.common import synthetic_scenario
+
+    scenario = synthetic_scenario(
+        n_tuples=60,
+        n_queries=10,
+        corruption_indices=[0],
+        seed=4,
+        query_type=query_type,
+    )
+    if not scenario.has_errors:
+        pytest.skip("corruption produced no observable errors for this seed")
+    benchmark(_diagnose, scenario, incremental_config(1), "incremental")

@@ -1,0 +1,29 @@
+"""Figure 7 benchmarks: wide tables with and without query/attribute slicing."""
+
+from __future__ import annotations
+
+from repro.core.qfix import QFix
+from repro.experiments.common import incremental_config
+
+
+def _diagnose(scenario, config):
+    result = QFix(config).diagnose(
+        scenario.initial,
+        scenario.dirty,
+        scenario.corrupted_log,
+        scenario.complaints,
+        method="incremental",
+    )
+    assert result.feasible
+    return result
+
+
+def test_wide_table_tuple_slicing_only(benchmark, wide_table_scenario):
+    """Figure 7(a): tuple slicing alone on a wide table."""
+    config = incremental_config(1, query_slicing=False, attribute_slicing=False)
+    benchmark(_diagnose, wide_table_scenario, config)
+
+
+def test_wide_table_all_slicing(benchmark, wide_table_scenario):
+    """Figure 7(a): tuple + query + attribute slicing on a wide table."""
+    benchmark(_diagnose, wide_table_scenario, incremental_config(1))

@@ -1,0 +1,91 @@
+"""Figure 8 benchmarks: clause types, dimensionality, incomplete complaints, skew."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qfix import QFix
+from repro.experiments.common import incremental_config, synthetic_scenario
+from repro.workload.synthetic import SetClauseType, WhereClauseType
+
+
+def _diagnose(scenario):
+    result = QFix(incremental_config(1)).diagnose(
+        scenario.initial,
+        scenario.dirty,
+        scenario.corrupted_log,
+        scenario.complaints,
+        method="incremental",
+    )
+    assert result.feasible
+    return result
+
+
+@pytest.mark.parametrize(
+    "set_type,where_type",
+    [
+        (SetClauseType.CONSTANT, WhereClauseType.POINT),
+        (SetClauseType.CONSTANT, WhereClauseType.RANGE),
+        (SetClauseType.RELATIVE, WhereClauseType.RANGE),
+    ],
+    ids=["constant-point", "constant-range", "relative-range"],
+)
+def test_clause_types(benchmark, set_type, where_type):
+    """Figure 8(b): repair cost by SET/WHERE clause shape."""
+    scenario = synthetic_scenario(
+        n_tuples=60,
+        n_queries=10,
+        corruption_indices=[5],
+        seed=5,
+        set_type=set_type,
+        where_type=where_type,
+    )
+    if not scenario.has_errors:
+        pytest.skip("corruption produced no observable errors for this seed")
+    benchmark(_diagnose, scenario)
+
+
+@pytest.mark.parametrize("n_predicates", [1, 2, 3])
+def test_predicate_dimensionality(benchmark, n_predicates):
+    """Figure 8(e): repair cost as the WHERE clause gains predicates."""
+    scenario = synthetic_scenario(
+        n_tuples=60,
+        n_queries=10,
+        corruption_indices=[5],
+        seed=6,
+        n_predicates=n_predicates,
+        selectivity=0.2,
+    )
+    if not scenario.has_errors:
+        pytest.skip("corruption produced no observable errors for this seed")
+    benchmark(_diagnose, scenario)
+
+
+@pytest.mark.parametrize("keep_fraction", [1.0, 0.5, 0.25], ids=["complete", "half", "quarter"])
+def test_incomplete_complaints(benchmark, keep_fraction):
+    """Figure 8(c): repair cost as the complaint set loses entries."""
+    scenario = synthetic_scenario(
+        n_tuples=120,
+        n_queries=10,
+        corruption_indices=[5],
+        seed=7,
+        complaint_fraction=keep_fraction,
+    )
+    if not scenario.has_errors or scenario.complaints.is_empty():
+        pytest.skip("corruption produced no observable errors for this seed")
+    benchmark(_diagnose, scenario)
+
+
+@pytest.mark.parametrize("skew", [0.0, 1.0], ids=["uniform", "zipf1"])
+def test_attribute_skew(benchmark, skew):
+    """Figure 8(d): repair cost under skewed attribute usage."""
+    scenario = synthetic_scenario(
+        n_tuples=60,
+        n_queries=10,
+        corruption_indices=[5],
+        seed=8,
+        skew=skew,
+    )
+    if not scenario.has_errors:
+        pytest.skip("corruption produced no observable errors for this seed")
+    benchmark(_diagnose, scenario)

@@ -1,0 +1,52 @@
+"""Figure 9 benchmarks: TPC-C-like and TATP-like OLTP workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qfix import QFix
+from repro.experiments.common import incremental_config
+from repro.workload.scenario import build_scenario
+from repro.workload.tatp import TATPConfig, TATPWorkloadGenerator
+from repro.workload.tpcc import TPCCConfig, TPCCWorkloadGenerator
+
+
+def _diagnose(scenario):
+    result = QFix(incremental_config(1)).diagnose(
+        scenario.initial, scenario.dirty, scenario.corrupted_log, scenario.complaints
+    )
+    assert result.feasible
+    return result
+
+
+@pytest.fixture(scope="module")
+def tpcc_scenario():
+    generator = TPCCWorkloadGenerator(TPCCConfig(n_initial_orders=150, n_queries=80, seed=7))
+    workload = generator.generate()
+    update_indices = [
+        index for index, query in enumerate(workload.log)
+        if query.render_sql().startswith("UPDATE")
+    ]
+    return build_scenario(
+        workload, [update_indices[len(update_indices) // 2]], rng=1,
+        corruptor=generator.corrupt_query,
+    )
+
+
+@pytest.fixture(scope="module")
+def tatp_scenario():
+    generator = TATPWorkloadGenerator(TATPConfig(n_subscribers=150, n_queries=80, seed=11))
+    workload = generator.generate()
+    return build_scenario(
+        workload, [len(workload.log) // 2], rng=2, corruptor=generator.corrupt_query
+    )
+
+
+def test_tpcc_repair(benchmark, tpcc_scenario):
+    """Figure 9: repair one corrupted Delivery UPDATE in a TPC-C-style log."""
+    benchmark(_diagnose, tpcc_scenario)
+
+
+def test_tatp_repair(benchmark, tatp_scenario):
+    """Figure 9: repair one corrupted point UPDATE in a TATP-style log."""
+    benchmark(_diagnose, tatp_scenario)

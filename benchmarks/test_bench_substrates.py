@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the substrates: replay, encoding, SQL parsing, MILP solve.
+
+These are not paper figures; they track the performance of the building blocks
+so that regressions in one layer are visible independently of the end-to-end
+repair latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QFixConfig
+from repro.core.encoder import LogEncoder
+from repro.milp.solvers import get_solver
+from repro.queries.executor import replay
+from repro.sql.parser import parse_script
+
+
+def test_replay_log(benchmark, small_update_scenario):
+    """Concrete replay of a 10-query log over 60 tuples."""
+    scenario = small_update_scenario
+    benchmark(replay, scenario.initial, scenario.corrupted_log)
+
+
+def test_encode_only(benchmark, small_update_scenario):
+    """MILP encoding cost in isolation (no solve)."""
+    scenario = small_update_scenario
+    config = QFixConfig.fully_optimized()
+
+    def encode():
+        encoder = LogEncoder(
+            scenario.schema,
+            scenario.initial,
+            scenario.dirty,
+            scenario.corrupted_log,
+            scenario.complaints,
+            config,
+            parameterized=[5],
+            rids=scenario.complaints.rids,
+        )
+        return encoder.encode()
+
+    benchmark(encode)
+
+
+def test_solve_only(benchmark, small_update_scenario):
+    """MILP solve cost in isolation (encoding reused across iterations)."""
+    scenario = small_update_scenario
+    config = QFixConfig.fully_optimized()
+    encoder = LogEncoder(
+        scenario.schema,
+        scenario.initial,
+        scenario.dirty,
+        scenario.corrupted_log,
+        scenario.complaints,
+        config,
+        parameterized=[5],
+        rids=scenario.complaints.rids,
+    )
+    problem = encoder.encode()
+    solver = get_solver("highs")
+    benchmark(solver.solve, problem.model)
+
+
+@pytest.fixture(scope="module")
+def sql_script(small_update_scenario):
+    return small_update_scenario.corrupted_log.render_sql()
+
+
+def test_parse_sql_script(benchmark, sql_script):
+    """SQL parsing throughput for a 10-statement script."""
+    benchmark(parse_script, sql_script)

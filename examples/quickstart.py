@@ -1,0 +1,78 @@
+"""Quickstart: repair the paper's tax-bracket example (Figure 2) in ~30 lines.
+
+A tax-rate adjustment was supposed to apply to incomes above $87,500, but the
+clerk transposed two digits and ran it with ``income >= 85700``.  Two customers
+(t3 and t4) notice that their owed tax is wrong and complain.  QFix analyzes
+the query log, pins the blame on q1, and proposes the corrected predicate.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ComplaintSet, Database, QFix, QFixConfig, QueryLog, Schema, replay
+from repro.sql import parse_query
+
+
+def main() -> None:
+    # 1. The table before the log ran (Figure 2, left).
+    schema = Schema.build("Taxes", ["income", "owed", "pay"], upper=300_000)
+    initial = Database(
+        schema,
+        [
+            {"income": 9_500, "owed": 950, "pay": 8_550},
+            {"income": 90_000, "owed": 22_500, "pay": 67_500},
+            {"income": 86_000, "owed": 21_500, "pay": 64_500},
+            {"income": 86_500, "owed": 21_625, "pay": 64_875},
+        ],
+    )
+
+    # 2. The logged queries.  q1 is corrupted: it should say income >= 87500.
+    log = QueryLog(
+        [
+            parse_query(
+                "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700", label="q1"
+            ),
+            parse_query(
+                "INSERT INTO Taxes (income, owed, pay) VALUES (87000, 21750, 65250)",
+                label="q2",
+            ),
+            parse_query("UPDATE Taxes SET pay = income - owed", label="q3"),
+        ]
+    )
+    dirty = replay(initial, log)
+
+    # 3. Two customers complain: t3 and t4 report their correct owed/pay values.
+    complaints = ComplaintSet(
+        [
+            # rid 2 is t3, rid 3 is t4 (rids follow insertion order in `initial`)
+        ]
+    )
+    complaints.add(_complaint(dirty, rid=2, owed=21_500, pay=64_500))
+    complaints.add(_complaint(dirty, rid=3, owed=21_625, pay=64_875))
+
+    # 4. Diagnose.
+    qfix = QFix(QFixConfig.fully_optimized())
+    result = qfix.diagnose(initial, dirty, log, complaints)
+
+    print("feasible repair found:", result.feasible)
+    print("queries changed:", [log[i].label for i in result.changed_query_indices])
+    print("repaired log:")
+    print(result.repaired_log.render_sql())
+    print(f"diagnosis latency: {result.total_seconds * 1000:.1f} ms")
+
+
+def _complaint(dirty: Database, rid: int, owed: float, pay: float):
+    """Build a complaint that keeps the dirty income but fixes owed/pay."""
+    from repro import Complaint
+
+    row = dirty.get(rid)
+    assert row is not None
+    target = dict(row.values)
+    target["owed"] = owed
+    target["pay"] = pay
+    return Complaint(rid, target)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools/wheel combination
+predates PEP 660 editable installs (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""QFix reproduction: diagnosing and repairing data errors through query histories.
+
+This package is an independent, from-scratch reproduction of
+
+    Xiaolan Wang, Alexandra Meliou, Eugene Wu.
+    "QFix: Diagnosing errors through query histories." SIGMOD 2017.
+
+The public API re-exports the pieces most users need: the relational substrate
+(:mod:`repro.db`), the query model (:mod:`repro.queries`), the SQL surface
+(:mod:`repro.sql`), the MILP substrate (:mod:`repro.milp`), the QFix core
+(:mod:`repro.core`), the decision-tree baseline (:mod:`repro.baselines`), the
+workload generators (:mod:`repro.workload`), and the experiment harness
+(:mod:`repro.experiments`).
+"""
+
+from repro.core import (
+    Complaint,
+    ComplaintKind,
+    ComplaintSet,
+    BasicRepairer,
+    IncrementalRepairer,
+    QFix,
+    QFixConfig,
+    EncodingConfig,
+    RepairResult,
+    RepairAccuracy,
+    evaluate_repair,
+)
+from repro.db import AttributeSpec, Database, Schema
+from repro.queries import (
+    DeleteQuery,
+    InsertQuery,
+    QueryLog,
+    UpdateQuery,
+    replay,
+)
+from repro.sql import parse_query, parse_script
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Complaint",
+    "ComplaintKind",
+    "ComplaintSet",
+    "BasicRepairer",
+    "IncrementalRepairer",
+    "QFix",
+    "QFixConfig",
+    "EncodingConfig",
+    "RepairResult",
+    "RepairAccuracy",
+    "evaluate_repair",
+    "AttributeSpec",
+    "Database",
+    "Schema",
+    "UpdateQuery",
+    "InsertQuery",
+    "DeleteQuery",
+    "QueryLog",
+    "replay",
+    "parse_query",
+    "parse_script",
+    "__version__",
+]

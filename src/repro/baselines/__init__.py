@@ -1,0 +1,19 @@
+"""Baselines the paper compares against.
+
+Appendix A evaluates a learning-based alternative (``DecTree``): a rule-based
+classifier learns a repaired WHERE clause from labeled tuples, and a linear
+system recovers the SET clause.  The appendix shows the approach is both
+slower to scale and far less accurate than the MILP formulation; Figure 10
+reproduces that comparison using :class:`DecTreeRepairer`.
+"""
+
+from repro.baselines.decision_tree import DecisionTreeClassifier, Rule, TreeNode
+from repro.baselines.dectree_repair import DecTreeRepairer, DecTreeResult
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "TreeNode",
+    "Rule",
+    "DecTreeRepairer",
+    "DecTreeResult",
+]

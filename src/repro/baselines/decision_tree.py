@@ -1,0 +1,195 @@
+"""A small C4.5-style decision-tree learner.
+
+The DecTree baseline of Appendix A needs a rule-based binary classifier over
+numeric features whose positive rules can be read back as conjunctions of
+range predicates.  scikit-learn is not available offline, so this module
+implements a compact learner from scratch: binary splits on numeric
+thresholds, chosen by information gain (entropy), with standard stopping
+criteria (max depth, minimum samples, purity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class TreeNode:
+    """A node of the decision tree.
+
+    Internal nodes carry a ``feature``/``threshold`` split (``<=`` goes left);
+    leaves carry the predicted label and the class counts that reached them.
+    """
+
+    feature: int | None = None
+    threshold: float | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    prediction: bool | None = None
+    n_positive: int = 0
+    n_negative: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A conjunction of threshold conditions leading to a positive leaf.
+
+    ``conditions`` is a tuple of ``(feature index, op, threshold)`` with ``op``
+    in ``{"<=", ">"}``.
+    """
+
+    conditions: tuple[tuple[int, str, float], ...]
+
+    def matches(self, sample: Sequence[float]) -> bool:
+        for feature, op, threshold in self.conditions:
+            value = sample[feature]
+            if op == "<=" and not value <= threshold:
+                return False
+            if op == ">" and not value > threshold:
+                return False
+        return True
+
+
+def _entropy(n_positive: int, n_negative: int) -> float:
+    total = n_positive + n_negative
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in (n_positive, n_negative):
+        if count == 0:
+            continue
+        p = count / total
+        entropy -= p * np.log2(p)
+    return entropy
+
+
+class DecisionTreeClassifier:
+    """Entropy-based binary decision tree over numeric features."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_gain: float = 1e-6,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self.root: TreeNode | None = None
+        self.n_features_: int = 0
+
+    # -- training -------------------------------------------------------------------
+
+    def fit(self, features: Sequence[Sequence[float]], labels: Sequence[bool]) -> "DecisionTreeClassifier":
+        """Train the tree on a dense feature matrix and boolean labels."""
+        X = np.asarray(features, dtype=float)
+        y = np.asarray(labels, dtype=bool)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("features must be 2-D and aligned with labels")
+        self.n_features_ = X.shape[1] if len(X) else 0
+        self.root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        n_positive = int(y.sum())
+        n_negative = int(len(y) - n_positive)
+        node = TreeNode(
+            prediction=n_positive >= n_negative and n_positive > 0,
+            n_positive=n_positive,
+            n_negative=n_negative,
+        )
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or n_positive == 0
+            or n_negative == 0
+        ):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        if gain < self.min_gain:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.prediction = None
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float, float] | None:
+        base = _entropy(int(y.sum()), int(len(y) - y.sum()))
+        best: tuple[int, float, float] | None = None
+        for feature in range(X.shape[1]):
+            values = np.unique(X[:, feature])
+            if len(values) < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                mask = X[:, feature] <= threshold
+                left_y = y[mask]
+                right_y = y[~mask]
+                if len(left_y) < self.min_samples_leaf or len(right_y) < self.min_samples_leaf:
+                    continue
+                weighted = (
+                    len(left_y) / len(y) * _entropy(int(left_y.sum()), int(len(left_y) - left_y.sum()))
+                    + len(right_y) / len(y) * _entropy(int(right_y.sum()), int(len(right_y) - right_y.sum()))
+                )
+                gain = base - weighted
+                if best is None or gain > best[2]:
+                    best = (feature, float(threshold), float(gain))
+        return best
+
+    # -- prediction ------------------------------------------------------------------
+
+    def predict_one(self, sample: Sequence[float]) -> bool:
+        """Predict the label of a single sample."""
+        if self.root is None:
+            raise RuntimeError("classifier has not been fitted")
+        node = self.root
+        while not node.is_leaf:
+            assert node.feature is not None and node.threshold is not None
+            node = node.left if sample[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return bool(node.prediction)
+
+    def predict(self, features: Sequence[Sequence[float]]) -> list[bool]:
+        """Predict labels for a batch of samples."""
+        return [self.predict_one(sample) for sample in features]
+
+    # -- rule extraction -----------------------------------------------------------------
+
+    def positive_rules(self) -> list[Rule]:
+        """Extract the conjunction of conditions for every positive leaf."""
+        if self.root is None:
+            raise RuntimeError("classifier has not been fitted")
+        rules: list[Rule] = []
+        self._collect_rules(self.root, [], rules)
+        return rules
+
+    def _collect_rules(
+        self,
+        node: TreeNode,
+        path: list[tuple[int, str, float]],
+        rules: list[Rule],
+    ) -> None:
+        if node.is_leaf:
+            if node.prediction:
+                rules.append(Rule(tuple(path)))
+            return
+        assert node.feature is not None and node.threshold is not None
+        assert node.left is not None and node.right is not None
+        self._collect_rules(node.left, path + [(node.feature, "<=", node.threshold)], rules)
+        self._collect_rules(node.right, path + [(node.feature, ">", node.threshold)], rules)

@@ -1,0 +1,238 @@
+"""The DecTree baseline (Appendix A of the paper).
+
+DecTree repairs a *single* corrupted query in two steps:
+
+1. **WHERE repair** — every tuple of the pre-query state ``D_{i-1}`` is labeled
+   ``True`` when its value changes between ``D_{i-1}`` and the *true*
+   post-query state ``D*_i`` and ``False`` otherwise; a decision tree learns a
+   classifier over the tuple attributes, and the union of its positive rules
+   becomes the repaired WHERE clause.
+2. **SET repair** — the tuples the repaired WHERE clause selects provide a
+   linear system over the SET-clause constants, solved by least squares.
+
+The appendix explains why this approach underperforms: it only handles a
+single query, the learned clause structure can differ arbitrarily from the
+original query, and highly selective queries give the learner hopelessly
+imbalanced data.  Figure 10 quantifies this, and
+``experiments/figure10.py`` reproduces it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.decision_tree import DecisionTreeClassifier, Rule
+from repro.core.complaints import ComplaintKind, ComplaintSet
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.exceptions import RepairError
+from repro.queries.expressions import Attr, Const, Expr, Param, collect_params
+from repro.queries.log import QueryLog
+from repro.queries.predicates import And, Comparison, FalsePredicate, Or, Predicate
+from repro.queries.query import Query, UpdateQuery
+
+
+@dataclass
+class DecTreeResult:
+    """Outcome of a DecTree repair attempt."""
+
+    original_log: QueryLog
+    repaired_log: QueryLog
+    feasible: bool
+    repaired_index: int
+    learned_where: Predicate | None = None
+    set_values: dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    message: str = ""
+
+
+class DecTreeRepairer:
+    """Decision-tree + linear-system repair of one UPDATE query."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+    ) -> None:
+        # The defaults mirror C4.5's pruning behaviour (minimum objects per
+        # leaf), which is what makes the baseline struggle on the severely
+        # imbalanced labelings produced by selective UPDATE queries.
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+
+    def repair(
+        self,
+        schema: Schema,
+        initial: Database,
+        final: Database,
+        log: QueryLog,
+        complaints: ComplaintSet,
+        *,
+        query_index: int | None = None,
+    ) -> DecTreeResult:
+        """Repair the single UPDATE query at ``query_index`` (default: last query).
+
+        The complaint set is interpreted as in the paper's appendix: the true
+        post-query state ``D*`` is obtained by applying the complaint
+        transformations to the dirty final state.
+        """
+        start = time.perf_counter()
+        if query_index is None:
+            query_index = len(log) - 1
+        query = log[query_index]
+        assert isinstance(query, Query)
+        if not isinstance(query, UpdateQuery):
+            raise RepairError("DecTree only repairs UPDATE queries")
+        if len(log) != 1 and query_index != len(log) - 1:
+            # The appendix restricts DecTree to single-query logs; repairing an
+            # inner query would require inverting the suffix, which is
+            # generally impossible (surjective updates).  We allow the last
+            # query of a longer log because no inversion is needed there.
+            raise RepairError(
+                "DecTree can only repair the last query of a log (no inversion of later queries)"
+            )
+
+        truth_final = _apply_complaints(final, complaints)
+        features, labels = self._build_training_data(schema, initial, truth_final)
+        classifier = DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+        )
+        classifier.fit(features, labels)
+        rules = classifier.positive_rules()
+        where = _rules_to_predicate(rules, schema)
+
+        set_values = self._solve_set_clause(query, initial, truth_final, where, schema)
+        repaired_query = _rebuild_query(query, where, set_values)
+        repaired_log = log.with_query(query_index, repaired_query)
+        elapsed = time.perf_counter() - start
+        return DecTreeResult(
+            original_log=log,
+            repaired_log=repaired_log,
+            feasible=True,
+            repaired_index=query_index,
+            learned_where=where,
+            set_values=set_values,
+            total_seconds=elapsed,
+        )
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _build_training_data(
+        self, schema: Schema, before: Database, truth_after: Database
+    ) -> tuple[list[list[float]], list[bool]]:
+        attribute_order = schema.attribute_names
+        features: list[list[float]] = []
+        labels: list[bool] = []
+        for row in before.rows():
+            truth_row = truth_after.get(row.rid)
+            features.append([row.values[name] for name in attribute_order])
+            if truth_row is None:
+                labels.append(True)  # the tuple disappeared, so it was affected
+            else:
+                labels.append(not row.same_values(truth_row))
+        return features, labels
+
+    def _solve_set_clause(
+        self,
+        query: UpdateQuery,
+        before: Database,
+        truth_after: Database,
+        where: Predicate,
+        schema: Schema,
+    ) -> dict[str, float]:
+        """Least-squares fit of the SET-clause parameters on the selected tuples."""
+        set_values: dict[str, float] = {}
+        for attribute, expr in query.set_clause:
+            params = collect_params(expr)
+            if not params:
+                continue
+            if len(params) > 1:
+                raise RepairError(
+                    "DecTree's SET repair supports a single parameter per assignment"
+                )
+            param_name = next(iter(params))
+            samples = []
+            for row in before.rows():
+                if not where.evaluate(row.values):
+                    continue
+                truth_row = truth_after.get(row.rid)
+                if truth_row is None:
+                    continue
+                target = truth_row.values[attribute]
+                # Solve  expr(row, param) = target  for the parameter; because
+                # expressions are affine in the parameter this is a 1-D linear fit.
+                base = expr.evaluate(row.values, {param_name: 0.0})
+                slope = expr.evaluate(row.values, {param_name: 1.0}) - base
+                if abs(slope) < 1e-12:
+                    continue
+                samples.append((target - base) / slope)
+            if samples:
+                set_values[param_name] = float(np.mean(samples))
+            else:
+                set_values[param_name] = float(params[param_name])
+        return set_values
+
+
+def _apply_complaints(final: Database, complaints: ComplaintSet) -> Database:
+    """Apply the complaint transformations ``Tc`` to the dirty final state."""
+    truth = final.snapshot()
+    for complaint in complaints:
+        if complaint.kind is ComplaintKind.REMOVE:
+            truth.delete(complaint.rid)
+            continue
+        row = truth.get(complaint.rid)
+        target = complaint.target_values()
+        if row is None:
+            truth.insert(target, rid=complaint.rid)
+        else:
+            for name, value in target.items():
+                row[name] = value
+    return truth
+
+
+def _rules_to_predicate(rules: list[Rule], schema: Schema) -> Predicate:
+    """Convert the positive rules of the tree into a WHERE predicate."""
+    attribute_order = schema.attribute_names
+    disjuncts: list[Predicate] = []
+    for rule in rules:
+        conjuncts: list[Predicate] = []
+        for feature, op, threshold in rule.conditions:
+            attribute = attribute_order[feature]
+            conjuncts.append(Comparison(Attr(attribute), op, Const(float(threshold))))
+        if not conjuncts:
+            continue
+        disjuncts.append(conjuncts[0] if len(conjuncts) == 1 else And(conjuncts))
+    if not disjuncts:
+        return FalsePredicate()
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    return Or(disjuncts)
+
+
+def _rebuild_query(
+    query: UpdateQuery, where: Predicate, set_values: dict[str, float]
+) -> UpdateQuery:
+    """Assemble the repaired query: learned WHERE clause + fitted SET constants."""
+    new_set: list[tuple[str, Expr]] = []
+    for attribute, expr in query.set_clause:
+        params = collect_params(expr)
+        if params:
+            name = next(iter(params))
+            if name in set_values:
+                expr = _replace_param(expr, name, set_values[name])
+        new_set.append((attribute, expr))
+    return UpdateQuery(query.table, tuple(new_set), where, label=query.label)
+
+
+def _replace_param(expr: Expr, name: str, value: float) -> Expr:
+    from repro.queries.expressions import rebuild_expression
+
+    return rebuild_expression(expr, {name: value})

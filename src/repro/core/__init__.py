@@ -1,0 +1,55 @@
+"""QFix core: complaints, encoding, repair algorithms, and metrics."""
+
+from repro.core.complaints import Complaint, ComplaintKind, ComplaintSet
+from repro.core.config import EncodingConfig, QFixConfig
+from repro.core.encoder import EncodedProblem, LogEncoder
+from repro.core.basic import BasicRepairer
+from repro.core.incremental import IncrementalRepairer, windows_newest_first
+from repro.core.refinement import affected_non_complaints, refine_repair
+from repro.core.repair import (
+    RepairResult,
+    build_repair_result,
+    finalize_repair,
+    repair_resolves_complaints,
+)
+from repro.core.metrics import (
+    RepairAccuracy,
+    evaluate_log_repair,
+    evaluate_repair,
+    evaluate_states,
+)
+from repro.core.slicing import (
+    all_full_impacts,
+    full_impact,
+    relevant_attributes,
+    relevant_queries,
+)
+from repro.core.qfix import QFix
+
+__all__ = [
+    "Complaint",
+    "ComplaintKind",
+    "ComplaintSet",
+    "EncodingConfig",
+    "QFixConfig",
+    "EncodedProblem",
+    "LogEncoder",
+    "BasicRepairer",
+    "IncrementalRepairer",
+    "windows_newest_first",
+    "refine_repair",
+    "affected_non_complaints",
+    "RepairResult",
+    "build_repair_result",
+    "finalize_repair",
+    "repair_resolves_complaints",
+    "RepairAccuracy",
+    "evaluate_repair",
+    "evaluate_states",
+    "evaluate_log_repair",
+    "full_impact",
+    "all_full_impacts",
+    "relevant_queries",
+    "relevant_attributes",
+    "QFix",
+]

@@ -1,0 +1,100 @@
+"""The ``basic`` repair algorithm (Algorithm 1) with optional slicing.
+
+``BasicRepairer`` parameterizes every candidate query at once, encodes the
+whole log (all tuples, or only the complaint tuples when tuple slicing is
+enabled), solves a single MILP, and converts the assignment into a repaired
+log.  The slicing optimizations of Section 5 are toggled through
+:class:`~repro.core.config.QFixConfig`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.complaints import ComplaintSet
+from repro.core.config import QFixConfig
+from repro.core.encoder import LogEncoder
+from repro.core.refinement import refine_repair
+from repro.core.repair import RepairResult, build_repair_result
+from repro.core.slicing import relevant_attributes, relevant_queries
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.milp.solvers import Solver, get_solver
+from repro.queries.log import QueryLog
+
+
+class BasicRepairer:
+    """Single-shot MILP repair over the whole query log."""
+
+    def __init__(self, config: QFixConfig | None = None, solver: Solver | None = None) -> None:
+        self.config = config if config is not None else QFixConfig.basic()
+        self.solver = solver if solver is not None else get_solver(
+            self.config.solver,
+            time_limit=self.config.time_limit,
+            mip_gap=self.config.mip_gap,
+        )
+
+    def repair(
+        self,
+        schema: Schema,
+        initial: Database,
+        final: Database,
+        log: QueryLog,
+        complaints: ComplaintSet,
+    ) -> RepairResult:
+        """Diagnose ``complaints`` and return a repaired log."""
+        config = self.config
+        complaint_attrs = complaints.complaint_attributes(final)
+
+        if config.query_slicing:
+            candidates = relevant_queries(
+                log, complaint_attrs, schema, single_fault=False
+            )
+        else:
+            candidates = list(range(len(log)))
+
+        encoded_attrs = None
+        if config.attribute_slicing:
+            encoded_attrs = relevant_attributes(log, candidates, complaint_attrs, schema)
+
+        rids = complaints.rids if config.tuple_slicing else None
+
+        encode_start = time.perf_counter()
+        encoder = LogEncoder(
+            schema,
+            initial,
+            final,
+            log,
+            complaints,
+            config,
+            parameterized=candidates,
+            rids=rids,
+            encoded_attributes=encoded_attrs,
+            candidate_indices=candidates if config.query_slicing else None,
+        )
+        problem = encoder.encode()
+        encode_seconds = time.perf_counter() - encode_start
+
+        solution = self.solver.solve(problem.model)
+        result = build_repair_result(
+            initial,
+            log,
+            problem,
+            solution,
+            complaints,
+            config=config,
+            encode_seconds=encode_seconds,
+            solve_seconds=solution.solve_seconds,
+        )
+        if result.feasible and config.tuple_slicing and config.refinement:
+            result = refine_repair(
+                schema,
+                initial,
+                final,
+                log,
+                complaints,
+                result,
+                config=config,
+                solver=self.solver,
+            )
+        return result

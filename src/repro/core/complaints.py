@@ -1,0 +1,187 @@
+"""Complaints and complaint sets (Section 3.1 of the paper).
+
+A complaint ``c : t -> t*`` identifies a tuple of the final database state and
+its correct values.  Three shapes exist:
+
+* a *value* complaint: the tuple exists but some attribute values are wrong;
+* a *removal* complaint (``t -> ⊥``): the tuple should not exist;
+* an *insertion* complaint (``⊥ -> t*``): the tuple should exist but does not
+  (e.g. it was wrongly deleted).  Because every tuple that ever existed has a
+  stable rid, insertion complaints are also expressed against a rid.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.diff import RowDiff, diff_states
+from repro.exceptions import ReproError
+
+
+class ComplaintKind(enum.Enum):
+    """Shape of a complaint."""
+
+    VALUE = "value"
+    REMOVE = "remove"
+    INSERT = "insert"
+
+
+@dataclass(frozen=True)
+class Complaint:
+    """A single complaint about the final database state.
+
+    Attributes
+    ----------
+    rid:
+        Stable row identifier of the tuple the complaint refers to.
+    target:
+        Correct attribute values (``t*``).  ``None`` means the tuple should be
+        removed from the database.
+    exists_in_dirty:
+        Whether the tuple is present in the dirty final state.  ``False``
+        together with a non-``None`` target is an insertion complaint.
+    """
+
+    rid: int
+    target: Mapping[str, float] | None
+    exists_in_dirty: bool = True
+
+    @property
+    def kind(self) -> ComplaintKind:
+        if self.target is None:
+            return ComplaintKind.REMOVE
+        if not self.exists_in_dirty:
+            return ComplaintKind.INSERT
+        return ComplaintKind.VALUE
+
+    def target_values(self) -> dict[str, float]:
+        """The correct values; raises for removal complaints."""
+        if self.target is None:
+            raise ReproError(f"removal complaint for rid {self.rid} has no target values")
+        return dict(self.target)
+
+
+class ComplaintSet:
+    """A consistent collection of complaints.
+
+    Consistency means no two complaints refer to the same rid (Definition 4 in
+    the paper assumes a consistent complaint set).
+    """
+
+    def __init__(self, complaints: Iterable[Complaint] = ()) -> None:
+        self._by_rid: dict[int, Complaint] = {}
+        for complaint in complaints:
+            self.add(complaint)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add(self, complaint: Complaint) -> None:
+        """Add a complaint, rejecting duplicates for the same rid."""
+        if complaint.rid in self._by_rid:
+            raise ReproError(f"duplicate complaint for rid {complaint.rid}")
+        self._by_rid[complaint.rid] = complaint
+
+    # -- access -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_rid)
+
+    def __iter__(self) -> Iterator[Complaint]:
+        return iter(self._by_rid.values())
+
+    def __contains__(self, rid: object) -> bool:
+        return rid in self._by_rid
+
+    def get(self, rid: int) -> Complaint | None:
+        return self._by_rid.get(rid)
+
+    @property
+    def rids(self) -> tuple[int, ...]:
+        return tuple(self._by_rid)
+
+    def complaints(self) -> list[Complaint]:
+        return list(self._by_rid.values())
+
+    def is_empty(self) -> bool:
+        return not self._by_rid
+
+    # -- derived information --------------------------------------------------------
+
+    def complaint_attributes(self, dirty: Database) -> frozenset[str]:
+        """The attribute set ``A(C)`` of Definition 6.
+
+        For value complaints these are the attributes whose values differ from
+        the dirty state; removal and insertion complaints involve every
+        attribute of the schema.
+        """
+        attributes: set[str] = set()
+        all_attrs = set(dirty.schema.attribute_names)
+        for complaint in self:
+            if complaint.kind is not ComplaintKind.VALUE:
+                attributes |= all_attrs
+                continue
+            row = dirty.get(complaint.rid)
+            if row is None:
+                attributes |= all_attrs
+                continue
+            target = complaint.target_values()
+            for name, value in target.items():
+                if abs(row.values[name] - value) > 1e-9:
+                    attributes.add(name)
+        return frozenset(attributes)
+
+    # -- construction helpers ---------------------------------------------------------
+
+    @classmethod
+    def from_diffs(cls, diffs: Sequence[RowDiff]) -> "ComplaintSet":
+        """Build a complaint set from a state diff (true complaint set)."""
+        complaints = []
+        for diff in diffs:
+            if diff.kind == "update":
+                assert diff.clean is not None
+                complaints.append(Complaint(diff.rid, dict(diff.clean.values), True))
+            elif diff.kind == "delete":
+                complaints.append(Complaint(diff.rid, None, True))
+            else:  # missing tuple
+                assert diff.clean is not None
+                complaints.append(Complaint(diff.rid, dict(diff.clean.values), False))
+        return cls(complaints)
+
+    @classmethod
+    def from_states(
+        cls, dirty: Database, clean: Database, *, tolerance: float = 1e-6
+    ) -> "ComplaintSet":
+        """Diff two states and return the complete (true) complaint set."""
+        return cls.from_diffs(diff_states(dirty, clean, tolerance=tolerance))
+
+    def sample(
+        self,
+        keep_fraction: float,
+        *,
+        rng: "np.random.Generator | int | None" = None,
+        minimum: int = 1,
+    ) -> "ComplaintSet":
+        """Return an incomplete complaint set keeping ``keep_fraction`` of complaints.
+
+        Used to simulate unreported errors (the false-negative experiments of
+        Figure 8c/8f).  At least ``minimum`` complaints are kept whenever the
+        set is non-empty.
+        """
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ReproError("keep_fraction must be within [0, 1]")
+        complaints = self.complaints()
+        if not complaints:
+            return ComplaintSet()
+        generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        keep_count = max(minimum, int(round(keep_fraction * len(complaints))))
+        keep_count = min(keep_count, len(complaints))
+        indices = generator.choice(len(complaints), size=keep_count, replace=False)
+        return ComplaintSet(complaints[index] for index in sorted(indices))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComplaintSet(n={len(self)})"

@@ -1,0 +1,102 @@
+"""Configuration of the QFix diagnosis pipeline.
+
+A single :class:`QFixConfig` object controls which optimizations are enabled
+(the paper's tuple / query / attribute slicing and the incremental algorithm),
+which MILP backend is used, and the numeric constants of the encoding (big-M
+slack, strict-inequality epsilon, parameter rounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+
+@dataclass(frozen=True)
+class EncodingConfig:
+    """Numeric knobs of the MILP encoding.
+
+    Attributes
+    ----------
+    epsilon:
+        Margin used to encode strict inequalities.  With integer-valued data a
+        value of 0.5 makes the indicator encoding exact; for continuous data
+        use something small relative to the attribute scale.
+    domain_margin_fraction:
+        How far (as a fraction of the attribute domain width) repaired
+        parameters may move outside the declared attribute domain.
+    sentinel_gap:
+        Distance above the attribute upper bound used for the DELETE sentinel
+        value ``M+`` (the paper encodes deleted tuples by pushing their values
+        outside the domain).
+    delete_encoding:
+        ``"sentinel"`` reproduces the paper's encoding; ``"alive"`` is an
+        extension that tracks tuple liveness with an explicit binary variable
+        (exact even when later queries would otherwise match the sentinel).
+    round_integral_params:
+        Round repaired parameters to integers when the original parameter was
+        integral (the synthetic workloads use integer constants).
+    """
+
+    epsilon: float = 0.5
+    domain_margin_fraction: float = 1.0
+    sentinel_gap: float = 10.0
+    delete_encoding: Literal["sentinel", "alive"] = "sentinel"
+    round_integral_params: bool = True
+
+
+@dataclass(frozen=True)
+class QFixConfig:
+    """Top-level configuration for a diagnosis run.
+
+    The defaults correspond to the fully optimized configuration the paper
+    recommends (incremental algorithm with all slicing optimizations); the
+    experiment harness overrides individual fields to reproduce each figure.
+    """
+
+    #: Enable tuple slicing (Section 5.1): only encode complaint tuples and
+    #: run the refinement step afterwards.
+    tuple_slicing: bool = True
+    #: Run the second (refinement) MILP of tuple slicing.
+    refinement: bool = True
+    #: Enable query slicing (Section 5.2): restrict repair candidates to
+    #: queries whose full impact overlaps the complaint attributes.
+    query_slicing: bool = True
+    #: Enable attribute slicing (Section 5.3): only encode relevant attributes.
+    attribute_slicing: bool = True
+    #: Incremental batch size ``k`` (Section 5.4).  Only used by the
+    #: incremental repairer.
+    incremental_batch: int = 1
+    #: Assume a single corrupted query (enables the stricter query-slicing
+    #: filter ``F(q) ⊇ A(C)`` described in Section 5.2).
+    single_fault: bool = True
+    #: MILP solver backend name (see :func:`repro.milp.get_solver`).
+    solver: str = "highs"
+    #: Per-solve time limit in seconds (None = unlimited).
+    time_limit: float | None = 60.0
+    #: Relative MIP gap passed to the solver.
+    mip_gap: float = 1e-6
+    #: Numeric encoding knobs.
+    encoding: EncodingConfig = field(default_factory=EncodingConfig)
+
+    def with_overrides(self, **changes: object) -> "QFixConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @classmethod
+    def basic(cls, **changes: object) -> "QFixConfig":
+        """Configuration of the paper's ``basic`` algorithm (no optimizations)."""
+        config = cls(
+            tuple_slicing=False,
+            refinement=False,
+            query_slicing=False,
+            attribute_slicing=False,
+            single_fault=False,
+        )
+        return config.with_overrides(**changes) if changes else config
+
+    @classmethod
+    def fully_optimized(cls, **changes: object) -> "QFixConfig":
+        """Configuration with every slicing optimization enabled."""
+        config = cls()
+        return config.with_overrides(**changes) if changes else config

@@ -1,0 +1,182 @@
+"""The incremental repair algorithm ``Inc_k`` (Algorithm 3).
+
+The incremental repairer targets the common case of a single corrupted query.
+It walks the log from the most recent query towards the oldest in batches of
+``k`` consecutive queries, parameterizing only the current batch (everything
+else stays at its logged constants, so the encoder constant-folds it away),
+and returns the first batch that yields a feasible repair.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Sequence
+
+from repro.core.complaints import ComplaintSet
+from repro.core.config import QFixConfig
+from repro.core.encoder import LogEncoder
+from repro.core.refinement import refine_repair
+from repro.core.repair import (
+    RepairResult,
+    build_repair_result,
+    repair_resolves_complaints,
+)
+from repro.core.slicing import relevant_attributes, relevant_queries
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers import Solver, get_solver
+from repro.queries.log import QueryLog
+
+
+def windows_newest_first(log_size: int, batch: int) -> Iterator[tuple[int, ...]]:
+    """Yield index windows of size ``batch`` from the newest query to the oldest."""
+    if batch < 1:
+        raise ValueError("batch size must be at least 1")
+    end = log_size
+    while end > 0:
+        start = max(0, end - batch)
+        yield tuple(range(start, end))
+        end = start
+
+
+class IncrementalRepairer:
+    """Window-by-window repair search (``Inc_k``)."""
+
+    def __init__(self, config: QFixConfig | None = None, solver: Solver | None = None) -> None:
+        self.config = config if config is not None else QFixConfig.fully_optimized()
+        self.solver = solver if solver is not None else get_solver(
+            self.config.solver,
+            time_limit=self.config.time_limit,
+            mip_gap=self.config.mip_gap,
+        )
+
+    def repair(
+        self,
+        schema: Schema,
+        initial: Database,
+        final: Database,
+        log: QueryLog,
+        complaints: ComplaintSet,
+    ) -> RepairResult:
+        """Search the log newest-to-oldest for a window whose repair resolves ``complaints``."""
+        config = self.config
+        start_time = time.perf_counter()
+        complaint_attrs = complaints.complaint_attributes(final)
+
+        if config.query_slicing:
+            candidates = set(
+                relevant_queries(
+                    log, complaint_attrs, schema, single_fault=config.single_fault
+                )
+            )
+        else:
+            candidates = set(range(len(log)))
+
+        encoded_attrs = None
+        if config.attribute_slicing:
+            encoded_attrs = relevant_attributes(
+                log, sorted(candidates), complaint_attrs, schema
+            )
+
+        rids = complaints.rids if config.tuple_slicing else None
+
+        total_encode = 0.0
+        total_solve = 0.0
+        windows_tried = 0
+        last_status = SolveStatus.INFEASIBLE
+        last_message = ""
+        last_stats: dict[str, float] = {}
+
+        for window in windows_newest_first(len(log), config.incremental_batch):
+            parameterized = [index for index in window if index in candidates]
+            if not parameterized:
+                continue
+            windows_tried += 1
+
+            encode_start = time.perf_counter()
+            encoder = LogEncoder(
+                schema,
+                initial,
+                final,
+                log,
+                complaints,
+                config,
+                parameterized=parameterized,
+                rids=rids,
+                encoded_attributes=encoded_attrs,
+                candidate_indices=sorted(candidates) if config.query_slicing else None,
+            )
+            problem = encoder.encode()
+            encode_seconds = time.perf_counter() - encode_start
+            total_encode += encode_seconds
+            last_stats = dict(problem.stats)
+
+            if problem.trivially_infeasible:
+                last_status = SolveStatus.INFEASIBLE
+                continue
+
+            solution = self.solver.solve(problem.model)
+            total_solve += solution.solve_seconds
+            last_status = solution.status
+            last_message = solution.message
+            if not solution.status.has_solution:
+                continue
+
+            result = build_repair_result(
+                initial,
+                log,
+                problem,
+                solution,
+                complaints,
+                config=config,
+                encode_seconds=total_encode,
+                solve_seconds=total_solve,
+                windows_tried=windows_tried,
+            )
+            if not result.feasible:
+                continue
+            if not repair_resolves_complaints(initial, result.repaired_log, complaints):
+                # The solver satisfied the encoded constraints but the concrete
+                # replay disagrees (e.g. sentinel-encoding corner cases); keep
+                # searching older windows.
+                continue
+            if config.tuple_slicing and config.refinement:
+                result = refine_repair(
+                    schema,
+                    initial,
+                    final,
+                    log,
+                    complaints,
+                    result,
+                    config=config,
+                    solver=self.solver,
+                )
+            result.total_seconds = time.perf_counter() - start_time
+            result.windows_tried = windows_tried
+            return result
+
+        return RepairResult(
+            original_log=log,
+            repaired_log=log,
+            feasible=False,
+            status=last_status,
+            encode_seconds=total_encode,
+            solve_seconds=total_solve,
+            total_seconds=time.perf_counter() - start_time,
+            windows_tried=windows_tried,
+            problem_stats=last_stats,
+            message=last_message or "no window produced a feasible repair",
+        )
+
+
+def single_query_windows(
+    log: QueryLog | Sequence[object], candidates: Sequence[int]
+) -> list[tuple[int, ...]]:
+    """Helper used in tests: the Inc_1 windows restricted to candidate queries."""
+    size = len(list(log))
+    windows = []
+    for window in windows_newest_first(size, 1):
+        if window[0] in candidates:
+            windows.append(window)
+    return windows

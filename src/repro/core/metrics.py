@@ -1,0 +1,145 @@
+"""Repair accuracy metrics (Section 7.1 of the paper).
+
+The paper measures a repair by replaying the repaired log and comparing the
+resulting database state against the true final state:
+
+* *precision* — the fraction of tuples changed by the repair whose repaired
+  values match the truth;
+* *recall* — the fraction of truly erroneous tuples that the repair fixed;
+* *F1* — their harmonic mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.queries.executor import replay
+from repro.queries.log import QueryLog
+
+
+@dataclass(frozen=True)
+class RepairAccuracy:
+    """Precision / recall / F1 of a repair, with the underlying tuple counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    changed_tuples: int
+    correctly_fixed: int
+    true_errors: int
+    errors_fixed: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "changed_tuples": float(self.changed_tuples),
+            "correctly_fixed": float(self.correctly_fixed),
+            "true_errors": float(self.true_errors),
+            "errors_fixed": float(self.errors_fixed),
+        }
+
+
+def _rows_differ(a: Database, b: Database, rid: int, tolerance: float) -> bool:
+    row_a = a.get(rid)
+    row_b = b.get(rid)
+    if (row_a is None) != (row_b is None):
+        return True
+    if row_a is None or row_b is None:
+        return False
+    return not row_a.same_values(row_b, tolerance=tolerance)
+
+
+def evaluate_states(
+    dirty: Database,
+    truth: Database,
+    repaired: Database,
+    *,
+    tolerance: float = 1e-4,
+) -> RepairAccuracy:
+    """Compute repair accuracy from the three final database states."""
+    rids = sorted(set(dirty.rids) | set(truth.rids) | set(repaired.rids))
+    changed = [rid for rid in rids if _rows_differ(dirty, repaired, rid, tolerance)]
+    errors = [rid for rid in rids if _rows_differ(dirty, truth, rid, tolerance)]
+    correctly_fixed = [
+        rid for rid in changed if not _rows_differ(repaired, truth, rid, tolerance)
+    ]
+    errors_fixed = [
+        rid for rid in errors if not _rows_differ(repaired, truth, rid, tolerance)
+    ]
+
+    if changed:
+        precision = len(correctly_fixed) / len(changed)
+    else:
+        # Nothing was changed: perfect precision only if nothing needed changing.
+        precision = 1.0 if not errors else 0.0
+    if errors:
+        recall = len(errors_fixed) / len(errors)
+    else:
+        recall = 1.0
+    if precision + recall > 0:
+        f1 = 2 * precision * recall / (precision + recall)
+    else:
+        f1 = 0.0
+    return RepairAccuracy(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        changed_tuples=len(changed),
+        correctly_fixed=len(correctly_fixed),
+        true_errors=len(errors),
+        errors_fixed=len(errors_fixed),
+    )
+
+
+def evaluate_repair(
+    initial: Database,
+    dirty: Database,
+    truth: Database,
+    repaired_log: QueryLog,
+    *,
+    tolerance: float = 1e-4,
+) -> RepairAccuracy:
+    """Replay ``repaired_log`` from ``initial`` and score it against ``truth``."""
+    repaired = replay(initial, repaired_log)
+    return evaluate_states(dirty, truth, repaired, tolerance=tolerance)
+
+
+def evaluate_log_repair(
+    corrupted_log: QueryLog,
+    true_log: QueryLog,
+    repaired_log: QueryLog,
+    *,
+    tolerance: float = 1e-6,
+) -> dict[str, float]:
+    """Query-level accuracy: how many corrupted queries were repaired exactly.
+
+    This is a stricter, secondary metric (the paper reports data-level
+    accuracy); it is used by tests and the ablation benches.
+    """
+    corrupted = set()
+    repaired_correctly = set()
+    for index, (corrupt, true, repaired) in enumerate(
+        zip(corrupted_log, true_log, repaired_log)
+    ):
+        params_corrupt = corrupt.params()
+        params_true = true.params()
+        params_repaired = repaired.params()
+        if any(
+            abs(params_corrupt[name] - params_true[name]) > tolerance
+            for name in params_true
+        ):
+            corrupted.add(index)
+            if all(
+                abs(params_repaired[name] - params_true[name]) <= tolerance
+                for name in params_true
+            ):
+                repaired_correctly.add(index)
+    total = len(corrupted)
+    return {
+        "corrupted_queries": float(total),
+        "exactly_repaired_queries": float(len(repaired_correctly)),
+        "exact_repair_rate": (len(repaired_correctly) / total) if total else 1.0,
+    }

@@ -1,0 +1,80 @@
+"""The QFix facade: one object that wires the whole pipeline together.
+
+Typical use::
+
+    from repro import QFix, QFixConfig
+    qfix = QFix(QFixConfig.fully_optimized())
+    result = qfix.diagnose(initial, final, log, complaints)
+    print(result.repaired_log.render_sql())
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.core.basic import BasicRepairer
+from repro.core.complaints import ComplaintSet
+from repro.core.config import QFixConfig
+from repro.core.incremental import IncrementalRepairer
+from repro.core.metrics import RepairAccuracy, evaluate_repair
+from repro.core.repair import RepairResult
+from repro.db.database import Database
+from repro.exceptions import ReproError
+from repro.milp.solvers import Solver, get_solver
+from repro.queries.log import QueryLog
+
+Method = Literal["auto", "basic", "incremental"]
+
+
+class QFix:
+    """High-level entry point for diagnosing data errors through query histories."""
+
+    def __init__(self, config: QFixConfig | None = None, solver: Solver | None = None) -> None:
+        self.config = config if config is not None else QFixConfig.fully_optimized()
+        self.solver = solver if solver is not None else get_solver(
+            self.config.solver,
+            time_limit=self.config.time_limit,
+            mip_gap=self.config.mip_gap,
+        )
+
+    # -- diagnosis ---------------------------------------------------------------------
+
+    def diagnose(
+        self,
+        initial: Database,
+        final: Database,
+        log: QueryLog,
+        complaints: ComplaintSet,
+        *,
+        method: Method = "auto",
+    ) -> RepairResult:
+        """Produce a log repair that resolves ``complaints``.
+
+        ``method`` selects the algorithm: ``"basic"`` solves one MILP over the
+        whole log, ``"incremental"`` runs the windowed ``Inc_k`` search, and
+        ``"auto"`` (the default) picks the incremental algorithm when the
+        configuration assumes a single corrupted query and basic otherwise.
+        """
+        if complaints.is_empty():
+            raise ReproError("the complaint set is empty; nothing to diagnose")
+        if method == "auto":
+            method = "incremental" if self.config.single_fault else "basic"
+        if method == "incremental":
+            repairer = IncrementalRepairer(self.config, self.solver)
+        elif method == "basic":
+            repairer = BasicRepairer(self.config, self.solver)
+        else:
+            raise ReproError(f"unknown diagnosis method '{method}'")
+        return repairer.repair(final.schema, initial, final, log, complaints)
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        initial: Database,
+        dirty: Database,
+        truth: Database,
+        result: RepairResult,
+    ) -> RepairAccuracy:
+        """Score a repair against the known true final state."""
+        return evaluate_repair(initial, dirty, truth, result.repaired_log)

@@ -1,0 +1,142 @@
+"""Slicing optimizations: query impact analysis (Section 5.2 / 5.3).
+
+The functions here implement Definitions 6 and 7 and Algorithm 2 of the paper:
+
+* :func:`full_impact` propagates a query's *direct impact* (attributes written
+  by its SET clause) through the rest of the log, producing ``F(q)``.
+* :func:`relevant_queries` selects the queries whose full impact overlaps the
+  complaint attributes ``A(C)`` — the candidates for repair (``Rel(Q)``).
+* :func:`relevant_attributes` computes ``Rel(A)``, the attributes that need to
+  be encoded at all (attribute slicing).
+
+A DELETE query reports a wildcard ``"*"`` in its direct impact (removing a
+tuple affects every attribute); the helpers below expand the wildcard against
+the schema.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.db.schema import Schema
+from repro.queries.log import QueryLog
+from repro.queries.query import Query
+
+#: Wildcard used by DELETE queries to mean "all attributes".
+WILDCARD = "*"
+
+
+def _expand(attributes: frozenset[str], schema: Schema) -> frozenset[str]:
+    """Expand the DELETE wildcard into the concrete attribute set."""
+    if WILDCARD in attributes:
+        return frozenset(schema.attribute_names)
+    return attributes
+
+
+def direct_impact(query: Query, schema: Schema) -> frozenset[str]:
+    """``I(q)``: attributes written by the query."""
+    return _expand(query.direct_impact(), schema)
+
+
+def dependency(query: Query, schema: Schema) -> frozenset[str]:
+    """``P(q)``: attributes read by the query's condition / SET expressions."""
+    return _expand(query.dependency(), schema)
+
+
+def full_impact(
+    log: QueryLog | Sequence[Query], index: int, schema: Schema
+) -> frozenset[str]:
+    """``F(q_index)``: the transitive impact of a query on later attributes.
+
+    Implements Algorithm 2 (FullImpact): starting from the query's direct
+    impact, absorb the full impact of every later query whose dependency
+    overlaps the running impact set.
+    """
+    queries = list(log)
+    if not 0 <= index < len(queries):
+        raise IndexError(f"query index {index} out of range")
+    impact = set(direct_impact(queries[index], schema))
+    # Pre-compute the (memoized) full impact of later queries from the back.
+    later_impacts = _full_impacts_suffix(queries, schema)
+    for later in range(index + 1, len(queries)):
+        if impact & dependency(queries[later], schema):
+            impact |= later_impacts[later]
+    return frozenset(impact)
+
+
+def all_full_impacts(
+    log: QueryLog | Sequence[Query], schema: Schema
+) -> list[frozenset[str]]:
+    """``F(q)`` for every query in the log (computed in one backward pass)."""
+    queries = list(log)
+    suffix = _full_impacts_suffix(queries, schema)
+    results: list[frozenset[str]] = []
+    for index in range(len(queries)):
+        impact = set(direct_impact(queries[index], schema))
+        for later in range(index + 1, len(queries)):
+            if impact & dependency(queries[later], schema):
+                impact |= suffix[later]
+        results.append(frozenset(impact))
+    return results
+
+
+def _full_impacts_suffix(
+    queries: Sequence[Query], schema: Schema
+) -> list[frozenset[str]]:
+    """Full impact of each query computed right-to-left (dynamic program)."""
+    impacts: list[frozenset[str]] = [frozenset()] * len(queries)
+    for index in range(len(queries) - 1, -1, -1):
+        impact = set(direct_impact(queries[index], schema))
+        for later in range(index + 1, len(queries)):
+            if impact & dependency(queries[later], schema):
+                impact |= impacts[later]
+        impacts[index] = frozenset(impact)
+    return impacts
+
+
+def relevant_queries(
+    log: QueryLog | Sequence[Query],
+    complaint_attributes: frozenset[str],
+    schema: Schema,
+    *,
+    single_fault: bool = False,
+) -> list[int]:
+    """Indices of the repair candidates ``Rel(Q)``.
+
+    A query is a candidate when its full impact overlaps ``A(C)``.  When
+    ``single_fault`` is true the stricter condition of Section 5.2 applies:
+    the (single) corrupted query must cover *all* complaint attributes, so
+    only queries with ``F(q) ⊇ A(C)`` remain candidates.
+    """
+    if not complaint_attributes:
+        return list(range(len(list(log))))
+    impacts = all_full_impacts(log, schema)
+    candidates = []
+    for index, impact in enumerate(impacts):
+        overlap = impact & complaint_attributes
+        if single_fault:
+            if overlap == complaint_attributes:
+                candidates.append(index)
+        elif overlap:
+            candidates.append(index)
+    return candidates
+
+
+def relevant_attributes(
+    log: QueryLog | Sequence[Query],
+    candidate_indices: Sequence[int],
+    complaint_attributes: frozenset[str],
+    schema: Schema,
+) -> frozenset[str]:
+    """``Rel(A)``: attributes that must be encoded (attribute slicing).
+
+    This is the union of the complaint attributes with the full impact and
+    dependency of every candidate query.
+    """
+    queries = list(log)
+    relevant: set[str] = set(complaint_attributes)
+    impacts = all_full_impacts(queries, schema)
+    for index in candidate_indices:
+        relevant |= impacts[index]
+        relevant |= dependency(queries[index], schema)
+    return frozenset(relevant)

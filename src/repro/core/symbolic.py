@@ -1,0 +1,134 @@
+"""Symbolic tuple values used while encoding the query log.
+
+While the encoder walks the query log it maintains, for every encoded tuple
+and attribute, a *symbolic value*: either a concrete float (when nothing
+upstream depends on an undetermined parameter) or a linear expression over
+MILP variables together with interval bounds.  Constant folding is what makes
+the incremental algorithm cheap: queries outside the parameterized window
+usually evaluate concretely and contribute no constraints at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ModelError
+from repro.milp.expr import LinExpr, as_linexpr
+from repro.milp.variables import Variable
+from repro.queries.expressions import Affine
+
+
+@dataclass
+class SymbolicValue:
+    """A value that is either a known constant or a bounded linear expression.
+
+    ``expr`` is a float for constants, otherwise a :class:`LinExpr` (or a
+    :class:`Variable`).  ``lower`` / ``upper`` are interval bounds that hold
+    for every feasible assignment — they size the big-M constants.
+    """
+
+    expr: "float | LinExpr | Variable"
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if isinstance(self.expr, Variable):
+            self.expr = as_linexpr(self.expr)
+        if self.lower > self.upper + 1e-9:
+            raise ModelError(
+                f"symbolic value has inverted bounds [{self.lower}, {self.upper}]"
+            )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: float) -> "SymbolicValue":
+        """A fully known value."""
+        return cls(float(value), float(value), float(value))
+
+    @classmethod
+    def from_variable(cls, variable: Variable) -> "SymbolicValue":
+        """A symbolic value equal to a single decision variable."""
+        return cls(as_linexpr(variable), variable.lower, variable.upper)
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether the value is a plain float."""
+        return isinstance(self.expr, float)
+
+    def as_float(self) -> float:
+        """The constant value; raises if the value is symbolic."""
+        if not isinstance(self.expr, float):
+            raise ModelError("symbolic value is not constant")
+        return self.expr
+
+    def as_expr(self) -> "LinExpr | float":
+        """The value as something accepted by the MILP layer."""
+        return self.expr
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def add(self, other: "SymbolicValue") -> "SymbolicValue":
+        """Sum of two symbolic values (bounds add)."""
+        if self.is_constant and other.is_constant:
+            return SymbolicValue.constant(self.as_float() + other.as_float())
+        expr = _to_expr(self.expr) + _to_expr(other.expr)
+        return SymbolicValue(expr, self.lower + other.lower, self.upper + other.upper)
+
+    def scale(self, factor: float) -> "SymbolicValue":
+        """Scalar multiple of a symbolic value (bounds scale and may swap)."""
+        if self.is_constant:
+            return SymbolicValue.constant(self.as_float() * factor)
+        expr = _to_expr(self.expr) * factor
+        bounds = sorted((self.lower * factor, self.upper * factor))
+        return SymbolicValue(expr, bounds[0], bounds[1])
+
+    def subtract(self, other: "SymbolicValue") -> "SymbolicValue":
+        """Difference of two symbolic values."""
+        return self.add(other.scale(-1.0))
+
+    def widen(self, lower: float, upper: float) -> "SymbolicValue":
+        """Return the same value with bounds widened to include [lower, upper]."""
+        return SymbolicValue(self.expr, min(self.lower, lower), max(self.upper, upper))
+
+
+def _to_expr(value: "float | LinExpr") -> LinExpr:
+    if isinstance(value, LinExpr):
+        return value
+    return LinExpr.from_constant(value)
+
+
+def affine_to_symbolic(
+    affine: Affine,
+    attribute_values: Mapping[str, SymbolicValue],
+    param_variables: Mapping[str, Variable],
+    param_bounds: Mapping[str, tuple[float, float]],
+) -> SymbolicValue:
+    """Instantiate an :class:`~repro.queries.expressions.Affine` form.
+
+    Attribute references are substituted with the tuple's current symbolic
+    values; parameters become decision variables when the owning query is
+    parameterized (present in ``param_variables``) and plain numbers otherwise.
+    """
+    result = SymbolicValue.constant(affine.constant)
+    for name, coeff in affine.attr_coeffs.items():
+        if coeff == 0.0:
+            continue
+        try:
+            value = attribute_values[name]
+        except KeyError:
+            raise ModelError(f"no symbolic value available for attribute '{name}'") from None
+        result = result.add(value.scale(coeff))
+    for name, coeff in affine.param_coeffs.items():
+        if coeff == 0.0:
+            continue
+        if name in param_variables:
+            variable = param_variables[name]
+            lower, upper = param_bounds.get(name, (variable.lower, variable.upper))
+            result = result.add(SymbolicValue(as_linexpr(variable), lower, upper).scale(coeff))
+        else:
+            result = result.add(SymbolicValue.constant(affine.param_values[name]).scale(coeff))
+    return result

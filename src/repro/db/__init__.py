@@ -1,0 +1,31 @@
+"""In-memory relational substrate used by the QFix reproduction.
+
+The paper's formal model (Section 3) is a single relation with numeric
+attributes, an initial state ``D0`` and a final state ``Dn`` obtained by
+replaying a log of update queries.  This package provides exactly that
+substrate:
+
+* :class:`~repro.db.schema.AttributeSpec` and :class:`~repro.db.schema.Schema`
+  describe the relation.
+* :class:`~repro.db.table.Row` and :class:`~repro.db.table.Table` store tuples
+  with stable row identifiers so that tuples can be tracked across states.
+* :class:`~repro.db.database.Database` wraps a table and supports cheap
+  snapshots (used to materialize the intermediate states ``D1 ... Dn-1``).
+* :mod:`~repro.db.diff` compares two database states tuple-by-tuple, which is
+  how true complaint sets are constructed in the experiments.
+"""
+
+from repro.db.schema import AttributeSpec, Schema
+from repro.db.table import Row, Table
+from repro.db.database import Database
+from repro.db.diff import RowDiff, diff_states
+
+__all__ = [
+    "AttributeSpec",
+    "Schema",
+    "Row",
+    "Table",
+    "Database",
+    "RowDiff",
+    "diff_states",
+]

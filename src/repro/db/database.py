@@ -1,0 +1,100 @@
+"""Database states.
+
+The paper's model keeps only the initial state ``D0`` and the current state
+``Dn``; intermediate states are derived by replaying the log.  A
+:class:`Database` is therefore a thin wrapper around a single :class:`Table`
+with convenient snapshot / comparison helpers used throughout the library and
+the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.db.schema import Schema
+from repro.db.table import Row, Table
+
+
+class Database:
+    """A single-relation database state.
+
+    The class intentionally mirrors the paper's abstraction: one relation,
+    numeric attributes, and value-based comparisons between states.
+    """
+
+    def __init__(self, schema: Schema, rows: Iterable[Mapping[str, float]] | None = None) -> None:
+        self.table = Table(schema)
+        for values in rows or ():
+            self.table.insert(values)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: Table) -> "Database":
+        """Wrap an existing table (the table is *not* copied)."""
+        db = cls.__new__(cls)
+        db.table = table
+        return db
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Row]) -> "Database":
+        """Build a database that adopts ``rows`` (rids preserved)."""
+        return cls.from_table(Table(schema, (row.copy() for row in rows)))
+
+    # -- delegation -----------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self.table.schema
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.table)
+
+    def rows(self) -> list[Row]:
+        """All rows in insertion order."""
+        return self.table.rows()
+
+    def get(self, rid: int) -> Row | None:
+        """Row with identifier ``rid`` or ``None`` if it does not exist."""
+        return self.table.get(rid)
+
+    def insert(self, values: Mapping[str, float], rid: int | None = None) -> Row:
+        return self.table.insert(values, rid=rid)
+
+    def delete(self, rid: int) -> None:
+        self.table.delete(rid)
+
+    @property
+    def rids(self) -> tuple[int, ...]:
+        return self.table.rids
+
+    # -- snapshots and comparisons -------------------------------------------
+
+    def snapshot(self) -> "Database":
+        """Return an independent copy of the current state."""
+        return Database.from_table(self.table.copy())
+
+    def same_state(self, other: "Database", *, tolerance: float = 1e-6) -> bool:
+        """Value-based equality of two states (same rids, same values)."""
+        if set(self.rids) != set(other.rids):
+            return False
+        for rid in self.rids:
+            mine = self.get(rid)
+            theirs = other.get(rid)
+            assert mine is not None and theirs is not None
+            if not mine.same_values(theirs, tolerance=tolerance):
+                return False
+        return True
+
+    def to_dicts(self) -> list[dict[str, float]]:
+        """Plain-dict dump of all rows (useful for tests and examples)."""
+        order = self.schema.attribute_names
+        return [
+            {name: row.values[name] for name in order} for row in self.table
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.schema.name!r}, rows={len(self)})"

@@ -1,0 +1,91 @@
+"""Tuple-wise comparison of database states.
+
+The experiments build the *true complaint set* by executing both the clean and
+the corrupted query log and diffing the resulting states (Section 7.1 of the
+paper).  :func:`diff_states` performs that diff and reports, for each rid that
+differs, the dirty row, the clean ("true") row, and the attributes involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.db.database import Database
+from repro.db.table import Row
+
+
+@dataclass(frozen=True)
+class RowDiff:
+    """A single discrepancy between the dirty and the true database state.
+
+    Exactly one of the following shapes occurs:
+
+    * value change: ``dirty`` and ``clean`` both present, values differ;
+    * spurious tuple: ``dirty`` present, ``clean`` is ``None`` (the tuple
+      should not exist and the complaint asks for its removal);
+    * missing tuple: ``dirty`` is ``None``, ``clean`` present (the tuple
+      should exist and the complaint asks for its insertion).
+    """
+
+    rid: int
+    dirty: Row | None
+    clean: Row | None
+    attributes: tuple[str, ...]
+
+    @property
+    def kind(self) -> str:
+        """One of ``"update"``, ``"delete"`` (spurious), or ``"insert"`` (missing)."""
+        if self.dirty is not None and self.clean is not None:
+            return "update"
+        if self.dirty is not None:
+            return "delete"
+        return "insert"
+
+
+def diff_states(
+    dirty: Database, clean: Database, *, tolerance: float = 1e-6
+) -> list[RowDiff]:
+    """Compare two database states tuple-by-tuple.
+
+    Parameters
+    ----------
+    dirty:
+        The state produced by the (possibly corrupted) query log.
+    clean:
+        The true state that should have been produced.
+    tolerance:
+        Numeric tolerance when comparing attribute values.
+
+    Returns
+    -------
+    list[RowDiff]
+        One entry per rid whose presence or values differ, ordered by rid.
+    """
+    diffs: list[RowDiff] = []
+    rids = sorted(set(dirty.rids) | set(clean.rids))
+    for rid in rids:
+        dirty_row = dirty.get(rid)
+        clean_row = clean.get(rid)
+        if dirty_row is None and clean_row is None:  # pragma: no cover - impossible
+            continue
+        if dirty_row is None or clean_row is None:
+            attrs = tuple(sorted((dirty_row or clean_row).values))  # type: ignore[union-attr]
+            diffs.append(RowDiff(rid, _maybe_copy(dirty_row), _maybe_copy(clean_row), attrs))
+            continue
+        differing = dirty_row.differing_attributes(clean_row, tolerance=tolerance)
+        if differing:
+            diffs.append(RowDiff(rid, dirty_row.copy(), clean_row.copy(), differing))
+    return diffs
+
+
+def iter_matching_rids(dirty: Database, clean: Database) -> Iterator[int]:
+    """Yield the rids present in both states (helper for tests)."""
+    clean_rids = set(clean.rids)
+    for rid in dirty.rids:
+        if rid in clean_rids:
+            yield rid
+
+
+def _maybe_copy(row: Row | None) -> Row | None:
+    return row.copy() if row is not None else None

@@ -1,0 +1,185 @@
+"""Schema definitions for the single-relation data model.
+
+The paper assumes a relation with numeric attributes ``A1 ... Am`` drawn from a
+bounded domain (the big-M constant of the MILP encoding is derived from that
+bound).  :class:`AttributeSpec` captures one attribute together with its domain
+bounds, and :class:`Schema` is an ordered collection of attribute specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import SchemaError, UnknownAttributeError
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Description of a single numeric attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name (e.g. ``"income"``).
+    lower, upper:
+        Inclusive domain bounds.  They drive the big-M constants of the MILP
+        encoding, so they should be as tight as is convenient.
+    key:
+        Whether the attribute is the primary key of the relation.  Point
+        predicates in the synthetic workload target key attributes.
+    integral:
+        Whether values are conceptually integers.  This only affects how
+        repaired constants are rounded when converting a solver assignment
+        back into a query; the MILP itself always uses continuous variables
+        for attribute values, exactly as in the paper.
+    """
+
+    name: str
+    lower: float = 0.0
+    upper: float = 1_000_000.0
+    key: bool = False
+    integral: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.lower > self.upper:
+            raise SchemaError(
+                f"attribute '{self.name}' has lower bound {self.lower} "
+                f"greater than upper bound {self.upper}"
+            )
+
+    @property
+    def width(self) -> float:
+        """Size of the attribute domain (``upper - lower``)."""
+        return self.upper - self.lower
+
+    def clamp(self, value: float) -> float:
+        """Clamp ``value`` into the attribute domain."""
+        return min(max(value, self.lower), self.upper)
+
+    def contains(self, value: float) -> bool:
+        """Return whether ``value`` lies inside the domain bounds."""
+        return self.lower <= value <= self.upper
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`AttributeSpec` forming a relation.
+
+    The schema is immutable; all mutation helpers return new instances.
+    """
+
+    name: str
+    attributes: tuple[AttributeSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        names = [spec.name for spec in self.attributes]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate attribute names in schema '{self.name}'")
+        keys = [spec.name for spec in self.attributes if spec.key]
+        if len(keys) > 1:
+            raise SchemaError(
+                f"schema '{self.name}' declares multiple key attributes: {keys}"
+            )
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        attribute_names: Iterable[str],
+        *,
+        lower: float = 0.0,
+        upper: float = 1_000_000.0,
+        key: str | None = None,
+        integral: bool = False,
+    ) -> "Schema":
+        """Build a schema where every attribute shares the same domain."""
+        specs = tuple(
+            AttributeSpec(
+                attr,
+                lower=lower,
+                upper=upper,
+                key=(attr == key),
+                integral=integral,
+            )
+            for attr in attribute_names
+        )
+        return cls(name, specs)
+
+    def with_attribute(self, spec: AttributeSpec) -> "Schema":
+        """Return a new schema with ``spec`` appended."""
+        return Schema(self.name, self.attributes + (spec,))
+
+    # -- lookups --------------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(spec.name for spec in self.attributes)
+
+    @property
+    def key_attribute(self) -> str | None:
+        """Name of the primary-key attribute, if one is declared."""
+        for spec in self.attributes:
+            if spec.key:
+                return spec.name
+        return None
+
+    def spec(self, attribute: str) -> AttributeSpec:
+        """Return the :class:`AttributeSpec` for ``attribute``."""
+        for candidate in self.attributes:
+            if candidate.name == attribute:
+                return candidate
+        raise UnknownAttributeError(attribute, self.name)
+
+    def __contains__(self, attribute: object) -> bool:
+        return any(spec.name == attribute for spec in self.attributes)
+
+    def __iter__(self) -> Iterator[AttributeSpec]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Return the positional index of ``attribute``."""
+        for index, spec in enumerate(self.attributes):
+            if spec.name == attribute:
+                return index
+        raise UnknownAttributeError(attribute, self.name)
+
+    # -- validation -----------------------------------------------------------
+
+    def validate_values(self, values: Mapping[str, float]) -> None:
+        """Check that ``values`` covers exactly the schema attributes.
+
+        Raises :class:`SchemaError` when attributes are missing or unknown.
+        Domain violations are *not* errors (corruptions may push values out of
+        range); the bounds exist to size the MILP big-M constants.
+        """
+        expected = set(self.attribute_names)
+        got = set(values)
+        missing = expected - got
+        extra = got - expected
+        if missing:
+            raise SchemaError(
+                f"row is missing attributes {sorted(missing)} for schema '{self.name}'"
+            )
+        if extra:
+            raise SchemaError(
+                f"row has unknown attributes {sorted(extra)} for schema '{self.name}'"
+            )
+
+    def domain_bounds(self) -> tuple[float, float]:
+        """Return the widest (lower, upper) bounds across all attributes."""
+        if not self.attributes:
+            return (0.0, 0.0)
+        lower = min(spec.lower for spec in self.attributes)
+        upper = max(spec.upper for spec in self.attributes)
+        return (lower, upper)

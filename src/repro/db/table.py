@@ -1,0 +1,164 @@
+"""Rows and tables with stable row identifiers.
+
+A complaint in QFix is a mapping ``t -> t*`` between a tuple in the final
+database state and its correct value.  To express "the same tuple" across
+database states we attach a stable integer row identifier (``rid``) to every
+row when it first enters the database; replaying the query log preserves rids,
+so ``D0``, the intermediate states, and ``Dn`` can be joined on rid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping
+
+from repro.db.schema import Schema
+from repro.exceptions import SchemaError, UnknownAttributeError
+
+
+@dataclass
+class Row:
+    """A single tuple: a stable identifier plus a mapping of attribute values.
+
+    Rows are mutable value containers; tables copy them defensively whenever a
+    snapshot is taken, so mutating a row obtained from one state never leaks
+    into another state.
+    """
+
+    rid: int
+    values: Dict[str, float]
+
+    def __getitem__(self, attribute: str) -> float:
+        try:
+            return self.values[attribute]
+        except KeyError:
+            raise UnknownAttributeError(attribute) from None
+
+    def __setitem__(self, attribute: str, value: float) -> None:
+        if attribute not in self.values:
+            raise UnknownAttributeError(attribute)
+        self.values[attribute] = float(value)
+
+    def get(self, attribute: str, default: float | None = None) -> float | None:
+        return self.values.get(attribute, default)
+
+    def copy(self) -> "Row":
+        """Return an independent copy of this row."""
+        return Row(self.rid, dict(self.values))
+
+    def as_tuple(self, attribute_order: Iterable[str]) -> tuple[float, ...]:
+        """Return values ordered according to ``attribute_order``."""
+        return tuple(self.values[name] for name in attribute_order)
+
+    def same_values(self, other: "Row", *, tolerance: float = 1e-6) -> bool:
+        """Return whether two rows agree on every attribute within tolerance."""
+        if set(self.values) != set(other.values):
+            return False
+        return all(
+            abs(self.values[name] - other.values[name]) <= tolerance
+            for name in self.values
+        )
+
+    def differing_attributes(
+        self, other: "Row", *, tolerance: float = 1e-6
+    ) -> tuple[str, ...]:
+        """Attributes on which this row and ``other`` disagree."""
+        shared = set(self.values) & set(other.values)
+        return tuple(
+            sorted(
+                name
+                for name in shared
+                if abs(self.values[name] - other.values[name]) > tolerance
+            )
+        )
+
+
+class Table:
+    """An ordered collection of rows conforming to a :class:`Schema`.
+
+    The table assigns rids on insert and maintains rows in insertion order,
+    which keeps replay deterministic (the synthetic generator and the
+    benchmarks rely on that determinism for reproducibility).
+    """
+
+    def __init__(self, schema: Schema, rows: Iterable[Row] | None = None) -> None:
+        self.schema = schema
+        self._rows: Dict[int, Row] = {}
+        self._next_rid = 0
+        for row in rows or ():
+            self._adopt(row)
+
+    # -- internal helpers -----------------------------------------------------
+
+    def _adopt(self, row: Row) -> None:
+        """Insert an existing row object, keeping its rid."""
+        if row.rid in self._rows:
+            raise SchemaError(f"duplicate rid {row.rid} in table '{self.schema.name}'")
+        self.schema.validate_values(row.values)
+        self._rows[row.rid] = row
+        self._next_rid = max(self._next_rid, row.rid + 1)
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, values: Mapping[str, float], rid: int | None = None) -> Row:
+        """Insert a new row and return it.
+
+        ``rid`` may be supplied to force a particular identifier (used when
+        replaying a log so that the clean and corrupted replays assign the
+        same rid to the row produced by the same INSERT statement).
+        """
+        self.schema.validate_values(values)
+        if rid is None:
+            rid = self._next_rid
+        if rid in self._rows:
+            raise SchemaError(f"duplicate rid {rid} in table '{self.schema.name}'")
+        row = Row(rid, {name: float(value) for name, value in values.items()})
+        self._rows[rid] = row
+        self._next_rid = max(self._next_rid, rid + 1)
+        return row
+
+    def delete(self, rid: int) -> None:
+        """Remove the row with identifier ``rid`` (no-op if absent)."""
+        self._rows.pop(rid, None)
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows.values())
+
+    def __contains__(self, rid: object) -> bool:
+        return rid in self._rows
+
+    @property
+    def rids(self) -> tuple[int, ...]:
+        """Row identifiers in insertion order."""
+        return tuple(self._rows)
+
+    @property
+    def next_rid(self) -> int:
+        """The rid that the next insert will receive."""
+        return self._next_rid
+
+    def get(self, rid: int) -> Row | None:
+        """Return the row with identifier ``rid`` or ``None``."""
+        return self._rows.get(rid)
+
+    def rows(self) -> list[Row]:
+        """All rows, in insertion order."""
+        return list(self._rows.values())
+
+    # -- copying --------------------------------------------------------------
+
+    def copy(self) -> "Table":
+        """Deep-copy the table (rows are copied, the schema is shared)."""
+        clone = Table(self.schema)
+        for row in self._rows.values():
+            clone._adopt(row.copy())
+        clone._next_rid = self._next_rid
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.schema.name!r}, rows={len(self)})"

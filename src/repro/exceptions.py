@@ -1,0 +1,82 @@
+"""Exception hierarchy for the QFix reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses distinguish schema
+problems, query-model misuse, MILP modeling/solving failures, and repair
+infeasibility (the situation the paper calls "solver infeasibility errors").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema or row violates the relational model assumptions."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name does not exist in the schema."""
+
+    def __init__(self, attribute: str, schema_name: str = "") -> None:
+        self.attribute = attribute
+        self.schema_name = schema_name
+        suffix = f" in schema '{schema_name}'" if schema_name else ""
+        super().__init__(f"unknown attribute '{attribute}'{suffix}")
+
+
+class QueryModelError(ReproError):
+    """A query, expression, or predicate is malformed or unsupported."""
+
+
+class NonLinearExpressionError(QueryModelError):
+    """An expression cannot be reduced to an affine form.
+
+    The paper restricts SET expressions and WHERE predicates to linear
+    combinations of constants and attributes; anything else is rejected.
+    """
+
+
+class SQLSyntaxError(QueryModelError):
+    """The SQL parser failed to parse a statement in the supported subset."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class MILPError(ReproError):
+    """Base class for MILP modeling and solver errors."""
+
+
+class ModelError(MILPError):
+    """The MILP model is malformed (unknown variable, bad bounds, ...)."""
+
+
+class SolverError(MILPError):
+    """The backend solver failed unexpectedly."""
+
+
+class InfeasibleProblemError(SolverError):
+    """The MILP has no feasible assignment.
+
+    For QFix this typically means the complaint set is inconsistent with the
+    hard constraints generated from the non-complaint tuples (Section 6 of the
+    paper discusses why the basic encoding is brittle in this situation).
+    """
+
+
+class TimeLimitExceededError(SolverError):
+    """The solver hit its time limit before proving optimality/feasibility."""
+
+
+class RepairError(ReproError):
+    """A repair could not be produced for the given diagnosis request."""
+
+
+class NoRepairFoundError(RepairError):
+    """No candidate window produced a feasible repair (incremental search)."""

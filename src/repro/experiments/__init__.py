@@ -1,0 +1,37 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(scale="small", seed=...) -> ExperimentResult`` and a
+``main()`` entry point that prints the figure's series as a table.  The
+``scale`` argument selects parameter presets: ``"small"`` (default) finishes in
+seconds-to-minutes on a laptop while preserving the qualitative shape of the
+paper's plots; ``"paper"`` uses the parameters reported in Section 7 (and runs
+correspondingly longer).
+
+Index (see DESIGN.md for the full mapping):
+
+==============  ====================================================================
+Module           Reproduces
+==============  ====================================================================
+``figure4``      Figure 4 — log size vs. solve time, basic vs. single-query
+``figure6``      Figure 6(a-f) — slicing ablation, incremental variants, query types
+``figure7``      Figure 7(a,b) — many-attribute tables, database size (Na=100)
+``figure8``      Figure 8(a-f) — size, clause types, false negatives, skew, dimensionality
+``figure9``      Figure 9 — TPC-C / TATP benchmark latency
+``figure10``     Figure 10(a,b) — DecTree baseline vs. QFix
+``example2``     Example 2 / Figure 2 — the tax-bracket running example
+==============  ====================================================================
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    format_table,
+    run_qfix_on_scenario,
+    synthetic_scenario,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "run_qfix_on_scenario",
+    "synthetic_scenario",
+]

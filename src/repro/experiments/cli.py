@@ -1,0 +1,83 @@
+"""Command-line entry point: ``qfix-experiments <figure> [--scale small|paper]``.
+
+Examples::
+
+    qfix-experiments example2
+    qfix-experiments figure4 --scale small
+    qfix-experiments all --scale small --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.experiments import (
+    example2,
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+)
+from repro.experiments.common import ExperimentResult, format_table
+
+#: Registry of runnable experiments.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "figure4": figure4.run,
+    "figure6": figure6.run,
+    "figure6-multi": figure6.run_multi,
+    "figure6-single": figure6.run_single,
+    "figure6-qtype": figure6.run_query_type,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "example2": example2.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="qfix-experiments",
+        description="Reproduce the tables and figures of the QFix paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure to reproduce ('all' runs every experiment)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="parameter preset: 'small' for quick runs, 'paper' for the paper's sizes",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload random seed")
+    return parser
+
+
+def run_experiment(name: str, scale: str, seed: int) -> ExperimentResult:
+    """Run one named experiment and print its table."""
+    runner = EXPERIMENTS[name]
+    result = runner(scale=scale, seed=seed)
+    print(f"== {result.name}: {result.description}")
+    print(format_table(result.rows))
+    print()
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_experiment(name, args.scale, args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

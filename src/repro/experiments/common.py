@@ -1,0 +1,149 @@
+"""Shared infrastructure for the experiment modules."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.config import QFixConfig
+from repro.core.metrics import RepairAccuracy, evaluate_repair
+from repro.core.qfix import QFix
+from repro.core.repair import RepairResult
+from repro.workload.scenario import Scenario, build_scenario
+from repro.workload.synthetic import SyntheticConfig, SyntheticWorkloadGenerator
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced figure/table plus free-form metadata."""
+
+    name: str
+    description: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **values: object) -> None:
+        """Append one measurement row."""
+        self.rows.append(dict(values))
+
+    def series(self, key: str) -> list[object]:
+        """Extract one column across all rows."""
+        return [row.get(key) for row in self.rows]
+
+    def filter(self, **conditions: object) -> list[dict[str, object]]:
+        """Rows matching all the given column values."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(column) == value for column, value in conditions.items())
+        ]
+
+    def to_table(self, columns: Sequence[str] | None = None) -> str:
+        """Render the rows as a fixed-width text table."""
+        return format_table(self.rows, columns)
+
+
+def format_table(rows: Iterable[dict[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Format dict-rows as a fixed-width table (used by every ``main()``)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(dict.fromkeys(key for row in rows for key in row))
+    header = [str(column) for column in columns]
+    table = [header]
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append(f"{value:.4g}")
+            else:
+                rendered.append(str(value))
+        table.append(rendered)
+    widths = [max(len(line[index]) for line in table) for index in range(len(header))]
+    lines = []
+    for line_index, line in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(line)))
+        if line_index == 0:
+            lines.append("  ".join("-" * widths[index] for index in range(len(header))))
+    return "\n".join(lines)
+
+
+def synthetic_scenario(
+    *,
+    n_tuples: int,
+    n_queries: int,
+    corruption_indices: Sequence[int],
+    n_attributes: int = 10,
+    seed: int = 0,
+    complaint_fraction: float = 1.0,
+    **config_overrides: object,
+) -> Scenario:
+    """Generate a synthetic workload and corrupt it the way the paper does."""
+    config = SyntheticConfig(
+        n_tuples=n_tuples,
+        n_attributes=n_attributes,
+        n_queries=n_queries,
+        seed=seed,
+    ).with_overrides(**config_overrides)
+    generator = SyntheticWorkloadGenerator(config)
+    workload = generator.generate()
+    return build_scenario(
+        workload,
+        corruption_indices,
+        rng=seed + 1000,
+        complaint_fraction=complaint_fraction,
+        corruptor=generator.corrupt_query,
+    )
+
+
+def run_qfix_on_scenario(
+    scenario: Scenario,
+    config: QFixConfig,
+    *,
+    method: str = "auto",
+) -> tuple[RepairResult, RepairAccuracy, float]:
+    """Run a diagnosis on a scenario and score it.
+
+    Returns the repair result, the accuracy against the ground truth, and the
+    wall-clock time of the diagnosis call.
+    """
+    qfix = QFix(config)
+    start = time.perf_counter()
+    result = qfix.diagnose(
+        scenario.initial,
+        scenario.dirty,
+        scenario.corrupted_log,
+        scenario.complaints,
+        method=method,  # type: ignore[arg-type]
+    )
+    elapsed = time.perf_counter() - start
+    accuracy = evaluate_repair(
+        scenario.initial, scenario.dirty, scenario.truth, result.repaired_log
+    )
+    return result, accuracy, elapsed
+
+
+#: Named QFix configurations used across the ablation experiments, matching the
+#: series names in Figures 4 and 6.
+ABLATION_CONFIGS: dict[str, QFixConfig] = {
+    "basic": QFixConfig.basic(),
+    "basic-tuple": QFixConfig.basic(tuple_slicing=True, refinement=True),
+    "basic-query": QFixConfig.basic(query_slicing=True),
+    "basic-attr": QFixConfig.basic(attribute_slicing=True),
+    "basic-all": QFixConfig.basic(
+        tuple_slicing=True, refinement=True, query_slicing=True, attribute_slicing=True
+    ),
+}
+
+
+def incremental_config(batch: int, *, tuple_slicing: bool = True, **overrides: object) -> QFixConfig:
+    """Configuration for ``inc_k`` variants used in Figure 6(b,e) and later."""
+    config = QFixConfig.fully_optimized(
+        incremental_batch=batch,
+        tuple_slicing=tuple_slicing,
+        refinement=tuple_slicing,
+    )
+    return config.with_overrides(**overrides) if overrides else config

@@ -1,0 +1,169 @@
+"""Figure 6 — preliminary analysis: slicing ablation, incremental variants, query types.
+
+Three sub-experiments, matching the paper's six panels:
+
+* :func:`run_multi` (6a, 6d) — multiple corrupted queries, comparing ``basic``
+  with each slicing optimization individually and all of them combined.
+* :func:`run_single` (6b, 6e) — a single corrupted query, comparing the
+  incremental algorithm without tuple slicing against tuple slicing at batch
+  sizes 1, 2, and 8.
+* :func:`run_query_type` (6c, 6f) — INSERT-only vs. DELETE-only vs. UPDATE-only
+  logs with the corruption placed on the oldest query.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ABLATION_CONFIGS,
+    ExperimentResult,
+    format_table,
+    incremental_config,
+    run_qfix_on_scenario,
+    synthetic_scenario,
+)
+
+SCALES: dict[str, dict[str, object]] = {
+    "small": {
+        "n_tuples": 100,
+        "multi_log_sizes": (10, 20, 30),
+        "single_log_sizes": (10, 30, 50),
+        "qtype_log_sizes": (10, 30, 50),
+    },
+    "paper": {
+        "n_tuples": 1000,
+        "multi_log_sizes": (10, 20, 30, 40, 50),
+        "single_log_sizes": (10, 50, 100, 150, 200),
+        "qtype_log_sizes": (1, 50, 100, 150, 200),
+    },
+}
+
+
+def run_multi(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Figure 6(a,d): multiple corruptions — basic vs. slicing optimizations."""
+    preset = SCALES[scale]
+    result = ExperimentResult(
+        name="figure6_multi",
+        description="Multiple corruptions: basic vs slicing optimizations (perf + accuracy)",
+        metadata={"scale": scale, "seed": seed},
+    )
+    for log_size in preset["multi_log_sizes"]:  # type: ignore[attr-defined]
+        corruption_indices = list(range(0, int(log_size), 10))
+        scenario = synthetic_scenario(
+            n_tuples=int(preset["n_tuples"]),
+            n_queries=int(log_size),
+            corruption_indices=corruption_indices,
+            seed=seed,
+        )
+        if not scenario.has_errors:
+            continue
+        for series, config in ABLATION_CONFIGS.items():
+            repair, accuracy, elapsed = run_qfix_on_scenario(scenario, config, method="basic")
+            result.add_row(
+                series=series,
+                log_size=int(log_size),
+                corruptions=len(corruption_indices),
+                seconds=elapsed,
+                feasible=repair.feasible,
+                precision=accuracy.precision,
+                recall=accuracy.recall,
+                f1=accuracy.f1,
+            )
+    return result
+
+
+def run_single(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Figure 6(b,e): single corruption — inc1 vs inc{1,2,8} with tuple slicing."""
+    preset = SCALES[scale]
+    result = ExperimentResult(
+        name="figure6_single",
+        description="Single corruption: incremental variants (perf + accuracy)",
+        metadata={"scale": scale, "seed": seed},
+    )
+    variants = {
+        "inc1": incremental_config(1, tuple_slicing=False),
+        "inc1-tuple": incremental_config(1),
+        "inc2-tuple": incremental_config(2),
+        "inc8-tuple": incremental_config(8),
+    }
+    for log_size in preset["single_log_sizes"]:  # type: ignore[attr-defined]
+        corrupt_index = max(0, int(log_size) // 2)
+        scenario = synthetic_scenario(
+            n_tuples=int(preset["n_tuples"]),
+            n_queries=int(log_size),
+            corruption_indices=[corrupt_index],
+            seed=seed,
+        )
+        if not scenario.has_errors:
+            continue
+        for series, config in variants.items():
+            repair, accuracy, elapsed = run_qfix_on_scenario(
+                scenario, config, method="incremental"
+            )
+            result.add_row(
+                series=series,
+                log_size=int(log_size),
+                corrupt_index=corrupt_index,
+                seconds=elapsed,
+                feasible=repair.feasible,
+                precision=accuracy.precision,
+                recall=accuracy.recall,
+                f1=accuracy.f1,
+            )
+    return result
+
+
+def run_query_type(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Figure 6(c,f): INSERT / DELETE / UPDATE-only workloads, oldest query corrupted."""
+    preset = SCALES[scale]
+    result = ExperimentResult(
+        name="figure6_qtype",
+        description="Query type (INSERT/DELETE/UPDATE-only) vs repair cost",
+        metadata={"scale": scale, "seed": seed},
+    )
+    config = incremental_config(1)
+    for query_type in ("insert", "delete", "update"):
+        for log_size in preset["qtype_log_sizes"]:  # type: ignore[attr-defined]
+            scenario = synthetic_scenario(
+                n_tuples=int(preset["n_tuples"]),
+                n_queries=int(log_size),
+                corruption_indices=[0],
+                seed=seed,
+                query_type=query_type,
+            )
+            if not scenario.has_errors:
+                continue
+            repair, accuracy, elapsed = run_qfix_on_scenario(
+                scenario, config, method="incremental"
+            )
+            result.add_row(
+                series=query_type,
+                log_size=int(log_size),
+                seconds=elapsed,
+                feasible=repair.feasible,
+                f1=accuracy.f1,
+            )
+    return result
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """All three Figure 6 sub-experiments merged into one result."""
+    merged = ExperimentResult(
+        name="figure6",
+        description="Figure 6(a-f): ablation, incremental variants, query types",
+        metadata={"scale": scale, "seed": seed},
+    )
+    for sub in (run_multi(scale, seed), run_single(scale, seed), run_query_type(scale, seed)):
+        for row in sub.rows:
+            merged.add_row(experiment=sub.name, **row)
+    return merged
+
+
+def main() -> ExperimentResult:  # pragma: no cover - exercised via the CLI
+    result = run()
+    print(result.description)
+    print(format_table(result.rows))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

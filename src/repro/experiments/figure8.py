@@ -1,0 +1,234 @@
+"""Figure 8 — sensitivity of the incremental algorithm to data and workload factors.
+
+Panels (all running ``inc1`` with tuple slicing on a narrow table):
+
+* (a) database size vs. time;
+* (b) query clause types (Constant/Relative SET x Point/Range WHERE);
+* (c, f) incomplete complaint sets (false-negative rate) vs. time and accuracy;
+* (d) attribute skew vs. time;
+* (e) predicate dimensionality vs. time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    format_table,
+    incremental_config,
+    run_qfix_on_scenario,
+    synthetic_scenario,
+)
+from repro.workload.synthetic import SetClauseType, WhereClauseType
+
+SCALES: dict[str, dict[str, object]] = {
+    "small": {
+        "db_sizes": (100, 300, 1000),
+        "n_queries": 20,
+        "corrupt_index": 10,
+        "clause_corrupt_indices": (5, 15),
+        "fn_rates": (0.0, 0.5, 0.75),
+        "skews": (0.0, 0.5, 1.0),
+        "dimensionalities": (1, 2, 3),
+    },
+    "paper": {
+        "db_sizes": (100, 1000, 10_000, 100_000),
+        "n_queries": 200,
+        "corrupt_index": 150,
+        "clause_corrupt_indices": (1, 50, 125, 200, 249),
+        "fn_rates": (0.0, 0.25, 0.5, 0.75),
+        "skews": (0.0, 0.25, 0.5, 0.75, 1.0),
+        "dimensionalities": (1, 2, 3, 4, 5),
+    },
+}
+
+
+def run_database_size(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Figure 8(a): database size vs. time (narrow table, inc1-tuple)."""
+    preset = SCALES[scale]
+    config = incremental_config(1)
+    result = ExperimentResult(
+        name="figure8a",
+        description="Database size vs repair time (narrow table)",
+        metadata={"scale": scale, "seed": seed},
+    )
+    for n_tuples in preset["db_sizes"]:  # type: ignore[attr-defined]
+        scenario = synthetic_scenario(
+            n_tuples=int(n_tuples),
+            n_queries=int(preset["n_queries"]),
+            corruption_indices=[int(preset["corrupt_index"])],
+            seed=seed,
+        )
+        if not scenario.has_errors:
+            continue
+        repair, accuracy, elapsed = run_qfix_on_scenario(scenario, config, method="incremental")
+        result.add_row(
+            n_tuples=int(n_tuples),
+            seconds=elapsed,
+            feasible=repair.feasible,
+            f1=accuracy.f1,
+            complaints=len(scenario.complaints),
+        )
+    return result
+
+
+def run_clause_types(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Figure 8(b): Constant/Point vs Constant/Range vs Relative/Range clause shapes."""
+    preset = SCALES[scale]
+    config = incremental_config(1)
+    result = ExperimentResult(
+        name="figure8b",
+        description="Query clause types vs repair time",
+        metadata={"scale": scale, "seed": seed},
+    )
+    combos = {
+        "constant/point": (SetClauseType.CONSTANT, WhereClauseType.POINT),
+        "constant/range": (SetClauseType.CONSTANT, WhereClauseType.RANGE),
+        "relative/range": (SetClauseType.RELATIVE, WhereClauseType.RANGE),
+    }
+    for corrupt_index in preset["clause_corrupt_indices"]:  # type: ignore[attr-defined]
+        n_queries = max(int(preset["n_queries"]), int(corrupt_index) + 1)
+        for series, (set_type, where_type) in combos.items():
+            scenario = synthetic_scenario(
+                n_tuples=100,
+                n_queries=n_queries,
+                corruption_indices=[int(corrupt_index)],
+                seed=seed,
+                set_type=set_type,
+                where_type=where_type,
+            )
+            if not scenario.has_errors:
+                continue
+            repair, accuracy, elapsed = run_qfix_on_scenario(
+                scenario, config, method="incremental"
+            )
+            result.add_row(
+                series=series,
+                corrupt_index=int(corrupt_index),
+                seconds=elapsed,
+                feasible=repair.feasible,
+                f1=accuracy.f1,
+            )
+    return result
+
+
+def run_incomplete_complaints(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Figure 8(c,f): false-negative (missing complaint) rate vs. time and accuracy."""
+    preset = SCALES[scale]
+    config = incremental_config(1)
+    result = ExperimentResult(
+        name="figure8cf",
+        description="Incomplete complaint sets: false-negative rate vs time and accuracy",
+        metadata={"scale": scale, "seed": seed},
+    )
+    for rate in preset["fn_rates"]:  # type: ignore[attr-defined]
+        scenario = synthetic_scenario(
+            n_tuples=300,
+            n_queries=int(preset["n_queries"]),
+            corruption_indices=[int(preset["corrupt_index"])],
+            seed=seed,
+            complaint_fraction=1.0 - float(rate),
+        )
+        if not scenario.has_errors or scenario.complaints.is_empty():
+            continue
+        repair, accuracy, elapsed = run_qfix_on_scenario(scenario, config, method="incremental")
+        result.add_row(
+            false_negative_rate=float(rate),
+            reported_complaints=len(scenario.complaints),
+            true_complaints=len(scenario.full_complaints),
+            seconds=elapsed,
+            feasible=repair.feasible,
+            precision=accuracy.precision,
+            recall=accuracy.recall,
+            f1=accuracy.f1,
+        )
+    return result
+
+
+def run_skew(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Figure 8(d): zipfian attribute skew vs. time."""
+    preset = SCALES[scale]
+    config = incremental_config(1)
+    result = ExperimentResult(
+        name="figure8d",
+        description="Attribute skew vs repair time",
+        metadata={"scale": scale, "seed": seed},
+    )
+    for skew in preset["skews"]:  # type: ignore[attr-defined]
+        scenario = synthetic_scenario(
+            n_tuples=300,
+            n_queries=int(preset["n_queries"]),
+            corruption_indices=[int(preset["corrupt_index"])],
+            seed=seed,
+            skew=float(skew),
+        )
+        if not scenario.has_errors:
+            continue
+        repair, accuracy, elapsed = run_qfix_on_scenario(scenario, config, method="incremental")
+        result.add_row(
+            skew=float(skew),
+            seconds=elapsed,
+            feasible=repair.feasible,
+            f1=accuracy.f1,
+        )
+    return result
+
+
+def run_dimensionality(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Figure 8(e): number of WHERE-clause predicates vs. time."""
+    preset = SCALES[scale]
+    config = incremental_config(1)
+    result = ExperimentResult(
+        name="figure8e",
+        description="Predicate dimensionality vs repair time",
+        metadata={"scale": scale, "seed": seed},
+    )
+    for dimensionality in preset["dimensionalities"]:  # type: ignore[attr-defined]
+        scenario = synthetic_scenario(
+            n_tuples=300,
+            n_queries=int(preset["n_queries"]),
+            corruption_indices=[int(preset["corrupt_index"])],
+            seed=seed,
+            n_predicates=int(dimensionality),
+            selectivity=0.1,
+        )
+        if not scenario.has_errors:
+            continue
+        repair, accuracy, elapsed = run_qfix_on_scenario(scenario, config, method="incremental")
+        result.add_row(
+            n_predicates=int(dimensionality),
+            seconds=elapsed,
+            feasible=repair.feasible,
+            f1=accuracy.f1,
+        )
+    return result
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """All Figure 8 panels merged."""
+    merged = ExperimentResult(
+        name="figure8",
+        description="Figure 8(a-f): sensitivity to data and workload factors",
+        metadata={"scale": scale, "seed": seed},
+    )
+    subs = (
+        run_database_size(scale, seed),
+        run_clause_types(scale, seed),
+        run_incomplete_complaints(scale, seed),
+        run_skew(scale, seed),
+        run_dimensionality(scale, seed),
+    )
+    for sub in subs:
+        for row in sub.rows:
+            merged.add_row(experiment=sub.name, **row)
+    return merged
+
+
+def main() -> ExperimentResult:  # pragma: no cover - exercised via the CLI
+    result = run()
+    print(result.description)
+    print(format_table(result.rows))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

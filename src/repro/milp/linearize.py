@@ -1,0 +1,163 @@
+"""Big-M / indicator linearization helpers.
+
+These helpers implement, over the generic :class:`~repro.milp.model.Model`,
+the linearization tricks the paper applies to its query encoding:
+
+* :func:`add_binary_times_affine` — the four-inequality envelope of the
+  paper's Equation (3), generalized from a ``[0, M]`` domain to an arbitrary
+  bounded domain ``[lower, upper]``, producing a variable equal to
+  ``binary * expr``.
+* :func:`add_comparison_indicator` — ties a binary variable to the truth value
+  of a linear comparison (the ``x_{q,t} = sigma_q(t)`` step, Equation (1)).
+* :func:`add_conjunction` / :func:`add_disjunction` — combine indicator
+  variables for AND / OR WHERE clauses.
+* :func:`add_absolute_value` — the standard two-inequality reformulation used
+  to express the Manhattan-distance objective (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ModelError
+from repro.milp.expr import LinExpr, as_linexpr
+from repro.milp.model import Model
+from repro.milp.variables import Variable
+
+#: Operators accepted by :func:`add_comparison_indicator`.
+INDICATOR_OPS = ("<=", ">=", "<", ">", "=", "!=")
+
+
+def add_binary_times_affine(
+    model: Model,
+    binary: Variable,
+    expr: "LinExpr | Variable | float",
+    *,
+    lower: float,
+    upper: float,
+    name: str,
+) -> Variable:
+    """Create ``u = binary * expr`` where ``expr`` is bounded in ``[lower, upper]``.
+
+    The returned continuous variable ``u`` equals ``expr`` when ``binary`` is 1
+    and 0 when ``binary`` is 0, enforced through the McCormick-style envelope::
+
+        u <= upper * binary              u >= lower * binary
+        u <= expr - lower * (1 - binary) u >= expr - upper * (1 - binary)
+    """
+    if lower > upper:
+        raise ModelError(f"invalid bounds for product linearization: [{lower}, {upper}]")
+    expression = as_linexpr(expr)
+    u = model.add_continuous(name, lower=min(lower, 0.0), upper=max(upper, 0.0))
+    model.add_le(u, binary * upper, f"{name}_ub_bin")
+    model.add_ge(u, binary * lower, f"{name}_lb_bin")
+    model.add_le(u, expression - lower + binary * lower, f"{name}_ub_expr")
+    model.add_ge(u, expression - upper + binary * upper, f"{name}_lb_expr")
+    return u
+
+
+def add_absolute_value(
+    model: Model,
+    expr: "LinExpr | Variable | float",
+    *,
+    name: str,
+    upper: float | None = None,
+) -> Variable:
+    """Create ``d >= |expr|`` for use in a minimization objective.
+
+    Because the objective minimizes ``d``, at any optimum ``d`` equals the
+    absolute value exactly; no binaries are needed.
+    """
+    expression = as_linexpr(expr)
+    bound = upper if upper is not None else 1e9
+    d = model.add_continuous(name, lower=0.0, upper=bound)
+    model.add_ge(d, expression, f"{name}_pos")
+    model.add_ge(d, -1.0 * expression, f"{name}_neg")
+    return d
+
+
+def add_comparison_indicator(
+    model: Model,
+    binary: Variable,
+    lhs: "LinExpr | Variable | float",
+    op: str,
+    rhs: "LinExpr | Variable | float",
+    *,
+    big_m: float,
+    epsilon: float,
+    name: str,
+) -> None:
+    """Constrain ``binary`` to be 1 exactly when ``lhs op rhs`` holds.
+
+    ``big_m`` must bound ``|lhs - rhs|`` over the variable domains; ``epsilon``
+    is the margin used to model strict inequalities (with integer-valued data
+    an epsilon of 0.5 makes the encoding exact).
+    """
+    if op not in INDICATOR_OPS:
+        raise ModelError(f"unsupported comparison operator '{op}'")
+    diff = as_linexpr(lhs) - as_linexpr(rhs)
+    if op == ">=":
+        # binary = 1  =>  diff >= 0 ; binary = 0  =>  diff <= -epsilon
+        model.add_ge(diff, binary * big_m - big_m, f"{name}_on")
+        model.add_le(diff, binary * big_m - epsilon, f"{name}_off")
+    elif op == "<=":
+        model.add_le(diff, big_m - binary * big_m, f"{name}_on")
+        model.add_ge(diff, epsilon - binary * big_m, f"{name}_off")
+    elif op == ">":
+        # binary = 1  =>  diff >= epsilon ; binary = 0  =>  diff <= 0
+        model.add_ge(diff, binary * (big_m + epsilon) - big_m, f"{name}_on")
+        model.add_le(diff, binary * big_m, f"{name}_off")
+    elif op == "<":
+        model.add_le(diff, big_m - binary * (big_m + epsilon), f"{name}_on")
+        model.add_ge(diff, -1.0 * binary * big_m, f"{name}_off")
+    elif op == "=":
+        # Equality needs two one-sided indicators conjoined.
+        ge_bin = model.add_binary(f"{name}_ge")
+        le_bin = model.add_binary(f"{name}_le")
+        add_comparison_indicator(
+            model, ge_bin, diff, ">=", 0.0, big_m=big_m, epsilon=epsilon, name=f"{name}_geq"
+        )
+        add_comparison_indicator(
+            model, le_bin, diff, "<=", 0.0, big_m=big_m, epsilon=epsilon, name=f"{name}_leq"
+        )
+        add_conjunction(model, binary, [ge_bin, le_bin], name=f"{name}_and")
+    else:  # "!="
+        eq_bin = model.add_binary(f"{name}_eq")
+        add_comparison_indicator(
+            model, eq_bin, diff, "=", 0.0, big_m=big_m, epsilon=epsilon, name=f"{name}_inner"
+        )
+        model.add_equal(binary + eq_bin, 1.0, f"{name}_neg")
+
+
+def add_conjunction(
+    model: Model,
+    binary: Variable,
+    children: Sequence[Variable],
+    *,
+    name: str,
+) -> None:
+    """Constrain ``binary`` to equal the logical AND of ``children``."""
+    if not children:
+        model.add_equal(binary, 1.0, f"{name}_empty")
+        return
+    for index, child in enumerate(children):
+        model.add_le(binary, child, f"{name}_le_{index}")
+    total = LinExpr.sum(children)
+    model.add_ge(binary, total - (len(children) - 1), f"{name}_ge")
+
+
+def add_disjunction(
+    model: Model,
+    binary: Variable,
+    children: Sequence[Variable],
+    *,
+    name: str,
+) -> None:
+    """Constrain ``binary`` to equal the logical OR of ``children``."""
+    if not children:
+        model.add_equal(binary, 0.0, f"{name}_empty")
+        return
+    for index, child in enumerate(children):
+        model.add_ge(binary, child, f"{name}_ge_{index}")
+    total = LinExpr.sum(children)
+    model.add_le(binary, total, f"{name}_le")

@@ -1,0 +1,305 @@
+"""The MILP model: variables, constraints, and an objective."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.milp.constraints import Constraint, Sense
+from repro.milp.expr import LinExpr, as_linexpr
+from repro.milp.solution import Solution
+from repro.milp.variables import Variable, VarType
+
+#: Default bound used for unbounded continuous helper variables.
+DEFAULT_BOUND = 1e9
+
+
+class Model:
+    """A mixed-integer linear program under construction.
+
+    The model collects variables and constraints, owns the (minimization)
+    objective, and can export itself as dense/sparse matrices for the solver
+    backends.  Variable names must be unique within a model.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: list[Variable] = []
+        self._by_name: dict[str, Variable] = {}
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._constraint_counter = 0
+
+    # -- variables --------------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: str,
+        *,
+        lower: float = -DEFAULT_BOUND,
+        upper: float = DEFAULT_BOUND,
+        var_type: VarType = VarType.CONTINUOUS,
+    ) -> Variable:
+        """Create and register a new decision variable."""
+        if name in self._by_name:
+            raise ModelError(f"duplicate variable name '{name}'")
+        variable = Variable(name, len(self._variables), float(lower), float(upper), var_type)
+        self._variables.append(variable)
+        self._by_name[name] = variable
+        return variable
+
+    def add_continuous(self, name: str, lower: float = -DEFAULT_BOUND, upper: float = DEFAULT_BOUND) -> Variable:
+        """Shorthand for a continuous variable."""
+        return self.add_variable(name, lower=lower, upper=upper, var_type=VarType.CONTINUOUS)
+
+    def add_binary(self, name: str) -> Variable:
+        """Shorthand for a binary variable."""
+        return self.add_variable(name, lower=0.0, upper=1.0, var_type=VarType.BINARY)
+
+    def add_integer(self, name: str, lower: float = 0.0, upper: float = DEFAULT_BOUND) -> Variable:
+        """Shorthand for a general integer variable."""
+        return self.add_variable(name, lower=lower, upper=upper, var_type=VarType.INTEGER)
+
+    def get_variable(self, name: str) -> Variable:
+        """Look up a variable by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ModelError(f"unknown variable '{name}'") from None
+
+    def has_variable(self, name: str) -> bool:
+        """Whether a variable with ``name`` exists."""
+        return name in self._by_name
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """All variables in creation order."""
+        return tuple(self._variables)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_integer_variables(self) -> int:
+        """Number of binary/integer variables (problem-difficulty metric)."""
+        return sum(1 for variable in self._variables if variable.is_integral)
+
+    # -- constraints ------------------------------------------------------------
+
+    def add_constraint(
+        self,
+        expr: "LinExpr | Variable | float",
+        sense: "Sense | str",
+        rhs: "LinExpr | Variable | float",
+        name: str | None = None,
+    ) -> Constraint:
+        """Add the constraint ``expr SENSE rhs``.
+
+        Both sides may be expressions; the constraint is normalized so all
+        variable terms move to the left and the right-hand side is a number.
+        """
+        if isinstance(sense, str):
+            sense = Sense(sense)
+        left = as_linexpr(expr)
+        right = as_linexpr(rhs)
+        normalized = left - right
+        constant = normalized.constant
+        normalized = normalized - constant
+        if name is None:
+            name = f"c{self._constraint_counter}"
+        self._constraint_counter += 1
+        constraint = Constraint(name, normalized, sense, -constant)
+        self._validate_constraint(constraint)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_equal(self, lhs, rhs, name: str | None = None) -> Constraint:  # type: ignore[no-untyped-def]
+        """Shorthand for an equality constraint."""
+        return self.add_constraint(lhs, Sense.EQ, rhs, name)
+
+    def add_le(self, lhs, rhs, name: str | None = None) -> Constraint:  # type: ignore[no-untyped-def]
+        """Shorthand for a ``<=`` constraint."""
+        return self.add_constraint(lhs, Sense.LE, rhs, name)
+
+    def add_ge(self, lhs, rhs, name: str | None = None) -> Constraint:  # type: ignore[no-untyped-def]
+        """Shorthand for a ``>=`` constraint."""
+        return self.add_constraint(lhs, Sense.GE, rhs, name)
+
+    def _validate_constraint(self, constraint: Constraint) -> None:
+        for variable in constraint.expr.variables():
+            registered = self._by_name.get(variable.name)
+            if registered is not variable:
+                raise ModelError(
+                    f"constraint '{constraint.name}' references variable "
+                    f"'{variable.name}' that does not belong to this model"
+                )
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        """All constraints in insertion order."""
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # -- objective ----------------------------------------------------------------
+
+    def set_objective(self, expr: "LinExpr | Variable | float") -> None:
+        """Set the (minimization) objective."""
+        objective = as_linexpr(expr)
+        for variable in objective.variables():
+            if self._by_name.get(variable.name) is not variable:
+                raise ModelError(
+                    f"objective references variable '{variable.name}' "
+                    "that does not belong to this model"
+                )
+        self._objective = objective
+
+    def add_to_objective(self, expr: "LinExpr | Variable | float") -> None:
+        """Add a term to the existing objective."""
+        self.set_objective(self._objective + as_linexpr(expr))
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    # -- matrix export -------------------------------------------------------------
+
+    def to_matrices(self) -> dict[str, np.ndarray]:
+        """Export the model as dense numpy arrays.
+
+        Returns a dict with keys ``c`` (objective coefficients), ``A``
+        (constraint matrix), ``lb_con`` / ``ub_con`` (constraint bounds),
+        ``lb_var`` / ``ub_var`` (variable bounds), and ``integrality``
+        (1 for integral variables, 0 otherwise).
+        """
+        n = len(self._variables)
+        m = len(self._constraints)
+        c = np.zeros(n)
+        for variable, coeff in self._objective.terms.items():
+            c[variable.index] = coeff
+        A = np.zeros((m, n))
+        lb_con = np.full(m, -np.inf)
+        ub_con = np.full(m, np.inf)
+        for row, constraint in enumerate(self._constraints):
+            for variable, coeff in constraint.expr.terms.items():
+                A[row, variable.index] = coeff
+            if constraint.sense is Sense.LE:
+                ub_con[row] = constraint.rhs
+            elif constraint.sense is Sense.GE:
+                lb_con[row] = constraint.rhs
+            else:
+                lb_con[row] = constraint.rhs
+                ub_con[row] = constraint.rhs
+        lb_var = np.array([variable.lower for variable in self._variables])
+        ub_var = np.array([variable.upper for variable in self._variables])
+        integrality = np.array(
+            [1 if variable.is_integral else 0 for variable in self._variables]
+        )
+        return {
+            "c": c,
+            "A": A,
+            "lb_con": lb_con,
+            "ub_con": ub_con,
+            "lb_var": lb_var,
+            "ub_var": ub_var,
+            "integrality": integrality,
+        }
+
+    def to_sparse_arrays(self) -> dict[str, object]:
+        """Export objective/bounds as dense vectors and constraints as COO triplets.
+
+        Unlike :meth:`to_matrices` this never materializes the dense constraint
+        matrix, which matters once the encoder emits tens of thousands of
+        constraints (refinement over large NC sets, basic over full tables).
+        """
+        n = len(self._variables)
+        m = len(self._constraints)
+        c = np.zeros(n)
+        for variable, coeff in self._objective.terms.items():
+            c[variable.index] = coeff
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        lb_con = np.full(m, -np.inf)
+        ub_con = np.full(m, np.inf)
+        for row, constraint in enumerate(self._constraints):
+            for variable, coeff in constraint.expr.terms.items():
+                rows.append(row)
+                cols.append(variable.index)
+                data.append(coeff)
+            if constraint.sense is Sense.LE:
+                ub_con[row] = constraint.rhs
+            elif constraint.sense is Sense.GE:
+                lb_con[row] = constraint.rhs
+            else:
+                lb_con[row] = constraint.rhs
+                ub_con[row] = constraint.rhs
+        lb_var = np.array([variable.lower for variable in self._variables])
+        ub_var = np.array([variable.upper for variable in self._variables])
+        integrality = np.array(
+            [1 if variable.is_integral else 0 for variable in self._variables]
+        )
+        return {
+            "c": c,
+            "rows": np.array(rows, dtype=np.int64),
+            "cols": np.array(cols, dtype=np.int64),
+            "data": np.array(data, dtype=float),
+            "n_constraints": m,
+            "lb_con": lb_con,
+            "ub_con": ub_con,
+            "lb_var": lb_var,
+            "ub_var": ub_var,
+            "integrality": integrality,
+        }
+
+    # -- verification ---------------------------------------------------------------
+
+    def check_assignment(
+        self,
+        assignment: Mapping[str, float],
+        *,
+        tolerance: float = 1e-5,
+    ) -> list[Constraint]:
+        """Return the constraints violated by ``assignment`` (empty when feasible)."""
+        named = dict(assignment)
+        violated = []
+        for constraint in self._constraints:
+            if not constraint.satisfied_by(named, tolerance=tolerance):
+                violated.append(constraint)
+        return violated
+
+    def objective_value(self, assignment: Mapping[str, float]) -> float:
+        """Evaluate the objective under a (named) assignment."""
+        return self._objective.evaluate(assignment)
+
+    def evaluate_solution(self, solution: Solution, *, tolerance: float = 1e-5) -> bool:
+        """Whether a solver solution satisfies every constraint."""
+        if not solution:
+            return False
+        return not self.check_assignment(solution.values, tolerance=tolerance)
+
+    # -- misc -----------------------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """Size statistics used by the experiment reports."""
+        return {
+            "variables": self.num_variables,
+            "integer_variables": self.num_integer_variables,
+            "constraints": self.num_constraints,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Model({self.name!r}, vars={self.num_variables}, "
+            f"int={self.num_integer_variables}, cons={self.num_constraints})"
+        )
+
+
+def variable_names(variables: Iterable[Variable]) -> list[str]:
+    """Names of an iterable of variables (helper for tests)."""
+    return [variable.name for variable in variables]

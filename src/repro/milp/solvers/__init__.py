@@ -1,0 +1,15 @@
+"""Solver backends for the MILP modeling layer."""
+
+from repro.milp.solvers.base import Solver
+from repro.milp.solvers.scipy_backend import HighsSolver
+from repro.milp.solvers.branch_and_bound import BranchAndBoundSolver
+from repro.milp.solvers.registry import available_solvers, get_solver, register_solver
+
+__all__ = [
+    "Solver",
+    "HighsSolver",
+    "BranchAndBoundSolver",
+    "get_solver",
+    "register_solver",
+    "available_solvers",
+]

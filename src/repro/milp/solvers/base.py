@@ -1,0 +1,31 @@
+"""Abstract solver interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution
+
+
+class Solver(abc.ABC):
+    """Interface implemented by all MILP solver backends.
+
+    A solver is stateless between calls; per-solve options (time limit, gap)
+    are constructor arguments so that a configured solver instance can be
+    shared across an experiment.
+    """
+
+    #: Registry name of the backend (e.g. ``"highs"``).
+    name: str = "abstract"
+
+    def __init__(self, *, time_limit: float | None = None, mip_gap: float = 1e-6) -> None:
+        self.time_limit = time_limit
+        self.mip_gap = mip_gap
+
+    @abc.abstractmethod
+    def solve(self, model: Model) -> Solution:
+        """Solve ``model`` (minimization) and return a :class:`Solution`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(time_limit={self.time_limit}, mip_gap={self.mip_gap})"

@@ -1,0 +1,207 @@
+"""Pure-Python branch-and-bound MILP solver.
+
+This backend exists for two reasons: it demonstrates that the QFix encoding
+does not depend on any particular solver, and it provides a slow-but-simple
+cross-check for the HiGHS backend in the test suite (both must return repairs
+of identical objective value on small instances).
+
+The algorithm is textbook best-first branch-and-bound:
+
+1. solve the LP relaxation with ``scipy.optimize.linprog`` (HiGHS simplex);
+2. if the relaxation is integral (all integer variables within tolerance of an
+   integer), record it as the incumbent;
+3. otherwise branch on the most fractional integer variable, adding floor /
+   ceil bound constraints, and recurse, pruning nodes whose relaxation bound
+   cannot beat the incumbent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solvers.base import Solver
+
+#: Tolerance within which a relaxation value counts as integral.
+INTEGRALITY_TOLERANCE = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound search node (ordered by relaxation bound)."""
+
+    bound: float
+    sequence: int
+    lower: np.ndarray = field(compare=False)
+    upper: np.ndarray = field(compare=False)
+
+
+class BranchAndBoundSolver(Solver):
+    """Best-first branch-and-bound over LP relaxations."""
+
+    name = "branch-and-bound"
+
+    def __init__(
+        self,
+        *,
+        time_limit: float | None = None,
+        mip_gap: float = 1e-6,
+        max_nodes: int = 50_000,
+    ) -> None:
+        super().__init__(time_limit=time_limit, mip_gap=mip_gap)
+        self.max_nodes = max_nodes
+
+    def solve(self, model: Model) -> Solution:
+        start = time.perf_counter()
+        matrices = model.to_matrices()
+        n = len(matrices["c"])
+        if n == 0:
+            violated = model.check_assignment({})
+            if violated:
+                return Solution(SolveStatus.INFEASIBLE, None, {}, 0.0, self.name)
+            return Solution(SolveStatus.OPTIMAL, 0.0, {}, 0.0, self.name)
+
+        integer_indices = np.flatnonzero(matrices["integrality"] == 1)
+        A_ub, b_ub, A_eq, b_eq = _split_constraints(matrices)
+
+        incumbent_x: np.ndarray | None = None
+        incumbent_obj = np.inf
+        counter = itertools.count()
+        explored = 0
+        hit_limit = False
+
+        root = _Node(-np.inf, next(counter), matrices["lb_var"].copy(), matrices["ub_var"].copy())
+        heap = [root]
+        relaxation_infeasible_everywhere = True
+
+        while heap:
+            if self._out_of_time(start) or explored >= self.max_nodes:
+                hit_limit = True
+                break
+            node = heapq.heappop(heap)
+            if node.bound >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
+                continue
+            explored += 1
+            lp = _solve_relaxation(matrices["c"], A_ub, b_ub, A_eq, b_eq, node.lower, node.upper)
+            if lp is None:
+                continue
+            relaxation_infeasible_everywhere = False
+            lp_obj, lp_x = lp
+            if lp_obj >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
+                continue
+            branch_index = _most_fractional(lp_x, integer_indices)
+            if branch_index is None:
+                incumbent_obj = lp_obj
+                incumbent_x = lp_x
+                continue
+            value = lp_x[branch_index]
+            floor_value = np.floor(value)
+            # Down branch: x <= floor(value)
+            down_upper = node.upper.copy()
+            down_upper[branch_index] = floor_value
+            if matrices["lb_var"][branch_index] <= floor_value:
+                heapq.heappush(
+                    heap, _Node(lp_obj, next(counter), node.lower.copy(), down_upper)
+                )
+            # Up branch: x >= floor(value) + 1
+            up_lower = node.lower.copy()
+            up_lower[branch_index] = floor_value + 1.0
+            if matrices["ub_var"][branch_index] >= floor_value + 1.0:
+                heapq.heappush(
+                    heap, _Node(lp_obj, next(counter), up_lower, node.upper.copy())
+                )
+
+        elapsed = time.perf_counter() - start
+        if incumbent_x is not None:
+            values = {
+                variable.name: (
+                    float(np.round(incumbent_x[variable.index]))
+                    if variable.is_integral
+                    else float(incumbent_x[variable.index])
+                )
+                for variable in model.variables
+            }
+            status = SolveStatus.FEASIBLE if hit_limit else SolveStatus.OPTIMAL
+            return Solution(status, float(incumbent_obj), values, elapsed, self.name)
+        if hit_limit:
+            return Solution(SolveStatus.TIME_LIMIT, None, {}, elapsed, self.name)
+        if relaxation_infeasible_everywhere:
+            return Solution(SolveStatus.INFEASIBLE, None, {}, elapsed, self.name)
+        return Solution(SolveStatus.INFEASIBLE, None, {}, elapsed, self.name)
+
+    def _out_of_time(self, start: float) -> bool:
+        return self.time_limit is not None and (time.perf_counter() - start) > self.time_limit
+
+
+def _split_constraints(
+    matrices: dict[str, np.ndarray],
+) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+    """Convert two-sided row bounds into linprog's A_ub/b_ub and A_eq/b_eq."""
+    A = matrices["A"]
+    lb = matrices["lb_con"]
+    ub = matrices["ub_con"]
+    ub_rows = []
+    ub_rhs = []
+    eq_rows = []
+    eq_rhs = []
+    for row in range(A.shape[0]):
+        lower, upper = lb[row], ub[row]
+        if np.isfinite(lower) and np.isfinite(upper) and lower == upper:
+            eq_rows.append(A[row])
+            eq_rhs.append(upper)
+            continue
+        if np.isfinite(upper):
+            ub_rows.append(A[row])
+            ub_rhs.append(upper)
+        if np.isfinite(lower):
+            ub_rows.append(-A[row])
+            ub_rhs.append(-lower)
+    A_ub = np.array(ub_rows) if ub_rows else None
+    b_ub = np.array(ub_rhs) if ub_rhs else None
+    A_eq = np.array(eq_rows) if eq_rows else None
+    b_eq = np.array(eq_rhs) if eq_rhs else None
+    return A_ub, b_ub, A_eq, b_eq
+
+
+def _solve_relaxation(
+    c: np.ndarray,
+    A_ub: np.ndarray | None,
+    b_ub: np.ndarray | None,
+    A_eq: np.ndarray | None,
+    b_eq: np.ndarray | None,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> tuple[float, np.ndarray] | None:
+    """Solve the LP relaxation; return (objective, x) or None if infeasible."""
+    bounds = list(zip(lower, upper))
+    result = optimize.linprog(
+        c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        return None
+    return float(result.fun), np.asarray(result.x)
+
+
+def _most_fractional(x: np.ndarray, integer_indices: np.ndarray) -> int | None:
+    """Index of the integer variable farthest from an integer value, or None."""
+    if integer_indices.size == 0:
+        return None
+    values = x[integer_indices]
+    fractional = np.abs(values - np.round(values))
+    worst = int(np.argmax(fractional))
+    if fractional[worst] <= INTEGRALITY_TOLERANCE:
+        return None
+    return int(integer_indices[worst])

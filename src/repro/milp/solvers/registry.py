@@ -1,0 +1,43 @@
+"""Solver registry: look up backends by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.exceptions import SolverError
+from repro.milp.solvers.base import Solver
+from repro.milp.solvers.branch_and_bound import BranchAndBoundSolver
+from repro.milp.solvers.scipy_backend import HighsSolver
+
+_FACTORIES: Dict[str, Callable[..., Solver]] = {
+    HighsSolver.name: HighsSolver,
+    BranchAndBoundSolver.name: BranchAndBoundSolver,
+    # Convenience aliases.
+    "scipy": HighsSolver,
+    "bnb": BranchAndBoundSolver,
+}
+
+
+def register_solver(name: str, factory: Callable[..., Solver]) -> None:
+    """Register a custom solver factory under ``name``."""
+    _FACTORIES[name] = factory
+
+
+def available_solvers() -> tuple[str, ...]:
+    """Names of the registered solver backends."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_solver(name: str = "highs", **options: float) -> Solver:
+    """Instantiate a solver backend by name.
+
+    Keyword options (``time_limit``, ``mip_gap``, ...) are forwarded to the
+    backend constructor.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver '{name}'; available: {', '.join(available_solvers())}"
+        ) from None
+    return factory(**options)

@@ -1,0 +1,114 @@
+"""HiGHS backend via ``scipy.optimize.milp``.
+
+This is the default solver.  The paper uses CPLEX; HiGHS is an open-source
+branch-and-cut engine that solves the same MILPs to optimality, so the repair
+quality is unaffected (only absolute solve times differ).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solvers.base import Solver
+
+
+class HighsSolver(Solver):
+    """Solve models with ``scipy.optimize.milp`` (HiGHS)."""
+
+    name = "highs"
+
+    def solve(self, model: Model) -> Solution:
+        start = time.perf_counter()
+        matrices = model.to_sparse_arrays()
+        num_variables = len(matrices["c"])
+        if num_variables == 0:
+            # A model with no variables is optimal iff its (constant)
+            # constraints are all satisfiable — e.g. the encoder's explicit
+            # contradiction rows (0 == 1) must still report infeasibility.
+            violated = model.check_assignment({})
+            status = SolveStatus.INFEASIBLE if violated else SolveStatus.OPTIMAL
+            return Solution(
+                status=status,
+                objective=0.0 if not violated else None,
+                values={},
+                solve_seconds=0.0,
+                solver_name=self.name,
+            )
+
+        constraints = None
+        if matrices["n_constraints"] > 0:
+            matrix = sparse.coo_matrix(
+                (matrices["data"], (matrices["rows"], matrices["cols"])),
+                shape=(matrices["n_constraints"], num_variables),
+            ).tocsr()
+            constraints = optimize.LinearConstraint(
+                matrix,
+                matrices["lb_con"],
+                matrices["ub_con"],
+            )
+        bounds = optimize.Bounds(matrices["lb_var"], matrices["ub_var"])
+        options: dict[str, float | bool] = {"mip_rel_gap": self.mip_gap}
+        if self.time_limit is not None:
+            options["time_limit"] = float(self.time_limit)
+
+        try:
+            result = optimize.milp(
+                c=matrices["c"],
+                constraints=constraints,
+                bounds=bounds,
+                integrality=matrices["integrality"],
+                options=options,
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            return Solution(
+                status=SolveStatus.ERROR,
+                solve_seconds=time.perf_counter() - start,
+                solver_name=self.name,
+                message=str(error),
+            )
+
+        elapsed = time.perf_counter() - start
+        status = _translate_status(result)
+        values: dict[str, float] = {}
+        objective = None
+        if result.x is not None and status.has_solution:
+            values = {
+                variable.name: _round_if_integral(float(result.x[variable.index]), variable.is_integral)
+                for variable in model.variables
+            }
+            objective = float(result.fun) if result.fun is not None else None
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            solve_seconds=elapsed,
+            solver_name=self.name,
+            message=str(result.message),
+        )
+
+
+def _translate_status(result: "optimize.OptimizeResult") -> SolveStatus:
+    """Map scipy's MILP status codes onto :class:`SolveStatus`."""
+    # scipy.optimize.milp status codes:
+    #   0 optimal, 1 iteration/time limit, 2 infeasible, 3 unbounded, 4 other
+    status = int(getattr(result, "status", 4))
+    if status == 0:
+        return SolveStatus.OPTIMAL
+    if status == 1:
+        return SolveStatus.FEASIBLE if result.x is not None else SolveStatus.TIME_LIMIT
+    if status == 2:
+        return SolveStatus.INFEASIBLE
+    if status == 3:
+        return SolveStatus.UNBOUNDED
+    return SolveStatus.ERROR
+
+
+def _round_if_integral(value: float, is_integral: bool) -> float:
+    if is_integral:
+        return float(np.round(value))
+    return value

@@ -1,0 +1,55 @@
+"""Query model: linear expressions, predicates, DML queries, logs, execution.
+
+The paper models each logged statement as a pair of functions over tuples: a
+*modifier* function (the ``SET`` clause / inserted values) and a *conditional*
+function (the ``WHERE`` clause).  Both are restricted to linear combinations of
+constants and attributes.  This package provides:
+
+* :mod:`~repro.queries.expressions` — an expression tree (:class:`Const`,
+  :class:`Param`, :class:`Attr`, arithmetic) plus :class:`Affine`, the
+  canonical linear form consumed by the MILP encoder.
+* :mod:`~repro.queries.predicates` — comparisons, conjunction, disjunction.
+* :mod:`~repro.queries.query` — :class:`UpdateQuery`, :class:`InsertQuery`,
+  :class:`DeleteQuery`, with named repairable parameters.
+* :mod:`~repro.queries.log` — :class:`QueryLog` with parameter introspection
+  and the Manhattan distance used by the objective function.
+* :mod:`~repro.queries.executor` — replaying queries and logs against a
+  :class:`~repro.db.database.Database`.
+"""
+
+from repro.queries.expressions import Affine, Attr, BinOp, Const, Expr, Param
+from repro.queries.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.queries.query import DeleteQuery, InsertQuery, Query, UpdateQuery
+from repro.queries.log import QueryLog, log_distance
+from repro.queries.executor import apply_query, replay, replay_states
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Param",
+    "Attr",
+    "BinOp",
+    "Affine",
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "TruePredicate",
+    "FalsePredicate",
+    "Query",
+    "UpdateQuery",
+    "InsertQuery",
+    "DeleteQuery",
+    "QueryLog",
+    "log_distance",
+    "apply_query",
+    "replay",
+    "replay_states",
+]

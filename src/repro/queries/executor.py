@@ -1,0 +1,99 @@
+"""Replaying queries and query logs against database states.
+
+The executor is the reference semantics for the query model: the MILP encoder
+is correct exactly when, for any parameter assignment, the encoded constraints
+agree with what :func:`apply_query` computes.  The property-based tests in
+``tests/core/test_encoder_properties.py`` check precisely that agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.db.database import Database
+from repro.exceptions import QueryModelError
+from repro.queries.log import QueryLog
+from repro.queries.query import DeleteQuery, InsertQuery, Query, UpdateQuery
+
+
+def apply_query(state: Database, query: Query, *, in_place: bool = False) -> Database:
+    """Apply a single query to ``state`` and return the resulting state.
+
+    By default the input state is left untouched and a snapshot is modified;
+    pass ``in_place=True`` to mutate ``state`` directly (used by
+    :func:`replay` to avoid quadratic copying).
+    """
+    result = state if in_place else state.snapshot()
+    if isinstance(query, UpdateQuery):
+        _apply_update(result, query)
+    elif isinstance(query, InsertQuery):
+        _apply_insert(result, query)
+    elif isinstance(query, DeleteQuery):
+        _apply_delete(result, query)
+    else:
+        raise QueryModelError(f"unsupported query type: {type(query).__name__}")
+    return result
+
+
+def replay(initial: Database, log: QueryLog | Iterable[Query]) -> Database:
+    """Replay a whole log starting from ``initial`` and return the final state.
+
+    ``initial`` is never modified.
+    """
+    state = initial.snapshot()
+    for query in log:
+        apply_query(state, query, in_place=True)
+    return state
+
+
+def replay_states(
+    initial: Database, log: QueryLog | Iterable[Query]
+) -> list[Database]:
+    """Replay a log and return every intermediate state ``[D0, D1, ..., Dn]``.
+
+    The returned list has ``len(log) + 1`` entries; entry ``i`` is the state
+    after applying the first ``i`` queries.  Used by the decision-tree baseline
+    and by tests; the MILP pipeline itself only ever needs ``D0`` and ``Dn``.
+    """
+    states = [initial.snapshot()]
+    current = initial.snapshot()
+    for query in log:
+        apply_query(current, query, in_place=True)
+        states.append(current.snapshot())
+    return states
+
+
+# -- per-query-type semantics ---------------------------------------------------
+
+
+def _apply_update(state: Database, query: UpdateQuery) -> None:
+    for row in state.rows():
+        if not query.where.evaluate(row.values):
+            continue
+        # Evaluate every SET expression against the *pre-update* values so
+        # that, e.g., ``SET a = b, b = a`` swaps rather than copies.
+        new_values = {
+            attribute: expr.evaluate(row.values)
+            for attribute, expr in query.set_clause
+        }
+        for attribute, value in new_values.items():
+            row[attribute] = value
+
+
+def _apply_insert(state: Database, query: InsertQuery) -> None:
+    provided = query.value_expressions()
+    values = {}
+    for attribute in state.schema.attribute_names:
+        if attribute in provided:
+            values[attribute] = provided[attribute].evaluate({})
+        else:
+            raise QueryModelError(
+                f"INSERT into '{query.table}' missing value for attribute '{attribute}'"
+            )
+    state.insert(values)
+
+
+def _apply_delete(state: Database, query: DeleteQuery) -> None:
+    doomed = [row.rid for row in state.rows() if query.where.evaluate(row.values)]
+    for rid in doomed:
+        state.delete(rid)

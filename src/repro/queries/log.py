@@ -1,0 +1,169 @@
+"""Query logs and distances between logs.
+
+A :class:`QueryLog` is the ordered sequence ``Q = {q1, ..., qn}`` of update
+queries that operated on the database.  The log is immutable; repairs produce
+new logs via :meth:`QueryLog.with_query` or :meth:`QueryLog.with_params`.
+
+:func:`log_distance` implements the normalized Manhattan distance
+``d(Q, Q*)`` between the parameters of two structurally identical logs — the
+quantity the MILP objective minimizes (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import QueryModelError
+from repro.queries.query import Query
+
+
+class QueryLog:
+    """An immutable, ordered sequence of queries."""
+
+    def __init__(self, queries: Iterable[Query] = ()) -> None:
+        self._queries: tuple[Query, ...] = tuple(queries)
+
+    # -- sequence protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries)
+
+    def __getitem__(self, index: int | slice) -> "Query | QueryLog":
+        if isinstance(index, slice):
+            return QueryLog(self._queries[index])
+        return self._queries[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryLog):
+            return NotImplemented
+        return self._queries == other._queries
+
+    def __hash__(self) -> int:
+        return hash(self._queries)
+
+    @property
+    def queries(self) -> tuple[Query, ...]:
+        """The underlying tuple of queries."""
+        return self._queries
+
+    # -- construction helpers ----------------------------------------------------
+
+    def append(self, query: Query) -> "QueryLog":
+        """Return a new log with ``query`` appended."""
+        return QueryLog(self._queries + (query,))
+
+    def extend(self, queries: Iterable[Query]) -> "QueryLog":
+        """Return a new log with ``queries`` appended."""
+        return QueryLog(self._queries + tuple(queries))
+
+    def with_query(self, index: int, query: Query) -> "QueryLog":
+        """Return a new log where the query at ``index`` is replaced."""
+        if not 0 <= index < len(self._queries):
+            raise QueryModelError(f"query index {index} out of range")
+        queries = list(self._queries)
+        queries[index] = query
+        return QueryLog(queries)
+
+    def with_params(self, mapping: Mapping[str, float]) -> "QueryLog":
+        """Return a new log with parameter values replaced across all queries.
+
+        Parameter names are globally unique across the log (enforced by
+        :meth:`params`), so a flat mapping suffices.
+        """
+        return QueryLog(query.with_params(mapping) for query in self._queries)
+
+    # -- introspection -----------------------------------------------------------
+
+    def params(self) -> dict[str, float]:
+        """All parameters in the log, ``{name: value}``.
+
+        Raises :class:`QueryModelError` if two queries share a parameter name
+        (parameters must be unique per log so that repairs are unambiguous).
+        """
+        merged: dict[str, float] = {}
+        for index, query in enumerate(self._queries):
+            for name, value in query.params().items():
+                if name in merged:
+                    raise QueryModelError(
+                        f"parameter '{name}' reused by query index {index}; "
+                        "parameter names must be unique across the log"
+                    )
+                merged[name] = value
+        return merged
+
+    def params_of(self, index: int) -> dict[str, float]:
+        """Parameters of the query at ``index``."""
+        query = self._queries[index]
+        return query.params()
+
+    def labels(self) -> tuple[str, ...]:
+        """Labels of all queries (empty strings when unset)."""
+        return tuple(query.label for query in self._queries)
+
+    def render_sql(self) -> str:
+        """Render the whole log as a SQL script."""
+        lines = []
+        for index, query in enumerate(self._queries):
+            label = query.label or f"q{index + 1}"
+            lines.append(f"-- {label}")
+            lines.append(query.render_sql() + ";")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryLog(n={len(self._queries)})"
+
+
+def log_distance(
+    original: QueryLog | Sequence[Query],
+    repaired: QueryLog | Sequence[Query],
+    *,
+    normalized: bool = False,
+) -> float:
+    """Manhattan distance between the parameters of two logs.
+
+    The logs must be structurally identical (same queries, same parameter
+    names).  With ``normalized=True`` the distance is divided by the total
+    number of parameters, matching the "normalized Manhattan distance" of
+    Section 4.3.
+    """
+    original_log = original if isinstance(original, QueryLog) else QueryLog(original)
+    repaired_log = repaired if isinstance(repaired, QueryLog) else QueryLog(repaired)
+    if len(original_log) != len(repaired_log):
+        raise QueryModelError("logs must have the same length to compute a distance")
+    total = 0.0
+    count = 0
+    for query_a, query_b in zip(original_log, repaired_log):
+        params_a = query_a.params()
+        params_b = query_b.params()
+        if set(params_a) != set(params_b):
+            raise QueryModelError(
+                "logs are not structurally identical (parameter names differ)"
+            )
+        for name, value in params_a.items():
+            total += abs(value - params_b[name])
+            count += 1
+    if normalized and count:
+        return total / count
+    return total
+
+
+def changed_queries(
+    original: QueryLog, repaired: QueryLog, *, tolerance: float = 1e-6
+) -> list[int]:
+    """Indices of queries whose parameters differ between the two logs."""
+    if len(original) != len(repaired):
+        raise QueryModelError("logs must have the same length")
+    changed = []
+    for index, (query_a, query_b) in enumerate(zip(original, repaired)):
+        params_a = query_a.params()
+        params_b = query_b.params()
+        if set(params_a) != set(params_b):
+            raise QueryModelError(
+                "logs are not structurally identical (parameter names differ)"
+            )
+        if any(abs(params_a[name] - params_b[name]) > tolerance for name in params_a):
+            changed.append(index)
+    return changed

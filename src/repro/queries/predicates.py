@@ -1,0 +1,287 @@
+"""WHERE-clause predicates.
+
+Predicates are boolean combinations (conjunction / disjunction) of comparisons
+between affine expressions, which is exactly the class of conditions the paper
+supports.  Each predicate knows how to evaluate itself against a row, report
+which attributes and parameters it references, substitute repaired parameter
+values, and render itself as SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import QueryModelError
+from repro.queries.expressions import (
+    Expr,
+    Param,
+    collect_params,
+    rebuild_expression,
+)
+
+#: Comparison operators supported in WHERE clauses.
+COMPARISON_OPS = ("<=", ">=", "<", ">", "=", "!=")
+
+
+class Predicate:
+    """Base class for WHERE-clause predicates."""
+
+    def evaluate(
+        self,
+        row: Mapping[str, float],
+        param_overrides: Mapping[str, float] | None = None,
+    ) -> bool:
+        """Evaluate the predicate against a row."""
+        raise NotImplementedError
+
+    def attributes(self) -> frozenset[str]:
+        """Attributes referenced anywhere in the predicate."""
+        raise NotImplementedError
+
+    def params(self) -> dict[str, float]:
+        """Mapping of parameter name to current value."""
+        raise NotImplementedError
+
+    def with_params(self, mapping: Mapping[str, float]) -> "Predicate":
+        """Return a structurally identical predicate with new parameter values."""
+        raise NotImplementedError
+
+    def comparisons(self) -> tuple["Comparison", ...]:
+        """All comparison leaves, in a deterministic order."""
+        raise NotImplementedError
+
+    def render_sql(self) -> str:
+        """Render as SQL text."""
+        raise NotImplementedError
+
+    # boolean sugar ------------------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """A single comparison ``left OP right`` between affine expressions."""
+
+    left: Expr
+    op: str
+    right: Expr
+    #: Tolerance used when evaluating equality / strict comparisons on floats.
+    tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise QueryModelError(f"unsupported comparison operator '{self.op}'")
+
+    def evaluate(
+        self,
+        row: Mapping[str, float],
+        param_overrides: Mapping[str, float] | None = None,
+    ) -> bool:
+        lhs = self.left.evaluate(row, param_overrides)
+        rhs = self.right.evaluate(row, param_overrides)
+        if self.op == "<=":
+            return lhs <= rhs + self.tolerance
+        if self.op == ">=":
+            return lhs >= rhs - self.tolerance
+        if self.op == "<":
+            return lhs < rhs - self.tolerance
+        if self.op == ">":
+            return lhs > rhs + self.tolerance
+        if self.op == "=":
+            return abs(lhs - rhs) <= self.tolerance
+        return abs(lhs - rhs) > self.tolerance  # "!="
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def params(self) -> dict[str, float]:
+        merged = collect_params(self.left)
+        for name, value in collect_params(self.right).items():
+            if name in merged and merged[name] != value:
+                raise QueryModelError(f"parameter '{name}' used with conflicting values")
+            merged[name] = value
+        return merged
+
+    def with_params(self, mapping: Mapping[str, float]) -> "Comparison":
+        return Comparison(
+            rebuild_expression(self.left, mapping),
+            self.op,
+            rebuild_expression(self.right, mapping),
+            self.tolerance,
+        )
+
+    def comparisons(self) -> tuple["Comparison", ...]:
+        return (self,)
+
+    def render_sql(self) -> str:
+        op = "<>" if self.op == "!=" else self.op
+        return f"{self.left.render_sql()} {op} {self.right.render_sql()}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of sub-predicates."""
+
+    children: tuple[Predicate, ...]
+
+    def __init__(self, children: Iterable[Predicate]) -> None:
+        object.__setattr__(self, "children", tuple(children))
+        if not self.children:
+            raise QueryModelError("And requires at least one child predicate")
+
+    def evaluate(
+        self,
+        row: Mapping[str, float],
+        param_overrides: Mapping[str, float] | None = None,
+    ) -> bool:
+        return all(child.evaluate(row, param_overrides) for child in self.children)
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(child.attributes() for child in self.children))
+
+    def params(self) -> dict[str, float]:
+        return _merge_child_params(self.children)
+
+    def with_params(self, mapping: Mapping[str, float]) -> "And":
+        return And(child.with_params(mapping) for child in self.children)
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return tuple(
+            comparison for child in self.children for comparison in child.comparisons()
+        )
+
+    def render_sql(self) -> str:
+        return " AND ".join(_render_child(child) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of sub-predicates."""
+
+    children: tuple[Predicate, ...]
+
+    def __init__(self, children: Iterable[Predicate]) -> None:
+        object.__setattr__(self, "children", tuple(children))
+        if not self.children:
+            raise QueryModelError("Or requires at least one child predicate")
+
+    def evaluate(
+        self,
+        row: Mapping[str, float],
+        param_overrides: Mapping[str, float] | None = None,
+    ) -> bool:
+        return any(child.evaluate(row, param_overrides) for child in self.children)
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(child.attributes() for child in self.children))
+
+    def params(self) -> dict[str, float]:
+        return _merge_child_params(self.children)
+
+    def with_params(self, mapping: Mapping[str, float]) -> "Or":
+        return Or(child.with_params(mapping) for child in self.children)
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return tuple(
+            comparison for child in self.children for comparison in child.comparisons()
+        )
+
+    def render_sql(self) -> str:
+        return " OR ".join(_render_child(child, wrap_or=True) for child in self.children)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """A predicate that matches every row (a query without a WHERE clause)."""
+
+    def evaluate(
+        self,
+        row: Mapping[str, float],
+        param_overrides: Mapping[str, float] | None = None,
+    ) -> bool:
+        return True
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def params(self) -> dict[str, float]:
+        return {}
+
+    def with_params(self, mapping: Mapping[str, float]) -> "TruePredicate":
+        return self
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return ()
+
+    def render_sql(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class FalsePredicate(Predicate):
+    """A predicate that matches no row (useful in tests and degenerate repairs)."""
+
+    def evaluate(
+        self,
+        row: Mapping[str, float],
+        param_overrides: Mapping[str, float] | None = None,
+    ) -> bool:
+        return False
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def params(self) -> dict[str, float]:
+        return {}
+
+    def with_params(self, mapping: Mapping[str, float]) -> "FalsePredicate":
+        return self
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return ()
+
+    def render_sql(self) -> str:
+        return "FALSE"
+
+
+def _merge_child_params(children: Sequence[Predicate]) -> dict[str, float]:
+    merged: dict[str, float] = {}
+    for child in children:
+        for name, value in child.params().items():
+            if name in merged and merged[name] != value:
+                raise QueryModelError(f"parameter '{name}' used with conflicting values")
+            merged[name] = value
+    return merged
+
+
+def _render_child(child: Predicate, *, wrap_or: bool = False) -> str:
+    text = child.render_sql()
+    if isinstance(child, Or) or (wrap_or and isinstance(child, And)):
+        return f"({text})"
+    return text
+
+
+def range_predicate(
+    attribute: str,
+    low: Expr | float,
+    high: Expr | float,
+) -> And:
+    """Convenience constructor for ``attribute BETWEEN low AND high``.
+
+    The synthetic workload's range predicates (``a_j in [?, ?+r]``) are built
+    with this helper.
+    """
+    from repro.queries.expressions import Attr, Const  # local import to avoid cycle
+
+    low_expr = low if isinstance(low, Expr) else Const(float(low))
+    high_expr = high if isinstance(high, Expr) else Const(float(high))
+    return And((
+        Comparison(Attr(attribute), ">=", low_expr),
+        Comparison(Attr(attribute), "<=", high_expr),
+    ))

@@ -1,0 +1,24 @@
+"""SQL surface for the supported DML subset.
+
+QFix works from a log of ``UPDATE`` / ``INSERT`` / ``DELETE`` statements.  This
+package provides a tokenizer and a recursive-descent parser that turn SQL text
+into the query objects of :mod:`repro.queries` (and back again via the query
+objects' ``render_sql`` methods), so that query logs can be loaded from plain
+``.sql`` scripts in the examples and benchmarks.
+
+The grammar intentionally covers only the paper's problem scope: no
+subqueries, joins, aggregation, or UDFs; WHERE clauses are conjunctions and
+disjunctions of comparisons between linear expressions.
+"""
+
+from repro.sql.tokenizer import Token, TokenType, tokenize
+from repro.sql.parser import SQLParser, parse_query, parse_script
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "SQLParser",
+    "parse_query",
+    "parse_script",
+]

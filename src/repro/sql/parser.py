@@ -1,0 +1,372 @@
+"""Recursive-descent parser for the supported DML subset.
+
+The parser turns SQL text into :mod:`repro.queries` objects.  Numeric literals
+become repairable parameters (:class:`~repro.queries.expressions.Param`) by
+default, because QFix treats every constant in a logged query as a candidate
+for repair; pass ``parameterize=False`` to produce plain constants instead.
+
+Grammar (informal)::
+
+    statement   := update | insert | delete
+    update      := UPDATE ident SET assignment ("," assignment)* [WHERE predicate]
+    assignment  := ident "=" expression
+    insert      := INSERT INTO ident ["(" ident ("," ident)* ")"]
+                   VALUES "(" expression ("," expression)* ")"
+    delete      := DELETE FROM ident [WHERE predicate]
+    predicate   := disjunction
+    disjunction := conjunction (OR conjunction)*
+    conjunction := condition (AND condition)*
+    condition   := "(" predicate ")" | TRUE | FALSE | comparison | between
+    comparison  := expression op expression          (op in =, <>, !=, <, >, <=, >=)
+    between     := expression BETWEEN expression AND expression
+    expression  := term (("+" | "-") term)*
+    term        := factor ("*" factor)*
+    factor      := number | ident | "(" expression ")" | "-" factor
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import SQLSyntaxError
+from repro.queries.expressions import (
+    Attr,
+    BinOp,
+    Const,
+    Expr,
+    Param,
+    contains_attribute,
+    demote_params,
+)
+from repro.queries.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.queries.query import DeleteQuery, InsertQuery, Query, UpdateQuery
+from repro.sql.tokenizer import Token, TokenType, tokenize
+
+
+class SQLParser:
+    """Parser over a token stream.
+
+    Parameters
+    ----------
+    tokens:
+        Token list produced by :func:`repro.sql.tokenizer.tokenize`.
+    parameterize:
+        When true (default), numeric literals become named parameters.
+    label:
+        Label given to the parsed query; also used as the prefix for
+        auto-generated parameter names.
+    insert_columns:
+        Column names to use for ``INSERT INTO t VALUES (...)`` statements that
+        omit the column list.
+    """
+
+    def __init__(
+        self,
+        tokens: Sequence[Token],
+        *,
+        parameterize: bool = True,
+        label: str = "q",
+        insert_columns: Sequence[str] | None = None,
+    ) -> None:
+        self._tokens = list(tokens)
+        self._index = 0
+        self._parameterize = parameterize
+        self._label = label
+        self._param_counter = 0
+        self._insert_columns = list(insert_columns) if insert_columns else None
+
+    # -- token helpers ----------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, token_type: TokenType, text: str | None = None) -> Token:
+        token = self._peek()
+        if token.type is not token_type or (
+            text is not None and token.text.upper() != text.upper()
+        ):
+            expectation = text or token_type.value
+            raise SQLSyntaxError(
+                f"expected {expectation}, found {token.text!r}", position=token.position
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise SQLSyntaxError(
+                f"expected keyword {word}, found {token.text!r}", position=token.position
+            )
+        return self._advance()
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _literal(self, value: float) -> Expr:
+        if not self._parameterize:
+            return Const(value)
+        name = f"{self._label}_p{self._param_counter}"
+        self._param_counter += 1
+        return Param(name, value)
+
+    # -- entry points -----------------------------------------------------------
+
+    def parse_statement(self) -> Query:
+        """Parse a single statement (optionally terminated by ``;``)."""
+        token = self._peek()
+        if token.is_keyword("UPDATE"):
+            query = self._parse_update()
+        elif token.is_keyword("INSERT"):
+            query = self._parse_insert()
+        elif token.is_keyword("DELETE"):
+            query = self._parse_delete()
+        else:
+            raise SQLSyntaxError(
+                f"expected UPDATE, INSERT, or DELETE, found {token.text!r}",
+                position=token.position,
+            )
+        if self._peek().type is TokenType.SEMICOLON:
+            self._advance()
+        return query
+
+    def at_end(self) -> bool:
+        """Whether the token stream is exhausted."""
+        return self._peek().type is TokenType.EOF
+
+    # -- statements -------------------------------------------------------------
+
+    def _parse_update(self) -> UpdateQuery:
+        self._expect_keyword("UPDATE")
+        table = self._expect(TokenType.IDENTIFIER).text
+        self._expect_keyword("SET")
+        assignments: list[tuple[str, Expr]] = []
+        while True:
+            attribute = self._expect(TokenType.IDENTIFIER).text
+            self._expect(TokenType.OPERATOR, "=")
+            assignments.append((attribute, self._parse_expression()))
+            if self._peek().type is TokenType.COMMA:
+                self._advance()
+                continue
+            break
+        where: Predicate | None = None
+        if self._match_keyword("WHERE"):
+            where = self._parse_predicate()
+        return UpdateQuery(table, tuple(assignments), where, label=self._label)
+
+    def _parse_insert(self) -> InsertQuery:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect(TokenType.IDENTIFIER).text
+        columns: list[str] | None = None
+        if self._peek().type is TokenType.LPAREN:
+            self._advance()
+            columns = [self._expect(TokenType.IDENTIFIER).text]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                columns.append(self._expect(TokenType.IDENTIFIER).text)
+            self._expect(TokenType.RPAREN)
+        self._expect_keyword("VALUES")
+        self._expect(TokenType.LPAREN)
+        values = [self._parse_expression()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            values.append(self._parse_expression())
+        self._expect(TokenType.RPAREN)
+        if columns is None:
+            columns = self._insert_columns
+        if columns is None:
+            raise SQLSyntaxError(
+                "INSERT without a column list requires insert_columns to be supplied"
+            )
+        if len(columns) != len(values):
+            raise SQLSyntaxError(
+                f"INSERT provides {len(values)} values for {len(columns)} columns"
+            )
+        return InsertQuery(table, tuple(zip(columns, values)), label=self._label)
+
+    def _parse_delete(self) -> DeleteQuery:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect(TokenType.IDENTIFIER).text
+        where: Predicate | None = None
+        if self._match_keyword("WHERE"):
+            where = self._parse_predicate()
+        return DeleteQuery(table, where, label=self._label)
+
+    # -- predicates -------------------------------------------------------------
+
+    def _parse_predicate(self) -> Predicate:
+        return self._parse_disjunction()
+
+    def _parse_disjunction(self) -> Predicate:
+        children = [self._parse_conjunction()]
+        while self._match_keyword("OR"):
+            children.append(self._parse_conjunction())
+        if len(children) == 1:
+            return children[0]
+        return Or(children)
+
+    def _parse_conjunction(self) -> Predicate:
+        children = [self._parse_condition()]
+        while self._match_keyword("AND"):
+            children.append(self._parse_condition())
+        if len(children) == 1:
+            return children[0]
+        return And(children)
+
+    def _parse_condition(self) -> Predicate:
+        token = self._peek()
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return TruePredicate()
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return FalsePredicate()
+        if token.type is TokenType.LPAREN:
+            # Could be a parenthesized predicate or a parenthesized expression
+            # starting a comparison; try the predicate interpretation first.
+            saved = self._index
+            self._advance()
+            try:
+                inner = self._parse_predicate()
+                self._expect(TokenType.RPAREN)
+                return inner
+            except SQLSyntaxError:
+                self._index = saved
+        left = self._parse_expression()
+        if self._match_keyword("BETWEEN"):
+            low = self._parse_expression()
+            self._expect_keyword("AND")
+            high = self._parse_expression()
+            return And((Comparison(left, ">=", low), Comparison(left, "<=", high)))
+        op_token = self._expect(TokenType.OPERATOR)
+        op = "!=" if op_token.text in ("<>", "!=") else op_token.text
+        right = self._parse_expression()
+        return Comparison(left, op, right)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _parse_expression(self) -> Expr:
+        expr = self._parse_term()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.text in ("+", "-"):
+                self._advance()
+                right = self._parse_term()
+                expr = BinOp(token.text, expr, right)
+                continue
+            break
+        return expr
+
+    def _parse_term(self) -> Expr:
+        expr = self._parse_factor()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.text == "*":
+                self._advance()
+                right = self._parse_factor()
+                # A literal multiplying an attribute cannot be a repairable
+                # parameter (the product of two undetermined variables is not
+                # linear), so demote such literals to plain constants.
+                if contains_attribute(expr) and not contains_attribute(right):
+                    right = demote_params(right)
+                elif contains_attribute(right) and not contains_attribute(expr):
+                    expr = demote_params(expr)
+                expr = BinOp("*", expr, right)
+                continue
+            break
+        return expr
+
+    def _parse_factor(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return self._literal(float(token.text))
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return Attr(token.text)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(TokenType.RPAREN)
+            return expr
+        if token.type is TokenType.OPERATOR and token.text == "-":
+            self._advance()
+            return BinOp("*", Const(-1.0), self._parse_factor())
+        raise SQLSyntaxError(
+            f"expected an expression, found {token.text!r}", position=token.position
+        )
+
+
+def parse_query(
+    text: str,
+    *,
+    parameterize: bool = True,
+    label: str = "q",
+    insert_columns: Sequence[str] | None = None,
+) -> Query:
+    """Parse a single SQL statement into a query object."""
+    parser = SQLParser(
+        tokenize(text),
+        parameterize=parameterize,
+        label=label,
+        insert_columns=insert_columns,
+    )
+    query = parser.parse_statement()
+    if not parser.at_end():
+        token = parser._peek()
+        raise SQLSyntaxError(
+            f"unexpected trailing input {token.text!r}", position=token.position
+        )
+    return query
+
+
+def parse_script(
+    text: str,
+    *,
+    parameterize: bool = True,
+    label_prefix: str = "q",
+    insert_columns: Sequence[str] | None = None,
+) -> list[Query]:
+    """Parse a ``;``-separated script into a list of query objects.
+
+    Each statement receives the label ``{label_prefix}{i}`` (1-based), which
+    also prefixes its auto-generated parameter names.
+    """
+    tokens = tokenize(text)
+    queries: list[Query] = []
+    # Split on top-level semicolons so each statement gets its own label.
+    start = 0
+    statement_index = 1
+    for index, token in enumerate(tokens):
+        if token.type is TokenType.SEMICOLON or token.type is TokenType.EOF:
+            chunk = tokens[start:index]
+            start = index + 1
+            if not chunk:
+                continue
+            label = f"{label_prefix}{statement_index}"
+            statement_index += 1
+            sub_parser = SQLParser(
+                list(chunk) + [Token(TokenType.EOF, "", token.position)],
+                parameterize=parameterize,
+                label=label,
+                insert_columns=insert_columns,
+            )
+            queries.append(sub_parser.parse_statement())
+    return queries

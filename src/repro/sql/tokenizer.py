@@ -1,0 +1,113 @@
+"""Tokenizer for the supported SQL subset."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import SQLSyntaxError
+
+#: Keywords recognized by the parser (case-insensitive).
+KEYWORDS = frozenset(
+    {
+        "UPDATE",
+        "SET",
+        "WHERE",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "DELETE",
+        "FROM",
+        "AND",
+        "OR",
+        "BETWEEN",
+        "TRUE",
+        "FALSE",
+        "NOT",
+    }
+)
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :func:`tokenize`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.text.upper() == word.upper()
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<identifier>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<operator><=|>=|<>|!=|=|<|>|\+|-|\*)
+  | (?P<comma>,)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<semicolon>;)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL ``text`` into a list of tokens ending with an EOF token.
+
+    Raises :class:`~repro.exceptions.SQLSyntaxError` on unexpected characters.
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {text[position]!r}", position=position
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind in ("ws", "comment"):
+            position = match.end()
+            continue
+        if kind == "number":
+            tokens.append(Token(TokenType.NUMBER, value, position))
+        elif kind == "identifier":
+            token_type = (
+                TokenType.KEYWORD if value.upper() in KEYWORDS else TokenType.IDENTIFIER
+            )
+            tokens.append(Token(token_type, value, position))
+        elif kind == "operator":
+            tokens.append(Token(TokenType.OPERATOR, value, position))
+        elif kind == "comma":
+            tokens.append(Token(TokenType.COMMA, value, position))
+        elif kind == "lparen":
+            tokens.append(Token(TokenType.LPAREN, value, position))
+        elif kind == "rparen":
+            tokens.append(Token(TokenType.RPAREN, value, position))
+        elif kind == "semicolon":
+            tokens.append(Token(TokenType.SEMICOLON, value, position))
+        position = match.end()
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,51 @@
+"""Workload generation: synthetic logs, corruption, and OLTP-style benchmarks.
+
+The experiments in the paper (Section 7) are driven by three workload
+families, all reproduced here:
+
+* :mod:`~repro.workload.synthetic` — the parameterized synthetic generator
+  (``ND`` tuples, ``Na`` attributes, ``Vd`` domain, ``Nq`` queries, clause
+  types, selectivity, zipfian attribute skew);
+* :mod:`~repro.workload.tpcc` and :mod:`~repro.workload.tatp` — scaled-down
+  generators that emit the query shapes of the TPC-C ORDER workload
+  (INSERT-heavy with point UPDATEs) and the TATP SUBSCRIBER workload
+  (point UPDATEs);
+* :mod:`~repro.workload.corruption` — query corruption and
+  :mod:`~repro.workload.scenario` — the end-to-end "generate, corrupt,
+  replay, diff, complain" pipeline used by every experiment.
+"""
+
+from repro.workload.synthetic import (
+    SetClauseType,
+    SyntheticConfig,
+    SyntheticWorkloadGenerator,
+    WhereClauseType,
+    Workload,
+)
+from repro.workload.corruption import (
+    CorruptionInfo,
+    corrupt_log,
+    corrupt_parameters,
+    corrupt_single_parameter,
+)
+from repro.workload.scenario import Scenario, build_scenario
+from repro.workload.tpcc import TPCCConfig, TPCCWorkloadGenerator
+from repro.workload.tatp import TATPConfig, TATPWorkloadGenerator
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticWorkloadGenerator",
+    "Workload",
+    "WhereClauseType",
+    "SetClauseType",
+    "CorruptionInfo",
+    "corrupt_log",
+    "corrupt_parameters",
+    "corrupt_single_parameter",
+    "Scenario",
+    "build_scenario",
+    "TPCCConfig",
+    "TPCCWorkloadGenerator",
+    "TATPConfig",
+    "TATPWorkloadGenerator",
+]

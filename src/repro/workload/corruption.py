@@ -1,0 +1,159 @@
+"""Query corruption (Section 7.1, "Corrupting Queries").
+
+The paper corrupts a query by replacing it with a randomly generated query of
+the same type.  Because QFix repairs constants (not structure), the
+reproduction keeps the query structure and re-randomizes its parameters, which
+yields the same class of errors the MILP is asked to undo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.queries.log import QueryLog
+from repro.queries.query import Query
+
+#: Signature of a workload-specific corruption function: given a query and an
+#: RNG, return the corrupted query and its new parameter values.
+Corruptor = Callable[[Query, np.random.Generator], tuple[Query, dict[str, float]]]
+
+
+@dataclass(frozen=True)
+class CorruptionInfo:
+    """Record of one corrupted query: which parameters changed and how."""
+
+    query_index: int
+    original_params: dict[str, float] = field(default_factory=dict)
+    corrupted_params: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def changed_params(self) -> tuple[str, ...]:
+        return tuple(
+            name
+            for name, value in self.corrupted_params.items()
+            if abs(value - self.original_params[name]) > 1e-9
+        )
+
+
+def _as_rng(rng: "np.random.Generator | int | None") -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def corrupt_parameters(
+    query: Query,
+    *,
+    rng: "np.random.Generator | int | None" = None,
+    domain: tuple[float, float] = (0.0, 200.0),
+    ensure_change: bool = True,
+) -> tuple[Query, dict[str, float]]:
+    """Re-randomize every parameter of ``query`` within ``domain``.
+
+    Returns the corrupted query and the new parameter values.  With
+    ``ensure_change`` the corruption is re-drawn until at least one parameter
+    actually differs (a corruption that changes nothing would make the
+    experiment vacuous).
+    """
+    params = query.params()
+    if not params:
+        return query, {}
+    generator = _as_rng(rng)
+    lower, upper = domain
+    for _ in range(100):
+        new_values = {
+            name: float(generator.integers(int(lower), int(upper) + 1)) for name in params
+        }
+        if not ensure_change or any(
+            abs(new_values[name] - params[name]) > 1e-9 for name in params
+        ):
+            return query.with_params(new_values), new_values
+    raise ReproError("could not generate a corruption that changes the query")
+
+
+def corrupt_single_parameter(
+    query: Query,
+    *,
+    rng: "np.random.Generator | int | None" = None,
+    domain: tuple[float, float] = (0.0, 200.0),
+    param_name: str | None = None,
+) -> tuple[Query, dict[str, float]]:
+    """Corrupt exactly one parameter of ``query`` (the others keep their values)."""
+    params = query.params()
+    if not params:
+        return query, {}
+    generator = _as_rng(rng)
+    name = param_name if param_name is not None else str(
+        generator.choice(sorted(params))
+    )
+    if name not in params:
+        raise ReproError(f"query has no parameter named '{name}'")
+    lower, upper = domain
+    original = params[name]
+    for _ in range(100):
+        candidate = float(generator.integers(int(lower), int(upper) + 1))
+        if abs(candidate - original) > 1e-9:
+            new_values = dict(params)
+            new_values[name] = candidate
+            return query.with_params(new_values), new_values
+    raise ReproError(f"could not corrupt parameter '{name}'")
+
+
+def corrupt_log(
+    log: QueryLog,
+    indices: Iterable[int],
+    *,
+    rng: "np.random.Generator | int | None" = None,
+    domain: tuple[float, float] = (0.0, 200.0),
+    single_parameter: bool = False,
+    corruptor: "Corruptor | None" = None,
+) -> tuple[QueryLog, list[CorruptionInfo]]:
+    """Corrupt the queries at ``indices`` and return the corrupted log + records.
+
+    ``corruptor`` may be supplied to corrupt a query the way its workload
+    generator would regenerate it (preserving, e.g., the ``[?, ?+r]`` shape of
+    range predicates); when omitted a generic re-randomization of parameter
+    values within ``domain`` is used.
+    """
+    generator = _as_rng(rng)
+    corrupted = log
+    info: list[CorruptionInfo] = []
+    for index in sorted(set(indices)):
+        if not 0 <= index < len(log):
+            raise ReproError(f"corruption index {index} out of range for log of size {len(log)}")
+        query = log[index]
+        assert isinstance(query, Query)
+        original = query.params()
+        if not original:
+            continue
+        if corruptor is not None:
+            new_query, new_params = corruptor(query, generator)
+        elif single_parameter:
+            new_query, new_params = corrupt_single_parameter(
+                query, rng=generator, domain=domain
+            )
+        else:
+            new_query, new_params = corrupt_parameters(query, rng=generator, domain=domain)
+        corrupted = corrupted.with_query(index, new_query)
+        info.append(CorruptionInfo(index, original, new_params))
+    return corrupted, info
+
+
+def corruption_indices_from_spec(
+    n_queries: int, spec: "Sequence[int] | int | None", *, every: int = 10
+) -> tuple[int, ...]:
+    """Normalize a corruption specification into explicit indices.
+
+    ``spec`` may be an explicit sequence of indices, a single index, or
+    ``None`` to use the paper's "every tenth query starting from the oldest"
+    pattern.
+    """
+    if spec is None:
+        return tuple(range(0, n_queries, every))
+    if isinstance(spec, int):
+        return (spec,)
+    return tuple(spec)

@@ -1,0 +1,109 @@
+"""End-to-end experiment scenarios.
+
+Every experiment in the paper follows the same recipe (Section 7.1): generate
+a query log, corrupt some queries, execute both the clean and the corrupted
+log on the initial database, diff the resulting states into a true complaint
+set, optionally drop complaints to simulate unreported errors, then run a
+repair algorithm and score it.  :func:`build_scenario` packages the data side
+of that recipe; the experiment modules add the algorithm side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.complaints import ComplaintSet
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.queries.executor import replay
+from repro.queries.log import QueryLog
+from repro.workload.corruption import CorruptionInfo, corrupt_log
+from repro.workload.synthetic import Workload
+
+
+@dataclass
+class Scenario:
+    """Everything a repair algorithm needs, plus the ground truth for scoring."""
+
+    schema: Schema
+    initial: Database
+    clean_log: QueryLog
+    corrupted_log: QueryLog
+    truth: Database
+    dirty: Database
+    complaints: ComplaintSet
+    full_complaints: ComplaintSet
+    corruptions: list[CorruptionInfo] = field(default_factory=list)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def corrupted_indices(self) -> tuple[int, ...]:
+        return tuple(info.query_index for info in self.corruptions)
+
+    @property
+    def has_errors(self) -> bool:
+        """Whether the corruption actually produced observable data errors."""
+        return len(self.full_complaints) > 0
+
+
+def build_scenario(
+    workload: Workload,
+    corruption_indices: Sequence[int],
+    *,
+    rng: "np.random.Generator | int | None" = None,
+    complaint_fraction: float = 1.0,
+    single_parameter: bool = False,
+    domain: tuple[float, float] | None = None,
+    corruptor: "object | None" = None,
+) -> Scenario:
+    """Corrupt a workload, replay clean and dirty logs, and build complaints.
+
+    Parameters
+    ----------
+    workload:
+        Output of one of the workload generators.
+    corruption_indices:
+        Positions in the log to corrupt.
+    complaint_fraction:
+        Fraction of the true complaint set that is reported (1.0 = complete;
+        lower values simulate the false-negative experiments).
+    single_parameter:
+        Corrupt only one parameter per query instead of re-randomizing all.
+    domain:
+        Value domain used to draw corrupted constants; defaults to the widest
+        attribute domain of the schema.
+    """
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if domain is None:
+        lower, upper = workload.schema.domain_bounds()
+        domain = (lower, upper)
+    corrupted_log, corruptions = corrupt_log(
+        workload.log,
+        corruption_indices,
+        rng=generator,
+        domain=domain,
+        single_parameter=single_parameter,
+        corruptor=corruptor,  # type: ignore[arg-type]
+    )
+    truth = replay(workload.initial, workload.log)
+    dirty = replay(workload.initial, corrupted_log)
+    full_complaints = ComplaintSet.from_states(dirty, truth)
+    if complaint_fraction >= 1.0:
+        complaints = full_complaints
+    else:
+        complaints = full_complaints.sample(complaint_fraction, rng=generator)
+    return Scenario(
+        schema=workload.schema,
+        initial=workload.initial,
+        clean_log=workload.log,
+        corrupted_log=corrupted_log,
+        truth=truth,
+        dirty=dirty,
+        complaints=complaints,
+        full_complaints=full_complaints,
+        corruptions=corruptions,
+        metadata=dict(workload.metadata),
+    )

@@ -1,0 +1,285 @@
+"""Synthetic workload generator (Section 7.1 of the paper).
+
+The generator produces an initial database of ``n_tuples`` random rows over a
+schema with a primary key ``id`` and ``n_attributes`` numeric attributes
+``a1 ... aNa`` drawn uniformly from ``[0, domain_max]``, followed by a log of
+``n_queries`` UPDATE / INSERT / DELETE statements whose clause shapes match the
+paper's templates::
+
+    SET clause:                      WHERE clause:
+      Constant:  SET a_i = ?           Point:  WHERE id = ?
+      Relative:  SET a_i = a_i + ?     Range:  WHERE a_j BETWEEN ? AND ? (+r)
+
+The ``skew`` parameter selects attributes through a zipfian distribution, and
+``selectivity`` controls the width of range predicates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.exceptions import ReproError
+from repro.queries.expressions import Attr, BinOp, Const, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import And, Comparison, Predicate
+from repro.queries.query import DeleteQuery, InsertQuery, Query, UpdateQuery
+
+
+class WhereClauseType(enum.Enum):
+    """Shape of the WHERE clause in generated UPDATE / DELETE queries."""
+
+    POINT = "point"
+    RANGE = "range"
+
+
+class SetClauseType(enum.Enum):
+    """Shape of the SET clause in generated UPDATE queries."""
+
+    CONSTANT = "constant"
+    RELATIVE = "relative"
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the synthetic workload (paper defaults in parentheses).
+
+    ``n_tuples`` (ND=1000), ``n_attributes`` (Na=10), ``domain_max`` (Vd=200),
+    ``n_queries`` (Nq=300), ``selectivity`` (2%), ``skew`` (s=0).
+    """
+
+    n_tuples: int = 1000
+    n_attributes: int = 10
+    domain_max: int = 200
+    n_queries: int = 300
+    query_type: str = "update"  # "update" | "insert" | "delete" | "mixed"
+    where_type: WhereClauseType = WhereClauseType.RANGE
+    set_type: SetClauseType = SetClauseType.CONSTANT
+    selectivity: float = 0.02
+    n_predicates: int = 1
+    skew: float = 0.0
+    seed: int = 0
+    #: Fraction of UPDATE queries when ``query_type == "mixed"``.
+    mixed_update_fraction: float = 0.6
+    #: Fraction of INSERT queries when ``query_type == "mixed"``.
+    mixed_insert_fraction: float = 0.3
+
+    def with_overrides(self, **changes: object) -> "SyntheticConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass
+class Workload:
+    """A generated workload: schema, initial state, and the clean query log."""
+
+    schema: Schema
+    initial: Database
+    log: QueryLog
+    config: SyntheticConfig | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+class SyntheticWorkloadGenerator:
+    """Deterministic (seeded) generator for synthetic workloads."""
+
+    def __init__(self, config: SyntheticConfig | None = None) -> None:
+        self.config = config if config is not None else SyntheticConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # -- public API ---------------------------------------------------------------
+
+    def generate(self) -> Workload:
+        """Generate the schema, the initial database, and the query log."""
+        schema = self.build_schema()
+        initial = self.build_initial_database(schema)
+        log = self.build_log(schema, initial)
+        return Workload(schema, initial, log, self.config)
+
+    def build_schema(self) -> Schema:
+        """Schema with a key attribute ``id`` plus ``a1 ... aNa``."""
+        config = self.config
+        names = ["id"] + [f"a{i}" for i in range(1, config.n_attributes + 1)]
+        # The key domain must be wide enough for rows inserted by the log.
+        key_upper = float(config.n_tuples + config.n_queries + 10)
+        upper = float(config.domain_max)
+        specs = []
+        from repro.db.schema import AttributeSpec
+
+        for name in names:
+            if name == "id":
+                specs.append(
+                    AttributeSpec(name, lower=0.0, upper=max(key_upper, upper), key=True, integral=True)
+                )
+            else:
+                specs.append(AttributeSpec(name, lower=0.0, upper=upper, integral=True))
+        return Schema("synthetic", tuple(specs))
+
+    def build_initial_database(self, schema: Schema) -> Database:
+        """``n_tuples`` rows with sequential ids and uniform attribute values."""
+        config = self.config
+        rows = []
+        for index in range(config.n_tuples):
+            values = {"id": float(index)}
+            for attr_index in range(1, config.n_attributes + 1):
+                values[f"a{attr_index}"] = float(
+                    self._rng.integers(0, config.domain_max + 1)
+                )
+            rows.append(values)
+        return Database(schema, rows)
+
+    def build_log(self, schema: Schema, initial: Database) -> QueryLog:
+        """Generate ``n_queries`` queries of the configured type."""
+        config = self.config
+        queries: list[Query] = []
+        next_insert_id = config.n_tuples
+        for index in range(config.n_queries):
+            label = f"q{index + 1}"
+            kind = self._pick_query_kind()
+            if kind == "insert":
+                queries.append(self._make_insert(label, next_insert_id))
+                next_insert_id += 1
+            elif kind == "delete":
+                queries.append(self._make_delete(label, config))
+            else:
+                queries.append(self._make_update(label, config))
+        return QueryLog(queries)
+
+    # -- query construction ------------------------------------------------------------
+
+    def _pick_query_kind(self) -> str:
+        config = self.config
+        if config.query_type in ("update", "insert", "delete"):
+            return config.query_type
+        if config.query_type != "mixed":
+            raise ReproError(f"unknown query_type '{config.query_type}'")
+        roll = self._rng.random()
+        if roll < config.mixed_update_fraction:
+            return "update"
+        if roll < config.mixed_update_fraction + config.mixed_insert_fraction:
+            return "insert"
+        return "delete"
+
+    def _pick_attribute(self) -> str:
+        """Choose a non-key attribute, uniformly or zipf-skewed towards ``a1``."""
+        config = self.config
+        count = config.n_attributes
+        if config.skew <= 0.0:
+            index = int(self._rng.integers(1, count + 1))
+        else:
+            weights = np.array([1.0 / (rank**config.skew) for rank in range(1, count + 1)])
+            weights /= weights.sum()
+            index = int(self._rng.choice(np.arange(1, count + 1), p=weights))
+        return f"a{index}"
+
+    def _random_value(self) -> int:
+        return int(self._rng.integers(0, self.config.domain_max + 1))
+
+    def _make_where(self, label: str, config: SyntheticConfig) -> Predicate:
+        """Point predicate on the key, or a (possibly multi-attribute) range predicate."""
+        if config.where_type is WhereClauseType.POINT:
+            key_value = int(self._rng.integers(0, config.n_tuples))
+            return Comparison(Attr("id"), "=", Param(f"{label}_key", float(key_value)))
+        range_width = max(0, int(round(config.selectivity * config.domain_max)))
+        conjuncts = []
+        used: set[str] = set()
+        for predicate_index in range(config.n_predicates):
+            attribute = self._pick_attribute()
+            while attribute in used and len(used) < config.n_attributes:
+                attribute = self._pick_attribute()
+            used.add(attribute)
+            low = self._random_value()
+            high = min(low + range_width, config.domain_max)
+            conjuncts.append(
+                Comparison(Attr(attribute), ">=", Param(f"{label}_lo{predicate_index}", float(low)))
+            )
+            conjuncts.append(
+                Comparison(Attr(attribute), "<=", Param(f"{label}_hi{predicate_index}", float(high)))
+            )
+        if len(conjuncts) == 1:
+            return conjuncts[0]
+        return And(conjuncts)
+
+    def _make_update(self, label: str, config: SyntheticConfig) -> UpdateQuery:
+        attribute = self._pick_attribute()
+        value = float(self._random_value())
+        if config.set_type is SetClauseType.CONSTANT:
+            set_expr = Param(f"{label}_set", value)
+        else:
+            delta = float(int(self._rng.integers(-config.domain_max // 4, config.domain_max // 4 + 1)))
+            set_expr = BinOp("+", Attr(attribute), Param(f"{label}_set", delta))
+        where = self._make_where(label, config)
+        return UpdateQuery("synthetic", {attribute: set_expr}, where, label=label)
+
+    def _make_delete(self, label: str, config: SyntheticConfig) -> DeleteQuery:
+        # Delete queries use narrow range predicates so the table does not empty out.
+        where = self._make_where(label, config)
+        return DeleteQuery("synthetic", where, label=label)
+
+    def _make_insert(self, label: str, next_id: int) -> InsertQuery:
+        config = self.config
+        values: list[tuple[str, Param | Const]] = [("id", Const(float(next_id)))]
+        for attr_index in range(1, config.n_attributes + 1):
+            values.append(
+                (f"a{attr_index}", Param(f"{label}_v{attr_index}", float(self._random_value())))
+            )
+        return InsertQuery("synthetic", tuple(values), label=label)
+
+
+    # -- corruption ---------------------------------------------------------------------
+
+    def corrupt_query(
+        self, query: Query, rng: "np.random.Generator | None" = None
+    ) -> tuple[Query, dict[str, float]]:
+        """Replace a query's constants as if the query were regenerated.
+
+        The paper corrupts a query by substituting "a randomly generated query
+        of the same type"; structurally that means every constant is re-drawn
+        from the workload's own distribution: range predicates keep their
+        ``[?, ?+r]`` shape, point predicates pick another existing key, SET
+        constants are re-drawn from the value domain.  Parameter roles are
+        recovered from the generator's naming convention
+        (``_lo#``/``_hi#``/``_key``/``_set``/``_v#``).
+        """
+        config = self.config
+        generator = rng if rng is not None else self._rng
+        params = query.params()
+        if not params:
+            return query, {}
+        range_width = max(0, int(round(config.selectivity * config.domain_max)))
+        new_values: dict[str, float] = {}
+        for name, value in params.items():
+            if name.endswith("_key"):
+                new_values[name] = float(generator.integers(0, config.n_tuples))
+            elif "_lo" in name:
+                new_values[name] = float(generator.integers(0, config.domain_max + 1))
+            elif "_hi" in name:
+                low_name = name.replace("_hi", "_lo")
+                base = new_values.get(low_name, value)
+                new_values[name] = float(min(base + range_width, config.domain_max))
+            elif name.endswith("_set") and isinstance(query, UpdateQuery) and (
+                self.config.set_type is SetClauseType.RELATIVE
+            ):
+                new_values[name] = float(
+                    generator.integers(-config.domain_max // 4, config.domain_max // 4 + 1)
+                )
+            else:
+                new_values[name] = float(generator.integers(0, config.domain_max + 1))
+        # Make sure the corruption actually changes something.
+        if all(abs(new_values[name] - params[name]) < 1e-9 for name in params):
+            pivot = next(iter(params))
+            new_values[pivot] = float(
+                (params[pivot] + 1 + generator.integers(1, max(2, config.domain_max // 2)))
+                % (config.domain_max + 1)
+            )
+        return query.with_params(new_values), new_values
+
+
+def default_corruption_indices(n_queries: int, every: int = 10) -> Sequence[int]:
+    """The paper's multi-corruption pattern: every ``every``-th query starting at q1."""
+    return tuple(range(0, n_queries, every))

@@ -1,0 +1,161 @@
+"""TATP-style workload generator (Figure 9, right).
+
+The TATP benchmark simulates a caller-location system; its update transactions
+are point UPDATEs on the SUBSCRIBER table (update-location and
+update-subscriber-data).  The generator below emits a log with that shape:
+every query is an UPDATE of one or two SUBSCRIBER attributes with an equality
+predicate on the subscriber key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.schema import AttributeSpec, Schema
+from repro.queries.expressions import Attr, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison
+from repro.queries.query import Query, UpdateQuery
+from repro.workload.synthetic import Workload
+
+#: Numeric projection of the TATP SUBSCRIBER table.
+SUBSCRIBER_ATTRIBUTES = (
+    "s_id",
+    "bit_1",
+    "bit_2",
+    "hex_1",
+    "byte2_1",
+    "msc_location",
+    "vlr_location",
+)
+
+
+@dataclass(frozen=True)
+class TATPConfig:
+    """Scale parameters for the TATP-style SUBSCRIBER workload.
+
+    The paper uses 5000 subscribers and 2000 UPDATE queries; defaults are
+    scaled down for quick local runs.
+    """
+
+    n_subscribers: int = 500
+    n_queries: int = 200
+    max_location: int = 2**16
+    seed: int = 11
+
+    def with_overrides(self, **changes: object) -> "TATPConfig":
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+class TATPWorkloadGenerator:
+    """Generate the SUBSCRIBER slice of a TATP run."""
+
+    def __init__(self, config: TATPConfig | None = None) -> None:
+        self.config = config if config is not None else TATPConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def build_schema(self) -> Schema:
+        config = self.config
+        specs = (
+            AttributeSpec("s_id", 0, float(config.n_subscribers), key=True, integral=True),
+            AttributeSpec("bit_1", 0, 1, integral=True),
+            AttributeSpec("bit_2", 0, 1, integral=True),
+            AttributeSpec("hex_1", 0, 15, integral=True),
+            AttributeSpec("byte2_1", 0, 255, integral=True),
+            AttributeSpec("msc_location", 0, float(config.max_location), integral=True),
+            AttributeSpec("vlr_location", 0, float(config.max_location), integral=True),
+        )
+        return Schema("subscriber", specs)
+
+    def build_initial_database(self, schema: Schema) -> Database:
+        config = self.config
+        rows = []
+        for subscriber_id in range(config.n_subscribers):
+            rows.append(
+                {
+                    "s_id": float(subscriber_id),
+                    "bit_1": float(self._rng.integers(0, 2)),
+                    "bit_2": float(self._rng.integers(0, 2)),
+                    "hex_1": float(self._rng.integers(0, 16)),
+                    "byte2_1": float(self._rng.integers(0, 256)),
+                    "msc_location": float(self._rng.integers(0, config.max_location)),
+                    "vlr_location": float(self._rng.integers(0, config.max_location)),
+                }
+            )
+        return Database(schema, rows)
+
+    def _update_location(self, label: str) -> UpdateQuery:
+        config = self.config
+        subscriber = float(self._rng.integers(0, config.n_subscribers))
+        location = float(self._rng.integers(0, config.max_location))
+        return UpdateQuery(
+            "subscriber",
+            {"vlr_location": Param(f"{label}_loc", location)},
+            Comparison(Attr("s_id"), "=", Param(f"{label}_sid", subscriber)),
+            label=label,
+        )
+
+    def _update_subscriber_data(self, label: str) -> UpdateQuery:
+        config = self.config
+        subscriber = float(self._rng.integers(0, config.n_subscribers))
+        bit = float(self._rng.integers(0, 2))
+        byte2 = float(self._rng.integers(0, 256))
+        return UpdateQuery(
+            "subscriber",
+            {
+                "bit_1": Param(f"{label}_bit", bit),
+                "byte2_1": Param(f"{label}_byte", byte2),
+            },
+            Comparison(Attr("s_id"), "=", Param(f"{label}_sid", subscriber)),
+            label=label,
+        )
+
+    def build_log(self, schema: Schema) -> QueryLog:
+        queries: list[Query] = []
+        for index in range(self.config.n_queries):
+            label = f"q{index + 1}"
+            if self._rng.random() < 0.7:
+                queries.append(self._update_location(label))
+            else:
+                queries.append(self._update_subscriber_data(label))
+        return QueryLog(queries)
+
+    def corrupt_query(
+        self, query: Query, rng: np.random.Generator | None = None
+    ) -> tuple[Query, dict[str, float]]:
+        """Re-draw a query's constants from the workload's own distributions."""
+        config = self.config
+        generator = rng if rng is not None else self._rng
+        params = query.params()
+        new_values: dict[str, float] = {}
+        for name, value in params.items():
+            if name.endswith("_sid"):
+                new_values[name] = float(generator.integers(0, config.n_subscribers))
+            elif name.endswith("_loc"):
+                new_values[name] = float(generator.integers(0, config.max_location))
+            elif name.endswith("_bit"):
+                new_values[name] = float(generator.integers(0, 2))
+            elif name.endswith("_byte"):
+                new_values[name] = float(generator.integers(0, 256))
+            else:
+                new_values[name] = float(generator.integers(0, config.max_location))
+        if all(abs(new_values[name] - params[name]) < 1e-9 for name in params):
+            pivot = next(iter(params))
+            new_values[pivot] = float((params[pivot] + 1) % config.max_location)
+        return query.with_params(new_values), new_values
+
+    def generate(self) -> Workload:
+        """Build the schema, initial SUBSCRIBER table, and query log."""
+        schema = self.build_schema()
+        initial = self.build_initial_database(schema)
+        log = self.build_log(schema)
+        return Workload(
+            schema,
+            initial,
+            log,
+            None,
+            metadata={"benchmark": "tatp", "n_queries": self.config.n_queries},
+        )

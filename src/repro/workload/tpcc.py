@@ -1,0 +1,179 @@
+"""TPC-C-style workload generator (Figure 9, left).
+
+The paper runs QFix on the queries of the TPC-C benchmark that modify the
+ORDER table: the New-Order transaction INSERTs a new order row, and the
+Delivery transaction later UPDATEs the order's ``o_carrier_id`` with a point
+predicate on the order key.  OLTP-Bench is not available offline, so this
+module generates a log with the same statistical shape — roughly 92% INSERTs
+and 8% point UPDATEs over an ORDER table — at configurable scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.schema import AttributeSpec, Schema
+from repro.queries.expressions import Attr, Const, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import And, Comparison
+from repro.queries.query import InsertQuery, Query, UpdateQuery
+from repro.workload.synthetic import Workload
+
+#: Attributes of the (numeric projection of the) TPC-C ORDER table.
+ORDER_ATTRIBUTES = (
+    "o_id",
+    "o_d_id",
+    "o_w_id",
+    "o_c_id",
+    "o_carrier_id",
+    "o_ol_cnt",
+    "o_all_local",
+)
+
+
+@dataclass(frozen=True)
+class TPCCConfig:
+    """Scale parameters for the TPC-C-style ORDER workload.
+
+    The paper uses 6000 initial tuples and a 2000-query log of which 1837 are
+    INSERTs; the defaults here are scaled down so the full benchmark suite
+    runs quickly, and can be raised to the paper's numbers.
+    """
+
+    n_initial_orders: int = 600
+    n_queries: int = 200
+    insert_fraction: float = 0.92
+    n_districts: int = 10
+    n_warehouses: int = 1
+    n_customers: int = 300
+    max_carrier_id: int = 10
+    max_ol_cnt: int = 15
+    seed: int = 7
+
+    def with_overrides(self, **changes: object) -> "TPCCConfig":
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+class TPCCWorkloadGenerator:
+    """Generate the ORDER-table slice of a TPC-C run."""
+
+    def __init__(self, config: TPCCConfig | None = None) -> None:
+        self.config = config if config is not None else TPCCConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def build_schema(self) -> Schema:
+        config = self.config
+        max_orders = config.n_initial_orders + config.n_queries + 10
+        specs = (
+            AttributeSpec("o_id", 0, float(max_orders), key=True, integral=True),
+            AttributeSpec("o_d_id", 0, float(config.n_districts), integral=True),
+            AttributeSpec("o_w_id", 0, float(config.n_warehouses), integral=True),
+            AttributeSpec("o_c_id", 0, float(config.n_customers), integral=True),
+            AttributeSpec("o_carrier_id", 0, float(config.max_carrier_id), integral=True),
+            AttributeSpec("o_ol_cnt", 0, float(config.max_ol_cnt), integral=True),
+            AttributeSpec("o_all_local", 0, 1, integral=True),
+        )
+        return Schema("orders", specs)
+
+    def _order_values(self, order_id: int) -> dict[str, float]:
+        config = self.config
+        return {
+            "o_id": float(order_id),
+            "o_d_id": float(self._rng.integers(1, config.n_districts + 1)),
+            "o_w_id": float(self._rng.integers(1, config.n_warehouses + 1)),
+            "o_c_id": float(self._rng.integers(1, config.n_customers + 1)),
+            "o_carrier_id": 0.0,  # not yet delivered
+            "o_ol_cnt": float(self._rng.integers(5, config.max_ol_cnt + 1)),
+            "o_all_local": 1.0,
+        }
+
+    def build_initial_database(self, schema: Schema) -> Database:
+        rows = [self._order_values(order_id) for order_id in range(self.config.n_initial_orders)]
+        return Database(schema, rows)
+
+    def _new_order_query(self, label: str, order_id: int) -> InsertQuery:
+        values = self._order_values(order_id)
+        exprs = []
+        for name, value in values.items():
+            if name == "o_id":
+                exprs.append((name, Const(value)))
+            else:
+                exprs.append((name, Param(f"{label}_{name}", value)))
+        return InsertQuery("orders", tuple(exprs), label=label)
+
+    def _delivery_query(self, label: str, known_order_ids: int) -> UpdateQuery:
+        config = self.config
+        order_id = float(self._rng.integers(0, known_order_ids))
+        carrier = float(self._rng.integers(1, config.max_carrier_id + 1))
+        district = float(self._rng.integers(1, config.n_districts + 1))
+        where = And(
+            (
+                Comparison(Attr("o_id"), "=", Param(f"{label}_oid", order_id)),
+                Comparison(Attr("o_w_id"), ">=", Const(0.0)),
+            )
+        )
+        return UpdateQuery(
+            "orders",
+            {"o_carrier_id": Param(f"{label}_carrier", carrier), "o_d_id": Param(f"{label}_did", district)},
+            where,
+            label=label,
+        )
+
+    def build_log(self, schema: Schema) -> QueryLog:
+        config = self.config
+        queries: list[Query] = []
+        next_order_id = config.n_initial_orders
+        for index in range(config.n_queries):
+            label = f"q{index + 1}"
+            if self._rng.random() < config.insert_fraction:
+                queries.append(self._new_order_query(label, next_order_id))
+                next_order_id += 1
+            else:
+                queries.append(self._delivery_query(label, next_order_id))
+        return QueryLog(queries)
+
+    def corrupt_query(
+        self, query: Query, rng: np.random.Generator | None = None
+    ) -> tuple[Query, dict[str, float]]:
+        """Re-draw a query's constants from the workload's own distributions."""
+        config = self.config
+        generator = rng if rng is not None else self._rng
+        params = query.params()
+        new_values: dict[str, float] = {}
+        for name, value in params.items():
+            if name.endswith("_oid"):
+                new_values[name] = float(generator.integers(0, config.n_initial_orders))
+            elif name.endswith("_carrier") or name.endswith("_o_carrier_id"):
+                new_values[name] = float(generator.integers(1, config.max_carrier_id + 1))
+            elif name.endswith("_did") or name.endswith("_o_d_id"):
+                new_values[name] = float(generator.integers(1, config.n_districts + 1))
+            elif name.endswith("_o_w_id"):
+                new_values[name] = float(generator.integers(1, config.n_warehouses + 1))
+            elif name.endswith("_o_c_id"):
+                new_values[name] = float(generator.integers(1, config.n_customers + 1))
+            elif name.endswith("_o_ol_cnt"):
+                new_values[name] = float(generator.integers(5, config.max_ol_cnt + 1))
+            elif name.endswith("_o_all_local"):
+                new_values[name] = float(generator.integers(0, 2))
+            else:
+                new_values[name] = float(generator.integers(0, config.max_carrier_id + 1))
+        if all(abs(new_values[name] - params[name]) < 1e-9 for name in params):
+            pivot = next(iter(params))
+            new_values[pivot] = float((params[pivot] + 1) % (config.max_carrier_id + 1))
+        return query.with_params(new_values), new_values
+
+    def generate(self) -> Workload:
+        """Build the schema, initial ORDER table, and query log."""
+        schema = self.build_schema()
+        initial = self.build_initial_database(schema)
+        log = self.build_log(schema)
+        return Workload(
+            schema,
+            initial,
+            log,
+            None,
+            metadata={"benchmark": "tpcc", "n_queries": self.config.n_queries},
+        )

@@ -1,0 +1,119 @@
+"""Tests for the decision-tree learner and the DecTree baseline repairer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.decision_tree import DecisionTreeClassifier
+from repro.baselines.dectree_repair import DecTreeRepairer
+from repro.core.complaints import ComplaintSet
+from repro.core.metrics import evaluate_repair
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.exceptions import RepairError
+from repro.queries.executor import replay
+from repro.queries.expressions import Attr, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison, And
+from repro.queries.query import DeleteQuery, UpdateQuery
+
+
+class TestDecisionTree:
+    def test_learns_threshold(self):
+        X = [[float(value)] for value in range(20)]
+        y = [value >= 12 for value in range(20)]
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.predict([[15.0]]) == [True]
+        assert tree.predict([[3.0]]) == [False]
+        rules = tree.positive_rules()
+        assert len(rules) == 1
+        feature, op, threshold = rules[0].conditions[0]
+        assert feature == 0 and op == ">" and 11 <= threshold <= 12
+
+    def test_learns_2d_box(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 10, size=(200, 2))
+        y = [(2 <= a <= 5) and (4 <= b <= 8) for a, b in X]
+        tree = DecisionTreeClassifier(max_depth=6).fit(X.tolist(), y)
+        predictions = tree.predict(X.tolist())
+        accuracy = np.mean([p == t for p, t in zip(predictions, y)])
+        assert accuracy > 0.95
+
+    def test_pure_labels_yield_leaf(self):
+        tree = DecisionTreeClassifier().fit([[1.0], [2.0]], [True, True])
+        assert tree.root.is_leaf
+        assert tree.predict([[5.0]]) == [True]
+
+    def test_min_samples_leaf_suppresses_tiny_splits(self):
+        X = [[float(v)] for v in range(20)]
+        y = [v == 7 for v in range(20)]  # a single positive example
+        tree = DecisionTreeClassifier(min_samples_leaf=3).fit(X, y)
+        assert tree.positive_rules() == []
+
+    def test_unfitted_classifier_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict_one([1.0])
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit([[1.0]], [True, False])
+
+    def test_rule_matches(self):
+        X = [[float(v)] for v in range(10)]
+        y = [v >= 5 for v in range(10)]
+        tree = DecisionTreeClassifier().fit(X, y)
+        rule = tree.positive_rules()[0]
+        assert rule.matches([9.0])
+        assert not rule.matches([0.0])
+
+
+@pytest.fixture()
+def single_query_case():
+    schema = Schema.build("t", ["a", "b"], upper=100)
+    rows = [{"a": float(value), "b": 10.0} for value in range(0, 100, 5)]
+    initial = Database(schema, rows)
+    true_query = UpdateQuery(
+        "t",
+        {"b": Param("q1_set", 77.0)},
+        And([
+            Comparison(Attr("a"), ">=", Param("q1_lo", 40.0)),
+            Comparison(Attr("a"), "<=", Param("q1_hi", 70.0)),
+        ]),
+        label="q1",
+    )
+    true_log = QueryLog([true_query])
+    corrupted_log = true_log.with_params({"q1_lo": 10.0, "q1_set": 55.0})
+    dirty = replay(initial, corrupted_log)
+    truth = replay(initial, true_log)
+    complaints = ComplaintSet.from_states(dirty, truth)
+    return schema, initial, corrupted_log, true_log, dirty, truth, complaints
+
+
+class TestDecTreeRepairer:
+    def test_repairs_single_query(self, single_query_case):
+        schema, initial, corrupted_log, _, dirty, truth, complaints = single_query_case
+        result = DecTreeRepairer(min_samples_leaf=1).repair(
+            schema, initial, dirty, corrupted_log, complaints, query_index=0
+        )
+        assert result.feasible
+        accuracy = evaluate_repair(initial, dirty, truth, result.repaired_log)
+        assert accuracy.recall > 0.8
+
+    def test_rejects_non_update(self, single_query_case):
+        schema, initial, _, _, dirty, _, complaints = single_query_case
+        log = QueryLog([DeleteQuery("t")])
+        with pytest.raises(RepairError):
+            DecTreeRepairer().repair(schema, initial, dirty, log, complaints, query_index=0)
+
+    def test_rejects_inner_query_of_long_log(self, single_query_case):
+        schema, initial, corrupted_log, _, dirty, _, complaints = single_query_case
+        longer = corrupted_log.append(UpdateQuery("t", {"b": Attr("b")}, None, label="q2"))
+        with pytest.raises(RepairError):
+            DecTreeRepairer().repair(schema, initial, dirty, longer, complaints, query_index=0)
+
+    def test_learned_where_is_recorded(self, single_query_case):
+        schema, initial, corrupted_log, _, dirty, _, complaints = single_query_case
+        result = DecTreeRepairer(min_samples_leaf=1).repair(
+            schema, initial, dirty, corrupted_log, complaints, query_index=0
+        )
+        assert result.learned_where is not None
+        assert result.set_values  # the SET constant was re-fit

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.complaints import ComplaintSet
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.experiments.common import synthetic_scenario
+from repro.queries.executor import replay
+from repro.queries.log import QueryLog
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture()
+def taxes_schema() -> Schema:
+    """The Taxes schema of the paper's running example."""
+    return Schema.build("Taxes", ["income", "owed", "pay"], upper=300_000.0)
+
+
+@pytest.fixture()
+def taxes_initial(taxes_schema: Schema) -> Database:
+    """The initial Taxes table (t1..t4) of Figure 2."""
+    return Database(
+        taxes_schema,
+        [
+            {"income": 9_500.0, "owed": 950.0, "pay": 8_550.0},
+            {"income": 90_000.0, "owed": 22_500.0, "pay": 67_500.0},
+            {"income": 86_000.0, "owed": 21_500.0, "pay": 64_500.0},
+            {"income": 86_500.0, "owed": 21_625.0, "pay": 64_875.0},
+        ],
+    )
+
+
+@pytest.fixture()
+def taxes_corrupted_log() -> QueryLog:
+    """The corrupted log of Figure 2 (q1's predicate should be 87500)."""
+    return QueryLog(
+        [
+            parse_query(
+                "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700", label="q1"
+            ),
+            parse_query(
+                "INSERT INTO Taxes (income, owed, pay) VALUES (87000, 21750, 65250)",
+                label="q2",
+            ),
+            parse_query("UPDATE Taxes SET pay = income - owed", label="q3"),
+        ]
+    )
+
+
+@pytest.fixture()
+def taxes_true_log(taxes_corrupted_log: QueryLog) -> QueryLog:
+    """The true log: same structure, correct bracket constant."""
+    return taxes_corrupted_log.with_params({"q1_p1": 87_500.0})
+
+
+@pytest.fixture()
+def taxes_case(taxes_initial, taxes_corrupted_log, taxes_true_log):
+    """Initial state, dirty/true final states, and the true complaint set."""
+    dirty = replay(taxes_initial, taxes_corrupted_log)
+    truth = replay(taxes_initial, taxes_true_log)
+    complaints = ComplaintSet.from_states(dirty, truth)
+    return {
+        "initial": taxes_initial,
+        "corrupted_log": taxes_corrupted_log,
+        "true_log": taxes_true_log,
+        "dirty": dirty,
+        "truth": truth,
+        "complaints": complaints,
+    }
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A tiny synthetic scenario shared by the slower integration tests."""
+    return synthetic_scenario(n_tuples=50, n_queries=8, corruption_indices=[4], seed=3)

@@ -1,0 +1,73 @@
+"""Tests for repro.core.complaints."""
+
+import pytest
+
+from repro.core.complaints import Complaint, ComplaintKind, ComplaintSet
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.exceptions import ReproError
+
+
+@pytest.fixture()
+def states():
+    schema = Schema.build("t", ["a", "b"], upper=100)
+    dirty = Database(schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}, {"a": 5, "b": 6}])
+    clean = Database(schema, [{"a": 1, "b": 2}, {"a": 3, "b": 40}, {"a": 5, "b": 6}])
+    return dirty, clean
+
+
+class TestComplaint:
+    def test_kinds(self):
+        assert Complaint(0, {"a": 1.0}).kind is ComplaintKind.VALUE
+        assert Complaint(0, None).kind is ComplaintKind.REMOVE
+        assert Complaint(0, {"a": 1.0}, exists_in_dirty=False).kind is ComplaintKind.INSERT
+
+    def test_target_values(self):
+        complaint = Complaint(0, {"a": 1.0})
+        assert complaint.target_values() == {"a": 1.0}
+        with pytest.raises(ReproError):
+            Complaint(0, None).target_values()
+
+
+class TestComplaintSet:
+    def test_duplicate_rid_rejected(self):
+        complaints = ComplaintSet([Complaint(0, {"a": 1.0})])
+        with pytest.raises(ReproError):
+            complaints.add(Complaint(0, {"a": 2.0}))
+
+    def test_from_states(self, states):
+        dirty, clean = states
+        complaints = ComplaintSet.from_states(dirty, clean)
+        assert len(complaints) == 1
+        assert complaints.rids == (1,)
+        assert complaints.get(1).target_values()["b"] == 40
+        assert 1 in complaints and 0 not in complaints
+
+    def test_complaint_attributes(self, states):
+        dirty, clean = states
+        complaints = ComplaintSet.from_states(dirty, clean)
+        assert complaints.complaint_attributes(dirty) == {"b"}
+
+    def test_removal_and_insert_complaints_cover_all_attributes(self, states):
+        dirty, _ = states
+        complaints = ComplaintSet([Complaint(0, None)])
+        assert complaints.complaint_attributes(dirty) == {"a", "b"}
+
+    def test_sample_keeps_at_least_minimum(self, states):
+        dirty, clean = states
+        clean.get(0)["a"] = 50
+        clean.get(2)["a"] = 70
+        complaints = ComplaintSet.from_states(dirty, clean)
+        assert len(complaints) == 3
+        sampled = complaints.sample(0.3, rng=1)
+        assert len(sampled) == 1
+        assert complaints.sample(0.0, rng=1, minimum=2).rids is not None
+        with pytest.raises(ReproError):
+            complaints.sample(1.5)
+
+    def test_sample_of_empty_set(self):
+        assert len(ComplaintSet().sample(0.5, rng=0)) == 0
+
+    def test_is_empty(self):
+        assert ComplaintSet().is_empty()
+        assert not ComplaintSet([Complaint(0, {"a": 1.0})]).is_empty()

@@ -1,0 +1,97 @@
+"""Tests for repair metrics and repair-result helpers."""
+
+import pytest
+
+from repro.core.complaints import Complaint, ComplaintSet
+from repro.core.metrics import evaluate_log_repair, evaluate_states
+from repro.core.repair import repair_resolves_complaints
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.queries.executor import replay
+from repro.queries.expressions import Attr, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison
+from repro.queries.query import UpdateQuery
+
+
+@pytest.fixture()
+def schema():
+    return Schema.build("t", ["a", "b"], upper=100)
+
+
+def _db(schema, rows):
+    return Database(schema, rows)
+
+
+class TestEvaluateStates:
+    def test_perfect_repair(self, schema):
+        dirty = _db(schema, [{"a": 1, "b": 9}, {"a": 2, "b": 9}])
+        truth = _db(schema, [{"a": 1, "b": 5}, {"a": 2, "b": 9}])
+        repaired = _db(schema, [{"a": 1, "b": 5}, {"a": 2, "b": 9}])
+        accuracy = evaluate_states(dirty, truth, repaired)
+        assert accuracy.precision == 1.0 and accuracy.recall == 1.0 and accuracy.f1 == 1.0
+        assert accuracy.changed_tuples == 1 and accuracy.true_errors == 1
+
+    def test_no_repair_when_errors_exist(self, schema):
+        dirty = _db(schema, [{"a": 1, "b": 9}])
+        truth = _db(schema, [{"a": 1, "b": 5}])
+        accuracy = evaluate_states(dirty, truth, dirty.snapshot())
+        assert accuracy.precision == 0.0 and accuracy.recall == 0.0 and accuracy.f1 == 0.0
+
+    def test_overreaching_repair_hurts_precision(self, schema):
+        dirty = _db(schema, [{"a": 1, "b": 9}, {"a": 2, "b": 9}])
+        truth = _db(schema, [{"a": 1, "b": 5}, {"a": 2, "b": 9}])
+        repaired = _db(schema, [{"a": 1, "b": 5}, {"a": 2, "b": 5}])
+        accuracy = evaluate_states(dirty, truth, repaired)
+        assert accuracy.precision == pytest.approx(0.5)
+        assert accuracy.recall == pytest.approx(1.0)
+
+    def test_clean_database_and_noop_repair(self, schema):
+        state = _db(schema, [{"a": 1, "b": 1}])
+        accuracy = evaluate_states(state, state.snapshot(), state.snapshot())
+        assert accuracy.precision == 1.0 and accuracy.recall == 1.0
+
+    def test_presence_changes_counted(self, schema):
+        dirty = _db(schema, [{"a": 1, "b": 1}, {"a": 2, "b": 2}])
+        truth = _db(schema, [{"a": 1, "b": 1}])
+        repaired = _db(schema, [{"a": 1, "b": 1}])
+        accuracy = evaluate_states(dirty, truth, repaired)
+        assert accuracy.f1 == 1.0
+
+    def test_as_dict_round_trip(self, schema):
+        state = _db(schema, [{"a": 1, "b": 1}])
+        accuracy = evaluate_states(state, state.snapshot(), state.snapshot())
+        payload = accuracy.as_dict()
+        assert payload["precision"] == 1.0 and payload["f1"] == 1.0
+
+
+class TestLogLevelMetrics:
+    def test_evaluate_log_repair(self):
+        query = UpdateQuery(
+            "t", {"a": Param("q1_set", 5.0)}, Comparison(Attr("b"), ">=", Param("q1_lo", 2.0)),
+            label="q1",
+        )
+        true_log = QueryLog([query])
+        corrupted = true_log.with_params({"q1_lo": 9.0})
+        repaired = true_log.with_params({"q1_lo": 2.0})
+        stats = evaluate_log_repair(corrupted, true_log, repaired)
+        assert stats["corrupted_queries"] == 1.0
+        assert stats["exact_repair_rate"] == 1.0
+        stats_bad = evaluate_log_repair(corrupted, true_log, corrupted)
+        assert stats_bad["exact_repair_rate"] == 0.0
+
+
+class TestRepairResolution:
+    def test_repair_resolves_complaints(self, schema):
+        initial = _db(schema, [{"a": 1, "b": 0}, {"a": 50, "b": 0}])
+        log = QueryLog(
+            [UpdateQuery("t", {"b": Param("q1_set", 7.0)},
+                         Comparison(Attr("a"), ">=", Param("q1_lo", 40.0)), label="q1")]
+        )
+        final = replay(initial, log)
+        good = ComplaintSet([Complaint(1, dict(final.get(1).values))])
+        assert repair_resolves_complaints(initial, log, good)
+        bad = ComplaintSet([Complaint(1, {"a": 50.0, "b": 99.0})])
+        assert not repair_resolves_complaints(initial, log, bad)
+        removal = ComplaintSet([Complaint(1, None)])
+        assert not repair_resolves_complaints(initial, log, removal)

@@ -1,0 +1,92 @@
+"""Tests for the slicing analysis (full impact, Rel(Q), Rel(A))."""
+
+import pytest
+
+from repro.core.slicing import (
+    all_full_impacts,
+    dependency,
+    direct_impact,
+    full_impact,
+    relevant_attributes,
+    relevant_queries,
+)
+from repro.db.schema import Schema
+from repro.queries.expressions import Attr, Const, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison
+from repro.queries.query import DeleteQuery, UpdateQuery
+
+
+@pytest.fixture()
+def schema():
+    return Schema.build("t", ["a", "b", "c", "d"], upper=100)
+
+
+def _update(write: str, read: str, label: str) -> UpdateQuery:
+    return UpdateQuery(
+        "t",
+        {write: Param(f"{label}_set", 1.0)},
+        Comparison(Attr(read), ">=", Const(0.0)),
+        label=label,
+    )
+
+
+@pytest.fixture()
+def chain_log():
+    # q0 writes a (reads d); q1 writes b reading a; q2 writes c reading b;
+    # q3 writes d reading d.
+    return QueryLog(
+        [
+            _update("a", "d", "q0"),
+            _update("b", "a", "q1"),
+            _update("c", "b", "q2"),
+            _update("d", "d", "q3"),
+        ]
+    )
+
+
+class TestImpact:
+    def test_direct_impact_and_dependency(self, schema, chain_log):
+        assert direct_impact(chain_log[0], schema) == {"a"}
+        assert dependency(chain_log[0], schema) == {"d"}
+
+    def test_delete_wildcard_expands(self, schema):
+        query = DeleteQuery("t", Comparison(Attr("a"), "=", Const(1.0)))
+        assert direct_impact(query, schema) == {"a", "b", "c", "d"}
+
+    def test_full_impact_propagates_through_chain(self, schema, chain_log):
+        # q0 writes a; q1 reads a and writes b; q2 reads b and writes c.
+        assert full_impact(chain_log, 0, schema) == {"a", "b", "c"}
+        assert full_impact(chain_log, 1, schema) == {"b", "c"}
+        assert full_impact(chain_log, 2, schema) == {"c"}
+        assert full_impact(chain_log, 3, schema) == {"d"}
+
+    def test_all_full_impacts_matches_individual(self, schema, chain_log):
+        impacts = all_full_impacts(chain_log, schema)
+        assert impacts == [full_impact(chain_log, i, schema) for i in range(len(chain_log))]
+
+    def test_out_of_range_index(self, schema, chain_log):
+        with pytest.raises(IndexError):
+            full_impact(chain_log, 10, schema)
+
+
+class TestRelevance:
+    def test_relevant_queries_multi_fault(self, schema, chain_log):
+        # Complaints on c can be caused by q0, q1, or q2 but never q3.
+        assert relevant_queries(chain_log, frozenset({"c"}), schema) == [0, 1, 2]
+
+    def test_relevant_queries_single_fault(self, schema, chain_log):
+        # With a single fault on {a, c}, only q0 covers both attributes.
+        candidates = relevant_queries(
+            chain_log, frozenset({"a", "c"}), schema, single_fault=True
+        )
+        assert candidates == [0]
+
+    def test_empty_complaint_attributes_keeps_everything(self, schema, chain_log):
+        assert relevant_queries(chain_log, frozenset(), schema) == [0, 1, 2, 3]
+
+    def test_relevant_attributes(self, schema, chain_log):
+        attrs = relevant_attributes(chain_log, [0], frozenset({"c"}), schema)
+        assert attrs == {"a", "b", "c", "d"}
+        attrs_narrow = relevant_attributes(chain_log, [2], frozenset({"c"}), schema)
+        assert attrs_narrow == {"b", "c"}

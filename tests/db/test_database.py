@@ -1,0 +1,49 @@
+"""Tests for repro.db.database."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+
+
+@pytest.fixture()
+def schema():
+    return Schema.build("t", ["a", "b"], upper=100)
+
+
+class TestDatabase:
+    def test_construction_from_rows(self, schema):
+        db = Database(schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert len(db) == 2
+        assert db.rids == (0, 1)
+        assert db.get(1)["a"] == 3
+
+    def test_snapshot_isolation(self, schema):
+        db = Database(schema, [{"a": 1, "b": 2}])
+        snap = db.snapshot()
+        db.get(0)["a"] = 99
+        assert snap.get(0)["a"] == 1
+        assert db.same_state(db)
+        assert not db.same_state(snap)
+
+    def test_same_state_checks_rids_and_values(self, schema):
+        db = Database(schema, [{"a": 1, "b": 2}])
+        other = Database(schema, [{"a": 1, "b": 2}])
+        assert db.same_state(other)
+        other.insert({"a": 5, "b": 6})
+        assert not db.same_state(other)
+
+    def test_from_rows_preserves_rids(self, schema):
+        db = Database(schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        db.delete(0)
+        rebuilt = Database.from_rows(schema, db.rows())
+        assert rebuilt.rids == (1,)
+        assert rebuilt.get(1)["b"] == 4
+
+    def test_to_dicts_respects_attribute_order(self, schema):
+        db = Database(schema, [{"b": 2, "a": 1}])
+        assert db.to_dicts() == [{"a": 1.0, "b": 2.0}]
+
+    def test_iteration(self, schema):
+        db = Database(schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert [row.rid for row in db] == [0, 1]

@@ -1,0 +1,55 @@
+"""Tests for repro.db.diff."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.diff import diff_states, iter_matching_rids
+from repro.db.schema import Schema
+
+
+@pytest.fixture()
+def schema():
+    return Schema.build("t", ["a", "b"], upper=100)
+
+
+class TestDiffStates:
+    def test_identical_states_produce_no_diff(self, schema):
+        db = Database(schema, [{"a": 1, "b": 2}])
+        assert diff_states(db, db.snapshot()) == []
+
+    def test_value_change(self, schema):
+        dirty = Database(schema, [{"a": 1, "b": 2}])
+        clean = Database(schema, [{"a": 1, "b": 5}])
+        diffs = diff_states(dirty, clean)
+        assert len(diffs) == 1
+        assert diffs[0].kind == "update"
+        assert diffs[0].attributes == ("b",)
+        assert diffs[0].clean.values["b"] == 5
+
+    def test_spurious_tuple_reports_delete(self, schema):
+        dirty = Database(schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        clean = Database(schema, [{"a": 1, "b": 2}])
+        diffs = diff_states(dirty, clean)
+        assert len(diffs) == 1
+        assert diffs[0].kind == "delete"
+        assert diffs[0].rid == 1
+
+    def test_missing_tuple_reports_insert(self, schema):
+        dirty = Database(schema, [{"a": 1, "b": 2}])
+        clean = Database(schema, [{"a": 1, "b": 2}])
+        clean.insert({"a": 9, "b": 9})
+        diffs = diff_states(dirty, clean)
+        assert len(diffs) == 1
+        assert diffs[0].kind == "insert"
+        assert diffs[0].dirty is None
+
+    def test_tolerance(self, schema):
+        dirty = Database(schema, [{"a": 1.0, "b": 2.0}])
+        clean = Database(schema, [{"a": 1.0 + 1e-9, "b": 2.0}])
+        assert diff_states(dirty, clean) == []
+        assert diff_states(dirty, clean, tolerance=1e-12)
+
+    def test_iter_matching_rids(self, schema):
+        dirty = Database(schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        clean = Database(schema, [{"a": 1, "b": 2}])
+        assert list(iter_matching_rids(dirty, clean)) == [0]

@@ -1,0 +1,75 @@
+"""Tests for repro.db.schema."""
+
+import pytest
+
+from repro.db.schema import AttributeSpec, Schema
+from repro.exceptions import SchemaError, UnknownAttributeError
+
+
+class TestAttributeSpec:
+    def test_basic_properties(self):
+        spec = AttributeSpec("income", lower=0, upper=100)
+        assert spec.width == 100
+        assert spec.contains(50)
+        assert not spec.contains(101)
+        assert spec.clamp(150) == 100
+        assert spec.clamp(-5) == 0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("")
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("a", lower=10, upper=5)
+
+
+class TestSchema:
+    def test_build_helper(self):
+        schema = Schema.build("t", ["id", "a", "b"], upper=10, key="id")
+        assert schema.attribute_names == ("id", "a", "b")
+        assert schema.key_attribute == "id"
+        assert schema.spec("a").upper == 10
+        assert "a" in schema
+        assert "zzz" not in schema
+        assert len(schema) == 3
+
+    def test_index_of_and_unknown_attribute(self):
+        schema = Schema.build("t", ["x", "y"])
+        assert schema.index_of("y") == 1
+        with pytest.raises(UnknownAttributeError):
+            schema.index_of("z")
+        with pytest.raises(UnknownAttributeError):
+            schema.spec("z")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.build("t", ["a", "a"])
+
+    def test_multiple_keys_rejected(self):
+        specs = (AttributeSpec("a", key=True), AttributeSpec("b", key=True))
+        with pytest.raises(SchemaError):
+            Schema("t", specs)
+
+    def test_validate_values(self):
+        schema = Schema.build("t", ["a", "b"])
+        schema.validate_values({"a": 1, "b": 2})
+        with pytest.raises(SchemaError):
+            schema.validate_values({"a": 1})
+        with pytest.raises(SchemaError):
+            schema.validate_values({"a": 1, "b": 2, "c": 3})
+
+    def test_domain_bounds(self):
+        schema = Schema(
+            "t", (AttributeSpec("a", 0, 10), AttributeSpec("b", -5, 3))
+        )
+        assert schema.domain_bounds() == (-5, 10)
+
+    def test_with_attribute(self):
+        schema = Schema.build("t", ["a"])
+        extended = schema.with_attribute(AttributeSpec("b"))
+        assert extended.attribute_names == ("a", "b")
+        assert schema.attribute_names == ("a",)
+
+    def test_empty_schema_domain(self):
+        assert Schema("t").domain_bounds() == (0.0, 0.0)

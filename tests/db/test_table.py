@@ -1,0 +1,86 @@
+"""Tests for repro.db.table."""
+
+import pytest
+
+from repro.db.schema import Schema
+from repro.db.table import Row, Table
+from repro.exceptions import SchemaError, UnknownAttributeError
+
+
+@pytest.fixture()
+def schema():
+    return Schema.build("t", ["a", "b"], upper=100)
+
+
+class TestRow:
+    def test_get_set_and_unknown(self):
+        row = Row(0, {"a": 1.0, "b": 2.0})
+        assert row["a"] == 1.0
+        row["a"] = 5
+        assert row["a"] == 5.0
+        with pytest.raises(UnknownAttributeError):
+            row["zzz"]
+        with pytest.raises(UnknownAttributeError):
+            row["zzz"] = 3
+
+    def test_copy_is_independent(self):
+        row = Row(0, {"a": 1.0, "b": 2.0})
+        clone = row.copy()
+        clone["a"] = 9
+        assert row["a"] == 1.0
+
+    def test_same_values_and_differing_attributes(self):
+        row = Row(0, {"a": 1.0, "b": 2.0})
+        other = Row(1, {"a": 1.0, "b": 3.0})
+        assert not row.same_values(other)
+        assert row.differing_attributes(other) == ("b",)
+        assert row.same_values(Row(2, {"a": 1.0, "b": 2.0}))
+
+    def test_as_tuple_ordering(self):
+        row = Row(0, {"a": 1.0, "b": 2.0})
+        assert row.as_tuple(["b", "a"]) == (2.0, 1.0)
+
+
+class TestTable:
+    def test_insert_assigns_sequential_rids(self, schema):
+        table = Table(schema)
+        first = table.insert({"a": 1, "b": 2})
+        second = table.insert({"a": 3, "b": 4})
+        assert (first.rid, second.rid) == (0, 1)
+        assert len(table) == 2
+        assert table.rids == (0, 1)
+
+    def test_insert_with_explicit_rid(self, schema):
+        table = Table(schema)
+        table.insert({"a": 1, "b": 2}, rid=10)
+        assert table.next_rid == 11
+        with pytest.raises(SchemaError):
+            table.insert({"a": 1, "b": 2}, rid=10)
+
+    def test_insert_validates_schema(self, schema):
+        table = Table(schema)
+        with pytest.raises(SchemaError):
+            table.insert({"a": 1})
+
+    def test_delete_is_idempotent(self, schema):
+        table = Table(schema)
+        row = table.insert({"a": 1, "b": 2})
+        table.delete(row.rid)
+        table.delete(row.rid)
+        assert len(table) == 0
+        assert table.get(row.rid) is None
+
+    def test_delete_does_not_reuse_rids(self, schema):
+        table = Table(schema)
+        row = table.insert({"a": 1, "b": 2})
+        table.delete(row.rid)
+        new_row = table.insert({"a": 5, "b": 6})
+        assert new_row.rid == row.rid + 1
+
+    def test_copy_is_deep(self, schema):
+        table = Table(schema)
+        table.insert({"a": 1, "b": 2})
+        clone = table.copy()
+        clone.get(0)["a"] = 50
+        assert table.get(0)["a"] == 1
+        assert clone.next_rid == table.next_rid

@@ -1,0 +1,163 @@
+"""Smoke tests for the experiment harness and its CLI.
+
+Every experiment module must run end-to-end at a tiny scale and produce rows
+with the columns its figure reports.  These tests use miniature presets (via
+monkeypatched SCALES) so the whole file stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import example2, figure4, figure6, figure7, figure8, figure9, figure10
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+from repro.experiments.common import (
+    ABLATION_CONFIGS,
+    ExperimentResult,
+    format_table,
+    incremental_config,
+    run_qfix_on_scenario,
+    synthetic_scenario,
+)
+
+
+class TestCommonHelpers:
+    def test_experiment_result_accessors(self):
+        result = ExperimentResult("x", "desc")
+        result.add_row(series="a", value=1.0)
+        result.add_row(series="b", value=2.0)
+        assert result.series("value") == [1.0, 2.0]
+        assert result.filter(series="a") == [{"series": "a", "value": 1.0}]
+        assert "series" in result.to_table()
+
+    def test_format_table_empty_and_missing_columns(self):
+        assert format_table([]) == "(no rows)"
+        text = format_table([{"a": 1}, {"b": 2.5}])
+        assert "a" in text and "b" in text
+
+    def test_ablation_configs_cover_paper_series(self):
+        assert set(ABLATION_CONFIGS) == {
+            "basic", "basic-tuple", "basic-query", "basic-attr", "basic-all",
+        }
+        assert ABLATION_CONFIGS["basic-tuple"].tuple_slicing
+        assert not ABLATION_CONFIGS["basic"].tuple_slicing
+        assert incremental_config(8).incremental_batch == 8
+
+    def test_run_qfix_on_scenario(self):
+        scenario = synthetic_scenario(n_tuples=40, n_queries=5, corruption_indices=[2], seed=2)
+        repair, accuracy, elapsed = run_qfix_on_scenario(
+            scenario, incremental_config(1), method="incremental"
+        )
+        assert repair.feasible
+        assert elapsed > 0
+        assert 0.0 <= accuracy.f1 <= 1.0
+
+
+class TestExample2:
+    def test_reproduces_paper_example(self):
+        result = example2.run()
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row["feasible"] is True
+        assert row["f1"] == pytest.approx(1.0)
+        assert row["changed_queries"] == [0]
+        # The repaired bracket excludes the complaint tuples (income <= 86500).
+        assert row["repaired_bracket"] > 86_500
+
+
+@pytest.mark.parametrize(
+    "module,tiny_scales",
+    [
+        (figure4, {"small": {"n_tuples": 40, "log_sizes": (5,), "corrupt_index": 0}}),
+        (
+            figure7,
+            {
+                "small": {
+                    "attr_counts": (5,),
+                    "attr_n_tuples": 30,
+                    "db_sizes": (30,),
+                    "db_n_attributes": 5,
+                    "corrupt_index": 2,
+                    "n_queries": 5,
+                }
+            },
+        ),
+        (
+            figure8,
+            {
+                "small": {
+                    "db_sizes": (40,),
+                    "n_queries": 5,
+                    "corrupt_index": 2,
+                    "clause_corrupt_indices": (2,),
+                    "fn_rates": (0.0, 0.5),
+                    "skews": (0.0,),
+                    "dimensionalities": (1,),
+                }
+            },
+        ),
+        (
+            figure10,
+            {"small": {"db_sizes": (60,)}},
+        ),
+    ],
+)
+def test_figure_modules_run_at_tiny_scale(module, tiny_scales, monkeypatch):
+    monkeypatch.setattr(module, "SCALES", tiny_scales)
+    result = module.run(scale="small", seed=1)
+    assert result.rows, f"{module.__name__} produced no rows"
+    assert all("seconds" in row or "milliseconds" in row for row in result.rows)
+
+
+def test_figure6_subexperiments_tiny(monkeypatch):
+    tiny = {
+        "small": {
+            "n_tuples": 40,
+            "multi_log_sizes": (5,),
+            "single_log_sizes": (5,),
+            "qtype_log_sizes": (5,),
+        }
+    }
+    monkeypatch.setattr(figure6, "SCALES", tiny)
+    multi = figure6.run_multi(seed=1)
+    single = figure6.run_single(seed=1)
+    qtype = figure6.run_query_type(seed=1)
+    assert {row["series"] for row in multi.rows} <= set(ABLATION_CONFIGS)
+    assert {row["series"] for row in single.rows} <= {"inc1", "inc1-tuple", "inc2-tuple", "inc8-tuple"}
+    assert {row["series"] for row in qtype.rows} <= {"insert", "delete", "update"}
+
+
+def test_figure9_tiny(monkeypatch):
+    from repro.workload.tatp import TATPConfig
+    from repro.workload.tpcc import TPCCConfig
+
+    tiny = {
+        "small": {
+            "tpcc": TPCCConfig(n_initial_orders=40, n_queries=30, seed=1),
+            "tatp": TATPConfig(n_subscribers=40, n_queries=30, seed=1),
+            "corruption_ages": (1, 10),
+        }
+    }
+    monkeypatch.setattr(figure9, "SCALES", tiny)
+    result = figure9.run(seed=1)
+    benchmarks = {row["benchmark"] for row in result.rows}
+    assert benchmarks == {"tpcc", "tatp"}
+    assert all(row["feasible"] for row in result.rows)
+
+
+class TestCLI:
+    def test_registry_covers_all_figures(self):
+        assert {"figure4", "figure6", "figure7", "figure8", "figure9", "figure10", "example2"} <= set(
+            EXPERIMENTS
+        )
+
+    def test_parser(self):
+        args = build_parser().parse_args(["example2", "--scale", "small", "--seed", "3"])
+        assert args.experiment == "example2"
+        assert args.scale == "small" and args.seed == 3
+
+    def test_main_runs_example2(self, capsys):
+        assert main(["example2"]) == 0
+        captured = capsys.readouterr()
+        assert "example2" in captured.out
+        assert "milliseconds" in captured.out

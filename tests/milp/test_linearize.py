@@ -1,0 +1,118 @@
+"""Tests for the big-M / indicator linearization helpers.
+
+Each helper is checked by building a tiny model, fixing the inputs with
+equality constraints, solving, and verifying the linearized construct takes
+the mathematically correct value.
+"""
+
+import pytest
+
+from repro.milp.linearize import (
+    add_absolute_value,
+    add_binary_times_affine,
+    add_comparison_indicator,
+    add_conjunction,
+    add_disjunction,
+)
+from repro.milp.model import Model
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers import get_solver
+
+
+SOLVER = get_solver("highs")
+
+
+def _solve(model):
+    solution = SOLVER.solve(model)
+    assert solution.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+    return solution
+
+
+class TestBinaryTimesAffine:
+    @pytest.mark.parametrize("binary_value", [0.0, 1.0])
+    @pytest.mark.parametrize("w_value", [-3.0, 0.0, 4.5])
+    def test_product_matches(self, binary_value, w_value):
+        model = Model()
+        b = model.add_binary("b")
+        w = model.add_continuous("w", -10, 10)
+        model.add_equal(b, binary_value)
+        model.add_equal(w, w_value)
+        product = add_binary_times_affine(model, b, w, lower=-10, upper=10, name="prod")
+        model.set_objective(product * 0.0)
+        solution = _solve(model)
+        assert solution.value(product) == pytest.approx(binary_value * w_value, abs=1e-6)
+
+
+class TestAbsoluteValue:
+    @pytest.mark.parametrize("value", [-7.0, 0.0, 3.5])
+    def test_abs_at_optimum(self, value):
+        model = Model()
+        x = model.add_continuous("x", -10, 10)
+        model.add_equal(x, value)
+        distance = add_absolute_value(model, x, name="dist")
+        model.set_objective(distance)
+        solution = _solve(model)
+        assert solution.value(distance) == pytest.approx(abs(value), abs=1e-6)
+
+
+class TestComparisonIndicator:
+    @pytest.mark.parametrize(
+        "op,lhs,rhs,expected",
+        [
+            (">=", 5.0, 3.0, 1.0),
+            (">=", 2.0, 3.0, 0.0),
+            ("<=", 2.0, 3.0, 1.0),
+            ("<=", 5.0, 3.0, 0.0),
+            (">", 3.0, 3.0, 0.0),
+            (">", 4.0, 3.0, 1.0),
+            ("<", 3.0, 3.0, 0.0),
+            ("<", 2.0, 3.0, 1.0),
+            ("=", 3.0, 3.0, 1.0),
+            ("=", 2.0, 3.0, 0.0),
+            ("!=", 2.0, 3.0, 1.0),
+            ("!=", 3.0, 3.0, 0.0),
+        ],
+    )
+    def test_indicator_tracks_truth(self, op, lhs, rhs, expected):
+        model = Model()
+        b = model.add_binary("b")
+        x = model.add_continuous("x", -100, 100)
+        model.add_equal(x, lhs)
+        add_comparison_indicator(
+            model, b, x, op, rhs, big_m=250.0, epsilon=0.5, name="ind"
+        )
+        model.set_objective(b * 0.0)
+        solution = _solve(model)
+        assert solution.value("b") == pytest.approx(expected)
+
+
+class TestBooleanCombinators:
+    @pytest.mark.parametrize(
+        "values,expected_and,expected_or",
+        [((1, 1, 1), 1, 1), ((1, 0, 1), 0, 1), ((0, 0, 0), 0, 0)],
+    )
+    def test_conjunction_disjunction(self, values, expected_and, expected_or):
+        model = Model()
+        children = []
+        for index, value in enumerate(values):
+            child = model.add_binary(f"c{index}")
+            model.add_equal(child, float(value))
+            children.append(child)
+        conj = model.add_binary("conj")
+        disj = model.add_binary("disj")
+        add_conjunction(model, conj, children, name="and")
+        add_disjunction(model, disj, children, name="or")
+        model.set_objective(conj * 0.0)
+        solution = _solve(model)
+        assert solution.value("conj") == pytest.approx(expected_and)
+        assert solution.value("disj") == pytest.approx(expected_or)
+
+    def test_empty_children(self):
+        model = Model()
+        conj = model.add_binary("conj")
+        disj = model.add_binary("disj")
+        add_conjunction(model, conj, [], name="and")
+        add_disjunction(model, disj, [], name="or")
+        solution = _solve(model)
+        assert solution.value("conj") == 1.0
+        assert solution.value("disj") == 0.0

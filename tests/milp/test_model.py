@@ -1,0 +1,135 @@
+"""Tests for the MILP modeling layer (variables, expressions, model)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.milp.constraints import Sense
+from repro.milp.expr import LinExpr, as_linexpr
+from repro.milp.model import Model
+from repro.milp.variables import VarType
+
+
+class TestVariables:
+    def test_add_variable_kinds(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 5)
+        y = model.add_binary("y")
+        z = model.add_integer("z", 0, 10)
+        assert x.var_type is VarType.CONTINUOUS
+        assert y.is_integral and z.is_integral
+        assert model.num_variables == 3
+        assert model.num_integer_variables == 2
+        assert model.get_variable("y") is y
+        assert model.has_variable("z")
+
+    def test_duplicate_names_rejected(self):
+        model = Model()
+        model.add_continuous("x")
+        with pytest.raises(ModelError):
+            model.add_continuous("x")
+
+    def test_invalid_bounds_rejected(self):
+        model = Model()
+        with pytest.raises(ModelError):
+            model.add_continuous("x", 5, 1)
+
+    def test_unknown_variable_lookup(self):
+        with pytest.raises(ModelError):
+            Model().get_variable("nope")
+
+
+class TestLinExpr:
+    def test_arithmetic(self):
+        model = Model()
+        x = model.add_continuous("x")
+        y = model.add_continuous("y")
+        expr = 2 * x + y - 3
+        assert expr.coefficient(x) == 2
+        assert expr.coefficient(y) == 1
+        assert expr.constant == -3
+        assert expr.evaluate({"x": 1.0, "y": 2.0}) == 1.0
+
+    def test_cancellation_drops_terms(self):
+        model = Model()
+        x = model.add_continuous("x")
+        expr = x - x
+        assert expr.is_constant()
+
+    def test_sum_helper(self):
+        model = Model()
+        x = model.add_continuous("x")
+        expr = LinExpr.sum([x, 2.0, x * 3])
+        assert expr.coefficient(x) == 4
+        assert expr.constant == 2.0
+
+    def test_as_linexpr_coercion(self):
+        model = Model()
+        x = model.add_continuous("x")
+        assert as_linexpr(x).coefficient(x) == 1
+        assert as_linexpr(5.0).constant == 5.0
+        with pytest.raises(ModelError):
+            as_linexpr("bad")  # type: ignore[arg-type]
+
+    def test_missing_assignment_raises(self):
+        model = Model()
+        x = model.add_continuous("x")
+        with pytest.raises(ModelError):
+            (x + 1).evaluate({})
+
+
+class TestModelConstraints:
+    def test_constraint_normalization(self):
+        model = Model()
+        x = model.add_continuous("x")
+        constraint = model.add_le(x + 3, 10)
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == 7
+        assert constraint.satisfied_by({"x": 7.0})
+        assert not constraint.satisfied_by({"x": 8.0})
+        assert constraint.violation({"x": 9.0}) == pytest.approx(2.0)
+
+    def test_foreign_variable_rejected(self):
+        model_a, model_b = Model("a"), Model("b")
+        x = model_a.add_continuous("x")
+        with pytest.raises(ModelError):
+            model_b.add_le(x, 1)
+        with pytest.raises(ModelError):
+            model_b.set_objective(x + 1)
+
+    def test_check_assignment_and_objective(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        model.add_ge(x, 2)
+        model.set_objective(x * 2 + 1)
+        assert model.check_assignment({"x": 3.0}) == []
+        assert len(model.check_assignment({"x": 1.0})) == 1
+        assert model.objective_value({"x": 3.0}) == 7.0
+
+    def test_summary(self):
+        model = Model()
+        model.add_binary("b")
+        model.add_le(model.get_variable("b"), 1)
+        summary = model.summary()
+        assert summary == {"variables": 1, "integer_variables": 1, "constraints": 1}
+
+
+class TestMatrixExport:
+    def test_dense_and_sparse_agree(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 5)
+        y = model.add_binary("y")
+        model.add_le(x + 2 * y, 4)
+        model.add_equal(x - y, 1)
+        model.set_objective(-1 * x - y)
+        dense = model.to_matrices()
+        sparse = model.to_sparse_arrays()
+        assert dense["A"].shape == (2, 2)
+        rebuilt = np.zeros_like(dense["A"])
+        for row, col, value in zip(sparse["rows"], sparse["cols"], sparse["data"]):
+            rebuilt[row, col] = value
+        np.testing.assert_allclose(rebuilt, dense["A"])
+        np.testing.assert_allclose(dense["c"], sparse["c"])
+        np.testing.assert_allclose(dense["lb_con"], sparse["lb_con"])
+        np.testing.assert_allclose(dense["ub_con"], sparse["ub_con"])
+        np.testing.assert_allclose(dense["integrality"], sparse["integrality"])

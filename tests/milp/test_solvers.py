@@ -1,0 +1,101 @@
+"""Tests for the MILP solver backends (HiGHS and branch-and-bound)."""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.milp.model import Model
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers import available_solvers, get_solver
+
+
+def _knapsack_model():
+    """A small 0/1 knapsack: maximize 6x1+5x2+4x3 s.t. 5x1+4x2+3x3 <= 8."""
+    model = Model("knapsack")
+    x1 = model.add_binary("x1")
+    x2 = model.add_binary("x2")
+    x3 = model.add_binary("x3")
+    model.add_le(5 * x1 + 4 * x2 + 3 * x3, 8)
+    model.set_objective(-(6 * x1 + 5 * x2 + 4 * x3))
+    return model
+
+
+def _infeasible_model():
+    model = Model("infeasible")
+    x = model.add_continuous("x", 0, 1)
+    model.add_ge(x, 2)
+    return model
+
+
+@pytest.fixture(params=["highs", "branch-and-bound"])
+def solver(request):
+    return get_solver(request.param, time_limit=30.0)
+
+
+class TestSolverBackends:
+    def test_knapsack_optimum(self, solver):
+        solution = solver.solve(_knapsack_model())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-10.0)
+        # x1 and x3 selected (weight 8, value 10).
+        assert solution.value("x1") == pytest.approx(1.0)
+        assert solution.value("x3") == pytest.approx(1.0)
+
+    def test_infeasible_detected(self, solver):
+        solution = solver.solve(_infeasible_model())
+        assert solution.status is SolveStatus.INFEASIBLE
+        assert not solution
+
+    def test_continuous_lp(self, solver):
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        y = model.add_continuous("y", 0, 10)
+        model.add_le(x + y, 6)
+        model.set_objective(-(x + 2 * y))
+        solution = solver.solve(model)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-12.0)
+        assert solution.value("y") == pytest.approx(6.0)
+
+    def test_empty_model(self, solver):
+        solution = solver.solve(Model())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == 0.0
+
+    def test_solution_satisfies_model(self, solver):
+        model = _knapsack_model()
+        solution = solver.solve(model)
+        assert model.evaluate_solution(solution)
+
+
+class TestBackendsAgree:
+    def test_same_objective_on_mixed_model(self):
+        model = Model()
+        x = model.add_integer("x", 0, 5)
+        y = model.add_continuous("y", 0, 5)
+        model.add_le(2 * x + y, 7)
+        model.add_ge(y, 0.5)
+        model.set_objective(-(3 * x + y))
+        objectives = []
+        for name in ("highs", "branch-and-bound"):
+            solution = get_solver(name).solve(model)
+            assert solution.status is SolveStatus.OPTIMAL
+            objectives.append(solution.objective)
+        assert objectives[0] == pytest.approx(objectives[1], abs=1e-6)
+
+
+class TestRegistry:
+    def test_available_and_aliases(self):
+        names = available_solvers()
+        assert "highs" in names and "branch-and-bound" in names
+        assert get_solver("scipy").name == "highs"
+        assert get_solver("bnb").name == "branch-and-bound"
+
+    def test_unknown_solver(self):
+        with pytest.raises(SolverError):
+            get_solver("gurobi")
+
+    def test_solution_value_lookup(self):
+        solution = get_solver("highs").solve(_knapsack_model())
+        with pytest.raises(KeyError):
+            solution.value("missing")
+        assert solution.value("missing", default=0.0) == 0.0

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The single most important invariant of the whole system is that the MILP
+encoding agrees with the reference executor: for any generated workload and
+any parameter assignment, replaying the log must satisfy the constraints the
+encoder produces for those parameter values.  The properties below check that
+agreement plus several simpler algebraic invariants.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.complaints import ComplaintSet
+from repro.core.config import QFixConfig
+from repro.core.encoder import LogEncoder
+from repro.core.metrics import evaluate_states
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.milp.solvers import get_solver
+from repro.queries.executor import replay
+from repro.queries.expressions import Attr, Param
+from repro.queries.log import QueryLog, log_distance
+from repro.queries.predicates import And, Comparison
+from repro.queries.query import UpdateQuery
+
+SOLVER = get_solver("highs", time_limit=20.0)
+SCHEMA = Schema.build("t", ["a", "b"], upper=100)
+
+values = st.integers(min_value=0, max_value=100)
+rows = st.lists(
+    st.fixed_dictionaries({"a": values, "b": values}), min_size=1, max_size=6
+)
+
+
+def _make_query(label: str, low: int, high: int, set_value: int, relative: bool) -> UpdateQuery:
+    set_expr = (
+        Attr("b") + Param(f"{label}_set", float(set_value))
+        if relative
+        else Param(f"{label}_set", float(set_value))
+    )
+    where = And(
+        [
+            Comparison(Attr("a"), ">=", Param(f"{label}_lo", float(min(low, high)))),
+            Comparison(Attr("a"), "<=", Param(f"{label}_hi", float(max(low, high)))),
+        ]
+    )
+    return UpdateQuery("t", {"b": set_expr}, where, label=label)
+
+
+query_specs = st.tuples(values, values, values, st.booleans())
+logs = st.lists(query_specs, min_size=1, max_size=3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(initial_rows=rows, specs=logs, corrupt_lo=values)
+def test_encoder_repair_resolves_all_complaints(initial_rows, specs, corrupt_lo):
+    """For random logs and corruptions, a feasible repair resolves every complaint."""
+    initial = Database(SCHEMA, [{k: float(v) for k, v in row.items()} for row in initial_rows])
+    true_log = QueryLog(
+        [_make_query(f"q{i}", lo, hi, sv, rel) for i, (lo, hi, sv, rel) in enumerate(specs)]
+    )
+    corrupted_log = true_log.with_params({"q0_lo": float(corrupt_lo)})
+    dirty = replay(initial, corrupted_log)
+    truth = replay(initial, true_log)
+    complaints = ComplaintSet.from_states(dirty, truth)
+    if complaints.is_empty():
+        return  # the corruption was unobservable; nothing to check
+    config = QFixConfig.fully_optimized()
+    encoder = LogEncoder(
+        SCHEMA, initial, dirty, corrupted_log, complaints, config,
+        parameterized=[0], rids=complaints.rids,
+    )
+    problem = encoder.encode()
+    solution = SOLVER.solve(problem.model)
+    # The true parameters are one feasible repair, so the MILP cannot be infeasible.
+    assert solution.status.has_solution
+    from repro.core.repair import finalize_repair, repair_resolves_complaints
+
+    repaired_log, _ = finalize_repair(
+        initial, corrupted_log, problem, solution, complaints, config=config
+    )
+    assert repair_resolves_complaints(initial, repaired_log, complaints)
+
+
+@settings(max_examples=50, deadline=None)
+@given(initial_rows=rows, specs=logs)
+def test_replay_is_deterministic_and_preserves_initial(initial_rows, specs):
+    """Replaying a log twice gives identical states and never mutates the input."""
+    initial = Database(SCHEMA, [{k: float(v) for k, v in row.items()} for row in initial_rows])
+    before = initial.snapshot()
+    log = QueryLog(
+        [_make_query(f"q{i}", lo, hi, sv, rel) for i, (lo, hi, sv, rel) in enumerate(specs)]
+    )
+    first = replay(initial, log)
+    second = replay(initial, log)
+    assert first.same_state(second)
+    assert initial.same_state(before)
+
+
+@settings(max_examples=50, deadline=None)
+@given(specs=logs, data=st.data())
+def test_log_distance_is_a_metric_on_params(specs, data):
+    """log_distance is non-negative, zero iff identical, and symmetric."""
+    log = QueryLog(
+        [_make_query(f"q{i}", lo, hi, sv, rel) for i, (lo, hi, sv, rel) in enumerate(specs)]
+    )
+    params = log.params()
+    new_values = {
+        name: float(data.draw(values, label=name)) for name in params
+    }
+    other = log.with_params(new_values)
+    assert log_distance(log, log) == 0.0
+    assert log_distance(log, other) >= 0.0
+    assert log_distance(log, other) == log_distance(other, log)
+    if log_distance(log, other) == 0.0:
+        assert other.params() == params
+
+
+@settings(max_examples=50, deadline=None)
+@given(initial_rows=rows, specs=logs)
+def test_accuracy_metric_bounds_and_perfect_case(initial_rows, specs):
+    """Precision/recall/F1 always lie in [0, 1]; the truth scores 1.0."""
+    initial = Database(SCHEMA, [{k: float(v) for k, v in row.items()} for row in initial_rows])
+    log = QueryLog(
+        [_make_query(f"q{i}", lo, hi, sv, rel) for i, (lo, hi, sv, rel) in enumerate(specs)]
+    )
+    truth = replay(initial, log)
+    dirty = replay(initial, log.with_params({"q0_set": 999.0}))
+    accuracy = evaluate_states(dirty, truth, truth)
+    assert 0.0 <= accuracy.precision <= 1.0
+    assert 0.0 <= accuracy.recall <= 1.0
+    assert accuracy.recall == 1.0
+    imperfect = evaluate_states(dirty, truth, dirty)
+    assert 0.0 <= imperfect.f1 <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    coeffs=st.lists(st.tuples(values, values), min_size=1, max_size=4),
+    row_a=values,
+    row_b=values,
+)
+def test_affine_evaluation_matches_manual_sum(coeffs, row_a, row_b):
+    """Expression evaluation equals the manually computed affine sum."""
+    expr = None
+    expected = 0.0
+    row = {"a": float(row_a), "b": float(row_b)}
+    for index, (coefficient, constant) in enumerate(coeffs):
+        term = Attr("a") * float(coefficient) + float(constant)
+        expected += coefficient * row["a"] + constant
+        expr = term if expr is None else expr + term
+    assert expr.evaluate(row) == expected

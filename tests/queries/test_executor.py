@@ -1,0 +1,104 @@
+"""Tests for repro.queries.executor (the reference semantics)."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.exceptions import QueryModelError
+from repro.queries.executor import apply_query, replay, replay_states
+from repro.queries.expressions import Attr, Const, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison
+from repro.queries.query import DeleteQuery, InsertQuery, UpdateQuery
+
+
+@pytest.fixture()
+def db():
+    schema = Schema.build("t", ["a", "b"], upper=100)
+    return Database(schema, [{"a": 1, "b": 10}, {"a": 2, "b": 20}, {"a": 3, "b": 30}])
+
+
+class TestApplyQuery:
+    def test_update_constant_set(self, db):
+        query = UpdateQuery("t", {"b": Const(99.0)}, Comparison(Attr("a"), ">=", Const(2.0)))
+        result = apply_query(db, query)
+        assert [row["b"] for row in result.rows()] == [10, 99, 99]
+        # input state untouched
+        assert [row["b"] for row in db.rows()] == [10, 20, 30]
+
+    def test_update_uses_pre_update_values(self, db):
+        # Swapping a and b must read the original values of both attributes.
+        query = UpdateQuery("t", {"a": Attr("b"), "b": Attr("a")}, None)
+        result = apply_query(db, query)
+        assert result.get(0)["a"] == 10 and result.get(0)["b"] == 1
+
+    def test_update_relative_set(self, db):
+        query = UpdateQuery("t", {"b": Attr("b") + Param("p", 5.0)}, None)
+        result = apply_query(db, query)
+        assert [row["b"] for row in result.rows()] == [15, 25, 35]
+
+    def test_insert_assigns_new_rid(self, db):
+        query = InsertQuery("t", {"a": Const(7.0), "b": Const(70.0)})
+        result = apply_query(db, query)
+        assert len(result) == 4
+        assert result.get(3)["a"] == 7
+
+    def test_insert_requires_all_attributes(self, db):
+        query = InsertQuery("t", {"a": Const(7.0)})
+        with pytest.raises(QueryModelError):
+            apply_query(db, query)
+
+    def test_delete(self, db):
+        query = DeleteQuery("t", Comparison(Attr("a"), "<=", Const(2.0)))
+        result = apply_query(db, query)
+        assert result.rids == (2,)
+
+    def test_unsupported_query_type(self, db):
+        with pytest.raises(QueryModelError):
+            apply_query(db, object())  # type: ignore[arg-type]
+
+    def test_in_place_mutation(self, db):
+        query = UpdateQuery("t", {"b": Const(0.0)}, None)
+        returned = apply_query(db, query, in_place=True)
+        assert returned is db
+        assert db.get(0)["b"] == 0
+
+
+class TestReplay:
+    def test_replay_preserves_initial(self, db):
+        log = QueryLog(
+            [
+                UpdateQuery("t", {"b": Const(0.0)}, Comparison(Attr("a"), "=", Const(1.0))),
+                InsertQuery("t", {"a": Const(9.0), "b": Const(90.0)}),
+            ]
+        )
+        final = replay(db, log)
+        assert db.get(0)["b"] == 10
+        assert final.get(0)["b"] == 0
+        assert len(final) == 4
+
+    def test_replay_states_length_and_progression(self, db):
+        log = QueryLog(
+            [
+                UpdateQuery("t", {"b": Const(1.0)}, None),
+                UpdateQuery("t", {"b": Attr("b") + Const(1.0)}, None),
+            ]
+        )
+        states = replay_states(db, log)
+        assert len(states) == 3
+        assert states[0].get(0)["b"] == 10
+        assert states[1].get(0)["b"] == 1
+        assert states[2].get(0)["b"] == 2
+
+    def test_replay_deterministic_rids_for_inserts(self, db):
+        log = QueryLog(
+            [
+                InsertQuery("t", {"a": Const(9.0), "b": Const(90.0)}),
+                DeleteQuery("t", Comparison(Attr("a"), "=", Const(9.0))),
+                InsertQuery("t", {"a": Const(8.0), "b": Const(80.0)}),
+            ]
+        )
+        final = replay(db, log)
+        # First insert got rid 3 and was deleted, second insert got rid 4.
+        assert 3 not in final.rids
+        assert final.get(4)["a"] == 8

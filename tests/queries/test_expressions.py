@@ -1,0 +1,116 @@
+"""Tests for repro.queries.expressions."""
+
+import pytest
+
+from repro.exceptions import NonLinearExpressionError, QueryModelError
+from repro.queries.expressions import (
+    Affine,
+    Attr,
+    BinOp,
+    Const,
+    Param,
+    collect_params,
+    contains_attribute,
+    demote_params,
+    rebuild_expression,
+)
+
+
+class TestBasicExpressions:
+    def test_const_evaluation(self):
+        assert Const(3.5).evaluate() == 3.5
+        assert Const(3).render_sql() == "3"
+        assert Const(3.5).render_sql() == "3.5"
+
+    def test_param_evaluation_and_override(self):
+        param = Param("p", 4.0)
+        assert param.evaluate() == 4.0
+        assert param.evaluate(param_overrides={"p": 9.0}) == 9.0
+        assert param.with_value(7).value == 7.0
+
+    def test_attr_requires_row(self):
+        attr = Attr("a")
+        assert attr.evaluate({"a": 2.0}) == 2.0
+        with pytest.raises(QueryModelError):
+            attr.evaluate({})
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(QueryModelError):
+            Param("", 1.0)
+        with pytest.raises(QueryModelError):
+            Attr("")
+
+
+class TestArithmetic:
+    def test_affine_combination(self):
+        expr = Attr("a") * 2 + Param("p", 3.0) - 1
+        assert expr.evaluate({"a": 5.0}) == 12.0
+        assert expr.attributes() == {"a"}
+        assert [p.name for p in expr.params()] == ["p"]
+
+    def test_nested_subtraction(self):
+        expr = Attr("a") - Attr("b")
+        assert expr.evaluate({"a": 10.0, "b": 4.0}) == 6.0
+
+    def test_scalar_multiplication_both_sides(self):
+        assert (2 * Attr("a")).evaluate({"a": 3.0}) == 6.0
+        assert (Attr("a") * 2).evaluate({"a": 3.0}) == 6.0
+
+    def test_negation(self):
+        assert (-Attr("a")).evaluate({"a": 3.0}) == -3.0
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(NonLinearExpressionError):
+            (Attr("a") * Attr("b")).to_affine()
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(QueryModelError):
+            BinOp("/", Const(1.0), Const(2.0))
+
+    def test_invalid_operand_rejected(self):
+        with pytest.raises(QueryModelError):
+            Attr("a") + "nope"  # type: ignore[operator]
+
+
+class TestAffine:
+    def test_add_and_scale(self):
+        left = Attr("a").to_affine()
+        right = Param("p", 2.0).to_affine()
+        combined = left.add(right.scale(3.0))
+        assert combined.evaluate({"a": 1.0}) == 1.0 + 6.0
+        assert combined.attributes() == {"a"}
+
+    def test_is_constant(self):
+        assert Const(2.0).to_affine().is_constant()
+        assert not Attr("a").to_affine().is_constant()
+        assert not Param("p", 1.0).to_affine().is_constant()
+
+    def test_substitute_params(self):
+        affine = (Attr("a") + Param("p", 2.0)).to_affine()
+        substituted = affine.substitute_params({"p": 10.0})
+        assert substituted.evaluate({"a": 0.0}) == 10.0
+
+    def test_affine_cache_consistency(self):
+        expr = Attr("a") + Param("p", 2.0)
+        assert expr.affine() is expr.affine()
+        assert isinstance(expr.affine(), Affine)
+
+
+class TestTreeHelpers:
+    def test_rebuild_expression_preserves_structure(self):
+        expr = BinOp("+", Attr("a"), Param("p", 2.0))
+        rebuilt = rebuild_expression(expr, {"p": 9.0})
+        assert rebuilt.render_sql() == "a + 9"
+        assert expr.render_sql() == "a + 2"
+
+    def test_collect_params_detects_conflicts(self):
+        expr = BinOp("+", Param("p", 1.0), Param("p", 2.0))
+        with pytest.raises(QueryModelError):
+            collect_params(expr)
+
+    def test_contains_attribute_and_demote(self):
+        expr = BinOp("*", Attr("a"), Param("p", 0.5))
+        assert contains_attribute(expr)
+        demoted = demote_params(expr)
+        assert collect_params(demoted) == {}
+        assert demoted.evaluate({"a": 4.0}) == 2.0

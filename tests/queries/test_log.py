@@ -1,0 +1,78 @@
+"""Tests for repro.queries.log."""
+
+import pytest
+
+from repro.exceptions import QueryModelError
+from repro.queries.expressions import Attr, Const, Param
+from repro.queries.log import QueryLog, changed_queries, log_distance
+from repro.queries.predicates import Comparison
+from repro.queries.query import UpdateQuery
+
+
+def _update(label: str, value: float, bound: float) -> UpdateQuery:
+    return UpdateQuery(
+        "t",
+        {"a": Param(f"{label}_set", value)},
+        Comparison(Attr("b"), ">=", Param(f"{label}_lo", bound)),
+        label=label,
+    )
+
+
+class TestQueryLog:
+    def test_sequence_protocol(self):
+        log = QueryLog([_update("q1", 1, 2), _update("q2", 3, 4)])
+        assert len(log) == 2
+        assert log[0].label == "q1"
+        assert isinstance(log[0:1], QueryLog)
+        assert [q.label for q in log] == ["q1", "q2"]
+
+    def test_append_extend_immutable(self):
+        log = QueryLog([_update("q1", 1, 2)])
+        extended = log.append(_update("q2", 3, 4))
+        assert len(log) == 1
+        assert len(extended) == 2
+
+    def test_with_query_and_bounds(self):
+        log = QueryLog([_update("q1", 1, 2)])
+        replaced = log.with_query(0, _update("q1", 9, 9))
+        assert replaced[0].params() == {"q1_set": 9.0, "q1_lo": 9.0}
+        with pytest.raises(QueryModelError):
+            log.with_query(5, _update("qx", 0, 0))
+
+    def test_params_unique_across_log(self):
+        log = QueryLog([_update("q1", 1, 2), _update("q1", 3, 4)])
+        with pytest.raises(QueryModelError):
+            log.params()
+
+    def test_with_params(self):
+        log = QueryLog([_update("q1", 1, 2), _update("q2", 3, 4)])
+        repaired = log.with_params({"q2_lo": 40.0})
+        assert repaired.params_of(1)["q2_lo"] == 40.0
+        assert log.params_of(1)["q2_lo"] == 4.0
+
+    def test_render_sql_includes_labels(self):
+        log = QueryLog([_update("q1", 1, 2)])
+        script = log.render_sql()
+        assert "-- q1" in script and script.endswith(";")
+
+
+class TestLogDistance:
+    def test_manhattan_distance(self):
+        log = QueryLog([_update("q1", 1, 2)])
+        repaired = log.with_params({"q1_set": 4.0, "q1_lo": 1.0})
+        assert log_distance(log, repaired) == 4.0
+        assert log_distance(log, repaired, normalized=True) == 2.0
+
+    def test_distance_requires_identical_structure(self):
+        log = QueryLog([_update("q1", 1, 2)])
+        other = QueryLog([_update("q2", 1, 2)])
+        with pytest.raises(QueryModelError):
+            log_distance(log, other)
+        with pytest.raises(QueryModelError):
+            log_distance(log, QueryLog([]))
+
+    def test_changed_queries(self):
+        log = QueryLog([_update("q1", 1, 2), _update("q2", 3, 4)])
+        repaired = log.with_params({"q2_set": 30.0})
+        assert changed_queries(log, repaired) == [1]
+        assert changed_queries(log, log) == []

@@ -1,0 +1,115 @@
+"""Tests for repro.queries.predicates."""
+
+import pytest
+
+from repro.exceptions import QueryModelError
+from repro.queries.expressions import Attr, Const, Param
+from repro.queries.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Or,
+    TruePredicate,
+    range_predicate,
+)
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("<=", 5.0, True),
+            ("<=", 4.0, False),
+            (">=", 5.0, True),
+            (">", 5.0, False),
+            ("<", 5.0, False),
+            ("=", 5.0, True),
+            ("!=", 5.0, False),
+            ("!=", 4.0, True),
+        ],
+    )
+    def test_operators(self, op, value, expected):
+        predicate = Comparison(Attr("a"), op, Const(value))
+        assert predicate.evaluate({"a": 5.0}) is expected
+
+    def test_invalid_operator(self):
+        with pytest.raises(QueryModelError):
+            Comparison(Attr("a"), "~", Const(1.0))
+
+    def test_params_and_with_params(self):
+        predicate = Comparison(Attr("a"), ">=", Param("p", 3.0))
+        assert predicate.params() == {"p": 3.0}
+        updated = predicate.with_params({"p": 10.0})
+        assert updated.evaluate({"a": 5.0}) is False
+        assert predicate.evaluate({"a": 5.0}) is True
+
+    def test_param_override_at_evaluation(self):
+        predicate = Comparison(Attr("a"), ">=", Param("p", 3.0))
+        assert predicate.evaluate({"a": 5.0}, {"p": 6.0}) is False
+
+    def test_render_sql(self):
+        predicate = Comparison(Attr("a"), "!=", Const(3.0))
+        assert predicate.render_sql() == "a <> 3"
+
+
+class TestBooleanCombinations:
+    def test_and_or_evaluation(self):
+        a_low = Comparison(Attr("a"), ">=", Const(1.0))
+        a_high = Comparison(Attr("a"), "<=", Const(5.0))
+        conjunction = And([a_low, a_high])
+        disjunction = Or([a_low, a_high])
+        assert conjunction.evaluate({"a": 3.0})
+        assert not conjunction.evaluate({"a": 9.0})
+        assert disjunction.evaluate({"a": 9.0})
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(QueryModelError):
+            And([])
+        with pytest.raises(QueryModelError):
+            Or([])
+
+    def test_operator_sugar(self):
+        left = Comparison(Attr("a"), ">=", Const(1.0))
+        right = Comparison(Attr("a"), "<=", Const(5.0))
+        assert isinstance(left & right, And)
+        assert isinstance(left | right, Or)
+
+    def test_attributes_params_and_comparisons(self):
+        predicate = And(
+            [
+                Comparison(Attr("a"), ">=", Param("lo", 1.0)),
+                Comparison(Attr("b"), "<=", Param("hi", 5.0)),
+            ]
+        )
+        assert predicate.attributes() == {"a", "b"}
+        assert predicate.params() == {"lo": 1.0, "hi": 5.0}
+        assert len(predicate.comparisons()) == 2
+
+    def test_with_params_propagates(self):
+        predicate = Or([Comparison(Attr("a"), "=", Param("p", 1.0)), TruePredicate()])
+        updated = predicate.with_params({"p": 2.0})
+        assert updated.params() == {"p": 2.0}
+
+    def test_render_nested(self):
+        predicate = Or(
+            [
+                And([Comparison(Attr("a"), ">=", Const(1.0)), Comparison(Attr("a"), "<=", Const(2.0))]),
+                Comparison(Attr("b"), "=", Const(3.0)),
+            ]
+        )
+        assert "OR" in predicate.render_sql()
+        assert "(" in predicate.render_sql()
+
+
+class TestConstants:
+    def test_true_false_predicates(self):
+        assert TruePredicate().evaluate({})
+        assert not FalsePredicate().evaluate({})
+        assert TruePredicate().params() == {}
+        assert FalsePredicate().comparisons() == ()
+        assert TruePredicate().render_sql() == "TRUE"
+
+    def test_range_predicate_helper(self):
+        predicate = range_predicate("a", 2.0, 4.0)
+        assert predicate.evaluate({"a": 3.0})
+        assert not predicate.evaluate({"a": 5.0})

@@ -1,0 +1,84 @@
+"""Tests for repro.queries.query."""
+
+import pytest
+
+from repro.exceptions import QueryModelError
+from repro.queries.expressions import Attr, Const, Param
+from repro.queries.predicates import Comparison, TruePredicate
+from repro.queries.query import DeleteQuery, InsertQuery, UpdateQuery
+
+
+class TestUpdateQuery:
+    def test_params_and_with_params(self):
+        query = UpdateQuery(
+            "t",
+            {"a": Param("q1_set", 5.0)},
+            Comparison(Attr("b"), ">=", Param("q1_lo", 2.0)),
+            label="q1",
+        )
+        assert query.params() == {"q1_set": 5.0, "q1_lo": 2.0}
+        repaired = query.with_params({"q1_lo": 7.0})
+        assert repaired.params() == {"q1_set": 5.0, "q1_lo": 7.0}
+        assert query.params()["q1_lo"] == 2.0  # original untouched
+
+    def test_direct_impact_and_dependency(self):
+        query = UpdateQuery(
+            "t",
+            {"a": Attr("b") + Param("p", 1.0)},
+            Comparison(Attr("c"), "=", Const(3.0)),
+        )
+        assert query.direct_impact() == {"a"}
+        assert query.dependency() == {"b", "c"}
+
+    def test_requires_set_clause(self):
+        with pytest.raises(QueryModelError):
+            UpdateQuery("t", {})
+
+    def test_duplicate_set_attribute_rejected(self):
+        with pytest.raises(QueryModelError):
+            UpdateQuery("t", (("a", Const(1.0)), ("a", Const(2.0))))
+
+    def test_render_sql(self):
+        query = UpdateQuery("t", {"a": Const(1.0)}, None)
+        assert query.render_sql() == "UPDATE t SET a = 1"
+        where_query = UpdateQuery("t", {"a": Const(1.0)}, Comparison(Attr("b"), "=", Const(2.0)))
+        assert where_query.render_sql() == "UPDATE t SET a = 1 WHERE b = 2"
+
+
+class TestInsertQuery:
+    def test_values_must_be_constant(self):
+        with pytest.raises(QueryModelError):
+            InsertQuery("t", {"a": Attr("b")})
+
+    def test_params_and_rendering(self):
+        query = InsertQuery("t", {"a": Param("v", 1.0), "b": Const(2.0)})
+        assert query.params() == {"v": 1.0}
+        assert query.render_sql() == "INSERT INTO t (a, b) VALUES (1, 2)"
+        assert query.direct_impact() == {"a", "b"}
+        assert query.dependency() == frozenset()
+
+    def test_with_params(self):
+        query = InsertQuery("t", {"a": Param("v", 1.0)})
+        assert query.with_params({"v": 9.0}).params() == {"v": 9.0}
+
+    def test_requires_values(self):
+        with pytest.raises(QueryModelError):
+            InsertQuery("t", {})
+
+
+class TestDeleteQuery:
+    def test_default_where_is_true(self):
+        query = DeleteQuery("t")
+        assert isinstance(query.where, TruePredicate)
+        assert query.render_sql() == "DELETE FROM t"
+
+    def test_params_and_impact(self):
+        query = DeleteQuery("t", Comparison(Attr("a"), "<", Param("p", 3.0)))
+        assert query.params() == {"p": 3.0}
+        assert "*" in query.direct_impact()
+        assert query.dependency() == {"a"}
+        assert query.with_params({"p": 5.0}).params() == {"p": 5.0}
+
+    def test_render_with_where(self):
+        query = DeleteQuery("t", Comparison(Attr("a"), "=", Const(1.0)))
+        assert query.render_sql() == "DELETE FROM t WHERE a = 1"

@@ -1,0 +1,115 @@
+"""Tests for repro.sql.parser."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.queries.query import DeleteQuery, InsertQuery, UpdateQuery
+from repro.sql.parser import parse_query, parse_script
+
+
+class TestParseUpdate:
+    def test_simple_update(self):
+        query = parse_query("UPDATE t SET a = 5 WHERE b >= 3", label="q1")
+        assert isinstance(query, UpdateQuery)
+        assert query.table == "t"
+        assert query.params() == {"q1_p0": 5.0, "q1_p1": 3.0}
+        assert query.where.evaluate({"b": 4.0})
+
+    def test_update_without_where(self):
+        query = parse_query("UPDATE t SET a = a + 1")
+        assert isinstance(query, UpdateQuery)
+        assert query.direct_impact() == {"a"}
+
+    def test_update_multiple_assignments(self):
+        query = parse_query("UPDATE t SET a = 1, b = a - 2")
+        assert [attr for attr, _ in query.set_clause] == ["a", "b"]
+
+    def test_between_predicate(self):
+        query = parse_query("UPDATE t SET a = 1 WHERE b BETWEEN 2 AND 8", label="q")
+        assert query.where.evaluate({"b": 5.0})
+        assert not query.where.evaluate({"b": 9.0})
+
+    def test_and_or_precedence(self):
+        query = parse_query("UPDATE t SET a = 1 WHERE b = 1 OR b = 2 AND c = 3")
+        # AND binds tighter than OR: matches b=1 regardless of c.
+        assert query.where.evaluate({"b": 1.0, "c": 0.0})
+
+    def test_parenthesized_predicate(self):
+        query = parse_query("UPDATE t SET a = 1 WHERE (b = 1 OR b = 2) AND c = 3")
+        assert not query.where.evaluate({"b": 1.0, "c": 0.0})
+        assert query.where.evaluate({"b": 2.0, "c": 3.0})
+
+    def test_multiplicative_literal_not_parameterized(self):
+        query = parse_query("UPDATE t SET a = b * 0.5 WHERE b >= 10", label="q1")
+        # The 0.5 coefficient is not repairable; only the WHERE constant is.
+        assert query.params() == {"q1_p1": 10.0}
+
+    def test_parameterize_false(self):
+        query = parse_query("UPDATE t SET a = 5 WHERE b >= 3", parameterize=False)
+        assert query.params() == {}
+
+
+class TestParseInsertDelete:
+    def test_insert_with_columns(self):
+        query = parse_query("INSERT INTO t (a, b) VALUES (1, 2)", label="q2")
+        assert isinstance(query, InsertQuery)
+        assert query.params() == {"q2_p0": 1.0, "q2_p1": 2.0}
+
+    def test_insert_without_columns_requires_hint(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("INSERT INTO t VALUES (1, 2)")
+        query = parse_query("INSERT INTO t VALUES (1, 2)", insert_columns=["a", "b"])
+        assert isinstance(query, InsertQuery)
+
+    def test_insert_column_count_mismatch(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("INSERT INTO t (a) VALUES (1, 2)")
+
+    def test_delete(self):
+        query = parse_query("DELETE FROM t WHERE a < 5", label="q3")
+        assert isinstance(query, DeleteQuery)
+        assert query.params() == {"q3_p0": 5.0}
+
+    def test_delete_without_where(self):
+        query = parse_query("DELETE FROM t")
+        assert isinstance(query, DeleteQuery)
+        assert query.params() == {}
+
+
+class TestErrorsAndScripts:
+    def test_unknown_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * FROM t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("DELETE FROM t WHERE a = 1 extra")
+
+    def test_missing_expression(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("UPDATE t SET a = WHERE b = 1")
+
+    def test_parse_script_labels_and_params(self):
+        script = """
+        -- first statement
+        UPDATE t SET a = 5 WHERE b >= 3;
+        INSERT INTO t (a, b) VALUES (1, 2);
+        DELETE FROM t WHERE a = 7;
+        """
+        queries = parse_script(script)
+        assert len(queries) == 3
+        assert [query.label for query in queries] == ["q1", "q2", "q3"]
+        assert "q1_p0" in queries[0].params()
+        assert "q3_p0" in queries[2].params()
+
+    def test_roundtrip_render_and_reparse(self):
+        original = parse_query("UPDATE t SET a = 5, b = a + 2 WHERE c >= 1 AND d <= 9", label="q1")
+        reparsed = parse_query(original.render_sql(), label="q1")
+        assert reparsed.params() == original.params()
+        assert reparsed.render_sql() == original.render_sql()
+
+    def test_negative_literal(self):
+        query = parse_query("UPDATE t SET a = -3", label="q")
+        value = next(iter(query.params().values())) if query.params() else None
+        # -3 parses as (-1 * param(3)); evaluating the SET expression gives -3.
+        assert query.set_clause[0][1].evaluate({}) == -3.0

@@ -1,0 +1,43 @@
+"""Tests for repro.sql.tokenizer."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.sql.tokenizer import TokenType, tokenize
+
+
+class TestTokenizer:
+    def test_basic_statement(self):
+        tokens = tokenize("UPDATE t SET a = 5 WHERE b >= 3.5")
+        kinds = [token.type for token in tokens]
+        assert kinds[-1] is TokenType.EOF
+        texts = [token.text for token in tokens[:-1]]
+        assert texts == ["UPDATE", "t", "SET", "a", "=", "5", "WHERE", "b", ">=", "3.5"]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("update T set A = 1")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[0].is_keyword("UPDATE")
+
+    def test_operators_and_punctuation(self):
+        tokens = tokenize("(a <> 1, b <= 2);")
+        texts = [token.text for token in tokens[:-1]]
+        assert texts == ["(", "a", "<>", "1", ",", "b", "<=", "2", ")", ";"]
+
+    def test_comments_and_whitespace_skipped(self):
+        tokens = tokenize("-- a comment\nDELETE FROM t")
+        assert tokens[0].is_keyword("DELETE")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .75")
+        values = [token.text for token in tokens[:-1]]
+        assert values == ["1", "2.5", ".75"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("UPDATE t SET a = @5")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("UPDATE t")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

@@ -1,0 +1,183 @@
+"""Tests for the workload generators, corruption, and scenario construction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.queries.query import DeleteQuery, InsertQuery, UpdateQuery
+from repro.queries.executor import replay
+from repro.workload.corruption import corrupt_log, corrupt_parameters, corrupt_single_parameter
+from repro.workload.scenario import build_scenario
+from repro.workload.synthetic import (
+    SetClauseType,
+    SyntheticConfig,
+    SyntheticWorkloadGenerator,
+    WhereClauseType,
+    default_corruption_indices,
+)
+from repro.workload.tatp import TATPConfig, TATPWorkloadGenerator
+from repro.workload.tpcc import TPCCConfig, TPCCWorkloadGenerator
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_given_seed(self):
+        config = SyntheticConfig(n_tuples=20, n_queries=5, seed=3)
+        first = SyntheticWorkloadGenerator(config).generate()
+        second = SyntheticWorkloadGenerator(config).generate()
+        assert first.log.render_sql() == second.log.render_sql()
+        assert first.initial.same_state(second.initial)
+
+    def test_schema_shape(self):
+        workload = SyntheticWorkloadGenerator(SyntheticConfig(n_tuples=10, n_attributes=4, n_queries=2)).generate()
+        assert workload.schema.attribute_names == ("id", "a1", "a2", "a3", "a4")
+        assert workload.schema.key_attribute == "id"
+        assert len(workload.initial) == 10
+
+    @pytest.mark.parametrize("query_type,expected", [
+        ("update", UpdateQuery), ("insert", InsertQuery), ("delete", DeleteQuery),
+    ])
+    def test_query_type_selection(self, query_type, expected):
+        config = SyntheticConfig(n_tuples=10, n_queries=5, query_type=query_type, seed=1)
+        workload = SyntheticWorkloadGenerator(config).generate()
+        assert all(isinstance(query, expected) for query in workload.log)
+
+    def test_mixed_workload_contains_multiple_types(self):
+        config = SyntheticConfig(n_tuples=20, n_queries=40, query_type="mixed", seed=2)
+        workload = SyntheticWorkloadGenerator(config).generate()
+        kinds = {type(query) for query in workload.log}
+        assert UpdateQuery in kinds and InsertQuery in kinds
+
+    def test_invalid_query_type(self):
+        config = SyntheticConfig(n_tuples=5, n_queries=2, query_type="upsert")
+        with pytest.raises(ReproError):
+            SyntheticWorkloadGenerator(config).generate()
+
+    def test_point_and_relative_clauses(self):
+        config = SyntheticConfig(
+            n_tuples=10, n_queries=3, seed=4,
+            where_type=WhereClauseType.POINT, set_type=SetClauseType.RELATIVE,
+        )
+        workload = SyntheticWorkloadGenerator(config).generate()
+        sql = workload.log.render_sql()
+        assert "id =" in sql
+        assert "+" in sql
+
+    def test_replayable(self):
+        config = SyntheticConfig(n_tuples=15, n_queries=10, query_type="mixed", seed=5)
+        workload = SyntheticWorkloadGenerator(config).generate()
+        final = replay(workload.initial, workload.log)
+        assert len(final) >= 0  # replay completes without error
+
+    def test_skew_prefers_first_attribute(self):
+        config = SyntheticConfig(n_tuples=10, n_queries=40, skew=3.0, seed=6)
+        workload = SyntheticWorkloadGenerator(config).generate()
+        a1_updates = sum(1 for q in workload.log if "a1" in q.direct_impact())
+        assert a1_updates > 20
+
+    def test_corrupt_query_preserves_range_shape(self):
+        config = SyntheticConfig(n_tuples=30, n_queries=5, seed=7, selectivity=0.02)
+        generator = SyntheticWorkloadGenerator(config)
+        workload = generator.generate()
+        query = workload.log[0]
+        corrupted, new_params = generator.corrupt_query(query, np.random.default_rng(1))
+        assert set(new_params) == set(query.params())
+        lows = [name for name in new_params if "_lo" in name]
+        for low_name in lows:
+            high_name = low_name.replace("_lo", "_hi")
+            assert new_params[high_name] >= new_params[low_name]
+
+    def test_default_corruption_indices(self):
+        assert default_corruption_indices(30) == (0, 10, 20)
+
+
+class TestCorruption:
+    def test_corrupt_parameters_changes_something(self):
+        query = UpdateQuery(
+            "t",
+            {"a": __import__("repro.queries.expressions", fromlist=["Param"]).Param("p_set", 5.0)},
+        )
+        corrupted, params = corrupt_parameters(query, rng=0, domain=(0, 10))
+        assert corrupted.params() == params
+        assert params != query.params()
+
+    def test_corrupt_single_parameter(self):
+        from repro.queries.expressions import Attr, Param
+        from repro.queries.predicates import Comparison
+
+        query = UpdateQuery(
+            "t", {"a": Param("p_set", 5.0)}, Comparison(Attr("b"), ">=", Param("p_lo", 2.0))
+        )
+        corrupted, params = corrupt_single_parameter(query, rng=1, domain=(0, 10), param_name="p_lo")
+        assert params["p_set"] == 5.0
+        assert params["p_lo"] != 2.0
+        with pytest.raises(ReproError):
+            corrupt_single_parameter(query, rng=1, param_name="missing")
+
+    def test_corrupt_log_records_info(self):
+        config = SyntheticConfig(n_tuples=10, n_queries=5, seed=9)
+        workload = SyntheticWorkloadGenerator(config).generate()
+        corrupted, info = corrupt_log(workload.log, [1, 3], rng=2, domain=(0, 200))
+        assert [record.query_index for record in info] == [1, 3]
+        assert all(record.changed_params for record in info)
+        assert corrupted[0].params() == workload.log[0].params()
+
+    def test_corrupt_log_rejects_bad_index(self):
+        config = SyntheticConfig(n_tuples=10, n_queries=5, seed=9)
+        workload = SyntheticWorkloadGenerator(config).generate()
+        with pytest.raises(ReproError):
+            corrupt_log(workload.log, [99], rng=0)
+
+
+class TestScenario:
+    def test_build_scenario_complete_complaints(self):
+        config = SyntheticConfig(n_tuples=100, n_queries=8, seed=10, selectivity=0.1)
+        generator = SyntheticWorkloadGenerator(config)
+        workload = generator.generate()
+        scenario = build_scenario(workload, [4], rng=3, corruptor=generator.corrupt_query)
+        assert scenario.corrupted_indices == (4,)
+        assert len(scenario.complaints) == len(scenario.full_complaints)
+        assert scenario.has_errors
+        # The dirty state is exactly what replaying the corrupted log gives.
+        assert replay(scenario.initial, scenario.corrupted_log).same_state(scenario.dirty)
+        assert replay(scenario.initial, scenario.clean_log).same_state(scenario.truth)
+
+    def test_incomplete_complaint_sampling(self):
+        config = SyntheticConfig(n_tuples=100, n_queries=8, seed=11)
+        generator = SyntheticWorkloadGenerator(config)
+        workload = generator.generate()
+        scenario = build_scenario(
+            workload, [4], rng=3, complaint_fraction=0.5, corruptor=generator.corrupt_query
+        )
+        assert 0 < len(scenario.complaints) <= len(scenario.full_complaints)
+
+
+class TestBenchmarkGenerators:
+    def test_tpcc_workload_shape(self):
+        generator = TPCCWorkloadGenerator(TPCCConfig(n_initial_orders=50, n_queries=40, seed=1))
+        workload = generator.generate()
+        inserts = sum(1 for q in workload.log if isinstance(q, InsertQuery))
+        updates = sum(1 for q in workload.log if isinstance(q, UpdateQuery))
+        assert inserts + updates == 40
+        assert inserts > updates  # INSERT-heavy, as in TPC-C's ORDER workload
+        assert workload.schema.key_attribute == "o_id"
+        replay(workload.initial, workload.log)
+
+    def test_tatp_workload_shape(self):
+        generator = TATPWorkloadGenerator(TATPConfig(n_subscribers=50, n_queries=30, seed=1))
+        workload = generator.generate()
+        assert all(isinstance(q, UpdateQuery) for q in workload.log)
+        assert workload.schema.key_attribute == "s_id"
+        replay(workload.initial, workload.log)
+
+    def test_benchmark_corruptors_change_params(self):
+        tpcc = TPCCWorkloadGenerator(TPCCConfig(n_initial_orders=30, n_queries=20, seed=2))
+        workload = tpcc.generate()
+        target = next(q for q in workload.log if q.params())
+        corrupted, params = tpcc.corrupt_query(target, np.random.default_rng(0))
+        assert params != target.params()
+
+        tatp = TATPWorkloadGenerator(TATPConfig(n_subscribers=30, n_queries=20, seed=2))
+        tatp_workload = tatp.generate()
+        target = tatp_workload.log[0]
+        _, tatp_params = tatp.corrupt_query(target, np.random.default_rng(0))
+        assert set(tatp_params) == set(target.params())
