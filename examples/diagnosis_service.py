@@ -1,0 +1,142 @@
+"""Service-layer tour: sessions, batched diagnosis, and JSON round-trips.
+
+Three scenes, all on the paper's tax-bracket example (Figure 2):
+
+1. A :class:`RepairSession` absorbs the query log one statement at a time,
+   takes complaints, diagnoses, and adopts the repair — without ever
+   re-replaying the history from scratch.
+2. A :class:`DiagnosisEngine` serves a *batch* of independent requests on a
+   thread pool; one request is deliberately broken to show per-request error
+   isolation.
+3. A request round-trips through JSON — exactly what an RPC front end would
+   ship over the wire.
+
+Run with::
+
+    python examples/diagnosis_service.py
+"""
+
+import json
+
+from repro import (
+    Complaint,
+    Database,
+    DiagnosisEngine,
+    DiagnosisRequest,
+    RepairSession,
+    Schema,
+)
+from repro.core.complaints import ComplaintSet
+from repro.queries.log import QueryLog
+from repro.sql import parse_query
+
+
+def build_initial() -> Database:
+    schema = Schema.build("Taxes", ["income", "owed", "pay"], upper=300_000)
+    return Database(
+        schema,
+        [
+            {"income": 9_500, "owed": 950, "pay": 8_550},
+            {"income": 90_000, "owed": 22_500, "pay": 67_500},
+            {"income": 86_000, "owed": 21_500, "pay": 64_500},
+            {"income": 86_500, "owed": 21_625, "pay": 64_875},
+        ],
+    )
+
+
+def corrupted_queries():
+    return [
+        parse_query(
+            "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700", label="q1"
+        ),
+        parse_query(
+            "INSERT INTO Taxes (income, owed, pay) VALUES (87000, 21750, 65250)",
+            label="q2",
+        ),
+        parse_query("UPDATE Taxes SET pay = income - owed", label="q3"),
+    ]
+
+
+def complaint(final: Database, rid: int, owed: float, pay: float) -> Complaint:
+    row = final.get(rid)
+    assert row is not None
+    target = dict(row.values)
+    target.update(owed=owed, pay=pay)
+    return Complaint(rid, target)
+
+
+def scene_session() -> None:
+    print("== 1. long-lived session over an evolving log")
+    session = RepairSession(build_initial(), session_id="taxes-2026")
+    for query in corrupted_queries():
+        session.append(query)  # cached final state is patched, not re-replayed
+    session.add_complaint(complaint(session.final, 2, owed=21_500, pay=64_500))
+    session.add_complaint(complaint(session.final, 3, owed=21_625, pay=64_875))
+    result = session.diagnose()
+    print("feasible:", result.feasible, "| changed:", list(result.changed_query_indices))
+    session.accept_repair(result)
+    print("post-repair owed(t3):", session.final.get(2).values["owed"])
+    print("full replays so far:", session.full_replays, "(1 init + 1 accept)")
+    print()
+
+
+def scene_batch() -> None:
+    print("== 2. batched diagnosis with error isolation")
+    requests = []
+    for case in range(3):
+        initial = build_initial()
+        log = QueryLog(corrupted_queries())
+        session = RepairSession(initial, log)
+        complaints = ComplaintSet(
+            [
+                complaint(session.final, 2, owed=21_500, pay=64_500),
+                complaint(session.final, 3, owed=21_625, pay=64_875),
+            ]
+        )
+        requests.append(
+            DiagnosisRequest(
+                initial=initial,
+                log=log,
+                complaints=complaints,
+                request_id=f"case-{case}",
+            )
+        )
+    # A poison request: empty complaint set -> the engine reports, not raises.
+    requests.append(
+        DiagnosisRequest(
+            initial=build_initial(),
+            log=QueryLog(corrupted_queries()),
+            complaints=ComplaintSet(),
+            request_id="poison",
+        )
+    )
+    engine = DiagnosisEngine()
+    for response in engine.diagnose_batch(requests, max_workers=4):
+        verdict = "ok" if response.ok else f"FAILED ({response.error_message})"
+        print(f"  {response.request_id}: {verdict}")
+    print()
+
+
+def scene_json() -> None:
+    print("== 3. a request as it would travel over RPC")
+    initial = build_initial()
+    log = QueryLog(corrupted_queries())
+    session = RepairSession(initial, log)
+    request = DiagnosisRequest(
+        initial=initial,
+        log=log,
+        complaints=ComplaintSet([complaint(session.final, 2, 21_500, 64_500)]),
+        request_id="wire-demo",
+    )
+    wire = json.dumps(request.to_dict())
+    print(f"payload bytes: {len(wire)}")
+    restored = DiagnosisRequest.from_dict(json.loads(wire))
+    response = DiagnosisEngine().submit(restored)
+    print("served:", response.request_id, "| feasible:", response.feasible)
+    print("repaired q1:", response.repaired_sql.splitlines()[1])
+
+
+if __name__ == "__main__":
+    scene_session()
+    scene_batch()
+    scene_json()

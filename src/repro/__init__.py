@@ -8,9 +8,15 @@ This package is an independent, from-scratch reproduction of
 The public API re-exports the pieces most users need: the relational substrate
 (:mod:`repro.db`), the query model (:mod:`repro.queries`), the SQL surface
 (:mod:`repro.sql`), the MILP substrate (:mod:`repro.milp`), the QFix core
-(:mod:`repro.core`), the decision-tree baseline (:mod:`repro.baselines`), the
-workload generators (:mod:`repro.workload`), and the experiment harness
+(:mod:`repro.core`), the service layer (:mod:`repro.service` — sessions,
+batched diagnosis, serializable request/response types), the decision-tree
+baseline (:mod:`repro.baselines`), the workload generators
+(:mod:`repro.workload`), and the experiment harness
 (:mod:`repro.experiments`).
+
+For one-off, in-process diagnosis the legacy :class:`QFix` facade still works;
+for anything service-shaped (batches, long-lived sessions, RPC payloads) use
+:class:`DiagnosisEngine` / :class:`RepairSession` from the service layer.
 """
 
 from repro.core import (
@@ -35,8 +41,17 @@ from repro.queries import (
     replay,
 )
 from repro.sql import parse_query, parse_script
+from repro.service import (
+    DiagnosisEngine,
+    DiagnosisRequest,
+    DiagnosisResponse,
+    RepairSession,
+    available_diagnosers,
+    get_diagnoser,
+    register_diagnoser,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Complaint",
@@ -60,5 +75,12 @@ __all__ = [
     "replay",
     "parse_query",
     "parse_script",
+    "DiagnosisEngine",
+    "DiagnosisRequest",
+    "DiagnosisResponse",
+    "RepairSession",
+    "available_diagnosers",
+    "get_diagnoser",
+    "register_diagnoser",
     "__version__",
 ]

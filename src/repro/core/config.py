@@ -2,8 +2,16 @@
 
 A single :class:`QFixConfig` object controls which optimizations are enabled
 (the paper's tuple / query / attribute slicing and the incremental algorithm),
-which MILP backend is used, and the numeric constants of the encoding (big-M
-slack, strict-inequality epsilon, parameter rounding).
+which diagnosis algorithm serves the request (the ``diagnoser`` field, resolved
+through :mod:`repro.service.registry`), which MILP backend is used, and the
+numeric constants of the encoding (big-M slack, strict-inequality epsilon,
+parameter rounding).
+
+The same config object drives both entry points: the legacy single-shot
+facade ``QFix(config).diagnose(...)`` and the service-grade
+``repro.service.DiagnosisEngine(config)``.  New code should prefer the engine
+— ``QFix`` is kept as a thin back-compat facade over it and may be deprecated
+once the RPC front end lands.
 """
 
 from __future__ import annotations
@@ -70,6 +78,11 @@ class QFixConfig:
     #: Assume a single corrupted query (enables the stricter query-slicing
     #: filter ``F(q) ⊇ A(C)`` described in Section 5.2).
     single_fault: bool = True
+    #: Diagnosis algorithm, resolved by name through the diagnoser registry
+    #: (:func:`repro.service.get_diagnoser`).  ``"auto"`` picks
+    #: ``"incremental"`` when ``single_fault`` is set and ``"basic"``
+    #: otherwise; ``"dectree"`` selects the Appendix-A baseline.
+    diagnoser: str = "auto"
     #: MILP solver backend name (see :func:`repro.milp.get_solver`).
     solver: str = "highs"
     #: Per-solve time limit in seconds (None = unlimited).

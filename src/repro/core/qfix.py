@@ -1,4 +1,4 @@
-"""The QFix facade: one object that wires the whole pipeline together.
+"""The QFix facade: back-compat single-shot entry point.
 
 Typical use::
 
@@ -6,31 +6,48 @@ Typical use::
     qfix = QFix(QFixConfig.fully_optimized())
     result = qfix.diagnose(initial, final, log, complaints)
     print(result.repaired_log.render_sql())
+
+Since the service redesign, :class:`QFix` is a thin facade over
+:class:`repro.service.DiagnosisEngine`: ``diagnose`` resolves its ``method``
+argument through the diagnoser registry and delegates to the engine's
+in-process path.  The facade is kept so the original paper-reproduction
+scripts keep running unchanged; new code — anything that batches, runs
+sessions over an evolving log, or crosses a service boundary — should use the
+engine (or :class:`repro.service.RepairSession`) directly.  Migration is
+mechanical::
+
+    # before                                  # after
+    QFix(config).diagnose(i, f, log, c)       DiagnosisEngine(config).diagnose(i, f, log, c)
 """
 
 from __future__ import annotations
 
 from typing import Literal
 
-from repro.core.basic import BasicRepairer
 from repro.core.complaints import ComplaintSet
 from repro.core.config import QFixConfig
-from repro.core.incremental import IncrementalRepairer
 from repro.core.metrics import RepairAccuracy, evaluate_repair
 from repro.core.repair import RepairResult
 from repro.db.database import Database
-from repro.exceptions import ReproError
 from repro.milp.solvers import Solver, get_solver
 from repro.queries.log import QueryLog
 
-Method = Literal["auto", "basic", "incremental"]
+Method = Literal["auto", "basic", "incremental", "dectree"]
 
 
 class QFix:
     """High-level entry point for diagnosing data errors through query histories."""
 
     def __init__(self, config: QFixConfig | None = None, solver: Solver | None = None) -> None:
-        self.config = config if config is not None else QFixConfig.fully_optimized()
+        # Imported here (not at module top) because repro.service depends on
+        # repro.core; importing it lazily keeps the package import acyclic.
+        from repro.service.engine import DiagnosisEngine
+
+        self.engine = DiagnosisEngine(config=config)
+        self.config = self.engine.config
+        # One solver per facade instance, used by every diagnose() call —
+        # replacing or reconfiguring ``self.solver`` takes effect, exactly as
+        # before the engine redesign.
         self.solver = solver if solver is not None else get_solver(
             self.config.solver,
             time_limit=self.config.time_limit,
@@ -50,22 +67,18 @@ class QFix:
     ) -> RepairResult:
         """Produce a log repair that resolves ``complaints``.
 
-        ``method`` selects the algorithm: ``"basic"`` solves one MILP over the
-        whole log, ``"incremental"`` runs the windowed ``Inc_k`` search, and
-        ``"auto"`` (the default) picks the incremental algorithm when the
-        configuration assumes a single corrupted query and basic otherwise.
+        ``method`` names a registered diagnoser: ``"basic"`` solves one MILP
+        over the whole log, ``"incremental"`` runs the windowed ``Inc_k``
+        search, ``"dectree"`` runs the Appendix-A baseline, and ``"auto"``
+        (the default) defers to the config's ``diagnoser`` field — which by
+        default picks the incremental algorithm when the configuration
+        assumes a single corrupted query and basic otherwise.  Unknown names
+        raise :class:`~repro.exceptions.ReproError`.
         """
-        if complaints.is_empty():
-            raise ReproError("the complaint set is empty; nothing to diagnose")
-        if method == "auto":
-            method = "incremental" if self.config.single_fault else "basic"
-        if method == "incremental":
-            repairer = IncrementalRepairer(self.config, self.solver)
-        elif method == "basic":
-            repairer = BasicRepairer(self.config, self.solver)
-        else:
-            raise ReproError(f"unknown diagnosis method '{method}'")
-        return repairer.repair(final.schema, initial, final, log, complaints)
+        diagnoser = self.config.diagnoser if method == "auto" else method
+        return self.engine.diagnose(
+            initial, final, log, complaints, diagnoser=diagnoser, solver=self.solver
+        )
 
     # -- evaluation --------------------------------------------------------------------
 

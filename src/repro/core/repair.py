@@ -50,7 +50,13 @@ class RepairResult:
         return self.changed_query_indices
 
     def summary(self) -> dict[str, object]:
-        """Compact dictionary used by the experiment reports."""
+        """Compact dictionary used by the experiment reports.
+
+        Problem statistics are namespaced under ``stats.<name>`` keys so a
+        stat that happens to share a name with a top-level field (e.g. a
+        solver reporting its own ``distance``) can never silently overwrite
+        the repair's value.
+        """
         return {
             "feasible": self.feasible,
             "status": self.status.value,
@@ -61,7 +67,7 @@ class RepairResult:
             "total_seconds": round(self.total_seconds, 6),
             "windows_tried": self.windows_tried,
             "refined": self.refined,
-            **self.problem_stats,
+            **{f"stats.{name}": value for name, value in self.problem_stats.items()},
         }
 
 

@@ -142,6 +142,15 @@ class Table:
         """The rid that the next insert will receive."""
         return self._next_rid
 
+    def reserve_rids(self, next_rid: int) -> None:
+        """Ensure auto-assigned rids start at least at ``next_rid``.
+
+        Used when reconstructing a state whose tail rows were deleted: the
+        rid counter must not reuse the freed identifiers, or replayed INSERTs
+        would receive different rids than they did on the original state.
+        """
+        self._next_rid = max(self._next_rid, int(next_rid))
+
     def get(self, rid: int) -> Row | None:
         """Return the row with identifier ``rid`` or ``None``."""
         return self._rows.get(rid)

@@ -1,17 +1,27 @@
-"""Command-line entry point: ``qfix-experiments <figure> [--scale small|paper]``.
+"""Command-line entry point: ``qfix-experiments <command> [options]``.
+
+Two kinds of commands exist: the figure reproductions of the paper, and the
+``batch`` service command that feeds a JSONL file of serialized
+:class:`~repro.service.DiagnosisRequest` payloads through the
+:class:`~repro.service.DiagnosisEngine` thread pool.
 
 Examples::
 
     qfix-experiments example2
     qfix-experiments figure4 --scale small
     qfix-experiments all --scale small --seed 3
+    qfix-experiments batch --input requests.jsonl --output responses.jsonl --max-workers 8
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable
+import json
+import sys
+from typing import Callable, TextIO
 
+from repro.service.engine import DiagnosisEngine
+from repro.service.types import DiagnosisRequest, DiagnosisResponse
 from repro.experiments import (
     example2,
     figure4,
@@ -42,12 +52,18 @@ def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="qfix-experiments",
-        description="Reproduce the tables and figures of the QFix paper.",
+        description=(
+            "Reproduce the tables and figures of the QFix paper, or serve a "
+            "batch of diagnosis requests."
+        ),
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which figure to reproduce ('all' runs every experiment)",
+        choices=sorted(EXPERIMENTS) + ["all", "batch"],
+        help=(
+            "which figure to reproduce ('all' runs every experiment; 'batch' "
+            "runs a JSONL file of diagnosis requests through the engine)"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -56,6 +72,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="parameter preset: 'small' for quick runs, 'paper' for the paper's sizes",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload random seed")
+    parser.add_argument(
+        "--input",
+        default=None,
+        help="batch mode: JSONL file of DiagnosisRequest payloads ('-' for stdin)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="batch mode: where to write JSONL responses (default: stdout)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=4,
+        help="batch mode: thread-pool width for concurrent diagnosis",
+    )
     return parser
 
 
@@ -69,10 +101,94 @@ def run_experiment(name: str, scale: str, seed: int) -> ExperimentResult:
     return result
 
 
+def run_batch(
+    input_path: str | None,
+    output_path: str | None,
+    max_workers: int,
+    *,
+    stdin: TextIO | None = None,
+) -> int:
+    """Serve a JSONL file of diagnosis requests and emit JSONL responses.
+
+    Each input line is one serialized request; each output line is the
+    matching response, in input order.  A malformed line becomes an
+    ``ok=False`` response rather than aborting the batch, mirroring the
+    engine's per-request error isolation.  Exit status: 2 for usage errors,
+    1 when any request failed (so scripted callers can detect trouble), 0
+    when every request was served successfully.
+    """
+    if input_path is None:
+        print("batch mode requires --input (path to a JSONL file, or '-')", file=sys.stderr)
+        return 2
+    if max_workers < 1:
+        print("--max-workers must be at least 1", file=sys.stderr)
+        return 2
+
+    if input_path == "-":
+        lines = (stdin if stdin is not None else sys.stdin).read().splitlines()
+    else:
+        try:
+            with open(input_path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as error:
+            print(f"cannot read --input file: {error}", file=sys.stderr)
+            return 2
+
+    requests: list[DiagnosisRequest | None] = []
+    parse_failures: dict[int, DiagnosisResponse] = {}
+    for index, line in enumerate(lines):
+        text = line.strip()
+        if not text:
+            continue
+        request_id = f"line-{index + 1}"
+        try:
+            payload = json.loads(text)
+            # The payload parsed: echo the caller's correlation id even if the
+            # request itself turns out to be malformed.
+            if isinstance(payload, dict) and payload.get("request_id"):
+                request_id = str(payload["request_id"])
+            requests.append(DiagnosisRequest.from_dict(payload))
+        except Exception as error:  # noqa: BLE001 - isolation boundary
+            parse_failures[len(requests)] = DiagnosisResponse.from_error(
+                request_id, "", error
+            )
+            requests.append(None)
+
+    engine = DiagnosisEngine()
+    served = engine.diagnose_batch(
+        [request for request in requests if request is not None],
+        max_workers=max_workers,
+    )
+    responses: list[DiagnosisResponse] = []
+    iterator = iter(served)
+    for index, request in enumerate(requests):
+        if request is None:
+            responses.append(parse_failures[index])
+        else:
+            responses.append(next(iterator))
+
+    payload = "\n".join(json.dumps(response.to_dict()) for response in responses)
+    if output_path is None or output_path == "-":
+        if payload:
+            print(payload)
+    else:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            handle.write(payload + ("\n" if payload else ""))
+
+    failures = sum(1 for response in responses if not response.ok)
+    print(
+        f"batch: served {len(responses)} request(s), {failures} failed",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.experiment == "batch":
+        return run_batch(args.input, args.output, args.max_workers)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         run_experiment(name, args.scale, args.seed)

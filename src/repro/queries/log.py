@@ -71,8 +71,17 @@ class QueryLog:
         """Return a new log with parameter values replaced across all queries.
 
         Parameter names are globally unique across the log (enforced by
-        :meth:`params`), so a flat mapping suffices.
+        :meth:`params`), so a flat mapping suffices.  Names that no query in
+        the log owns raise :class:`QueryModelError` immediately — silently
+        ignoring them would make a misspelled repair look like a no-op repair.
         """
+        if mapping:
+            unknown = sorted(set(mapping) - set(self.params()))
+            if unknown:
+                raise QueryModelError(
+                    f"unknown parameter name(s) {unknown}; no query in the log "
+                    "owns them (valid repairs only change existing parameters)"
+                )
         return QueryLog(query.with_params(mapping) for query in self._queries)
 
     # -- introspection -----------------------------------------------------------

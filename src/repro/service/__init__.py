@@ -1,0 +1,49 @@
+"""Service layer: sessions, batch engine, and the diagnoser registry.
+
+This package is the production-facing surface of the reproduction.  Where
+:class:`repro.QFix` answers one in-process question, the service layer serves
+*traffic*:
+
+* :class:`DiagnosisEngine` — owns solver/config wiring; ``submit`` handles one
+  :class:`DiagnosisRequest` with failures captured in the response, and
+  ``diagnose_batch`` fans many requests out over a thread pool with
+  per-request error isolation.
+* :class:`RepairSession` — a long-lived session over an evolving query log
+  with incrementally maintained replay state.
+* :class:`DiagnosisRequest` / :class:`DiagnosisResponse` — JSON-round-trippable
+  problem descriptions, ready to back an RPC or HTTP front end.
+* The diagnoser registry — ``basic``, ``incremental``, ``auto`` and the
+  ``dectree`` baseline selected by name, extensible via
+  :func:`register_diagnoser`.
+"""
+
+from repro.service.engine import DiagnosisEngine
+from repro.service.registry import (
+    AutoDiagnoser,
+    BasicDiagnoser,
+    DecTreeDiagnoser,
+    Diagnoser,
+    IncrementalDiagnoser,
+    available_diagnosers,
+    get_diagnoser,
+    register_diagnoser,
+)
+from repro.service.serialize import SerializationError
+from repro.service.session import RepairSession
+from repro.service.types import DiagnosisRequest, DiagnosisResponse
+
+__all__ = [
+    "DiagnosisEngine",
+    "RepairSession",
+    "DiagnosisRequest",
+    "DiagnosisResponse",
+    "Diagnoser",
+    "AutoDiagnoser",
+    "BasicDiagnoser",
+    "IncrementalDiagnoser",
+    "DecTreeDiagnoser",
+    "available_diagnosers",
+    "get_diagnoser",
+    "register_diagnoser",
+    "SerializationError",
+]

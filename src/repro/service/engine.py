@@ -1,0 +1,155 @@
+"""The diagnosis engine: config/solver wiring, request handling, batching.
+
+:class:`DiagnosisEngine` is the service-grade entry point the ROADMAP's
+production system is built around.  It owns the default configuration and
+solver wiring and exposes three call shapes:
+
+* :meth:`diagnose` — the in-process path: domain objects in,
+  :class:`RepairResult` out, exceptions propagate.  ``QFix`` is a thin facade
+  over this method.
+* :meth:`submit` — the service path: a :class:`DiagnosisRequest` in, a
+  :class:`DiagnosisResponse` out.  Never raises; failures are captured in the
+  response (``ok=False``) so one bad request cannot take down a serving loop.
+* :meth:`diagnose_batch` — thread-pool fan-out of :meth:`submit` over many
+  independent requests, preserving input order.  Because each submit builds
+  its own solver instance (unless the engine was constructed with an explicit
+  shared solver), requests are fully isolated from each other.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.core.complaints import ComplaintSet
+from repro.core.config import QFixConfig
+from repro.core.repair import RepairResult
+from repro.db.database import Database
+from repro.exceptions import ReproError
+from repro.milp.solvers import Solver, get_solver
+from repro.queries.log import QueryLog
+from repro.service.registry import get_diagnoser
+from repro.service.types import DiagnosisRequest, DiagnosisResponse
+
+
+class DiagnosisEngine:
+    """Owns solver/config wiring and serves diagnosis requests.
+
+    Parameters
+    ----------
+    config:
+        Default configuration for requests that carry no override.  Defaults
+        to :meth:`QFixConfig.fully_optimized`.
+    solver:
+        Optional explicit solver instance shared by every request.  When
+        omitted (the default), a fresh backend is instantiated per request
+        from the effective config — the safe choice for
+        :meth:`diagnose_batch`, where requests run on worker threads.
+    """
+
+    def __init__(
+        self, config: QFixConfig | None = None, solver: Solver | None = None
+    ) -> None:
+        self.config = config if config is not None else QFixConfig.fully_optimized()
+        self._shared_solver = solver
+
+    def _solver_for(self, config: QFixConfig) -> Solver:
+        if self._shared_solver is not None:
+            return self._shared_solver
+        return get_solver(
+            config.solver, time_limit=config.time_limit, mip_gap=config.mip_gap
+        )
+
+    # -- in-process path ---------------------------------------------------------
+
+    def diagnose(
+        self,
+        initial: Database,
+        final: Database,
+        log: QueryLog,
+        complaints: ComplaintSet,
+        *,
+        diagnoser: str | None = None,
+        config: QFixConfig | None = None,
+        solver: Solver | None = None,
+    ) -> RepairResult:
+        """Run one diagnosis and return the :class:`RepairResult`.
+
+        ``diagnoser`` overrides the config's ``diagnoser`` field; both default
+        to ``"auto"``.  ``solver`` overrides the engine's solver wiring for
+        this call (the ``QFix`` facade uses this to keep its historical
+        one-solver-per-instance behaviour).  Exceptions propagate to the
+        caller — use :meth:`submit` for the never-raises service path.
+        """
+        effective = config if config is not None else self.config
+        name = diagnoser if diagnoser is not None else effective.diagnoser
+        if complaints.is_empty():
+            raise ReproError("the complaint set is empty; nothing to diagnose")
+        algorithm = get_diagnoser(name)
+        return algorithm.diagnose(
+            initial,
+            final,
+            log,
+            complaints,
+            config=effective,
+            solver=solver if solver is not None else self._solver_for(effective),
+        )
+
+    # -- service path ------------------------------------------------------------
+
+    def submit(self, request: DiagnosisRequest) -> DiagnosisResponse:
+        """Handle one request, capturing any failure in the response.
+
+        The returned response echoes ``request.request_id``.  ``ok=False``
+        responses carry the exception type and message instead of a repair.
+        """
+        start = time.perf_counter()
+        config = request.config if request.config is not None else self.config
+        name = request.diagnoser if request.diagnoser is not None else config.diagnoser
+        try:
+            final = request.resolved_final()
+            result = self.diagnose(
+                request.initial,
+                final,
+                request.log,
+                request.complaints,
+                diagnoser=name,
+                config=config,
+            )
+        except Exception as error:  # noqa: BLE001 - isolation boundary
+            return DiagnosisResponse.from_error(
+                request.request_id,
+                name,
+                error,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        return DiagnosisResponse.from_result(
+            request.request_id,
+            name,
+            result,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def diagnose_batch(
+        self,
+        requests: Iterable[DiagnosisRequest],
+        *,
+        max_workers: int = 4,
+    ) -> list[DiagnosisResponse]:
+        """Serve many independent requests concurrently.
+
+        Responses come back in input order.  Each request is handled by
+        :meth:`submit`, so a crashing or infeasible case yields an
+        ``ok=False`` / ``feasible=False`` response without affecting its
+        neighbours.
+        """
+        items: Sequence[DiagnosisRequest] = list(requests)
+        if not items:
+            return []
+        if max_workers < 1:
+            raise ReproError("max_workers must be at least 1")
+        if max_workers == 1 or len(items) == 1:
+            return [self.submit(request) for request in items]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(self.submit, items))

@@ -1,0 +1,303 @@
+"""JSON codecs for the service boundary.
+
+Every domain object a :class:`~repro.service.types.DiagnosisRequest` carries —
+schemas, database states, query logs (including their expression and predicate
+trees), complaints, and configurations — has a ``*_to_dict`` / ``*_from_dict``
+pair here.  The dictionaries contain only JSON-native values (strings, numbers,
+booleans, lists, dicts, ``None``) so a request can be shipped across an RPC or
+HTTP boundary and reconstructed losslessly on the other side, parameter names
+and row identifiers included.
+
+Rendering queries as SQL text would *not* be lossless: re-parsing generates
+fresh parameter names and re-parameterizes every literal, so repairs computed
+on the far side could not be mapped back onto the caller's log.  The codecs
+therefore serialize the structural trees directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Mapping
+
+from repro.core.complaints import Complaint, ComplaintSet
+from repro.core.config import EncodingConfig, QFixConfig
+from repro.db.database import Database
+from repro.db.schema import AttributeSpec, Schema
+from repro.db.table import Row, Table
+from repro.exceptions import ReproError
+from repro.queries.expressions import Attr, BinOp, Const, Expr, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.queries.query import DeleteQuery, InsertQuery, Query, UpdateQuery
+
+
+class SerializationError(ReproError):
+    """A payload cannot be encoded to or decoded from its dict form."""
+
+
+# -- expressions ---------------------------------------------------------------------
+
+
+def expr_to_dict(expr: Expr) -> dict[str, Any]:
+    """Encode an expression tree."""
+    if isinstance(expr, Const):
+        return {"kind": "const", "value": expr.value}
+    if isinstance(expr, Param):
+        return {"kind": "param", "name": expr.name, "value": expr.value}
+    if isinstance(expr, Attr):
+        return {"kind": "attr", "name": expr.name}
+    if isinstance(expr, BinOp):
+        return {
+            "kind": "binop",
+            "op": expr.op,
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+        }
+    raise SerializationError(f"cannot serialize expression type {type(expr).__name__}")
+
+
+def expr_from_dict(data: Mapping[str, Any]) -> Expr:
+    """Decode an expression tree."""
+    kind = data.get("kind")
+    if kind == "const":
+        return Const(float(data["value"]))
+    if kind == "param":
+        return Param(str(data["name"]), float(data["value"]))
+    if kind == "attr":
+        return Attr(str(data["name"]))
+    if kind == "binop":
+        return BinOp(
+            str(data["op"]),
+            expr_from_dict(data["left"]),
+            expr_from_dict(data["right"]),
+        )
+    raise SerializationError(f"unknown expression kind {kind!r}")
+
+
+# -- predicates ----------------------------------------------------------------------
+
+
+def predicate_to_dict(predicate: Predicate) -> dict[str, Any]:
+    """Encode a WHERE-clause predicate."""
+    if isinstance(predicate, TruePredicate):
+        return {"kind": "true"}
+    if isinstance(predicate, FalsePredicate):
+        return {"kind": "false"}
+    if isinstance(predicate, Comparison):
+        return {
+            "kind": "comparison",
+            "left": expr_to_dict(predicate.left),
+            "op": predicate.op,
+            "right": expr_to_dict(predicate.right),
+            "tolerance": predicate.tolerance,
+        }
+    if isinstance(predicate, And):
+        return {"kind": "and", "children": [predicate_to_dict(c) for c in predicate.children]}
+    if isinstance(predicate, Or):
+        return {"kind": "or", "children": [predicate_to_dict(c) for c in predicate.children]}
+    raise SerializationError(f"cannot serialize predicate type {type(predicate).__name__}")
+
+
+def predicate_from_dict(data: Mapping[str, Any]) -> Predicate:
+    """Decode a WHERE-clause predicate."""
+    kind = data.get("kind")
+    if kind == "true":
+        return TruePredicate()
+    if kind == "false":
+        return FalsePredicate()
+    if kind == "comparison":
+        return Comparison(
+            expr_from_dict(data["left"]),
+            str(data["op"]),
+            expr_from_dict(data["right"]),
+            float(data.get("tolerance", 1e-9)),
+        )
+    if kind == "and":
+        return And(predicate_from_dict(child) for child in data["children"])
+    if kind == "or":
+        return Or(predicate_from_dict(child) for child in data["children"])
+    raise SerializationError(f"unknown predicate kind {kind!r}")
+
+
+# -- queries and logs ----------------------------------------------------------------
+
+
+def query_to_dict(query: Query) -> dict[str, Any]:
+    """Encode a single logged query."""
+    if isinstance(query, UpdateQuery):
+        return {
+            "kind": "update",
+            "table": query.table,
+            "label": query.label,
+            "set": [[attribute, expr_to_dict(expr)] for attribute, expr in query.set_clause],
+            "where": predicate_to_dict(query.where),
+        }
+    if isinstance(query, InsertQuery):
+        return {
+            "kind": "insert",
+            "table": query.table,
+            "label": query.label,
+            "values": [[attribute, expr_to_dict(expr)] for attribute, expr in query.values],
+        }
+    if isinstance(query, DeleteQuery):
+        return {
+            "kind": "delete",
+            "table": query.table,
+            "label": query.label,
+            "where": predicate_to_dict(query.where),
+        }
+    raise SerializationError(f"cannot serialize query type {type(query).__name__}")
+
+
+def query_from_dict(data: Mapping[str, Any]) -> Query:
+    """Decode a single logged query."""
+    kind = data.get("kind")
+    table = str(data.get("table", ""))
+    label = str(data.get("label", ""))
+    if kind == "update":
+        set_clause = tuple(
+            (str(attribute), expr_from_dict(expr)) for attribute, expr in data["set"]
+        )
+        return UpdateQuery(table, set_clause, predicate_from_dict(data["where"]), label)
+    if kind == "insert":
+        values = tuple(
+            (str(attribute), expr_from_dict(expr)) for attribute, expr in data["values"]
+        )
+        return InsertQuery(table, values, label)
+    if kind == "delete":
+        return DeleteQuery(table, predicate_from_dict(data["where"]), label)
+    raise SerializationError(f"unknown query kind {kind!r}")
+
+
+def log_to_dict(log: QueryLog) -> list[dict[str, Any]]:
+    """Encode a query log as a list of query dicts."""
+    return [query_to_dict(query) for query in log]
+
+
+def log_from_dict(data: list[Mapping[str, Any]]) -> QueryLog:
+    """Decode a query log."""
+    return QueryLog(query_from_dict(item) for item in data)
+
+
+# -- schemas and database states -----------------------------------------------------
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """Encode a schema with its attribute domains."""
+    return {
+        "name": schema.name,
+        "attributes": [
+            {
+                "name": spec.name,
+                "lower": spec.lower,
+                "upper": spec.upper,
+                "key": spec.key,
+                "integral": spec.integral,
+            }
+            for spec in schema.attributes
+        ],
+    }
+
+
+def schema_from_dict(data: Mapping[str, Any]) -> Schema:
+    """Decode a schema."""
+    specs = tuple(
+        AttributeSpec(
+            str(item["name"]),
+            lower=float(item.get("lower", 0.0)),
+            upper=float(item.get("upper", 1_000_000.0)),
+            key=bool(item.get("key", False)),
+            integral=bool(item.get("integral", False)),
+        )
+        for item in data.get("attributes", [])
+    )
+    return Schema(str(data["name"]), specs)
+
+
+def database_to_dict(database: Database) -> dict[str, Any]:
+    """Encode a database state with rids *and* the rid counter preserved.
+
+    The counter matters when the state's tail rows were deleted: without it,
+    a replayed INSERT on the reconstructed state would reuse a freed rid and
+    complaints referencing the original rid would point at the wrong row.
+    """
+    return {
+        "rows": [{"rid": row.rid, "values": dict(row.values)} for row in database.rows()],
+        "next_rid": database.table.next_rid,
+    }
+
+
+def database_from_dict(schema: Schema, data: Mapping[str, Any]) -> Database:
+    """Decode a database state against ``schema`` (rids and counter restored)."""
+    rows = (
+        Row(int(item["rid"]), {str(k): float(v) for k, v in item["values"].items()})
+        for item in data.get("rows", [])
+    )
+    table = Table(schema, rows)
+    table.reserve_rids(int(data.get("next_rid", 0)))
+    return Database.from_table(table)
+
+
+# -- complaints ----------------------------------------------------------------------
+
+
+def complaint_to_dict(complaint: Complaint) -> dict[str, Any]:
+    """Encode a single complaint."""
+    return {
+        "rid": complaint.rid,
+        "target": dict(complaint.target) if complaint.target is not None else None,
+        "exists_in_dirty": complaint.exists_in_dirty,
+    }
+
+
+def complaint_from_dict(data: Mapping[str, Any]) -> Complaint:
+    """Decode a single complaint."""
+    target = data.get("target")
+    return Complaint(
+        int(data["rid"]),
+        {str(k): float(v) for k, v in target.items()} if target is not None else None,
+        bool(data.get("exists_in_dirty", True)),
+    )
+
+
+def complaints_to_dict(complaints: ComplaintSet) -> list[dict[str, Any]]:
+    """Encode a complaint set."""
+    return [complaint_to_dict(complaint) for complaint in complaints]
+
+
+def complaints_from_dict(data: list[Mapping[str, Any]]) -> ComplaintSet:
+    """Decode a complaint set."""
+    return ComplaintSet(complaint_from_dict(item) for item in data)
+
+
+# -- configuration -------------------------------------------------------------------
+
+
+def config_to_dict(config: QFixConfig) -> dict[str, Any]:
+    """Encode a :class:`QFixConfig` (the ``encoding`` sub-config nests)."""
+    return asdict(config)
+
+
+def config_from_dict(data: Mapping[str, Any]) -> QFixConfig:
+    """Decode a :class:`QFixConfig`."""
+    payload = dict(data)
+    encoding = payload.pop("encoding", None)
+    known = set(QFixConfig.__dataclass_fields__) - {"encoding"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise SerializationError(f"unknown QFixConfig field(s): {', '.join(unknown)}")
+    if encoding is not None:
+        unknown_enc = sorted(set(encoding) - set(EncodingConfig.__dataclass_fields__))
+        if unknown_enc:
+            raise SerializationError(
+                f"unknown EncodingConfig field(s): {', '.join(unknown_enc)}"
+            )
+        payload["encoding"] = EncodingConfig(**encoding)
+    return QFixConfig(**payload)

@@ -1,0 +1,230 @@
+"""Request / response types of the diagnosis service boundary.
+
+A :class:`DiagnosisRequest` is a complete, self-contained description of one
+diagnosis problem — schema, initial state, query log, complaints, and optional
+config overrides — and a :class:`DiagnosisResponse` is the machine-readable
+outcome.  Both round-trip through :meth:`to_dict` / :meth:`from_dict` using
+only JSON-native values, so the :class:`~repro.service.engine.DiagnosisEngine`
+can sit behind an RPC or HTTP front end without any further translation layer
+(requests arrive as JSON, responses leave as JSON).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.complaints import ComplaintSet
+from repro.core.config import QFixConfig
+from repro.core.repair import RepairResult
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.queries.executor import replay
+from repro.queries.log import QueryLog
+from repro.service.serialize import (
+    SerializationError,
+    complaints_from_dict,
+    complaints_to_dict,
+    config_from_dict,
+    config_to_dict,
+    database_from_dict,
+    database_to_dict,
+    log_from_dict,
+    log_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+@dataclass
+class DiagnosisRequest:
+    """One self-contained diagnosis problem.
+
+    Attributes
+    ----------
+    initial:
+        The database state before the log ran (``D0``).
+    log:
+        The logged queries that produced the dirty state.
+    complaints:
+        The complaint set to resolve.
+    final:
+        The dirty final state (``Dn``).  May be ``None``, in which case the
+        engine derives it by replaying ``log`` over ``initial``.
+    diagnoser:
+        Name of the diagnoser to run (see :mod:`repro.service.registry`).
+        ``None`` defers to the config's ``diagnoser`` field.
+    config:
+        Per-request configuration override.  ``None`` uses the engine default.
+    request_id:
+        Opaque caller-supplied correlation id, echoed in the response.
+    """
+
+    initial: Database
+    log: QueryLog
+    complaints: ComplaintSet
+    final: Database | None = None
+    diagnoser: str | None = None
+    config: QFixConfig | None = None
+    request_id: str = ""
+
+    @property
+    def schema(self) -> Schema:
+        """Schema of the relation being diagnosed."""
+        return self.initial.schema
+
+    def resolved_final(self) -> Database:
+        """The dirty final state, replaying the log if it was not supplied."""
+        if self.final is not None:
+            return self.final
+        return replay(self.initial, self.log)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Encode the request with only JSON-native values."""
+        return {
+            "request_id": self.request_id,
+            "schema": schema_to_dict(self.schema),
+            "initial": database_to_dict(self.initial),
+            "log": log_to_dict(self.log),
+            "complaints": complaints_to_dict(self.complaints),
+            "final": database_to_dict(self.final) if self.final is not None else None,
+            "diagnoser": self.diagnoser,
+            "config": config_to_dict(self.config) if self.config is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DiagnosisRequest":
+        """Decode a request produced by :meth:`to_dict`."""
+        if "schema" not in data:
+            raise SerializationError("diagnosis request is missing the 'schema' field")
+        schema = schema_from_dict(data["schema"])
+        final = data.get("final")
+        config = data.get("config")
+        return cls(
+            initial=database_from_dict(schema, data.get("initial", [])),
+            log=log_from_dict(data.get("log", [])),
+            complaints=complaints_from_dict(data.get("complaints", [])),
+            final=database_from_dict(schema, final) if final is not None else None,
+            diagnoser=data.get("diagnoser"),
+            config=config_from_dict(config) if config is not None else None,
+            request_id=str(data.get("request_id", "")),
+        )
+
+
+@dataclass
+class DiagnosisResponse:
+    """Machine-readable outcome of one diagnosis request.
+
+    ``ok`` distinguishes *handled* requests from *failed* ones: a response with
+    ``ok=True`` may still describe an infeasible repair (``feasible=False``),
+    while ``ok=False`` means the diagnoser raised and ``error_type`` /
+    ``error_message`` carry the failure.  ``result`` holds the full in-process
+    :class:`RepairResult` when the response was produced locally; it is not
+    serialized (the portable fields carry everything a remote caller needs).
+    """
+
+    request_id: str = ""
+    ok: bool = False
+    diagnoser: str = ""
+    feasible: bool = False
+    status: str = ""
+    repaired_sql: str = ""
+    changed_query_indices: tuple[int, ...] = ()
+    parameter_values: dict[str, float] = field(default_factory=dict)
+    distance: float = 0.0
+    summary: dict[str, Any] = field(default_factory=dict)
+    error_type: str = ""
+    error_message: str = ""
+    elapsed_seconds: float = 0.0
+    result: RepairResult | None = field(default=None, compare=False, repr=False)
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_result(
+        cls,
+        request_id: str,
+        diagnoser: str,
+        result: RepairResult,
+        *,
+        elapsed_seconds: float = 0.0,
+    ) -> "DiagnosisResponse":
+        """Build a successful response from a :class:`RepairResult`."""
+        return cls(
+            request_id=request_id,
+            ok=True,
+            diagnoser=diagnoser,
+            feasible=result.feasible,
+            status=result.status.value,
+            repaired_sql=result.repaired_log.render_sql(),
+            changed_query_indices=tuple(result.changed_query_indices),
+            parameter_values=dict(result.parameter_values),
+            distance=result.distance,
+            summary=result.summary(),
+            elapsed_seconds=elapsed_seconds,
+            result=result,
+        )
+
+    @classmethod
+    def from_error(
+        cls,
+        request_id: str,
+        diagnoser: str,
+        error: BaseException,
+        *,
+        elapsed_seconds: float = 0.0,
+    ) -> "DiagnosisResponse":
+        """Build a failure response from a raised exception."""
+        return cls(
+            request_id=request_id,
+            ok=False,
+            diagnoser=diagnoser,
+            error_type=type(error).__name__,
+            error_message=str(error),
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Encode the response with only JSON-native values."""
+        return {
+            "request_id": self.request_id,
+            "ok": self.ok,
+            "diagnoser": self.diagnoser,
+            "feasible": self.feasible,
+            "status": self.status,
+            "repaired_sql": self.repaired_sql,
+            "changed_query_indices": list(self.changed_query_indices),
+            "parameter_values": dict(self.parameter_values),
+            "distance": self.distance,
+            "summary": dict(self.summary),
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DiagnosisResponse":
+        """Decode a response produced by :meth:`to_dict` (``result`` stays ``None``)."""
+        return cls(
+            request_id=str(data.get("request_id", "")),
+            ok=bool(data.get("ok", False)),
+            diagnoser=str(data.get("diagnoser", "")),
+            feasible=bool(data.get("feasible", False)),
+            status=str(data.get("status", "")),
+            repaired_sql=str(data.get("repaired_sql", "")),
+            changed_query_indices=tuple(
+                int(i) for i in data.get("changed_query_indices", ())
+            ),
+            parameter_values={
+                str(k): float(v) for k, v in data.get("parameter_values", {}).items()
+            },
+            distance=float(data.get("distance", 0.0)),
+            summary=dict(data.get("summary", {})),
+            error_type=str(data.get("error_type", "")),
+            error_message=str(data.get("error_message", "")),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )

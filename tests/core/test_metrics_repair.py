@@ -4,7 +4,8 @@ import pytest
 
 from repro.core.complaints import Complaint, ComplaintSet
 from repro.core.metrics import evaluate_log_repair, evaluate_states
-from repro.core.repair import repair_resolves_complaints
+from repro.core.repair import RepairResult, repair_resolves_complaints
+from repro.milp.solution import SolveStatus
 from repro.db.database import Database
 from repro.db.schema import Schema
 from repro.queries.executor import replay
@@ -79,6 +80,27 @@ class TestLogLevelMetrics:
         assert stats["exact_repair_rate"] == 1.0
         stats_bad = evaluate_log_repair(corrupted, true_log, corrupted)
         assert stats_bad["exact_repair_rate"] == 0.0
+
+
+class TestRepairResultSummary:
+    def test_problem_stats_are_namespaced(self):
+        """Regression: a stat named like a top-level key must not clobber it."""
+        log = QueryLog(
+            [UpdateQuery("t", {"b": Param("q1_set", 7.0)}, label="q1")]
+        )
+        result = RepairResult(
+            original_log=log,
+            repaired_log=log,
+            feasible=True,
+            status=SolveStatus.OPTIMAL,
+            distance=3.5,
+            problem_stats={"distance": 999.0, "variables": 12.0},
+        )
+        summary = result.summary()
+        assert summary["distance"] == 3.5
+        assert summary["stats.distance"] == 999.0
+        assert summary["stats.variables"] == 12.0
+        assert "variables" not in summary
 
 
 class TestRepairResolution:

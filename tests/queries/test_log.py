@@ -50,6 +50,19 @@ class TestQueryLog:
         assert repaired.params_of(1)["q2_lo"] == 40.0
         assert log.params_of(1)["q2_lo"] == 4.0
 
+    def test_with_params_rejects_unknown_names(self):
+        log = QueryLog([_update("q1", 1, 2), _update("q2", 3, 4)])
+        with pytest.raises(QueryModelError, match="q3_lo"):
+            log.with_params({"q3_lo": 5.0})
+        # A typo alongside valid names is also caught, and nothing is applied.
+        with pytest.raises(QueryModelError, match="q2_l0"):
+            log.with_params({"q1_set": 9.0, "q2_l0": 5.0})
+        assert log.params_of(0)["q1_set"] == 1.0
+
+    def test_with_params_empty_mapping_is_noop(self):
+        log = QueryLog([_update("q1", 1, 2)])
+        assert log.with_params({}) == log
+
     def test_render_sql_includes_labels(self):
         log = QueryLog([_update("q1", 1, 2)])
         script = log.render_sql()

@@ -1,0 +1,115 @@
+"""End-to-end test of the `qfix-experiments batch` JSONL command."""
+
+import json
+
+from repro.core.complaints import ComplaintSet
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.experiments.cli import build_parser, main
+from repro.queries.executor import replay
+from repro.queries.expressions import Attr, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison
+from repro.queries.query import UpdateQuery
+from repro.service.types import DiagnosisRequest
+
+
+def _request(case_id: str, *, poison: bool = False) -> dict:
+    schema = Schema.build("t", ["a", "b"], upper=100)
+    initial = Database(schema, [{"a": 10, "b": 0}, {"a": 50, "b": 0}, {"a": 90, "b": 0}])
+    corrupted = QueryLog(
+        [
+            UpdateQuery(
+                "t",
+                {"b": Param("q1_set", 7.0)},
+                Comparison(Attr("a"), ">=", Param("q1_lo", 30.0)),
+                label="q1",
+            )
+        ]
+    )
+    dirty = replay(initial, corrupted)
+    truth = replay(initial, corrupted.with_params({"q1_lo": 60.0}))
+    complaints = ComplaintSet() if poison else ComplaintSet.from_states(dirty, truth)
+    return DiagnosisRequest(
+        initial=initial,
+        log=corrupted,
+        complaints=complaints,
+        request_id=case_id,
+    ).to_dict()
+
+
+class TestBatchCommand:
+    def test_parser_accepts_batch_options(self):
+        args = build_parser().parse_args(
+            ["batch", "--input", "in.jsonl", "--output", "out.jsonl", "--max-workers", "2"]
+        )
+        assert args.experiment == "batch"
+        assert args.input == "in.jsonl" and args.output == "out.jsonl"
+        assert args.max_workers == 2
+
+    def test_batch_requires_input(self, capsys):
+        assert main(["batch"]) == 2
+        assert "--input" in capsys.readouterr().err
+
+    def test_jsonl_in_jsonl_out(self, tmp_path):
+        input_path = tmp_path / "requests.jsonl"
+        output_path = tmp_path / "responses.jsonl"
+        lines = [
+            json.dumps(_request("good-1")),
+            json.dumps(_request("poison", poison=True)),
+            "{not json",  # malformed line must not sink the batch
+            json.dumps({"request_id": "no-schema"}),  # parses, but invalid request
+            json.dumps(_request("good-2")),
+        ]
+        input_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        # Some requests failed, so the command signals trouble with exit 1.
+        assert main(
+            [
+                "batch",
+                "--input",
+                str(input_path),
+                "--output",
+                str(output_path),
+                "--max-workers",
+                "3",
+            ]
+        ) == 1
+
+        responses = [
+            json.loads(line)
+            for line in output_path.read_text(encoding="utf-8").splitlines()
+            if line
+        ]
+        assert [r["request_id"] for r in responses] == [
+            "good-1",
+            "poison",
+            "line-3",
+            "no-schema",  # caller's correlation id survives a bad request
+            "good-2",
+        ]
+        assert responses[0]["ok"] and responses[0]["feasible"]
+        assert responses[4]["ok"] and responses[4]["feasible"]
+        assert not responses[1]["ok"]
+        assert "empty" in responses[1]["error_message"]
+        assert not responses[2]["ok"]  # the malformed line
+        assert not responses[3]["ok"] and "schema" in responses[3]["error_message"]
+        # Problem stats arrive under the `stats.` namespace, never clobbering
+        # the top-level summary fields.
+        assert "stats.variables" in responses[0]["summary"]
+        assert "variables" not in responses[0]["summary"]
+
+    def test_all_success_batch_exits_zero(self, tmp_path):
+        input_path = tmp_path / "requests.jsonl"
+        input_path.write_text(json.dumps(_request("only")) + "\n", encoding="utf-8")
+        assert main(["batch", "--input", str(input_path), "--output", "-"]) == 0
+
+    def test_stdout_output(self, tmp_path, capsys):
+        input_path = tmp_path / "requests.jsonl"
+        input_path.write_text(json.dumps(_request("solo")) + "\n", encoding="utf-8")
+        assert main(["batch", "--input", str(input_path)]) == 0
+        captured = capsys.readouterr()
+        response = json.loads(captured.out.strip())
+        assert response["request_id"] == "solo"
+        assert response["ok"] and response["feasible"]
+        assert "served 1 request(s)" in captured.err

@@ -1,0 +1,207 @@
+"""Tests for the DiagnosisEngine: submit, batching, error isolation."""
+
+import threading
+
+import pytest
+
+from repro.core.complaints import Complaint, ComplaintSet
+from repro.core.config import QFixConfig
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.exceptions import ReproError
+from repro.queries.executor import replay
+from repro.queries.expressions import Attr, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison
+from repro.queries.query import UpdateQuery
+from repro.service.engine import DiagnosisEngine
+from repro.service.registry import register_diagnoser
+from repro.service.types import DiagnosisRequest
+
+
+def _case(threshold_error: float, case_id: str) -> DiagnosisRequest:
+    """An independent single-query diagnosis case with a known repair.
+
+    The logged threshold is off by ``threshold_error``; the complaint pins the
+    row at a=50 to its correct value, so the repair must move the threshold
+    back above 50.
+    """
+    schema = Schema.build("t", ["a", "b"], upper=100)
+    initial = Database(schema, [{"a": 10, "b": 0}, {"a": 50, "b": 0}, {"a": 90, "b": 0}])
+    corrupted = QueryLog(
+        [
+            UpdateQuery(
+                "t",
+                {"b": Param("q1_set", 7.0)},
+                Comparison(Attr("a"), ">=", Param("q1_lo", 60.0 - threshold_error)),
+                label="q1",
+            )
+        ]
+    )
+    dirty = replay(initial, corrupted)
+    truth = replay(initial, corrupted.with_params({"q1_lo": 60.0}))
+    complaints = ComplaintSet.from_states(dirty, truth)
+    return DiagnosisRequest(
+        initial=initial,
+        log=corrupted,
+        complaints=complaints,
+        final=dirty,
+        request_id=case_id,
+    )
+
+
+def _poison(case_id: str) -> DiagnosisRequest:
+    """A request whose complaint set is empty — diagnosis raises."""
+    schema = Schema.build("t", ["a", "b"], upper=100)
+    initial = Database(schema, [{"a": 1, "b": 2}])
+    return DiagnosisRequest(
+        initial=initial,
+        log=QueryLog([UpdateQuery("t", {"b": Param("q1_set", 3.0)}, label="q1")]),
+        complaints=ComplaintSet(),
+        request_id=case_id,
+    )
+
+
+class TestSubmit:
+    def test_successful_request(self):
+        response = DiagnosisEngine().submit(_case(25.0, "one"))
+        assert response.ok and response.feasible
+        assert response.request_id == "one"
+        assert response.changed_query_indices == (0,)
+        assert "q1_lo" in response.parameter_values
+        assert 50.0 < response.parameter_values["q1_lo"] <= 90.0
+        assert response.elapsed_seconds > 0
+        assert response.result is not None and response.result.feasible
+
+    def test_failure_is_captured_not_raised(self):
+        response = DiagnosisEngine().submit(_poison("bad"))
+        assert not response.ok
+        assert response.error_type == "ReproError"
+        assert "empty" in response.error_message
+
+    def test_per_request_config_and_diagnoser_override(self):
+        request = _case(25.0, "cfg")
+        request.config = QFixConfig.basic()
+        request.diagnoser = "basic"
+        response = DiagnosisEngine().submit(request)
+        assert response.ok and response.feasible
+        assert response.diagnoser == "basic"
+
+    def test_final_derived_when_absent(self):
+        request = _case(25.0, "nofinal")
+        request.final = None
+        response = DiagnosisEngine().submit(request)
+        assert response.ok and response.feasible
+
+
+class TestDiagnoseBatch:
+    def test_eight_plus_cases_with_error_isolation(self):
+        """Acceptance: >= 8 independent cases, poison ones do not sink the batch."""
+        requests = []
+        for index in range(10):
+            if index in (3, 7):
+                requests.append(_poison(f"case-{index}"))
+            else:
+                # error >= 10 guarantees the corrupted threshold crosses the
+                # a=50 row, so every case has a non-empty complaint set.
+                requests.append(_case(15.0 + index, f"case-{index}"))
+        responses = DiagnosisEngine().diagnose_batch(requests, max_workers=4)
+        assert [r.request_id for r in responses] == [f"case-{i}" for i in range(10)]
+        for index, response in enumerate(responses):
+            if index in (3, 7):
+                assert not response.ok
+                assert response.error_type == "ReproError"
+            else:
+                assert response.ok, response.error_message
+                assert response.feasible
+
+    def test_batch_actually_runs_concurrently(self):
+        """With max_workers > 1, submits overlap on distinct threads."""
+        seen_threads = set()
+        overlap = threading.Barrier(2, timeout=30)
+
+        class ProbeDiagnoser:
+            name = "probe"
+
+            def diagnose(self, initial, final, log, complaints, *, config, solver):
+                seen_threads.add(threading.get_ident())
+                overlap.wait()  # only passes if two requests are in flight at once
+                raise ReproError("probe only")
+
+        register_diagnoser("probe", ProbeDiagnoser)
+        try:
+            requests = [_case(10.0, "t1"), _case(11.0, "t2")]
+            for request in requests:
+                request.diagnoser = "probe"
+            responses = DiagnosisEngine().diagnose_batch(requests, max_workers=2)
+        finally:
+            from repro.service.registry import _FACTORIES
+
+            _FACTORIES.pop("probe", None)
+        assert len(seen_threads) == 2
+        assert all(not r.ok for r in responses)
+
+    def test_empty_batch_and_bad_worker_count(self):
+        engine = DiagnosisEngine()
+        assert engine.diagnose_batch([]) == []
+        with pytest.raises(ReproError):
+            engine.diagnose_batch([_case(25.0, "x")], max_workers=0)
+
+    def test_serial_path_matches_parallel(self):
+        requests = [_case(20.0, "a"), _poison("b"), _case(30.0, "c")]
+        serial = DiagnosisEngine().diagnose_batch(requests, max_workers=1)
+        parallel = DiagnosisEngine().diagnose_batch(requests, max_workers=3)
+        assert [r.ok for r in serial] == [r.ok for r in parallel]
+        assert [r.feasible for r in serial] == [r.feasible for r in parallel]
+
+
+class TestInProcessPath:
+    def test_diagnose_raises_on_empty_complaints(self, taxes_case):
+        engine = DiagnosisEngine()
+        with pytest.raises(ReproError):
+            engine.diagnose(
+                taxes_case["initial"],
+                taxes_case["dirty"],
+                taxes_case["corrupted_log"],
+                ComplaintSet(),
+            )
+
+    def test_facade_honours_solver_replacement(self, taxes_case):
+        """Regression: every diagnose() must use the facade's current solver."""
+        from repro.core.qfix import QFix
+
+        class BoomSolver:
+            name = "boom"
+
+            def solve(self, model):
+                raise RuntimeError("boom-solver used")
+
+        explicit = BoomSolver()
+        assert QFix(solver=explicit).solver is explicit
+        qfix = QFix()
+        qfix.solver = BoomSolver()
+        with pytest.raises(RuntimeError, match="boom-solver used"):
+            qfix.diagnose(
+                taxes_case["initial"],
+                taxes_case["dirty"],
+                taxes_case["corrupted_log"],
+                taxes_case["complaints"],
+            )
+
+    def test_diagnose_matches_facade(self, taxes_case):
+        from repro.core.qfix import QFix
+
+        engine_result = DiagnosisEngine().diagnose(
+            taxes_case["initial"],
+            taxes_case["dirty"],
+            taxes_case["corrupted_log"],
+            taxes_case["complaints"],
+        )
+        facade_result = QFix().diagnose(
+            taxes_case["initial"],
+            taxes_case["dirty"],
+            taxes_case["corrupted_log"],
+            taxes_case["complaints"],
+        )
+        assert engine_result.feasible and facade_result.feasible
+        assert engine_result.repaired_log == facade_result.repaired_log

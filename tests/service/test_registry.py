@@ -1,0 +1,120 @@
+"""Error-path coverage for the diagnoser and solver registries."""
+
+import pytest
+
+from repro.core.complaints import ComplaintSet
+from repro.core.qfix import QFix
+from repro.exceptions import ReproError, SolverError
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers import get_solver
+from repro.service.registry import (
+    AutoDiagnoser,
+    BasicDiagnoser,
+    Diagnoser,
+    IncrementalDiagnoser,
+    _FACTORIES,
+    available_diagnosers,
+    get_diagnoser,
+    register_diagnoser,
+)
+
+
+class TestDiagnoserRegistry:
+    def test_builtins_registered(self):
+        assert {"auto", "basic", "incremental", "dectree"} <= set(available_diagnosers())
+        assert isinstance(get_diagnoser("basic"), BasicDiagnoser)
+        assert isinstance(get_diagnoser("incremental"), IncrementalDiagnoser)
+        # Every built-in satisfies the (runtime-checkable) protocol.
+        for name in ("auto", "basic", "incremental", "dectree"):
+            assert isinstance(get_diagnoser(name), Diagnoser)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ReproError, match="unknown diagnoser 'milp2'"):
+            get_diagnoser("milp2")
+        with pytest.raises(ReproError, match="incremental"):
+            get_diagnoser("milp2")
+
+    def test_duplicate_registration_rejected(self):
+        register_diagnoser("dup-test", BasicDiagnoser)
+        try:
+            with pytest.raises(ReproError, match="already registered"):
+                register_diagnoser("dup-test", IncrementalDiagnoser)
+            # The original registration is untouched by the failed attempt.
+            assert isinstance(get_diagnoser("dup-test"), BasicDiagnoser)
+            register_diagnoser("dup-test", IncrementalDiagnoser, replace=True)
+            assert isinstance(get_diagnoser("dup-test"), IncrementalDiagnoser)
+        finally:
+            _FACTORIES.pop("dup-test", None)
+
+    def test_auto_resolution_follows_single_fault(self, taxes_case):
+        auto = AutoDiagnoser()
+        from repro.core.config import QFixConfig
+
+        single = QFixConfig.fully_optimized()
+        multi = QFixConfig.basic()
+        solver = get_solver("highs")
+        result_single = auto.diagnose(
+            taxes_case["initial"],
+            taxes_case["dirty"],
+            taxes_case["corrupted_log"],
+            taxes_case["complaints"],
+            config=single,
+            solver=solver,
+        )
+        result_multi = auto.diagnose(
+            taxes_case["initial"],
+            taxes_case["dirty"],
+            taxes_case["corrupted_log"],
+            taxes_case["complaints"],
+            config=multi,
+            solver=solver,
+        )
+        # Incremental reports tried windows; the single-shot basic path does not.
+        assert result_single.feasible and result_single.windows_tried >= 1
+        assert result_multi.feasible
+
+    def test_dectree_adapter_reports_unsupported_logs(self, taxes_case):
+        from repro.core.config import QFixConfig
+
+        # The taxes log ends in an UPDATE, but has 3 queries — DecTree only
+        # repairs the last one, and the corruption sits at q1, so the adapter
+        # must come back as a structured non-repair, not an exception.
+        result = get_diagnoser("dectree").diagnose(
+            taxes_case["initial"],
+            taxes_case["dirty"],
+            taxes_case["corrupted_log"],
+            taxes_case["complaints"],
+            config=QFixConfig.fully_optimized(),
+            solver=get_solver("highs"),
+        )
+        assert result.status in (
+            SolveStatus.FEASIBLE,
+            SolveStatus.INFEASIBLE,
+            SolveStatus.ERROR,
+        )
+        assert result.original_log == taxes_case["corrupted_log"]
+
+
+class TestSolverRegistryErrorPaths:
+    def test_unknown_solver_name(self):
+        with pytest.raises(SolverError, match="unknown solver 'cplex'"):
+            get_solver("cplex")
+
+    def test_qfix_unknown_method(self, taxes_case):
+        with pytest.raises(ReproError, match="unknown diagnoser"):
+            QFix().diagnose(
+                taxes_case["initial"],
+                taxes_case["dirty"],
+                taxes_case["corrupted_log"],
+                taxes_case["complaints"],
+                method="magic",  # type: ignore[arg-type]
+            )
+
+    def test_qfix_empty_complaints(self, taxes_case):
+        with pytest.raises(ReproError, match="empty"):
+            QFix().diagnose(
+                taxes_case["initial"],
+                taxes_case["dirty"],
+                taxes_case["corrupted_log"],
+                ComplaintSet(),
+            )

@@ -1,0 +1,170 @@
+"""Round-trip tests for the service-boundary JSON codecs."""
+
+import json
+
+import pytest
+
+from repro.core.complaints import Complaint, ComplaintSet
+from repro.core.config import EncodingConfig, QFixConfig
+from repro.db.database import Database
+from repro.db.schema import AttributeSpec, Schema
+from repro.queries.expressions import Attr, BinOp, Const, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Or,
+    TruePredicate,
+)
+from repro.queries.query import DeleteQuery, InsertQuery, UpdateQuery
+from repro.service.serialize import (
+    SerializationError,
+    complaints_from_dict,
+    complaints_to_dict,
+    config_from_dict,
+    config_to_dict,
+    database_from_dict,
+    database_to_dict,
+    expr_from_dict,
+    expr_to_dict,
+    log_from_dict,
+    log_to_dict,
+    predicate_from_dict,
+    predicate_to_dict,
+    query_from_dict,
+    query_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+def _json_round(value):
+    """Force the payload through real JSON text, not just dicts."""
+    return json.loads(json.dumps(value))
+
+
+class TestExpressionCodec:
+    def test_round_trip_all_node_kinds(self):
+        expr = BinOp("+", BinOp("*", Attr("income"), Const(0.3)), Param("q1_p1", 5.0))
+        assert expr_from_dict(_json_round(expr_to_dict(expr))) == expr
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            expr_from_dict({"kind": "lambda"})
+
+
+class TestPredicateCodec:
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            TruePredicate(),
+            FalsePredicate(),
+            Comparison(Attr("a"), ">=", Param("p", 3.0)),
+            And((Comparison(Attr("a"), ">", Const(1.0)), TruePredicate())),
+            Or((Comparison(Attr("a"), "=", Const(1.0)), FalsePredicate())),
+        ],
+    )
+    def test_round_trip(self, predicate):
+        assert predicate_from_dict(_json_round(predicate_to_dict(predicate))) == predicate
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            predicate_from_dict({"kind": "xor", "children": []})
+
+
+class TestQueryCodec:
+    def test_update_round_trip_preserves_params_and_label(self):
+        query = UpdateQuery(
+            "Taxes",
+            {"owed": BinOp("*", Attr("income"), Const(0.3))},
+            Comparison(Attr("income"), ">=", Param("q1_p1", 85_700.0)),
+            label="q1",
+        )
+        restored = query_from_dict(_json_round(query_to_dict(query)))
+        assert restored == query
+        assert restored.label == "q1"
+        assert restored.params() == {"q1_p1": 85_700.0}
+
+    def test_insert_and_delete_round_trip(self):
+        insert = InsertQuery("t", {"a": Param("q2_p1", 7.0), "b": Const(1.0)}, label="q2")
+        delete = DeleteQuery("t", Comparison(Attr("a"), "<", Param("q3_p1", 2.0)), label="q3")
+        assert query_from_dict(_json_round(query_to_dict(insert))) == insert
+        assert query_from_dict(_json_round(query_to_dict(delete))) == delete
+
+    def test_log_round_trip_preserves_order_and_sql(self):
+        log = QueryLog(
+            [
+                UpdateQuery("t", {"a": Param("q1_p1", 1.0)}, label="q1"),
+                DeleteQuery("t", Comparison(Attr("a"), ">", Const(5.0)), label="q2"),
+            ]
+        )
+        restored = log_from_dict(_json_round(log_to_dict(log)))
+        assert restored == log
+        assert restored.render_sql() == log.render_sql()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            query_from_dict({"kind": "merge", "table": "t"})
+
+
+class TestSchemaAndDatabaseCodec:
+    def test_schema_round_trip(self):
+        schema = Schema(
+            "Taxes",
+            (
+                AttributeSpec("id", lower=0, upper=100, key=True, integral=True),
+                AttributeSpec("income", lower=0, upper=300_000),
+            ),
+        )
+        assert schema_from_dict(_json_round(schema_to_dict(schema))) == schema
+
+    def test_database_round_trip_preserves_rids(self):
+        schema = Schema.build("t", ["a", "b"], upper=10)
+        database = Database(schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        database.delete(0)  # leave a rid gap, the hard case
+        restored = database_from_dict(schema, _json_round(database_to_dict(database)))
+        assert restored.rids == database.rids
+        assert restored.same_state(database)
+
+    def test_database_round_trip_preserves_rid_counter(self):
+        """Regression: deleting tail rows must not make replayed INSERTs reuse rids."""
+        schema = Schema.build("t", ["a", "b"], upper=10)
+        database = Database(schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}, {"a": 5, "b": 6}])
+        database.delete(2)  # tail delete: max(rid) is now 1 but the counter is 3
+        restored = database_from_dict(schema, _json_round(database_to_dict(database)))
+        assert restored.table.next_rid == database.table.next_rid == 3
+        assert restored.insert({"a": 7, "b": 8}).rid == database.insert({"a": 7, "b": 8}).rid
+
+
+class TestComplaintCodec:
+    def test_round_trip_all_kinds(self):
+        complaints = ComplaintSet(
+            [
+                Complaint(0, {"a": 1.0, "b": 2.0}, True),  # value
+                Complaint(1, None, True),  # removal
+                Complaint(2, {"a": 5.0, "b": 6.0}, False),  # insertion
+            ]
+        )
+        restored = complaints_from_dict(_json_round(complaints_to_dict(complaints)))
+        assert restored.rids == complaints.rids
+        for original, back in zip(complaints, restored):
+            assert back == original
+            assert back.kind is original.kind
+
+
+class TestConfigCodec:
+    def test_round_trip_non_default(self):
+        config = QFixConfig.basic(
+            solver="bnb",
+            time_limit=None,
+            diagnoser="basic",
+            encoding=EncodingConfig(epsilon=0.25, delete_encoding="alive"),
+        )
+        assert config_from_dict(_json_round(config_to_dict(config))) == config
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(SerializationError):
+            config_from_dict({"solevr": "highs"})
+        with pytest.raises(SerializationError):
+            config_from_dict({"encoding": {"epsilonn": 1.0}})

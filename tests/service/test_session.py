@@ -1,0 +1,150 @@
+"""Tests for RepairSession: log evolution, cached replay, diagnosis."""
+
+import pytest
+
+import repro.service.session as session_module
+from repro.core.complaints import Complaint, ComplaintSet
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.exceptions import ReproError
+from repro.queries.executor import replay
+from repro.queries.expressions import Attr, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison
+from repro.queries.query import InsertQuery, UpdateQuery
+from repro.service.session import RepairSession
+
+
+def _schema() -> Schema:
+    return Schema.build("t", ["a", "b"], upper=100)
+
+
+def _initial() -> Database:
+    return Database(_schema(), [{"a": 10, "b": 0}, {"a": 50, "b": 0}, {"a": 90, "b": 0}])
+
+
+def _bump(label: str, threshold: float, amount: float = 7.0) -> UpdateQuery:
+    return UpdateQuery(
+        "t",
+        {"b": Param(f"{label}_set", amount)},
+        Comparison(Attr("a"), ">=", Param(f"{label}_lo", threshold)),
+        label=label,
+    )
+
+
+class TestLogEvolution:
+    def test_append_keeps_final_state_current(self):
+        session = RepairSession(_initial())
+        session.append(_bump("q1", 40.0))
+        session.append(InsertQuery("t", {"a": Param("q2_a", 60.0), "b": Param("q2_b", 1.0)}, label="q2"))
+        expected = replay(_initial(), session.log)
+        assert session.final.same_state(expected)
+        assert len(session) == 2
+
+    def test_append_does_not_replay_from_scratch(self, monkeypatch):
+        session = RepairSession(_initial(), [_bump("q1", 40.0)])
+        assert session.full_replays == 1
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("session re-replayed the full log")
+
+        monkeypatch.setattr(session_module, "replay", forbidden)
+        for index in range(2, 6):
+            session.append(_bump(f"q{index}", 40.0 + index))
+        assert session.full_replays == 1
+        # ... and the incrementally maintained state is still exact.
+        monkeypatch.undo()
+        assert session.final.same_state(replay(_initial(), session.log))
+
+    def test_failed_append_leaves_session_unchanged(self):
+        """Regression: a query that raises mid-application must not corrupt the cache."""
+        session = RepairSession(_initial(), [_bump("q1", 40.0)])
+        bad = UpdateQuery("t", {"b": Param("qx_set", 5.0), "zzz": Param("qx_z", 1.0)}, label="qx")
+        with pytest.raises(ReproError):
+            session.append(bad)
+        assert len(session.log) == 1
+        assert session.final.same_state(replay(session.initial, session.log))
+
+    def test_initial_is_snapshotted(self):
+        source = _initial()
+        session = RepairSession(source)
+        source.insert({"a": 1.0, "b": 1.0})
+        assert len(session.initial) == 3
+
+    def test_accept_repair_requires_matching_log(self):
+        from repro.core.repair import RepairResult
+        from repro.milp.solution import SolveStatus
+
+        session = RepairSession(_initial(), [_bump("q1", 40.0)])
+        stale_log = QueryLog([_bump("q1", 40.0), _bump("q2", 50.0)])
+        result = RepairResult(
+            original_log=stale_log,
+            repaired_log=stale_log,
+            feasible=True,
+            status=SolveStatus.OPTIMAL,
+        )
+        with pytest.raises(ReproError):
+            session.accept_repair(result)
+
+
+def _diagnosed(session: RepairSession):
+    """Register a true complaint against the session's last threshold query."""
+    truth_log = session.log.with_params({"q1_lo": 60.0})
+    truth = replay(session.initial, truth_log)
+    for complaint in ComplaintSet.from_states(session.final, truth):
+        session.add_complaint(complaint)
+    return session.diagnose()
+
+
+class TestDiagnosis:
+    def test_diagnose_over_growing_log_without_full_replay(self, monkeypatch):
+        session = RepairSession(_initial(), [_bump("q1", 35.0)])
+        monkeypatch.setattr(
+            session_module,
+            "replay",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("full replay")),
+        )
+        # First diagnosis.
+        result = _diagnosed(session)
+        assert result.feasible
+        # The log grows; diagnose again — still no full replay.
+        session.clear_complaints()
+        session.append(_bump("q2", 80.0))
+        result = _diagnosed(session)
+        assert result.feasible
+        assert session.full_replays == 1
+
+    def test_accept_repair_applies_and_clears_complaints(self):
+        session = RepairSession(_initial(), [_bump("q1", 35.0)])
+        result = _diagnosed(session)
+        assert result.feasible
+        session.accept_repair(result)
+        assert session.complaints.is_empty()
+        assert session.full_replays == 2
+        assert session.final.same_state(replay(session.initial, session.log))
+        # The repaired threshold no longer touches the a=50 row.
+        assert session.final.get(1).values["b"] == 0.0
+
+    def test_add_complaint_shorthand_and_duplicates(self):
+        session = RepairSession(_initial(), [_bump("q1", 35.0)])
+        session.add_complaint(1, {"a": 50.0, "b": 0.0})
+        session.add_complaint(Complaint(2, None))
+        assert len(session.complaints) == 2
+        with pytest.raises(ReproError):
+            session.add_complaint(1, {"a": 50.0, "b": 0.0})
+
+    def test_submit_wraps_errors(self):
+        session = RepairSession(_initial(), [_bump("q1", 35.0)], session_id="s1")
+        response = session.submit()  # no complaints registered
+        assert not response.ok
+        assert response.request_id == "s1"
+
+    def test_to_request_round_trips(self):
+        session = RepairSession(_initial(), [_bump("q1", 35.0)], session_id="s2")
+        session.add_complaint(1, {"a": 50.0, "b": 0.0})
+        request = session.to_request()
+        from repro.service.types import DiagnosisRequest
+
+        restored = DiagnosisRequest.from_dict(request.to_dict())
+        assert restored.to_dict() == request.to_dict()
+        assert restored.request_id == "s2"

@@ -1,0 +1,103 @@
+"""Round-trip tests for DiagnosisRequest / DiagnosisResponse."""
+
+import json
+
+import pytest
+
+from repro.core.config import QFixConfig
+from repro.milp.solution import SolveStatus
+from repro.service.serialize import SerializationError
+from repro.service.types import DiagnosisRequest, DiagnosisResponse
+
+
+@pytest.fixture()
+def request_obj(taxes_case) -> DiagnosisRequest:
+    return DiagnosisRequest(
+        initial=taxes_case["initial"],
+        log=taxes_case["corrupted_log"],
+        complaints=taxes_case["complaints"],
+        final=taxes_case["dirty"],
+        diagnoser="incremental",
+        config=QFixConfig.fully_optimized(incremental_batch=2),
+        request_id="req-42",
+    )
+
+
+class TestDiagnosisRequest:
+    def test_to_dict_is_json_native(self, request_obj):
+        # json.dumps raises on anything that is not a plain JSON value.
+        json.dumps(request_obj.to_dict())
+
+    def test_round_trip(self, request_obj):
+        wire = json.loads(json.dumps(request_obj.to_dict()))
+        restored = DiagnosisRequest.from_dict(wire)
+        assert restored.to_dict() == request_obj.to_dict()
+        assert restored.request_id == "req-42"
+        assert restored.diagnoser == "incremental"
+        assert restored.config == request_obj.config
+        assert restored.log == request_obj.log
+        assert restored.initial.same_state(request_obj.initial)
+        assert restored.final.same_state(request_obj.final)
+        assert restored.complaints.rids == request_obj.complaints.rids
+
+    def test_optional_fields_default(self, taxes_case):
+        request = DiagnosisRequest(
+            initial=taxes_case["initial"],
+            log=taxes_case["corrupted_log"],
+            complaints=taxes_case["complaints"],
+        )
+        restored = DiagnosisRequest.from_dict(request.to_dict())
+        assert restored.final is None
+        assert restored.diagnoser is None
+        assert restored.config is None
+
+    def test_resolved_final_replays_when_absent(self, taxes_case):
+        request = DiagnosisRequest(
+            initial=taxes_case["initial"],
+            log=taxes_case["corrupted_log"],
+            complaints=taxes_case["complaints"],
+        )
+        assert request.resolved_final().same_state(taxes_case["dirty"])
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(SerializationError):
+            DiagnosisRequest.from_dict({"initial": [], "log": []})
+
+
+class TestDiagnosisResponse:
+    def test_round_trip_success_and_failure(self):
+        success = DiagnosisResponse(
+            request_id="a",
+            ok=True,
+            diagnoser="incremental",
+            feasible=True,
+            status=SolveStatus.OPTIMAL.value,
+            repaired_sql="-- q1\nUPDATE t SET a = 1;",
+            changed_query_indices=(0, 2),
+            parameter_values={"q1_p1": 87_500.0},
+            distance=1.5,
+            summary={"feasible": True, "stats.variables": 9},
+            elapsed_seconds=0.25,
+        )
+        failure = DiagnosisResponse.from_error("b", "basic", ValueError("boom"))
+        for response in (success, failure):
+            wire = json.loads(json.dumps(response.to_dict()))
+            assert DiagnosisResponse.from_dict(wire) == response
+
+    def test_in_process_result_not_serialized(self, taxes_case):
+        from repro.service.engine import DiagnosisEngine
+
+        engine = DiagnosisEngine()
+        response = engine.submit(
+            DiagnosisRequest(
+                initial=taxes_case["initial"],
+                log=taxes_case["corrupted_log"],
+                complaints=taxes_case["complaints"],
+                request_id="local",
+            )
+        )
+        assert response.result is not None  # full RepairResult for local callers
+        assert "result" not in response.to_dict()
+        restored = DiagnosisResponse.from_dict(response.to_dict())
+        assert restored.result is None
+        assert restored == response  # `result` is excluded from equality
