@@ -1,0 +1,128 @@
+"""Serving over HTTP: boot the server in-process and drive it with the client.
+
+Everything happens in one script: a :class:`DiagnosisServer` starts on an
+ephemeral port on a background thread, and a :class:`DiagnosisClient` then
+exercises the whole surface — health check, one-shot diagnosis, a JSONL
+batch, the full session lifecycle (create → append → complain → diagnose →
+accept-repair), and finally the telemetry that accumulated along the way.
+
+The same server boots from the command line with::
+
+    PYTHONPATH=src python -m repro.experiments.cli serve --port 8080
+
+after which every call below works against ``http://127.0.0.1:8080`` from a
+different process — or a different machine.
+
+Run with::
+
+    PYTHONPATH=src python examples/http_service.py
+"""
+
+import threading
+
+from repro import (
+    Complaint,
+    ComplaintSet,
+    Database,
+    DiagnosisClient,
+    DiagnosisRequest,
+    QueryLog,
+    Schema,
+    make_server,
+    replay,
+)
+from repro.sql import parse_query
+
+
+def build_initial() -> Database:
+    schema = Schema.build("Taxes", ["income", "owed", "pay"], upper=300_000)
+    return Database(
+        schema,
+        [
+            {"income": 9_500, "owed": 950, "pay": 8_550},
+            {"income": 90_000, "owed": 22_500, "pay": 67_500},
+            {"income": 86_000, "owed": 21_500, "pay": 64_500},
+        ],
+    )
+
+
+def corrupted_log() -> QueryLog:
+    return QueryLog(
+        [
+            parse_query(
+                "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700",
+                label="q1",
+            ),
+            parse_query("UPDATE Taxes SET pay = income - owed", label="q2"),
+        ]
+    )
+
+
+def figure2_request(request_id: str) -> DiagnosisRequest:
+    initial, log = build_initial(), corrupted_log()
+    dirty = replay(initial, log)
+    target = dict(dirty.get(2).values)
+    target.update(owed=21_500.0, pay=64_500.0)
+    return DiagnosisRequest(
+        initial=initial,
+        log=log,
+        complaints=ComplaintSet([Complaint(2, target)]),
+        request_id=request_id,
+    )
+
+
+def main() -> None:
+    # -- boot -------------------------------------------------------------------
+    server = make_server("127.0.0.1", 0)  # port 0 = ephemeral
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = DiagnosisClient(f"http://127.0.0.1:{server.port}")
+    print(f"== server up on port {server.port}")
+    print("health:", client.health())
+    print()
+
+    # -- one-shot diagnosis over the wire ---------------------------------------
+    print("== POST /v1/diagnose")
+    response = client.diagnose(figure2_request("demo-1"))
+    print("ok:", response.ok, "| feasible:", response.feasible)
+    print("repaired q1:", response.repaired_sql.splitlines()[1])
+    print()
+
+    # -- JSONL batch through the engine thread pool ------------------------------
+    print("== POST /v1/batch")
+    batch = client.diagnose_batch([figure2_request(f"demo-{i}") for i in range(2, 5)])
+    print("served:", [(item.request_id, item.ok) for item in batch])
+    print()
+
+    # -- the sessions resource ---------------------------------------------------
+    print("== /v1/sessions lifecycle")
+    initial = build_initial()
+    sid = client.create_session(initial, session_id="taxes-live")
+    client.append_sql(
+        sid, "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700", label="q1"
+    )
+    client.append_sql(sid, "UPDATE Taxes SET pay = income - owed", label="q2")
+
+    dirty = replay(initial, corrupted_log())
+    target = dict(dirty.get(2).values)
+    target.update(owed=21_500.0, pay=64_500.0)
+    client.add_complaint(sid, 2, target)
+
+    verdict = client.diagnose_session(sid)
+    print("session diagnosis feasible:", verdict.feasible)
+    summary = client.accept_repair(sid)
+    print("after accept-repair:", {k: summary[k] for k in ("queries", "complaints", "full_replays")})
+    client.delete_session(sid)
+    print()
+
+    # -- observability -----------------------------------------------------------
+    print("== GET /metrics (excerpt)")
+    for line in client.metrics().splitlines():
+        if line.startswith("qfix_") and "request_seconds" not in line:
+            print(" ", line)
+
+    server.shutdown()
+    server.server_close()
+
+
+if __name__ == "__main__":
+    main()

@@ -9,9 +9,10 @@ The public API re-exports the pieces most users need: the relational substrate
 (:mod:`repro.db`), the query model (:mod:`repro.queries`), the SQL surface
 (:mod:`repro.sql`), the MILP substrate (:mod:`repro.milp`), the QFix core
 (:mod:`repro.core`), the service layer (:mod:`repro.service` — sessions,
-batched diagnosis, serializable request/response types), the decision-tree
-baseline (:mod:`repro.baselines`), the workload generators
-(:mod:`repro.workload`), and the experiment harness
+batched diagnosis, serializable request/response types), the HTTP serving
+layer (:mod:`repro.server` — threaded stdlib server, session store, typed
+client, telemetry), the decision-tree baseline (:mod:`repro.baselines`), the
+workload generators (:mod:`repro.workload`), and the experiment harness
 (:mod:`repro.experiments`).
 
 For one-off, in-process diagnosis the legacy :class:`QFix` facade still works;
@@ -50,8 +51,32 @@ from repro.service import (
     get_diagnoser,
     register_diagnoser,
 )
+#: HTTP serving layer re-exports, resolved lazily via module ``__getattr__``
+#: so that library/CLI users who never serve traffic don't import the
+#: transport stack (http.server, urllib) at package-import time.
+_SERVER_EXPORTS = frozenset(
+    {
+        "DiagnosisApp",
+        "DiagnosisClient",
+        "DiagnosisServer",
+        "ServerError",
+        "SessionStore",
+        "Telemetry",
+        "make_server",
+        "serve",
+    }
+)
 
-__version__ = "1.1.0"
+
+def __getattr__(name: str):
+    if name in _SERVER_EXPORTS:
+        from repro import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__version__ = "1.2.0"
 
 __all__ = [
     "Complaint",
@@ -82,5 +107,13 @@ __all__ = [
     "available_diagnosers",
     "get_diagnoser",
     "register_diagnoser",
+    "DiagnosisApp",
+    "DiagnosisClient",
+    "DiagnosisServer",
+    "ServerError",
+    "SessionStore",
+    "Telemetry",
+    "make_server",
+    "serve",
     "__version__",
 ]

@@ -1,9 +1,10 @@
 """Command-line entry point: ``qfix-experiments <command> [options]``.
 
-Two kinds of commands exist: the figure reproductions of the paper, and the
+Three kinds of commands exist: the figure reproductions of the paper, the
 ``batch`` service command that feeds a JSONL file of serialized
 :class:`~repro.service.DiagnosisRequest` payloads through the
-:class:`~repro.service.DiagnosisEngine` thread pool.
+:class:`~repro.service.DiagnosisEngine` thread pool, and the ``serve``
+command that boots the :mod:`repro.server` HTTP front end.
 
 Examples::
 
@@ -11,17 +12,18 @@ Examples::
     qfix-experiments figure4 --scale small
     qfix-experiments all --scale small --seed 3
     qfix-experiments batch --input requests.jsonl --output responses.jsonl --max-workers 8
+    qfix-experiments serve --host 0.0.0.0 --port 8080 --workers 8
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, TextIO
 
-from repro.service.engine import DiagnosisEngine
-from repro.service.types import DiagnosisRequest, DiagnosisResponse
+from repro.service.engine import DiagnosisEngine, serve_jsonl_lines
 from repro.experiments import (
     example2,
     figure4,
@@ -59,10 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "batch"],
+        choices=sorted(EXPERIMENTS) + ["all", "batch", "serve"],
         help=(
             "which figure to reproduce ('all' runs every experiment; 'batch' "
-            "runs a JSONL file of diagnosis requests through the engine)"
+            "runs a JSONL file of diagnosis requests through the engine; "
+            "'serve' boots the HTTP diagnosis service)"
         ),
     )
     parser.add_argument(
@@ -87,6 +90,38 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="batch mode: thread-pool width for concurrent diagnosis",
+    )
+    serve_group = parser.add_argument_group("serve mode")
+    serve_group.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve mode: interface to bind (0.0.0.0 for all)",
+    )
+    serve_group.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="serve mode: TCP port to bind (0 picks an ephemeral port)",
+    )
+    serve_group.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="serve mode: engine thread-pool width for /v1/batch fan-out",
+    )
+    serve_group.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=None,
+        help="serve mode: reject request bodies larger than this (413)",
+    )
+    serve_group.add_argument(
+        "--port-file",
+        default=None,
+        help=(
+            "serve mode: write the actually bound port to this file once "
+            "listening (useful with --port 0 in scripts and CI)"
+        ),
     )
     return parser
 
@@ -134,38 +169,8 @@ def run_batch(
             print(f"cannot read --input file: {error}", file=sys.stderr)
             return 2
 
-    requests: list[DiagnosisRequest | None] = []
-    parse_failures: dict[int, DiagnosisResponse] = {}
-    for index, line in enumerate(lines):
-        text = line.strip()
-        if not text:
-            continue
-        request_id = f"line-{index + 1}"
-        try:
-            payload = json.loads(text)
-            # The payload parsed: echo the caller's correlation id even if the
-            # request itself turns out to be malformed.
-            if isinstance(payload, dict) and payload.get("request_id"):
-                request_id = str(payload["request_id"])
-            requests.append(DiagnosisRequest.from_dict(payload))
-        except Exception as error:  # noqa: BLE001 - isolation boundary
-            parse_failures[len(requests)] = DiagnosisResponse.from_error(
-                request_id, "", error
-            )
-            requests.append(None)
-
-    engine = DiagnosisEngine()
-    served = engine.diagnose_batch(
-        [request for request in requests if request is not None],
-        max_workers=max_workers,
-    )
-    responses: list[DiagnosisResponse] = []
-    iterator = iter(served)
-    for index, request in enumerate(requests):
-        if request is None:
-            responses.append(parse_failures[index])
-        else:
-            responses.append(next(iterator))
+    engine = DiagnosisEngine(max_workers=max_workers)
+    responses = serve_jsonl_lines(engine, lines)
 
     payload = "\n".join(json.dumps(response.to_dict()) for response in responses)
     if output_path is None or output_path == "-":
@@ -183,10 +188,60 @@ def run_batch(
     return 1 if failures else 0
 
 
+def run_serve(
+    host: str,
+    port: int,
+    workers: int,
+    max_request_bytes: int | None,
+    port_file: str | None,
+) -> int:
+    """Boot the HTTP diagnosis service and block until interrupted.
+
+    The bound address is printed once listening (with ``--port 0`` this is
+    the only way to learn the ephemeral port); ``--port-file`` additionally
+    persists the port for scripted callers.
+    """
+    # Imported lazily so the figure commands don't pay for the server stack
+    # (the repro package re-exports repro.server lazily for the same reason).
+    from repro.server.app import DEFAULT_MAX_REQUEST_BYTES, serve
+
+    if workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    limit = max_request_bytes if max_request_bytes is not None else DEFAULT_MAX_REQUEST_BYTES
+    if limit < 1:
+        print("--max-request-bytes must be at least 1", file=sys.stderr)
+        return 2
+
+    def on_ready(server) -> None:
+        bound_host, bound_port = server.server_address[0], server.port
+        print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+        if port_file is not None:
+            # Written atomically: pollers watch for the file to appear, so it
+            # must never be observable empty.
+            staging = f"{port_file}.tmp"
+            with open(staging, "w", encoding="utf-8") as handle:
+                handle.write(f"{bound_port}\n")
+            os.replace(staging, port_file)
+
+    serve(
+        host,
+        port,
+        engine=DiagnosisEngine(max_workers=workers),
+        max_request_bytes=limit,
+        ready_callback=on_ready,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.experiment == "serve":
+        return run_serve(
+            args.host, args.port, args.workers, args.max_request_bytes, args.port_file
+        )
     if args.experiment == "batch":
         return run_batch(args.input, args.output, args.max_workers)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -1,0 +1,60 @@
+"""HTTP serving layer: transport, routing, session store, client, telemetry.
+
+This package turns the service layer into a deployable system.  It is
+dependency-free (``http.server`` + ``urllib``) and splits cleanly:
+
+* :class:`DiagnosisApp` — socket-free routing/dispatch core (testable without
+  a server).
+* :class:`DiagnosisServer` / :func:`make_server` / :func:`serve` — the
+  threaded stdlib transport.
+* :class:`SessionStore` — lock-protected live :class:`RepairSession`s behind
+  the ``/v1/sessions`` resource.
+* :class:`DiagnosisClient` — typed urllib client mirroring every endpoint.
+* :class:`Telemetry` — thread-safe request/error/latency counters rendered by
+  ``GET /metrics``.
+
+Boot a server and drive it::
+
+    from repro.server import DiagnosisClient, make_server
+    import threading
+
+    server = make_server("127.0.0.1", 0)           # ephemeral port
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = DiagnosisClient(f"http://127.0.0.1:{server.port}")
+    print(client.health())
+
+or from the command line::
+
+    python -m repro.experiments.cli serve --host 0.0.0.0 --port 8080
+"""
+
+from repro.server.app import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    DiagnosisApp,
+    DiagnosisServer,
+    Request,
+    Response,
+    make_server,
+    serve,
+)
+from repro.server.client import DiagnosisClient, ServerError
+from repro.server.handlers import HTTPError
+from repro.server.store import NoPendingRepair, SessionNotFound, SessionStore
+from repro.server.telemetry import Telemetry
+
+__all__ = [
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "DiagnosisApp",
+    "DiagnosisServer",
+    "DiagnosisClient",
+    "HTTPError",
+    "NoPendingRepair",
+    "Request",
+    "Response",
+    "ServerError",
+    "SessionNotFound",
+    "SessionStore",
+    "Telemetry",
+    "make_server",
+    "serve",
+]

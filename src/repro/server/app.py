@@ -1,0 +1,372 @@
+"""Routing, dispatch, and the stdlib HTTP transport.
+
+The layer splits in two so it stays testable without sockets:
+
+* :class:`DiagnosisApp` — a framework-free WSGI-shaped core: a routing table
+  of ``(method, path regex) -> handler`` plus :meth:`dispatch`, which turns
+  ``(method, path, body)`` into a :class:`Response`.  Every dispatch is timed
+  and recorded in the app's :class:`~repro.server.telemetry.Telemetry`;
+  handler exceptions are mapped onto HTTP statuses here, in one place.
+* :class:`DiagnosisServer` / :func:`make_server` / :func:`serve` — a
+  :class:`http.server.ThreadingHTTPServer` front end that reads bodies
+  (bounded by ``max_request_bytes``), calls :meth:`DiagnosisApp.dispatch`,
+  and writes the response back.  Thread-per-connection is plenty here: each
+  request's real work is a MILP solve, so the GIL is not the bottleneck and
+  the service layer underneath is already lock-protected.
+
+Routes
+------
+======  =================================  ========================================
+POST    /v1/diagnose                       one request in, one response out
+POST    /v1/batch                          JSONL in, JSONL out (engine thread pool)
+POST    /v1/sessions                       create a repair session
+GET     /v1/sessions                       list live sessions
+GET     /v1/sessions/{id}                  session summary + current rows
+DELETE  /v1/sessions/{id}                  retire a session
+POST    /v1/sessions/{id}/queries          append queries (SQL or structural)
+POST    /v1/sessions/{id}/complaints       register complaints
+POST    /v1/sessions/{id}/diagnose         diagnose, cache the repair
+POST    /v1/sessions/{id}/accept-repair    adopt the cached repair
+GET     /healthz                           liveness
+GET     /metrics                           Prometheus text (or ``?format=json``)
+======  =================================  ========================================
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.exceptions import ReproError
+from repro.server import handlers
+from repro.server.handlers import HTTPError
+from repro.server.store import NoPendingRepair, SessionNotFound, SessionStore
+from repro.server.telemetry import Telemetry
+from repro.service.engine import DiagnosisEngine
+from repro.service.serialize import SerializationError
+
+#: Default cap on request bodies (16 MiB) — large enough for serious logs and
+#: states, small enough that one client cannot balloon server memory.
+DEFAULT_MAX_REQUEST_BYTES = 16 * 1024 * 1024
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request as the handlers see it."""
+
+    method: str
+    path: str
+    params: dict[str, str] = field(default_factory=dict)
+    query: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+@dataclass
+class Response:
+    """One HTTP response as the handlers produce it."""
+
+    status: int = 200
+    content_type: str = "application/json"
+    body: bytes = b""
+
+
+Handler = Callable[["DiagnosisApp", Request], Response]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routing-table entry: method + compiled path pattern + handler."""
+
+    method: str
+    pattern: re.Pattern[str]
+    handler: Handler
+    #: Stable label for telemetry (the route template, not the concrete path,
+    #: so ``/v1/sessions/abc`` and ``/v1/sessions/def`` aggregate together).
+    label: str
+
+
+def _route(method: str, template: str, handler: Handler) -> Route:
+    """Compile ``/v1/sessions/{sid}/diagnose`` into a routing entry."""
+    pattern = re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", template)
+    return Route(method, re.compile(f"^{pattern}$"), handler, f"{method} {template}")
+
+
+class DiagnosisApp:
+    """The socket-free application core: routing table + dispatch.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`DiagnosisEngine` all endpoints diagnose through.  Its
+        ``max_workers`` governs ``/v1/batch`` fan-out.
+    store:
+        Session store; a fresh one over ``engine`` is created when omitted.
+    telemetry:
+        Counter sink; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        engine: DiagnosisEngine | None = None,
+        *,
+        store: SessionStore | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.engine = engine if engine is not None else DiagnosisEngine()
+        self.store = store if store is not None else SessionStore(self.engine)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.routes: tuple[Route, ...] = (
+            _route("POST", "/v1/diagnose", handlers.handle_diagnose),
+            _route("POST", "/v1/batch", handlers.handle_batch),
+            _route("POST", "/v1/sessions", handlers.handle_session_create),
+            _route("GET", "/v1/sessions", handlers.handle_session_list),
+            _route("GET", "/v1/sessions/{sid}", handlers.handle_session_get),
+            _route("DELETE", "/v1/sessions/{sid}", handlers.handle_session_delete),
+            _route("POST", "/v1/sessions/{sid}/queries", handlers.handle_session_append),
+            _route(
+                "POST", "/v1/sessions/{sid}/complaints", handlers.handle_session_complaints
+            ),
+            _route(
+                "POST", "/v1/sessions/{sid}/diagnose", handlers.handle_session_diagnose
+            ),
+            _route(
+                "POST", "/v1/sessions/{sid}/accept-repair", handlers.handle_session_accept
+            ),
+            _route("GET", "/healthz", handlers.handle_healthz),
+            _route("GET", "/metrics", handlers.handle_metrics),
+        )
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _match(self, method: str, path: str) -> tuple[Route | None, dict[str, str], bool]:
+        """Find the route for ``method path``; also report path-only matches."""
+        path_matched = False
+        for route in self.routes:
+            found = route.pattern.match(path)
+            if found is None:
+                continue
+            path_matched = True
+            if route.method == method:
+                return route, dict(found.groupdict()), True
+        return None, {}, path_matched
+
+    def dispatch(self, method: str, target: str, body: bytes = b"") -> Response:
+        """Route and serve one request; never raises.
+
+        ``target`` is the request target as it appears on the request line —
+        a path with an optional query string.  Handler exceptions are mapped
+        to statuses: bad payloads → 400, unknown ids → 404, accept-without-
+        repair → 409, anything unexpected → 500 (with the error named in the
+        JSON body, never a traceback leak).
+        """
+        start = time.perf_counter()
+        split = urlsplit(target)
+        path = split.path
+        method = method.upper()
+        route, params, path_matched = self._match(method, path)
+        if route is None:
+            if path_matched:
+                response = _error_response(405, f"method {method} not allowed for {path}")
+            else:
+                response = _error_response(404, f"no route for {method} {path}")
+            # Aggregate under one label per method, not the concrete path —
+            # recording scanner-probed URLs verbatim would grow the telemetry
+            # maps (and the /metrics payload) without bound.
+            self.telemetry.record_rejected()
+            self.telemetry.record_request(
+                f"{method} <unmatched>", response.status, time.perf_counter() - start
+            )
+            return response
+
+        request = Request(
+            method=method,
+            path=path,
+            params=params,
+            query=dict(parse_qsl(split.query)),
+            body=body,
+        )
+        try:
+            response = route.handler(self, request)
+        except HTTPError as error:
+            response = _error_response(error.status, error.message, type(error).__name__)
+        except SessionNotFound as error:
+            response = _error_response(404, str(error), type(error).__name__)
+        except NoPendingRepair as error:
+            response = _error_response(409, str(error), type(error).__name__)
+        except SerializationError as error:
+            response = _error_response(400, str(error), type(error).__name__)
+        except ReproError as error:
+            # Domain errors from deeper layers (full store, length mismatch…)
+            # are client-resolvable conflicts, not server faults.
+            response = _error_response(409, str(error), type(error).__name__)
+        except Exception as error:  # noqa: BLE001 - the serving loop must survive
+            response = _error_response(
+                500, f"internal error: {error}", type(error).__name__
+            )
+        self.telemetry.record_request(
+            route.label, response.status, time.perf_counter() - start
+        )
+        return response
+
+
+def _error_response(status: int, message: str, error_type: str = "HTTPError") -> Response:
+    payload = {"error": {"type": error_type, "message": message, "status": status}}
+    return Response(
+        status=status,
+        content_type="application/json",
+        body=json.dumps(payload).encode("utf-8"),
+    )
+
+
+# -- stdlib HTTP transport -------------------------------------------------------------
+
+
+class DiagnosisServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`DiagnosisApp`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: DiagnosisApp,
+        *,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ) -> None:
+        self.app = app
+        self.max_request_bytes = max_request_bytes
+        super().__init__(address, _HTTPRequestHandler)
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ephemeral ``port=0``)."""
+        return int(self.server_address[1])
+
+
+class _HTTPRequestHandler(BaseHTTPRequestHandler):
+    """Thin adapter: read the body, call the app, write the response."""
+
+    server: DiagnosisServer
+    server_version = "qfix-server"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: a client that promises Content-Length N and sends
+    #: fewer bytes must not pin this handler thread forever (slowloris);
+    #: BaseHTTPRequestHandler turns the timeout into a closed connection.
+    timeout = 60
+
+    # Silence the default stderr-per-request logging; telemetry covers it.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _read_body(self) -> bytes | None:
+        """Read the request body, or answer 413/411 and return ``None``."""
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            if self.command in ("POST", "PUT"):
+                self._write(_error_response(411, "Content-Length header is required"))
+                self.server.app.telemetry.record_rejected()
+                return None
+            return b""
+        try:
+            length = int(raw_length)
+        except ValueError:
+            self._write(_error_response(400, "Content-Length is not an integer"))
+            self.server.app.telemetry.record_rejected()
+            return None
+        if length < 0:
+            # rfile.read(-1) would block until EOF, pinning this handler
+            # thread for as long as the client keeps the connection open.
+            self._write(_error_response(400, "Content-Length must be non-negative"))
+            self.server.app.telemetry.record_rejected()
+            return None
+        if length > self.server.max_request_bytes:
+            self._write(
+                _error_response(
+                    413,
+                    f"request body of {length} bytes exceeds the limit of "
+                    f"{self.server.max_request_bytes} bytes",
+                )
+            )
+            self.server.app.telemetry.record_rejected()
+            return None
+        return self.rfile.read(length) if length else b""
+
+    def _write(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _serve(self) -> None:
+        body = self._read_body()
+        if body is None:
+            # The 413/411 was already written; drop the connection so an
+            # unread oversized body cannot wedge keep-alive framing.
+            self.close_connection = True
+            return
+        response = self.server.app.dispatch(self.command, self.path, body)
+        self._write(response)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        self._serve()
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._serve()
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._serve()
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._serve()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    app: DiagnosisApp | None = None,
+    engine: DiagnosisEngine | None = None,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+) -> DiagnosisServer:
+    """Build a bound (but not yet serving) :class:`DiagnosisServer`.
+
+    ``port=0`` binds an ephemeral port; read it back from ``server.port``.
+    Call ``serve_forever()`` (often on a background thread) to start serving
+    and ``shutdown()`` to stop.
+    """
+    application = app if app is not None else DiagnosisApp(engine)
+    return DiagnosisServer(
+        (host, port), application, max_request_bytes=max_request_bytes
+    )
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    engine: DiagnosisEngine | None = None,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ready_callback: Callable[[DiagnosisServer], None] | None = None,
+) -> None:
+    """Blocking convenience runner: build a server and serve until interrupted.
+
+    ``ready_callback`` (if given) receives the bound server right before the
+    serving loop starts — the CLI uses it to print / persist the actual port.
+    """
+    server = make_server(
+        host, port, engine=engine, max_request_bytes=max_request_bytes
+    )
+    if ready_callback is not None:
+        ready_callback(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,247 @@
+"""`DiagnosisClient` — a typed, urllib-based client for the HTTP service.
+
+The client mirrors every server endpoint with a method that speaks domain
+objects on both sides: :class:`~repro.service.types.DiagnosisRequest` in,
+:class:`~repro.service.types.DiagnosisResponse` out, :class:`Query` /
+:class:`Complaint` for session updates.  Serialization happens through the
+same :mod:`repro.service.serialize` codecs the server uses, so a repair
+computed remotely maps losslessly back onto the caller's log.
+
+Transport errors and HTTP error statuses raise :class:`ServerError` carrying
+the status code and the server's structured error payload; *application-level*
+diagnosis failures do not raise — they come back as ``ok=False`` responses,
+same as the in-process engine.
+
+Only the standard library is used (``urllib.request``), so the client imports
+anywhere the package does.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.complaints import Complaint, ComplaintSet
+from repro.core.config import QFixConfig
+from repro.db.database import Database
+from repro.exceptions import ReproError
+from repro.queries.log import QueryLog
+from repro.queries.query import Query
+from repro.service.serialize import (
+    complaint_to_dict,
+    config_to_dict,
+    database_to_dict,
+    log_to_dict,
+    query_to_dict,
+    schema_to_dict,
+)
+from repro.service.types import DiagnosisRequest, DiagnosisResponse
+
+
+class ServerError(ReproError):
+    """The server answered with an HTTP error status (or was unreachable)."""
+
+    def __init__(self, status: int, message: str, error_type: str = "") -> None:
+        super().__init__(f"[{status}] {message}" if status else message)
+        self.status = status
+        self.message = message
+        self.error_type = error_type
+
+
+class DiagnosisClient:
+    """Typed HTTP client for a :mod:`repro.server` instance.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``"http://127.0.0.1:8080"``; a trailing slash is
+        tolerated.
+    timeout:
+        Per-request socket timeout in seconds.  Diagnosis calls solve MILPs
+        server-side, so the default is generous.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, str, bytes]:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": content_type} if body is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return (
+                    reply.status,
+                    reply.headers.get("Content-Type", ""),
+                    reply.read(),
+                )
+        except urllib.error.HTTPError as error:
+            payload = error.read()
+            message, error_type = _parse_error(payload)
+            raise ServerError(error.code, message or str(error), error_type) from None
+        except urllib.error.URLError as error:
+            raise ServerError(0, f"server unreachable: {error.reason}") from None
+
+    def _json(self, method: str, path: str, payload: Any | None = None) -> Any:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        _, _, raw = self._request(method, path, body=body)
+        return json.loads(raw.decode("utf-8")) if raw else {}
+
+    # -- stateless diagnosis -------------------------------------------------------
+
+    def diagnose(self, request: DiagnosisRequest) -> DiagnosisResponse:
+        """``POST /v1/diagnose`` — serve one request remotely."""
+        data = self._json("POST", "/v1/diagnose", request.to_dict())
+        return DiagnosisResponse.from_dict(data)
+
+    def diagnose_batch(
+        self, requests: Sequence[DiagnosisRequest]
+    ) -> list[DiagnosisResponse]:
+        """``POST /v1/batch`` — JSONL fan-out through the server's thread pool."""
+        body = "\n".join(json.dumps(item.to_dict()) for item in requests)
+        _, _, raw = self._request(
+            "POST",
+            "/v1/batch",
+            body=body.encode("utf-8"),
+            content_type="application/x-ndjson",
+        )
+        return [
+            DiagnosisResponse.from_dict(json.loads(line))
+            for line in raw.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+
+    # -- the sessions resource -----------------------------------------------------
+
+    def create_session(
+        self,
+        initial: Database,
+        log: QueryLog | Iterable[Query] | None = None,
+        *,
+        config: QFixConfig | None = None,
+        session_id: str = "",
+    ) -> str:
+        """``POST /v1/sessions`` — open a remote repair session, return its id."""
+        queries = log if isinstance(log, QueryLog) else QueryLog(log or ())
+        payload: dict[str, Any] = {
+            "schema": schema_to_dict(initial.schema),
+            "initial": database_to_dict(initial),
+            "log": log_to_dict(queries),
+        }
+        if config is not None:
+            payload["config"] = config_to_dict(config)
+        if session_id:
+            payload["session_id"] = session_id
+        return str(self._json("POST", "/v1/sessions", payload)["session_id"])
+
+    def list_sessions(self) -> list[dict[str, Any]]:
+        """``GET /v1/sessions`` — summaries of every live session."""
+        return list(self._json("GET", "/v1/sessions")["sessions"])
+
+    def get_session(self, session_id: str) -> dict[str, Any]:
+        """``GET /v1/sessions/{id}`` — summary plus current rows."""
+        return dict(self._json("GET", f"/v1/sessions/{session_id}"))
+
+    def delete_session(self, session_id: str) -> None:
+        """``DELETE /v1/sessions/{id}`` — retire a session."""
+        self._json("DELETE", f"/v1/sessions/{session_id}")
+
+    def append_queries(
+        self, session_id: str, queries: Iterable[Query]
+    ) -> dict[str, Any]:
+        """``POST /v1/sessions/{id}/queries`` with lossless structural payloads."""
+        payload = {"queries": [query_to_dict(query) for query in queries]}
+        return dict(self._json("POST", f"/v1/sessions/{session_id}/queries", payload))
+
+    def append_sql(
+        self, session_id: str, sql: str, *, label: str | None = None
+    ) -> dict[str, Any]:
+        """``POST /v1/sessions/{id}/queries`` with one SQL-text statement.
+
+        When ``label`` is omitted the server assigns the next ``q{n}`` in the
+        session's numbering — labels must be unique per log (parameter names
+        derive from them), so a fixed client-side default would collide on
+        the second call.
+        """
+        item: dict[str, Any] = {"sql": sql}
+        if label is not None:
+            item["label"] = label
+        payload = {"queries": [item]}
+        return dict(self._json("POST", f"/v1/sessions/{session_id}/queries", payload))
+
+    def add_complaints(
+        self, session_id: str, complaints: ComplaintSet | Iterable[Complaint]
+    ) -> dict[str, Any]:
+        """``POST /v1/sessions/{id}/complaints`` — register complaints."""
+        payload = {"complaints": [complaint_to_dict(item) for item in complaints]}
+        return dict(
+            self._json("POST", f"/v1/sessions/{session_id}/complaints", payload)
+        )
+
+    def add_complaint(
+        self,
+        session_id: str,
+        rid: int,
+        target: Mapping[str, float] | None = None,
+        *,
+        exists_in_dirty: bool = True,
+    ) -> dict[str, Any]:
+        """Shorthand for a single ``(rid, target)`` complaint."""
+        complaint = Complaint(
+            rid, dict(target) if target is not None else None, exists_in_dirty
+        )
+        return self.add_complaints(session_id, [complaint])
+
+    def diagnose_session(
+        self, session_id: str, *, diagnoser: str | None = None
+    ) -> DiagnosisResponse:
+        """``POST /v1/sessions/{id}/diagnose`` — run a diagnosis server-side."""
+        payload = {"diagnoser": diagnoser} if diagnoser is not None else {}
+        data = self._json("POST", f"/v1/sessions/{session_id}/diagnose", payload)
+        return DiagnosisResponse.from_dict(data)
+
+    def accept_repair(self, session_id: str) -> dict[str, Any]:
+        """``POST /v1/sessions/{id}/accept-repair`` — adopt the cached repair."""
+        return dict(
+            self._json("POST", f"/v1/sessions/{session_id}/accept-repair", {})
+        )
+
+    # -- observability -------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """``GET /healthz`` — liveness document (raises if not reachable)."""
+        return dict(self._json("GET", "/healthz"))
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition."""
+        _, _, raw = self._request("GET", "/metrics")
+        return raw.decode("utf-8")
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """``GET /metrics?format=json`` — the structured counter snapshot."""
+        return dict(self._json("GET", "/metrics?format=json"))
+
+
+def _parse_error(payload: bytes) -> tuple[str, str]:
+    """Extract (message, type) from a structured error body, tolerantly."""
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        error = data.get("error", {})
+        return str(error.get("message", "")), str(error.get("type", ""))
+    except Exception:  # noqa: BLE001 - non-JSON error bodies happen
+        return payload.decode("utf-8", "replace")[:200], ""

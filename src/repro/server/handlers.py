@@ -1,0 +1,309 @@
+"""Endpoint implementations for the HTTP serving layer.
+
+Each handler is a plain function ``(app, request) -> Response`` — the routing
+table in :mod:`repro.server.app` maps method/path patterns onto them.  They
+translate between wire payloads (JSON / JSONL, parsed-SQL convenience forms)
+and the service layer (:class:`~repro.service.engine.DiagnosisEngine`,
+:class:`~repro.server.store.SessionStore`), and increment the engine-path
+telemetry counters around every diagnosis they trigger.
+
+Wire conventions
+----------------
+* Request bodies are JSON except ``POST /v1/batch``, which is JSONL (one
+  serialized :class:`DiagnosisRequest` per line) and answers JSONL.
+* Queries may arrive either structurally (the lossless
+  :func:`~repro.service.serialize.query_to_dict` form) or as SQL text
+  (``{"sql": "...", "label": "q7"}``) — the SQL form is curl-friendly but
+  re-parameterizes literals, so round-tripping repairs onto a caller-side log
+  needs the structural form.
+* Errors use ``{"error": {"type", "message", "status"}}``; application-level
+  diagnosis failures are *not* HTTP errors (the 200 response carries
+  ``ok=False``), matching the engine's isolation contract.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.complaints import Complaint
+from repro.queries.query import Query
+from repro.service.serialize import (
+    SerializationError,
+    complaint_from_dict,
+    config_from_dict,
+    database_from_dict,
+    log_from_dict,
+    query_from_dict,
+    schema_from_dict,
+)
+from repro.service.engine import serve_jsonl_lines
+from repro.service.session import RepairSession
+from repro.service.types import DiagnosisRequest
+from repro.sql import parse_query, parse_script
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.server.app import DiagnosisApp, Request, Response
+
+
+class HTTPError(Exception):
+    """An error that maps onto a specific HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _json_response(payload: Any, *, status: int = 200) -> "Response":
+    from repro.server.app import Response
+
+    return Response(
+        status=status,
+        content_type="application/json",
+        body=json.dumps(payload).encode("utf-8"),
+    )
+
+
+def _parse_json(request: "Request") -> Any:
+    if not request.body:
+        return {}
+    try:
+        return json.loads(request.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise HTTPError(400, f"request body is not valid JSON: {error}") from error
+
+
+def _require_mapping(payload: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(payload, Mapping):
+        raise HTTPError(400, f"{what} must be a JSON object")
+    return payload
+
+
+def _decode_queries(payload: Mapping[str, Any], *, label_offset: int = 0) -> list[Query]:
+    """Decode the ``queries`` list: structural dicts and/or SQL-text items.
+
+    SQL items without an explicit ``label`` default to ``q{n}`` numbered past
+    ``label_offset`` (the session's current log length), continuing the
+    ``parse_script`` convention so defaults stay unique across appends —
+    parameter names derive from labels, so collisions are not harmless.
+    """
+    items = payload.get("queries")
+    if not isinstance(items, list) or not items:
+        raise HTTPError(400, "body must carry a non-empty 'queries' list")
+    queries: list[Query] = []
+    for index, item in enumerate(items):
+        entry = _require_mapping(item, f"queries[{index}]")
+        try:
+            if "sql" in entry:
+                # JSON null means "no label given", same as an absent key.
+                label = entry.get("label")
+                if label is None:
+                    label = f"q{label_offset + index + 1}"
+                queries.append(parse_query(str(entry["sql"]), label=str(label)))
+            else:
+                queries.append(query_from_dict(entry))
+        except HTTPError:
+            raise
+        except Exception as error:  # noqa: BLE001 - decode boundary
+            raise HTTPError(400, f"queries[{index}] is invalid: {error}") from error
+    return queries
+
+
+def _decode_complaints(payload: Mapping[str, Any]) -> list[Complaint]:
+    items = payload.get("complaints")
+    if not isinstance(items, list) or not items:
+        raise HTTPError(400, "body must carry a non-empty 'complaints' list")
+    complaints: list[Complaint] = []
+    for index, item in enumerate(items):
+        entry = _require_mapping(item, f"complaints[{index}]")
+        try:
+            complaints.append(complaint_from_dict(entry))
+        except Exception as error:  # noqa: BLE001 - decode boundary
+            raise HTTPError(400, f"complaints[{index}] is invalid: {error}") from error
+    return complaints
+
+
+# -- stateless diagnosis ---------------------------------------------------------------
+
+
+def handle_diagnose(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``POST /v1/diagnose`` — one DiagnosisRequest in, one DiagnosisResponse out."""
+    payload = _require_mapping(_parse_json(request), "diagnosis request")
+    try:
+        decoded = DiagnosisRequest.from_dict(payload)
+    except SerializationError as error:
+        raise HTTPError(400, str(error)) from error
+    response = app.engine.submit(decoded)
+    app.telemetry.record_diagnosis(response.ok)
+    return _json_response(response.to_dict())
+
+
+def handle_batch(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``POST /v1/batch`` — JSONL of requests in, JSONL of responses out.
+
+    Shares :func:`~repro.service.engine.serve_jsonl_lines` with the CLI
+    ``batch`` command: a malformed line yields an ``ok=False`` response *in
+    place* instead of failing the whole batch, and output order matches
+    input order.
+    """
+    try:
+        text = request.body.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise HTTPError(400, f"batch body is not valid UTF-8: {error}") from error
+
+    responses = serve_jsonl_lines(app.engine, text.splitlines())
+    if not responses:
+        raise HTTPError(400, "batch body carried no requests")
+    for response in responses:
+        app.telemetry.record_diagnosis(response.ok)
+
+    from repro.server.app import Response
+
+    body = "\n".join(json.dumps(response.to_dict()) for response in responses)
+    return Response(
+        status=200,
+        content_type="application/x-ndjson",
+        body=(body + "\n").encode("utf-8"),
+    )
+
+
+# -- the sessions resource -------------------------------------------------------------
+
+
+#: Explicit session ids must be routable: ``/v1/sessions/{sid}`` matches
+#: ``[^/]+``, so a ``/`` (or URL-significant noise) would create a session no
+#: route could ever address again.
+_SESSION_ID_PATTERN = re.compile(r"^[A-Za-z0-9._~-]{1,64}$")
+
+
+def handle_session_create(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``POST /v1/sessions`` — open a repair session from schema + initial state."""
+    payload = _require_mapping(_parse_json(request), "session create request")
+    if "schema" not in payload:
+        raise HTTPError(400, "session create request is missing the 'schema' field")
+    # `or ""` folds JSON null into "generate an id", same as an absent key.
+    if "sql" in payload and "log" in payload:
+        raise HTTPError(
+            400,
+            "session create request carries both 'sql' and 'log'; supply one "
+            "(the structural 'log' form is lossless, 'sql' re-parameterizes)",
+        )
+    session_id = str(payload.get("session_id") or "")
+    if session_id and not _SESSION_ID_PATTERN.fullmatch(session_id):
+        raise HTTPError(
+            400,
+            "session_id must be 1-64 characters from [A-Za-z0-9._~-] "
+            "so it stays addressable in the /v1/sessions/{id} path",
+        )
+    try:
+        schema = schema_from_dict(payload["schema"])
+        initial = database_from_dict(schema, payload.get("initial", {}))
+        if "sql" in payload:
+            log = parse_script(str(payload["sql"]))
+        else:
+            log = log_from_dict(payload.get("log", []))
+        config = payload.get("config")
+        # A per-session config needs a private engine: RepairSession only
+        # honours ``config`` when it builds the engine itself.
+        session = RepairSession(
+            initial,
+            log,
+            engine=app.engine if config is None else None,
+            config=config_from_dict(config) if config is not None else None,
+        )
+    except HTTPError:
+        raise
+    except Exception as error:  # noqa: BLE001 - decode boundary
+        raise HTTPError(400, f"cannot build session: {error}") from error
+    sid = app.store.create(session, session_id=session_id)
+    return _json_response(app.store.describe(sid), status=201)
+
+
+def handle_session_list(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``GET /v1/sessions`` — summaries of every live session."""
+    return _json_response({"sessions": app.store.describe_all()})
+
+
+def handle_session_get(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``GET /v1/sessions/{id}`` — one session's summary and current rows."""
+    return _json_response(
+        app.store.describe(request.params["sid"], include_rows=True)
+    )
+
+
+def handle_session_delete(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``DELETE /v1/sessions/{id}`` — retire a session."""
+    app.store.delete(request.params["sid"])
+    return _json_response({"deleted": request.params["sid"]})
+
+
+def handle_session_append(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``POST /v1/sessions/{id}/queries`` — append to the session's log."""
+    payload = _require_mapping(_parse_json(request), "append request")
+    # Default labels continue the session's numbering.  Concurrent appends to
+    # the same session could still race to the same default, but the store
+    # rejects the loser with a clean conflict instead of poisoning the log.
+    offset = app.store.query_count(request.params["sid"])
+    queries = _decode_queries(payload, label_offset=offset)
+    return _json_response(app.store.append(request.params["sid"], queries))
+
+
+def handle_session_complaints(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``POST /v1/sessions/{id}/complaints`` — register complaints."""
+    payload = _require_mapping(_parse_json(request), "complaints request")
+    complaints = _decode_complaints(payload)
+    return _json_response(app.store.add_complaints(request.params["sid"], complaints))
+
+
+def handle_session_diagnose(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``POST /v1/sessions/{id}/diagnose`` — run a diagnosis, cache the repair."""
+    payload = _require_mapping(_parse_json(request), "diagnose request")
+    diagnoser = payload.get("diagnoser")
+    response = app.store.diagnose(
+        request.params["sid"],
+        diagnoser=str(diagnoser) if diagnoser is not None else None,
+    )
+    app.telemetry.record_diagnosis(response.ok)
+    return _json_response(response.to_dict())
+
+
+def handle_session_accept(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``POST /v1/sessions/{id}/accept-repair`` — adopt the cached repair."""
+    return _json_response(app.store.accept_repair(request.params["sid"]))
+
+
+# -- observability ---------------------------------------------------------------------
+
+
+def handle_healthz(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``GET /healthz`` — liveness plus a tiny state summary.
+
+    Deliberately cheap: liveness probes hit this every few seconds, so it
+    must not copy the full telemetry snapshot per call.
+    """
+    import repro
+
+    return _json_response(
+        {
+            "status": "ok",
+            "version": repro.__version__,
+            "sessions": len(app.store),
+            "uptime_seconds": time.time() - app.telemetry.started_at,
+        }
+    )
+
+
+def handle_metrics(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``GET /metrics`` — Prometheus text by default, JSON with ``?format=json``."""
+    if request.query.get("format") == "json":
+        return _json_response(app.telemetry.snapshot())
+    from repro.server.app import Response
+
+    return Response(
+        status=200,
+        content_type="text/plain; version=0.0.4; charset=utf-8",
+        body=app.telemetry.render_prometheus().encode("utf-8"),
+    )

@@ -1,0 +1,280 @@
+"""Lock-protected store of live :class:`~repro.service.session.RepairSession`s.
+
+The HTTP layer is threaded (one handler thread per connection), so the store
+does two kinds of locking: a store-level lock guarding the id → entry map, and
+a per-entry lock serializing operations *within* one session — two clients
+appending to the same session interleave safely, while operations on different
+sessions never contend.
+
+Each entry also remembers the most recent successful diagnosis so that
+``accept-repair`` can work over the wire: the HTTP response carries only the
+portable :class:`~repro.service.types.DiagnosisResponse` fields, but adopting
+a repaired log needs the in-process :class:`~repro.core.repair.RepairResult`,
+which therefore stays server-side, keyed by the session.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from typing import Any, Iterable
+
+from repro.core.complaints import Complaint
+from repro.core.repair import RepairResult
+from repro.exceptions import ReproError
+from repro.queries.query import Query
+from repro.service.engine import DiagnosisEngine
+from repro.service.session import RepairSession
+from repro.service.types import DiagnosisResponse
+
+
+class SessionNotFound(ReproError):
+    """No live session with the requested id."""
+
+
+class NoPendingRepair(ReproError):
+    """``accept-repair`` was called before any feasible diagnosis."""
+
+
+class _Entry:
+    """One live session plus its lock and cached last result."""
+
+    __slots__ = ("session", "lock", "last_result", "version")
+
+    def __init__(self, session: RepairSession) -> None:
+        self.session = session
+        self.lock = threading.Lock()
+        self.last_result: RepairResult | None = None
+        #: Bumped by every mutation; :meth:`SessionStore.diagnose` runs the
+        #: solve outside the lock and only caches its repair if the session
+        #: is still at the version it snapshotted.
+        self.version = 0
+
+
+class SessionStore:
+    """Create, look up, mutate, and retire repair sessions by id.
+
+    Parameters
+    ----------
+    engine:
+        The shared :class:`DiagnosisEngine` every stored session diagnoses
+        through.
+    max_sessions:
+        Hard cap on concurrently live sessions; creation beyond it raises
+        :class:`ReproError` rather than growing without bound under traffic.
+    """
+
+    def __init__(self, engine: DiagnosisEngine | None = None, *, max_sessions: int = 1024) -> None:
+        self.engine = engine if engine is not None else DiagnosisEngine()
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        self._entries: dict[str, _Entry] = {}
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def create(self, session: RepairSession, *, session_id: str = "") -> str:
+        """Register ``session`` and return its id (generated when blank)."""
+        sid = session_id or uuid.uuid4().hex[:16]
+        with self._lock:
+            if len(self._entries) >= self.max_sessions:
+                raise ReproError(
+                    f"session store is full ({self.max_sessions} live sessions); "
+                    "delete finished sessions before creating new ones"
+                )
+            if sid in self._entries:
+                raise ReproError(f"session id {sid!r} already exists")
+            session.session_id = sid
+            self._entries[sid] = _Entry(session)
+        return sid
+
+    def delete(self, session_id: str) -> None:
+        """Retire a session; unknown ids raise :class:`SessionNotFound`."""
+        with self._lock:
+            if session_id not in self._entries:
+                raise SessionNotFound(f"no session {session_id!r}")
+            del self._entries[session_id]
+
+    def _entry(self, session_id: str) -> _Entry:
+        with self._lock:
+            try:
+                return self._entries[session_id]
+            except KeyError:
+                raise SessionNotFound(f"no session {session_id!r}") from None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def ids(self) -> list[str]:
+        """Ids of all live sessions (sorted for stable listings)."""
+        with self._lock:
+            return sorted(self._entries)
+
+    # -- observation ---------------------------------------------------------------
+
+    @staticmethod
+    def _describe_locked(entry: _Entry, session_id: str) -> dict[str, Any]:
+        """Summary dict; the caller must hold ``entry.lock``."""
+        session = entry.session
+        return {
+            "session_id": session_id,
+            "queries": len(session.log),
+            "complaints": len(session.complaints),
+            "rows": len(session.final),
+            "full_replays": session.full_replays,
+            "pending_repair": entry.last_result is not None,
+            "log_sql": session.log.render_sql(),
+        }
+
+    def describe(self, session_id: str, *, include_rows: bool = False) -> dict[str, Any]:
+        """A JSON-native summary of one session's current state.
+
+        ``include_rows=True`` adds the final-state rows under ``rows_data``,
+        taken in the same lock acquisition so the summary and the rows can
+        never disagree.
+        """
+        entry = self._entry(session_id)
+        with entry.lock:
+            summary = self._describe_locked(entry, session_id)
+            if include_rows:
+                summary["rows_data"] = [
+                    {"rid": row.rid, "values": dict(row.values)}
+                    for row in entry.session.final.rows()
+                ]
+            return summary
+
+    def describe_all(self) -> list[dict[str, Any]]:
+        """Summaries of every live session (ids deleted mid-walk are skipped)."""
+        summaries = []
+        for sid in self.ids():
+            try:
+                summaries.append(self.describe(sid))
+            except SessionNotFound:
+                # A concurrent delete between ids() and describe() is not an
+                # error for the listing; the session is simply gone.
+                continue
+        return summaries
+
+    # -- mutation ------------------------------------------------------------------
+
+    def append(self, session_id: str, queries: Iterable[Query]) -> dict[str, Any]:
+        """Append queries to a session's log, all-or-nothing.
+
+        Labels must be unique across the whole log: parameter names derive
+        from them at parse time, and a duplicate would make every later
+        diagnosis fail with a parameter-reuse error — with no endpoint to
+        remove queries, that would poison the session permanently.  Rejected
+        up front as a conflict instead.
+
+        The whole batch is applied to a staging state first, so a query that
+        fails mid-application (e.g. an unknown attribute) leaves the session
+        exactly as it was — an error response never means a half-appended
+        log that has silently diverged from the client's view.
+        """
+        entry = self._entry(session_id)
+        incoming = list(queries)
+        with entry.lock:
+            seen = {query.label for query in entry.session.log}
+            for query in incoming:
+                if query.label in seen:
+                    raise ReproError(
+                        f"query label {query.label!r} already exists in the "
+                        "session log; labels must be unique because parameter "
+                        "names derive from them"
+                    )
+                seen.add(query.label)
+            entry.session.append_many(incoming)
+            # The cached repaired log no longer matches the history.
+            entry.last_result = None
+            entry.version += 1
+            return self._describe_locked(entry, session_id)
+
+    def query_count(self, session_id: str) -> int:
+        """Current log length (used to derive default labels for appends)."""
+        entry = self._entry(session_id)
+        with entry.lock:
+            return len(entry.session.log)
+
+    def add_complaints(
+        self,
+        session_id: str,
+        complaints: Iterable[Complaint],
+    ) -> dict[str, Any]:
+        """Register complaints against the session's current final state."""
+        entry = self._entry(session_id)
+        with entry.lock:
+            for complaint in complaints:
+                entry.session.add_complaint(complaint)
+            # A cached repair never saw these complaints; accepting it would
+            # silently clear them unresolved.
+            entry.last_result = None
+            entry.version += 1
+            return self._describe_locked(entry, session_id)
+
+    def clear_complaints(self, session_id: str) -> dict[str, Any]:
+        """Drop the session's registered complaints."""
+        entry = self._entry(session_id)
+        with entry.lock:
+            entry.session.clear_complaints()
+            # The cached repair answered a complaint set that no longer exists.
+            entry.last_result = None
+            entry.version += 1
+            return self._describe_locked(entry, session_id)
+
+    def diagnose(
+        self,
+        session_id: str,
+        *,
+        diagnoser: str | None = None,
+    ) -> DiagnosisResponse:
+        """Diagnose a session, caching the result for ``accept_repair``.
+
+        Never raises for diagnosis failures — like
+        :meth:`DiagnosisEngine.submit`, trouble comes back as an ``ok=False``
+        response; only an unknown session id raises.
+
+        The MILP solve runs *outside* the entry lock (solves can take
+        minutes, and holding the lock would block ``describe`` / listings of
+        this session for the duration): the problem is snapshotted under the
+        lock, solved unlocked, and the repair cached only if the session is
+        still at the snapshotted version — a concurrent mutation means the
+        result no longer matches the history and must not become adoptable.
+        """
+        entry = self._entry(session_id)
+        with entry.lock:
+            request = entry.session.to_request(diagnoser=diagnoser)
+            engine = entry.session.engine
+            version = entry.version
+        response = engine.submit(request)
+        with entry.lock:
+            if entry.version == version:
+                # Cache only repairs that accept_repair could actually adopt —
+                # an infeasible result must not read as ``pending_repair``.
+                entry.last_result = (
+                    response.result if response.ok and response.feasible else None
+                )
+        return response
+
+    def accept_repair(self, session_id: str) -> dict[str, Any]:
+        """Adopt the last feasible diagnosis as the session's new history."""
+        entry = self._entry(session_id)
+        with entry.lock:
+            result = entry.last_result
+            if result is None or not result.feasible:
+                raise NoPendingRepair(
+                    f"session {session_id!r} has no feasible repair to accept; "
+                    "run diagnose first"
+                )
+            entry.session.accept_repair(result)
+            entry.last_result = None
+            entry.version += 1
+            return self._describe_locked(entry, session_id)
+
+    def rows(self, session_id: str) -> list[dict[str, Any]]:
+        """The session's current final-state rows (rid + values)."""
+        entry = self._entry(session_id)
+        with entry.lock:
+            return [
+                {"rid": row.rid, "values": dict(row.values)}
+                for row in entry.session.final.rows()
+            ]

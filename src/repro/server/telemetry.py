@@ -1,0 +1,178 @@
+"""In-process observability for the HTTP serving layer.
+
+:class:`Telemetry` keeps thread-safe request / error / latency counters at two
+altitudes:
+
+* **transport** — every dispatched HTTP request, labelled by route and status
+  class, recorded by the app's dispatch loop;
+* **engine** — every diagnosis the serving layer pushed through the
+  :class:`~repro.service.engine.DiagnosisEngine` (single, batch, or session),
+  labelled by outcome, incremented by the handlers around the engine calls.
+
+``GET /metrics`` renders the same snapshot in two formats: a Prometheus-style
+text exposition (the default, so a scraper can point at the server with no
+adapter) and a JSON document (``?format=json``) that the Python client
+consumes for programmatic assertions.
+
+Everything is stdlib-only and allocation-light: one lock, plain dicts, no
+per-request objects retained.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+
+class _LatencyWindow:
+    """Running latency aggregate: count, total, min, max (seconds)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "min_seconds": self.minimum if self.count else 0.0,
+            "max_seconds": self.maximum,
+            "mean_seconds": (self.total / self.count) if self.count else 0.0,
+        }
+
+
+class Telemetry:
+    """Thread-safe counters behind ``/metrics``.
+
+    All mutation goes through :meth:`record_request`, :meth:`record_diagnosis`
+    and :meth:`record_rejected`; all observation through :meth:`snapshot` /
+    :meth:`render_prometheus`.  A single lock guards the maps — contention is
+    negligible next to a diagnosis MILP solve, and a consistent snapshot is
+    worth more than lock-free reads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_at = time.time()
+        #: per-route request counts: route -> status -> count
+        self._requests: dict[str, dict[int, int]] = {}
+        #: per-route latency aggregates
+        self._latency: dict[str, _LatencyWindow] = {}
+        #: requests refused before reaching a handler (oversized, bad route)
+        self._rejected = 0
+        #: engine-path counters
+        self._diagnoses_ok = 0
+        self._diagnoses_failed = 0
+
+    # -- recording -----------------------------------------------------------------
+
+    def record_request(self, route: str, status: int, seconds: float) -> None:
+        """Count one dispatched HTTP request against ``route``."""
+        with self._lock:
+            by_status = self._requests.setdefault(route, {})
+            by_status[status] = by_status.get(status, 0) + 1
+            self._latency.setdefault(route, _LatencyWindow()).observe(seconds)
+
+    def record_diagnosis(self, ok: bool) -> None:
+        """Count one diagnosis served through the engine paths."""
+        with self._lock:
+            if ok:
+                self._diagnoses_ok += 1
+            else:
+                self._diagnoses_failed += 1
+
+    def record_rejected(self) -> None:
+        """Count one request refused before it reached a handler."""
+        with self._lock:
+            self._rejected += 1
+
+    # -- observation ---------------------------------------------------------------
+
+    @property
+    def started_at(self) -> float:
+        """Unix timestamp of telemetry (≈ server) start."""
+        return self._started_at
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent point-in-time copy of every counter (JSON-native)."""
+        with self._lock:
+            requests = {
+                route: {str(status): count for status, count in sorted(counts.items())}
+                for route, counts in sorted(self._requests.items())
+            }
+            latency = {
+                route: window.snapshot()
+                for route, window in sorted(self._latency.items())
+            }
+            total = sum(
+                count for counts in self._requests.values() for count in counts.values()
+            )
+            errors = sum(
+                count
+                for counts in self._requests.values()
+                for status, count in counts.items()
+                if status >= 400
+            )
+            return {
+                "uptime_seconds": time.time() - self._started_at,
+                "requests_total": total,
+                "errors_total": errors,
+                "rejected_total": self._rejected,
+                "requests_by_route": requests,
+                "latency_by_route": latency,
+                "diagnoses": {
+                    "ok": self._diagnoses_ok,
+                    "failed": self._diagnoses_failed,
+                },
+            }
+
+    def render_prometheus(self) -> str:
+        """The snapshot as Prometheus text exposition (version 0.0.4)."""
+        snap = self.snapshot()
+        lines = [
+            "# HELP qfix_http_uptime_seconds Seconds since the server started.",
+            "# TYPE qfix_http_uptime_seconds gauge",
+            f"qfix_http_uptime_seconds {snap['uptime_seconds']:.3f}",
+            "# HELP qfix_http_requests_total Dispatched HTTP requests by route and status.",
+            "# TYPE qfix_http_requests_total counter",
+        ]
+        for route, counts in snap["requests_by_route"].items():
+            for status, count in counts.items():
+                lines.append(
+                    f'qfix_http_requests_total{{route="{route}",status="{status}"}} {count}'
+                )
+        lines += [
+            "# HELP qfix_http_rejected_total Requests refused before reaching a handler.",
+            "# TYPE qfix_http_rejected_total counter",
+            f"qfix_http_rejected_total {snap['rejected_total']}",
+            "# HELP qfix_http_request_seconds Request latency aggregates by route.",
+            "# TYPE qfix_http_request_seconds summary",
+        ]
+        for route, window in snap["latency_by_route"].items():
+            lines.append(
+                f'qfix_http_request_seconds_count{{route="{route}"}} {window["count"]}'
+            )
+            lines.append(
+                f'qfix_http_request_seconds_sum{{route="{route}"}} '
+                f'{window["total_seconds"]:.6f}'
+            )
+        lines += [
+            "# HELP qfix_diagnoses_total Diagnoses served through the engine paths.",
+            "# TYPE qfix_diagnoses_total counter",
+            f'qfix_diagnoses_total{{outcome="ok"}} {snap["diagnoses"]["ok"]}',
+            f'qfix_diagnoses_total{{outcome="failed"}} {snap["diagnoses"]["failed"]}',
+        ]
+        return "\n".join(lines) + "\n"

@@ -18,9 +18,10 @@ solver wiring and exposes three call shapes:
 
 from __future__ import annotations
 
+import json
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.complaints import ComplaintSet
 from repro.core.config import QFixConfig
@@ -46,12 +47,24 @@ class DiagnosisEngine:
         omitted (the default), a fresh backend is instantiated per request
         from the effective config — the safe choice for
         :meth:`diagnose_batch`, where requests run on worker threads.
+    max_workers:
+        Default thread-pool width for :meth:`diagnose_batch` (per-call
+        override still possible).  Deployment surfaces (the CLI ``batch`` and
+        ``serve`` commands) configure concurrency here, once, instead of
+        threading a pool size through every call site.
     """
 
     def __init__(
-        self, config: QFixConfig | None = None, solver: Solver | None = None
+        self,
+        config: QFixConfig | None = None,
+        solver: Solver | None = None,
+        *,
+        max_workers: int = 4,
     ) -> None:
+        if max_workers < 1:
+            raise ReproError("max_workers must be at least 1")
         self.config = config if config is not None else QFixConfig.fully_optimized()
+        self.max_workers = max_workers
         self._shared_solver = solver
 
     def _solver_for(self, config: QFixConfig) -> Solver:
@@ -135,21 +148,64 @@ class DiagnosisEngine:
         self,
         requests: Iterable[DiagnosisRequest],
         *,
-        max_workers: int = 4,
+        max_workers: int | None = None,
     ) -> list[DiagnosisResponse]:
         """Serve many independent requests concurrently.
 
         Responses come back in input order.  Each request is handled by
         :meth:`submit`, so a crashing or infeasible case yields an
         ``ok=False`` / ``feasible=False`` response without affecting its
-        neighbours.
+        neighbours.  ``max_workers`` defaults to the engine's configured
+        pool width.
         """
         items: Sequence[DiagnosisRequest] = list(requests)
         if not items:
             return []
-        if max_workers < 1:
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers < 1:
             raise ReproError("max_workers must be at least 1")
-        if max_workers == 1 or len(items) == 1:
+        if workers == 1 or len(items) == 1:
             return [self.submit(request) for request in items]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(self.submit, items))
+
+
+def serve_jsonl_lines(
+    engine: DiagnosisEngine, lines: Iterable[str]
+) -> list[DiagnosisResponse]:
+    """Serve JSONL :class:`DiagnosisRequest` lines, one response per request.
+
+    This is the shared contract behind the CLI ``batch`` command and the HTTP
+    ``POST /v1/batch`` endpoint: blank lines are skipped, a malformed line
+    becomes an ``ok=False`` response *in place* (with the caller's
+    ``request_id`` echoed when the JSON parsed far enough to carry one,
+    ``line-<n>`` otherwise), and output order matches input order.
+    """
+    requests: list[DiagnosisRequest | None] = []
+    parse_failures: dict[int, DiagnosisResponse] = {}
+    for index, line in enumerate(lines):
+        text = line.strip()
+        if not text:
+            continue
+        request_id = f"line-{index + 1}"
+        try:
+            payload = json.loads(text)
+            # The payload parsed: echo the caller's correlation id even if the
+            # request itself turns out to be malformed.
+            if isinstance(payload, Mapping) and payload.get("request_id"):
+                request_id = str(payload["request_id"])
+            requests.append(DiagnosisRequest.from_dict(payload))
+        except Exception as error:  # noqa: BLE001 - isolation boundary
+            parse_failures[len(requests)] = DiagnosisResponse.from_error(
+                request_id, "", error
+            )
+            requests.append(None)
+
+    served = engine.diagnose_batch(
+        [request for request in requests if request is not None]
+    )
+    iterator = iter(served)
+    return [
+        parse_failures[index] if request is None else next(iterator)
+        for index, request in enumerate(requests)
+    ]

@@ -118,6 +118,25 @@ class RepairSession:
             self.append(query)
         return self
 
+    def append_many(self, queries: Iterable[Query]) -> "RepairSession":
+        """Append a batch of queries atomically.
+
+        All queries are applied to one staging snapshot first and the
+        log/state swap happens only after every application succeeded — a
+        failure anywhere in the batch leaves the session untouched (the
+        per-query :meth:`append` would leave the prefix applied).  One
+        snapshot total, versus one per query via :meth:`extend`.
+        """
+        items = list(queries)
+        if not items:
+            return self
+        staged = self._final.snapshot()
+        for query in items:
+            apply_query(staged, query, in_place=True)
+        self._log = self._log.extend(items)
+        self._final = staged
+        return self
+
     def accept_repair(self, result: RepairResult) -> "RepairSession":
         """Adopt a repaired log as the session's new history.
 

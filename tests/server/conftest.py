@@ -1,0 +1,94 @@
+"""Shared fixtures for the HTTP serving layer tests.
+
+Everything runs on the paper's Figure-2 tax-bracket example: small enough to
+solve in milliseconds, rich enough to exercise repairs end to end.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.complaints import Complaint, ComplaintSet
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.queries.executor import replay
+from repro.queries.log import QueryLog
+from repro.server.app import DiagnosisApp, make_server
+from repro.server.client import DiagnosisClient
+from repro.service.types import DiagnosisRequest
+from repro.sql import parse_query
+
+
+@pytest.fixture()
+def schema():
+    return Schema.build("Taxes", ["income", "owed", "pay"], upper=300_000)
+
+
+@pytest.fixture()
+def initial(schema):
+    return Database(
+        schema,
+        [
+            {"income": 9_500, "owed": 950, "pay": 8_550},
+            {"income": 90_000, "owed": 22_500, "pay": 67_500},
+            {"income": 86_000, "owed": 21_500, "pay": 64_500},
+        ],
+    )
+
+
+@pytest.fixture()
+def queries():
+    return [
+        parse_query(
+            "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700", label="q1"
+        ),
+        parse_query("UPDATE Taxes SET pay = income - owed", label="q2"),
+    ]
+
+
+@pytest.fixture()
+def log(queries):
+    return QueryLog(queries)
+
+
+@pytest.fixture()
+def complaint(initial, log):
+    """The Figure-2 complaint: row 2 should have kept its bracket."""
+    dirty = replay(initial, log)
+    target = dict(dirty.get(2).values)
+    target.update(owed=21_500.0, pay=64_500.0)
+    return Complaint(2, target)
+
+
+@pytest.fixture()
+def request_payload(initial, log, complaint):
+    return DiagnosisRequest(
+        initial=initial,
+        log=log,
+        complaints=ComplaintSet([complaint]),
+        request_id="fig2",
+    )
+
+
+@pytest.fixture()
+def app():
+    return DiagnosisApp()
+
+
+@pytest.fixture()
+def live_server():
+    """A real threaded server on an ephemeral port, torn down after the test."""
+    server = make_server("127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+@pytest.fixture()
+def client(live_server):
+    return DiagnosisClient(f"http://127.0.0.1:{live_server.port}", timeout=60.0)

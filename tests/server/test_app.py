@@ -1,0 +1,229 @@
+"""Socket-free tests of routing, dispatch, and error mapping."""
+
+import json
+
+
+
+def get(app, path):
+    return app.dispatch("GET", path)
+
+
+def post(app, path, payload):
+    return app.dispatch("POST", path, json.dumps(payload).encode("utf-8"))
+
+
+def body_json(response):
+    return json.loads(response.body.decode("utf-8"))
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self, app):
+        response = get(app, "/v1/nope")
+        assert response.status == 404
+        assert body_json(response)["error"]["status"] == 404
+
+    def test_wrong_method_is_405(self, app):
+        response = get(app, "/v1/diagnose")
+        assert response.status == 405
+
+    def test_rejections_are_counted(self, app):
+        get(app, "/v1/nope")
+        get(app, "/v1/diagnose")
+        assert app.telemetry.snapshot()["rejected_total"] == 2
+
+    def test_path_parameters_are_extracted(self, app):
+        response = get(app, "/v1/sessions/deadbeef")
+        # Unknown id, but the route matched and the store was consulted.
+        assert response.status == 404
+        assert "deadbeef" in body_json(response)["error"]["message"]
+
+    def test_route_label_aggregates_concrete_paths(self, app):
+        get(app, "/v1/sessions/aaa")
+        get(app, "/v1/sessions/bbb")
+        routes = app.telemetry.snapshot()["requests_by_route"]
+        assert routes["GET /v1/sessions/{sid}"] == {"404": 2}
+
+
+class TestErrorMapping:
+    def test_invalid_json_body_is_400(self, app):
+        response = app.dispatch("POST", "/v1/diagnose", b"{not json")
+        assert response.status == 400
+
+    def test_non_object_body_is_400(self, app):
+        response = post(app, "/v1/diagnose", [1, 2, 3])
+        assert response.status == 400
+
+    def test_missing_schema_is_400(self, app):
+        response = post(app, "/v1/diagnose", {"log": []})
+        assert response.status == 400
+        assert "schema" in body_json(response)["error"]["message"]
+
+    def test_accept_without_repair_is_409(self, app, schema):
+        created = post(
+            app,
+            "/v1/sessions",
+            {"schema": {"name": schema.name, "attributes": []}},
+        )
+        sid = body_json(created)["session_id"]
+        response = post(app, f"/v1/sessions/{sid}/accept-repair", {})
+        assert response.status == 409
+
+    def test_empty_batch_is_400(self, app):
+        response = app.dispatch("POST", "/v1/batch", b"\n\n")
+        assert response.status == 400
+
+
+class TestHandlers:
+    def test_healthz_reports_version_and_sessions(self, app):
+        payload = body_json(get(app, "/healthz"))
+        import repro
+
+        assert payload["status"] == "ok"
+        assert payload["version"] == repro.__version__
+        assert payload["sessions"] == 0
+
+    def test_metrics_formats(self, app):
+        get(app, "/healthz")
+        text = get(app, "/metrics")
+        assert text.content_type.startswith("text/plain")
+        assert "qfix_http_requests_total" in text.body.decode("utf-8")
+        snapshot = body_json(get(app, "/metrics?format=json"))
+        assert snapshot["requests_by_route"]["GET /healthz"] == {"200": 1}
+
+    def test_session_create_with_sql_script(self, app, schema, initial):
+        from repro.service.serialize import database_to_dict, schema_to_dict
+
+        response = post(
+            app,
+            "/v1/sessions",
+            {
+                "schema": schema_to_dict(schema),
+                "initial": database_to_dict(initial),
+                "sql": "UPDATE Taxes SET pay = income - owed;",
+            },
+        )
+        assert response.status == 201
+        payload = body_json(response)
+        assert payload["queries"] == 1
+        assert "UPDATE Taxes" in payload["log_sql"]
+
+    def test_session_append_rejects_bad_items(self, app, schema, initial):
+        from repro.service.serialize import database_to_dict, schema_to_dict
+
+        sid = body_json(
+            post(
+                app,
+                "/v1/sessions",
+                {"schema": schema_to_dict(schema), "initial": database_to_dict(initial)},
+            )
+        )["session_id"]
+        response = post(
+            app, f"/v1/sessions/{sid}/queries", {"queries": [{"sql": "SELECT 1"}]}
+        )
+        assert response.status == 400
+        response = post(app, f"/v1/sessions/{sid}/queries", {"queries": []})
+        assert response.status == 400
+
+    def test_diagnose_counts_engine_telemetry(self, app, request_payload):
+        response = post(app, "/v1/diagnose", request_payload.to_dict())
+        assert response.status == 200
+        payload = body_json(response)
+        assert payload["ok"] is True and payload["feasible"] is True
+        assert app.telemetry.snapshot()["diagnoses"]["ok"] == 1
+
+    def test_batch_isolates_malformed_lines(self, app, request_payload):
+        lines = [
+            json.dumps(request_payload.to_dict()),
+            "{broken json",
+            json.dumps(request_payload.to_dict()),
+        ]
+        response = app.dispatch("POST", "/v1/batch", "\n".join(lines).encode("utf-8"))
+        assert response.status == 200
+        assert response.content_type == "application/x-ndjson"
+        served = [json.loads(line) for line in response.body.decode().splitlines()]
+        assert [item["ok"] for item in served] == [True, False, True]
+        assert served[1]["request_id"] == "line-2"
+        diagnoses = app.telemetry.snapshot()["diagnoses"]
+        assert diagnoses == {"ok": 2, "failed": 1}
+
+
+class TestQueryStringHandling:
+    def test_query_string_does_not_break_routing(self, app):
+        response = get(app, "/healthz?verbose=1")
+        assert response.status == 200
+
+
+class TestUnmatchedRouteTelemetry:
+    def test_unknown_paths_aggregate_under_one_label(self, app):
+        get(app, "/scanner/probe/1")
+        get(app, "/scanner/probe/2")
+        get(app, "/v1/diagnose")  # known path, wrong method
+        routes = app.telemetry.snapshot()["requests_by_route"]
+        assert routes["GET <unmatched>"] == {"404": 2, "405": 1}
+        assert not any("/scanner/" in label for label in routes)
+
+
+class TestNullTolerance:
+    def test_null_session_id_means_generate_one(self, app, schema, initial):
+        from repro.service.serialize import database_to_dict, schema_to_dict
+
+        payload = {
+            "schema": schema_to_dict(schema),
+            "initial": database_to_dict(initial),
+            "session_id": None,
+        }
+        first = body_json(post(app, "/v1/sessions", payload))
+        second = body_json(post(app, "/v1/sessions", payload))
+        assert first["session_id"] not in ("", "None")
+        assert second["session_id"] != first["session_id"]
+
+    def test_null_query_label_gets_default_numbering(self, app, schema, initial):
+        from repro.service.serialize import database_to_dict, schema_to_dict
+
+        sid = body_json(
+            post(
+                app,
+                "/v1/sessions",
+                {"schema": schema_to_dict(schema), "initial": database_to_dict(initial)},
+            )
+        )["session_id"]
+        response = post(
+            app,
+            f"/v1/sessions/{sid}/queries",
+            {"queries": [{"sql": "UPDATE Taxes SET pay = pay + 0", "label": None}]},
+        )
+        assert response.status == 200
+        assert "-- q1" in body_json(response)["log_sql"]
+
+
+class TestCreateValidation:
+    def test_trailing_newline_session_id_is_rejected(self, app, schema, initial):
+        from repro.service.serialize import database_to_dict, schema_to_dict
+
+        response = post(
+            app,
+            "/v1/sessions",
+            {
+                "schema": schema_to_dict(schema),
+                "initial": database_to_dict(initial),
+                "session_id": "demo\n",
+            },
+        )
+        assert response.status == 400
+        assert app.store.ids() == []
+
+    def test_both_sql_and_log_is_rejected_as_ambiguous(self, app, schema, initial):
+        from repro.service.serialize import database_to_dict, schema_to_dict
+
+        response = post(
+            app,
+            "/v1/sessions",
+            {
+                "schema": schema_to_dict(schema),
+                "initial": database_to_dict(initial),
+                "sql": "UPDATE Taxes SET pay = pay + 0;",
+                "log": [],
+            },
+        )
+        assert response.status == 400
+        assert "both" in body_json(response)["error"]["message"]

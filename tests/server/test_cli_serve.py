@@ -1,0 +1,104 @@
+"""The ``serve`` CLI subcommand, exercised as a real subprocess.
+
+This mirrors the CI smoke step: boot ``python -m repro.experiments.cli serve``
+on an ephemeral port, wait for ``/healthz``, make one real client request.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.cli import build_parser
+from repro.server.client import DiagnosisClient
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestParser:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--host",
+                "0.0.0.0",
+                "--port",
+                "0",
+                "--workers",
+                "8",
+                "--max-request-bytes",
+                "1024",
+                "--port-file",
+                "/tmp/port",
+            ]
+        )
+        assert args.experiment == "serve"
+        assert args.host == "0.0.0.0"
+        assert args.port == 0
+        assert args.workers == 8
+        assert args.max_request_bytes == 1024
+        assert args.port_file == "/tmp/port"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port, args.workers) == ("127.0.0.1", 8080, 4)
+        assert args.max_request_bytes is None
+        assert args.port_file is None
+
+
+class TestServeSubprocess:
+    def test_boots_serves_and_writes_port_file(self, tmp_path, initial, queries):
+        port_file = tmp_path / "port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.cli",
+                "serve",
+                "--port",
+                "0",
+                "--port-file",
+                str(port_file),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not port_file.exists() and time.monotonic() < deadline:
+                assert process.poll() is None, (
+                    f"serve exited early:\n{process.stdout.read()}"
+                )
+                time.sleep(0.05)
+            assert port_file.exists(), "serve never wrote the port file"
+            port = int(port_file.read_text().strip())
+
+            client = DiagnosisClient(f"http://127.0.0.1:{port}", timeout=30.0)
+            health = client.health()
+            assert health["status"] == "ok"
+
+            sid = client.create_session(initial, queries)
+            assert client.get_session(sid)["queries"] == len(queries)
+            client.delete_session(sid)
+            assert "GET /healthz" in client.metrics()
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - cleanup path
+                process.kill()
+                process.wait(timeout=10)
+
+    def test_rejects_bad_workers(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err

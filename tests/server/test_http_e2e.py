@@ -1,0 +1,215 @@
+"""End-to-end acceptance test: a real server driven only through the client.
+
+Boots :class:`DiagnosisServer` on an ephemeral port and, via
+:class:`DiagnosisClient` alone, exercises single diagnosis, the JSONL batch
+endpoint, and the full session lifecycle (create → append → complain →
+diagnose → accept-repair), then checks ``/metrics`` accounts for everything
+served.  No third-party dependencies anywhere in the loop.
+"""
+
+import pytest
+
+from repro.queries.executor import replay
+from repro.queries.log import QueryLog
+from repro.server.client import DiagnosisClient, ServerError
+from repro.service.types import DiagnosisRequest
+
+
+class TestEndToEnd:
+    def test_full_surface_through_the_client(
+        self, client, live_server, initial, queries, complaint, request_payload
+    ):
+        # -- liveness ---------------------------------------------------------
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["sessions"] == 0
+
+        # -- single diagnosis -------------------------------------------------
+        response = client.diagnose(request_payload)
+        assert response.ok and response.feasible
+        assert response.request_id == "fig2"
+        assert list(response.changed_query_indices) == [0]
+        assert "WHERE income >=" in response.repaired_sql
+
+        # -- JSONL batch ------------------------------------------------------
+        second = DiagnosisRequest(
+            initial=initial,
+            log=QueryLog(queries),
+            complaints=request_payload.complaints,
+            request_id="fig2-again",
+        )
+        batch = client.diagnose_batch([request_payload, second])
+        assert [item.request_id for item in batch] == ["fig2", "fig2-again"]
+        assert all(item.ok and item.feasible for item in batch)
+
+        # -- session lifecycle ------------------------------------------------
+        sid = client.create_session(initial, session_id="e2e-session")
+        assert sid == "e2e-session"
+        # append: one structural append, one SQL-text append
+        client.append_queries(sid, [queries[0]])
+        summary = client.append_sql(sid, "UPDATE Taxes SET pay = income - owed", label="q2")
+        assert summary["queries"] == 2
+
+        # complain against the server-side replayed state
+        dirty = replay(initial, QueryLog(queries))
+        target = dict(dirty.get(2).values)
+        target.update(owed=21_500.0, pay=64_500.0)
+        client.add_complaint(sid, 2, target)
+        assert client.get_session(sid)["complaints"] == 1
+
+        # diagnose and accept
+        verdict = client.diagnose_session(sid)
+        assert verdict.ok and verdict.feasible
+        accepted = client.accept_repair(sid)
+        assert accepted["pending_repair"] is False
+        assert accepted["complaints"] == 0
+        assert accepted["full_replays"] == 2
+
+        # the accepted repair actually fixed the remote state
+        rows = {row["rid"]: row["values"] for row in client.get_session(sid)["rows_data"]}
+        assert rows[2]["owed"] == pytest.approx(21_500.0)
+        assert rows[2]["pay"] == pytest.approx(64_500.0)
+
+        # listing and deletion
+        assert [item["session_id"] for item in client.list_sessions()] == [sid]
+        client.delete_session(sid)
+        assert client.list_sessions() == []
+
+        # -- metrics reflect everything served --------------------------------
+        snapshot = client.metrics_snapshot()
+        routes = snapshot["requests_by_route"]
+        assert routes["POST /v1/diagnose"] == {"200": 1}
+        assert routes["POST /v1/batch"] == {"200": 1}
+        assert routes["POST /v1/sessions"] == {"201": 1}
+        assert routes["POST /v1/sessions/{sid}/queries"] == {"200": 2}
+        assert routes["POST /v1/sessions/{sid}/diagnose"] == {"200": 1}
+        assert routes["POST /v1/sessions/{sid}/accept-repair"] == {"200": 1}
+        assert routes["DELETE /v1/sessions/{sid}"] == {"200": 1}
+        # 1 single + 2 batch + 1 session diagnosis, all successful
+        assert snapshot["diagnoses"] == {"ok": 4, "failed": 0}
+        assert snapshot["errors_total"] == 0
+
+        text = client.metrics()
+        assert 'qfix_diagnoses_total{outcome="ok"} 4' in text
+        assert 'qfix_http_requests_total{route="POST /v1/batch",status="200"} 1' in text
+
+    def test_http_errors_surface_as_server_error(self, client):
+        with pytest.raises(ServerError) as info:
+            client.get_session("ghost")
+        assert info.value.status == 404
+        assert info.value.error_type == "SessionNotFound"
+
+        with pytest.raises(ServerError) as info:
+            client.accept_repair("ghost")
+        assert info.value.status == 404
+
+    def test_unreachable_server_raises_with_status_zero(self):
+        lonely = DiagnosisClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServerError) as info:
+            lonely.health()
+        assert info.value.status == 0
+
+    def test_oversized_body_is_rejected_with_413(self, initial, queries):
+        import threading
+
+        from repro.server.app import make_server
+
+        server = make_server("127.0.0.1", 0, max_request_bytes=32)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = DiagnosisClient(f"http://127.0.0.1:{server.port}", timeout=10.0)
+            with pytest.raises(ServerError) as info:
+                client.append_sql("any", "UPDATE Taxes SET pay = income - owed")
+            assert info.value.status == 413
+            # Small requests still pass the limit check (404: unknown session).
+            with pytest.raises(ServerError) as info:
+                client.delete_session("any")
+            assert info.value.status == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_failed_diagnosis_is_ok_false_not_http_error(self, client, initial):
+        sid = client.create_session(initial)
+        response = client.diagnose_session(sid)  # no complaints registered
+        assert response.ok is False
+        assert "empty" in response.error_message
+        snapshot = client.metrics_snapshot()
+        assert snapshot["diagnoses"]["failed"] == 1
+        client.delete_session(sid)
+
+
+class TestReviewRegressions:
+    """Fixes found in review: config honouring, label safety, staleness."""
+
+    def test_session_config_is_honoured(self, client, initial):
+        from repro.core.config import QFixConfig
+
+        sid = client.create_session(
+            initial, config=QFixConfig.basic(diagnoser="dectree")
+        )
+        response = client.diagnose_session(sid)
+        # The per-session config picked the diagnoser, so it ran (and failed
+        # on the empty complaint set) as "dectree", not the engine default.
+        assert response.diagnoser == "dectree"
+        client.delete_session(sid)
+
+    def test_default_append_labels_stay_unique(self, client, initial, queries, complaint):
+        sid = client.create_session(initial)
+        client.append_sql(sid, "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700")
+        summary = client.append_sql(sid, "UPDATE Taxes SET pay = income - owed")
+        assert "-- q1" in summary["log_sql"] and "-- q2" in summary["log_sql"]
+        client.add_complaint(sid, 2, dict(complaint.target))
+        # Parameter names stayed unique, so the diagnosis actually runs.
+        assert client.diagnose_session(sid).feasible
+        client.delete_session(sid)
+
+    def test_duplicate_label_is_rejected_not_poisoning(self, client, initial):
+        sid = client.create_session(initial)
+        client.append_sql(sid, "UPDATE Taxes SET pay = pay + 0", label="q1")
+        with pytest.raises(ServerError) as info:
+            client.append_sql(sid, "UPDATE Taxes SET owed = owed + 0", label="q1")
+        assert info.value.status == 409
+        # The rejected append left the session usable.
+        assert client.get_session(sid)["queries"] == 1
+        client.append_sql(sid, "UPDATE Taxes SET owed = owed + 0", label="q2")
+        assert client.get_session(sid)["queries"] == 2
+        client.delete_session(sid)
+
+    def test_new_complaint_invalidates_pending_repair(
+        self, client, initial, queries, complaint
+    ):
+        sid = client.create_session(initial, queries)
+        client.add_complaints(sid, [complaint])
+        assert client.diagnose_session(sid).feasible
+        # A new complaint arrives after the diagnosis: the cached repair never
+        # saw it, so accepting must be refused until a fresh diagnosis runs.
+        client.add_complaint(sid, 1, None)
+        with pytest.raises(ServerError) as info:
+            client.accept_repair(sid)
+        assert info.value.status == 409
+        client.delete_session(sid)
+
+    def test_unroutable_session_id_is_rejected(self, client, initial):
+        with pytest.raises(ServerError) as info:
+            client.create_session(initial, session_id="a/b")
+        assert info.value.status == 400
+        assert client.list_sessions() == []
+
+    def test_negative_content_length_is_rejected(self, live_server):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", live_server.port, timeout=10
+        )
+        try:
+            connection.putrequest("POST", "/v1/diagnose")
+            connection.putheader("Content-Length", "-1")
+            connection.endheaders()
+            reply = connection.getresponse()
+            assert reply.status == 400
+            assert b"non-negative" in reply.read()
+        finally:
+            connection.close()

@@ -1,0 +1,150 @@
+"""Unit tests for the lock-protected session store."""
+
+import threading
+
+import pytest
+
+from repro.core.complaints import Complaint
+from repro.server.store import NoPendingRepair, SessionNotFound, SessionStore
+from repro.service.session import RepairSession
+from repro.exceptions import ReproError
+from repro.sql import parse_query
+
+
+def make_session(initial, queries=()):
+    return RepairSession(initial, list(queries))
+
+
+class TestLifecycle:
+    def test_create_assigns_and_echoes_id(self, initial):
+        store = SessionStore()
+        sid = store.create(make_session(initial))
+        assert sid
+        assert store.ids() == [sid]
+        assert store.describe(sid)["session_id"] == sid
+
+    def test_create_with_explicit_id(self, initial):
+        store = SessionStore()
+        assert store.create(make_session(initial), session_id="mine") == "mine"
+        with pytest.raises(ReproError, match="already exists"):
+            store.create(make_session(initial), session_id="mine")
+
+    def test_capacity_cap(self, initial):
+        store = SessionStore(max_sessions=2)
+        store.create(make_session(initial))
+        store.create(make_session(initial))
+        with pytest.raises(ReproError, match="full"):
+            store.create(make_session(initial))
+        # Deleting frees a slot.
+        store.delete(store.ids()[0])
+        store.create(make_session(initial))
+
+    def test_delete_unknown_raises(self, initial):
+        store = SessionStore()
+        with pytest.raises(SessionNotFound):
+            store.delete("ghost")
+        with pytest.raises(SessionNotFound):
+            store.describe("ghost")
+
+
+class TestRepairFlow:
+    def test_diagnose_caches_result_and_accept_applies_it(
+        self, initial, queries, complaint
+    ):
+        store = SessionStore()
+        sid = store.create(make_session(initial, queries))
+        store.add_complaints(sid, [complaint])
+        response = store.diagnose(sid)
+        assert response.ok and response.feasible
+        assert store.describe(sid)["pending_repair"] is True
+
+        summary = store.accept_repair(sid)
+        assert summary["pending_repair"] is False
+        assert summary["complaints"] == 0
+        assert summary["full_replays"] == 2
+        # The repaired log resolved the complaint in the replayed state.
+        owed = {row["rid"]: row["values"]["owed"] for row in store.rows(sid)}
+        assert owed[2] == pytest.approx(21_500.0)
+
+    def test_accept_without_diagnosis_raises(self, initial, queries):
+        store = SessionStore()
+        sid = store.create(make_session(initial, queries))
+        with pytest.raises(NoPendingRepair):
+            store.accept_repair(sid)
+
+    def test_append_invalidates_cached_repair(self, initial, queries, complaint):
+        store = SessionStore()
+        sid = store.create(make_session(initial, queries))
+        store.add_complaints(sid, [complaint])
+        assert store.diagnose(sid).ok
+        store.append(sid, [parse_query("UPDATE Taxes SET pay = pay + 0", label="q3")])
+        with pytest.raises(NoPendingRepair):
+            store.accept_repair(sid)
+
+    def test_failed_diagnosis_is_captured_not_raised(self, initial, queries):
+        store = SessionStore()
+        sid = store.create(make_session(initial, queries))
+        # No complaints registered: the engine refuses, as an ok=False response.
+        response = store.diagnose(sid)
+        assert not response.ok
+        assert "empty" in response.error_message
+        assert store.describe(sid)["pending_repair"] is False
+
+
+class TestConcurrency:
+    def test_parallel_appends_land_exactly_once(self, initial):
+        store = SessionStore()
+        sid = store.create(make_session(initial))
+
+        def append_many(worker: int):
+            for index in range(20):
+                store.append(
+                    sid,
+                    [
+                        parse_query(
+                            "UPDATE Taxes SET pay = pay + 0",
+                            label=f"w{worker}-{index}",
+                        )
+                    ],
+                )
+
+        threads = [
+            threading.Thread(target=append_many, args=(worker,)) for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.describe(sid)["queries"] == 80
+
+
+class TestAtomicityAndStaleness:
+    def test_multi_append_is_all_or_nothing(self, initial):
+        store = SessionStore()
+        sid = store.create(make_session(initial))
+        good = parse_query("UPDATE Taxes SET pay = pay + 0", label="good")
+        bad = parse_query("UPDATE Taxes SET pay = bogus + 1", label="bad")
+        with pytest.raises(Exception):
+            store.append(sid, [good, bad])
+        # The failing batch left the log untouched, so a retry succeeds.
+        assert store.describe(sid)["queries"] == 0
+        store.append(sid, [good])
+        assert store.describe(sid)["queries"] == 1
+
+    def test_infeasible_diagnosis_is_not_pending_repair(self, initial):
+        store = SessionStore()
+        sid = store.create(
+            make_session(
+                initial, [parse_query("UPDATE Taxes SET pay = pay + 0", label="q1")]
+            )
+        )
+        # The complaint wants `owed` changed, but no logged query writes it:
+        # the repair is infeasible.
+        row = dict(initial.get(2).values)
+        row["owed"] = 1.0
+        store.add_complaints(sid, [Complaint(2, row)])
+        response = store.diagnose(sid)
+        assert response.ok and not response.feasible
+        assert store.describe(sid)["pending_repair"] is False
+        with pytest.raises(NoPendingRepair):
+            store.accept_repair(sid)

@@ -1,0 +1,91 @@
+"""Unit tests for the thread-safe telemetry counters."""
+
+import threading
+
+from repro.server.telemetry import Telemetry
+
+
+class TestCounters:
+    def test_empty_snapshot(self):
+        snap = Telemetry().snapshot()
+        assert snap["requests_total"] == 0
+        assert snap["errors_total"] == 0
+        assert snap["rejected_total"] == 0
+        assert snap["requests_by_route"] == {}
+        assert snap["diagnoses"] == {"ok": 0, "failed": 0}
+        assert snap["uptime_seconds"] >= 0.0
+
+    def test_requests_aggregate_by_route_and_status(self):
+        telemetry = Telemetry()
+        telemetry.record_request("POST /v1/diagnose", 200, 0.5)
+        telemetry.record_request("POST /v1/diagnose", 200, 1.5)
+        telemetry.record_request("POST /v1/diagnose", 400, 0.1)
+        telemetry.record_request("GET /healthz", 200, 0.001)
+        snap = telemetry.snapshot()
+        assert snap["requests_total"] == 4
+        assert snap["errors_total"] == 1
+        assert snap["requests_by_route"]["POST /v1/diagnose"] == {"200": 2, "400": 1}
+        latency = snap["latency_by_route"]["POST /v1/diagnose"]
+        assert latency["count"] == 3
+        assert latency["total_seconds"] == 2.1
+        assert latency["min_seconds"] == 0.1
+        assert latency["max_seconds"] == 1.5
+        assert abs(latency["mean_seconds"] - 0.7) < 1e-12
+
+    def test_diagnosis_and_rejection_counters(self):
+        telemetry = Telemetry()
+        telemetry.record_diagnosis(True)
+        telemetry.record_diagnosis(True)
+        telemetry.record_diagnosis(False)
+        telemetry.record_rejected()
+        snap = telemetry.snapshot()
+        assert snap["diagnoses"] == {"ok": 2, "failed": 1}
+        assert snap["rejected_total"] == 1
+
+    def test_snapshot_is_json_native_and_detached(self):
+        telemetry = Telemetry()
+        telemetry.record_request("GET /metrics", 200, 0.01)
+        snap = telemetry.snapshot()
+        snap["requests_by_route"]["GET /metrics"]["200"] = 999
+        assert telemetry.snapshot()["requests_by_route"]["GET /metrics"]["200"] == 1
+
+    def test_concurrent_recording_loses_nothing(self):
+        telemetry = Telemetry()
+
+        def hammer():
+            for _ in range(500):
+                telemetry.record_request("POST /v1/diagnose", 200, 0.001)
+                telemetry.record_diagnosis(True)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = telemetry.snapshot()
+        assert snap["requests_total"] == 4000
+        assert snap["diagnoses"]["ok"] == 4000
+        assert snap["latency_by_route"]["POST /v1/diagnose"]["count"] == 4000
+
+
+class TestPrometheusRendering:
+    def test_renders_all_metric_families(self):
+        telemetry = Telemetry()
+        telemetry.record_request("POST /v1/diagnose", 200, 0.25)
+        telemetry.record_request("GET /healthz", 404, 0.001)
+        telemetry.record_diagnosis(True)
+        telemetry.record_rejected()
+        text = telemetry.render_prometheus()
+        assert 'qfix_http_requests_total{route="POST /v1/diagnose",status="200"} 1' in text
+        assert 'qfix_http_requests_total{route="GET /healthz",status="404"} 1' in text
+        assert 'qfix_http_request_seconds_count{route="POST /v1/diagnose"} 1' in text
+        assert 'qfix_diagnoses_total{outcome="ok"} 1' in text
+        assert 'qfix_diagnoses_total{outcome="failed"} 0' in text
+        assert "qfix_http_rejected_total 1" in text
+        assert text.endswith("\n")
+
+    def test_help_and_type_lines_present(self):
+        text = Telemetry().render_prometheus()
+        assert "# HELP qfix_http_requests_total" in text
+        assert "# TYPE qfix_http_requests_total counter" in text
+        assert "# TYPE qfix_http_uptime_seconds gauge" in text

@@ -147,6 +147,19 @@ class TestDiagnoseBatch:
         with pytest.raises(ReproError):
             engine.diagnose_batch([_case(25.0, "x")], max_workers=0)
 
+    def test_engine_level_max_workers_is_the_batch_default(self):
+        engine = DiagnosisEngine(max_workers=2)
+        assert engine.max_workers == 2
+        responses = engine.diagnose_batch([_case(20.0, "a"), _case(30.0, "b")])
+        assert [response.ok for response in responses] == [True, True]
+        # A per-call override still wins over the engine default.
+        responses = engine.diagnose_batch([_case(20.0, "a")], max_workers=1)
+        assert responses[0].ok
+
+    def test_engine_rejects_bad_max_workers(self):
+        with pytest.raises(ReproError):
+            DiagnosisEngine(max_workers=0)
+
     def test_serial_path_matches_parallel(self):
         requests = [_case(20.0, "a"), _poison("b"), _case(30.0, "c")]
         serial = DiagnosisEngine().diagnose_batch(requests, max_workers=1)

@@ -168,3 +168,88 @@ class TestConfigCodec:
             config_from_dict({"solevr": "highs"})
         with pytest.raises(SerializationError):
             config_from_dict({"encoding": {"epsilonn": 1.0}})
+
+
+class TestEdgeCases:
+    """Boundary payloads the HTTP front end must survive."""
+
+    def test_null_complaint_target_round_trips_through_json(self):
+        """A removal complaint's ``None`` target becomes JSON ``null`` and back."""
+        complaints = ComplaintSet([Complaint(7, None, True)])
+        wire = json.dumps(complaints_to_dict(complaints))
+        assert '"target": null' in wire
+        (restored,) = list(complaints_from_dict(json.loads(wire)))
+        assert restored.target is None
+        assert restored == Complaint(7, None, True)
+
+    def test_bool_and_int_column_values_normalize_to_float(self):
+        """JSON callers send ``true``/``1`` where the engine stores floats."""
+        schema = Schema.build("t", ["flag", "count"], upper=10)
+        payload = {
+            "rows": [
+                {"rid": 0, "values": {"flag": True, "count": 3}},
+                {"rid": 1, "values": {"flag": False, "count": 0}},
+            ],
+            "next_rid": 2,
+        }
+        restored = database_from_dict(schema, _json_round(payload))
+        assert restored.get(0).values == {"flag": 1.0, "count": 3.0}
+        assert restored.get(1).values == {"flag": 0.0, "count": 0.0}
+        assert all(
+            isinstance(value, float)
+            for row in restored.rows()
+            for value in row.values.values()
+        )
+
+    def test_bool_like_ints_in_schema_flags(self):
+        """``key``/``integral`` arriving as 0/1 coerce to real booleans."""
+        schema = schema_from_dict(
+            {
+                "name": "t",
+                "attributes": [
+                    {"name": "id", "lower": 0, "upper": 5, "key": 1, "integral": 1},
+                    {"name": "v", "lower": 0, "upper": 5, "key": 0, "integral": 0},
+                ],
+            }
+        )
+        assert schema.attributes[0].key is True
+        assert schema.attributes[0].integral is True
+        assert schema.attributes[1].key is False
+        assert schema.attributes[1].integral is False
+
+    @pytest.mark.parametrize(
+        "value",
+        [0.1, 1 / 3, 1e-9, -0.0, 12345678.000000001, 2.5e300],
+    )
+    def test_float_values_round_trip_exactly(self, value):
+        """IEEE doubles survive JSON text unchanged (repr round-trip)."""
+        schema = Schema.build("t", ["a"], lower=-1e301, upper=1e301)
+        database = Database(schema, [{"a": value}])
+        restored = database_from_dict(schema, _json_round(database_to_dict(database)))
+        assert restored.get(0).values["a"] == value
+
+    def test_float_params_round_trip_in_expressions(self):
+        expr = BinOp("*", Attr("a"), Param("q1_p1", 0.30000000000000004))
+        assert expr_from_dict(_json_round(expr_to_dict(expr))) == expr
+
+    def test_empty_query_log_round_trips(self):
+        log = QueryLog()
+        wire = _json_round(log_to_dict(log))
+        assert wire == []
+        restored = log_from_dict(wire)
+        assert len(restored) == 0
+        assert restored == log
+
+    def test_empty_complaint_set_round_trips(self):
+        complaints = ComplaintSet()
+        wire = _json_round(complaints_to_dict(complaints))
+        assert wire == []
+        restored = complaints_from_dict(wire)
+        assert len(restored) == 0
+
+    def test_empty_database_round_trips(self):
+        schema = Schema.build("t", ["a"], upper=10)
+        database = Database(schema)
+        restored = database_from_dict(schema, _json_round(database_to_dict(database)))
+        assert len(restored) == 0
+        assert restored.table.next_rid == 0

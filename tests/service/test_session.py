@@ -148,3 +148,28 @@ class TestDiagnosis:
         restored = DiagnosisRequest.from_dict(request.to_dict())
         assert restored.to_dict() == request.to_dict()
         assert restored.request_id == "s2"
+
+
+class TestAppendMany:
+    def test_matches_extend_with_one_snapshot(self):
+        queries = [_bump("q1", 40.0), _bump("q2", 60.0)]
+        via_extend = RepairSession(_initial()).extend(queries)
+        via_batch = RepairSession(_initial()).append_many(queries)
+        assert via_batch.log == via_extend.log
+        assert via_batch.final.same_state(via_extend.final)
+        assert via_batch.full_replays == 1
+
+    def test_failure_leaves_session_untouched(self):
+        session = RepairSession(_initial())
+        bad = UpdateQuery(
+            "t", {"b": Attr("missing")}, Comparison(Attr("a"), ">=", Param("qb_lo", 0.0)), label="qb"
+        )
+        with pytest.raises(Exception):
+            session.append_many([_bump("q1", 40.0), bad])
+        assert len(session.log) == 0
+        assert session.final.same_state(_initial())
+
+    def test_empty_batch_is_a_no_op(self):
+        session = RepairSession(_initial())
+        assert session.append_many([]) is session
+        assert len(session.log) == 0
