@@ -1,0 +1,237 @@
+"""Solver-path benchmark: sparse + presolve + warm start vs the pre-PR path.
+
+Measures the figure-4-style workload (60-tuple, 10-query UPDATE log, one
+corrupted query, Inc_1 window encoding) through three solve paths:
+
+* **legacy** — a faithful replica of the pre-PR branch-and-bound: dense
+  constraint matrix, per-row Python constraint splitting, no presolve, no
+  warm start, root-bounds branch checks;
+* **cold** — the current sparse/presolved path, no warm start;
+* **warm** — the current path seeded with the previous solve's assignment
+  (what :class:`repro.service.DiagnosisEngine` replays on a repeat
+  diagnosis).
+
+It also times the constraint-split step alone (legacy per-row loop vs the
+vectorized sparse split) on a large ``basic``-encoding model, where the dense
+matrix is the dominant cost.
+
+Results are written to ``BENCH_solver_path.json`` (override the location with
+``BENCH_SOLVER_PATH_OUT``) so CI can archive the perf trajectory across PRs.
+The acceptance gate asserts the headline claim: at least a 2x node-count
+reduction (or 2x wall-time improvement) versus the legacy path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.core.config import QFixConfig
+from repro.core.encoder import LogEncoder
+from repro.core.slicing import relevant_attributes, relevant_queries
+from repro.experiments.common import synthetic_scenario
+from repro.milp.solvers.branch_and_bound import (
+    BranchAndBoundSolver,
+    _Node,
+    _most_fractional,
+    _split_constraints,
+)
+
+OUTPUT_PATH = os.environ.get("BENCH_SOLVER_PATH_OUT", "BENCH_solver_path.json")
+
+
+# -- the pre-PR reference implementation --------------------------------------
+
+
+def _legacy_split_constraints(arrays):
+    """The pre-PR per-row Python split over a dense constraint matrix."""
+    n = len(arrays["c"])
+    m = arrays["n_constraints"]
+    A = np.zeros((m, n))
+    A[arrays["rows"], arrays["cols"]] = arrays["data"]
+    lb, ub = arrays["lb_con"], arrays["ub_con"]
+    ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+    for row in range(m):
+        lower, upper = lb[row], ub[row]
+        if np.isfinite(lower) and np.isfinite(upper) and lower == upper:
+            eq_rows.append(A[row])
+            eq_rhs.append(upper)
+            continue
+        if np.isfinite(upper):
+            ub_rows.append(A[row])
+            ub_rhs.append(upper)
+        if np.isfinite(lower):
+            ub_rows.append(-A[row])
+            ub_rhs.append(-lower)
+    A_ub = np.array(ub_rows) if ub_rows else None
+    b_ub = np.array(ub_rhs) if ub_rhs else None
+    A_eq = np.array(eq_rows) if eq_rows else None
+    b_eq = np.array(eq_rhs) if eq_rhs else None
+    return A_ub, b_ub, A_eq, b_eq
+
+
+def _legacy_dense_cold_solve(model, *, time_limit=60.0, mip_gap=1e-6, max_nodes=50_000):
+    """Replica of the pre-PR dense/cold branch-and-bound solve loop."""
+    start = time.perf_counter()
+    arrays = model.to_sparse_arrays()
+    A_ub, b_ub, A_eq, b_eq = _legacy_split_constraints(arrays)
+    c = arrays["c"]
+    integer_indices = np.flatnonzero(arrays["integrality"] == 1)
+    incumbent_obj = np.inf
+    incumbent_x = None
+    counter = itertools.count()
+    explored = 0
+    heap = [_Node(-np.inf, next(counter), arrays["lb_var"].copy(), arrays["ub_var"].copy())]
+    while heap:
+        if (time.perf_counter() - start) > time_limit or explored >= max_nodes:
+            break
+        node = heapq.heappop(heap)
+        if node.bound >= incumbent_obj - mip_gap * max(1.0, abs(incumbent_obj)):
+            continue
+        explored += 1
+        result = optimize.linprog(
+            c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
+            bounds=list(zip(node.lower, node.upper)), method="highs",
+        )
+        if not result.success:
+            continue
+        lp_obj, lp_x = float(result.fun), np.asarray(result.x)
+        if lp_obj >= incumbent_obj - mip_gap * max(1.0, abs(incumbent_obj)):
+            continue
+        branch_index = _most_fractional(lp_x, integer_indices)
+        if branch_index is None:
+            incumbent_obj, incumbent_x = lp_obj, lp_x
+            continue
+        floor_value = np.floor(lp_x[branch_index])
+        down_upper = node.upper.copy()
+        down_upper[branch_index] = floor_value
+        if arrays["lb_var"][branch_index] <= floor_value:
+            heapq.heappush(heap, _Node(lp_obj, next(counter), node.lower.copy(), down_upper))
+        up_lower = node.lower.copy()
+        up_lower[branch_index] = floor_value + 1.0
+        if arrays["ub_var"][branch_index] >= floor_value + 1.0:
+            heapq.heappush(heap, _Node(lp_obj, next(counter), up_lower, node.upper.copy()))
+    return incumbent_obj, incumbent_x, explored, time.perf_counter() - start
+
+
+# -- workload construction ----------------------------------------------------
+
+
+def _figure4_window_problem():
+    """The Inc_1 window encoding of the figure-4-style workload."""
+    scenario = synthetic_scenario(n_tuples=60, n_queries=10, corruption_indices=[5], seed=1)
+    config = QFixConfig.fully_optimized()
+    complaint_attrs = scenario.complaints.complaint_attributes(scenario.dirty)
+    candidates = sorted(
+        relevant_queries(scenario.corrupted_log, complaint_attrs, scenario.schema, single_fault=True)
+    )
+    attrs = relevant_attributes(scenario.corrupted_log, candidates, complaint_attrs, scenario.schema)
+    encoder = LogEncoder(
+        scenario.schema,
+        scenario.initial,
+        scenario.dirty,
+        scenario.corrupted_log,
+        scenario.complaints,
+        config,
+        parameterized=[scenario.corrupted_indices[0]],
+        rids=scenario.complaints.rids,
+        encoded_attributes=attrs,
+        candidate_indices=candidates,
+    )
+    return encoder.encode()
+
+
+def _basic_problem():
+    """A large basic-encoding model (every query parameterized, all tuples)."""
+    scenario = synthetic_scenario(n_tuples=40, n_queries=8, corruption_indices=[4], seed=1)
+    encoder = LogEncoder(
+        scenario.schema,
+        scenario.initial,
+        scenario.dirty,
+        scenario.corrupted_log,
+        scenario.complaints,
+        QFixConfig.basic(),
+        parameterized=list(range(len(scenario.corrupted_log))),
+    )
+    return encoder.encode()
+
+
+# -- the benchmark ------------------------------------------------------------
+
+
+def test_bench_solver_path():
+    problem = _figure4_window_problem()
+    model = problem.model
+
+    legacy_obj, _, legacy_nodes, legacy_seconds = _legacy_dense_cold_solve(model)
+    assert np.isfinite(legacy_obj), "legacy reference failed to solve the workload"
+
+    solver = BranchAndBoundSolver(time_limit=60.0)
+    start = time.perf_counter()
+    cold = solver.solve(model)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = solver.solve(model, warm_start=cold.values)
+    warm_seconds = time.perf_counter() - start
+
+    assert cold.objective == pytest.approx(legacy_obj, abs=1e-6)
+    assert warm.objective == pytest.approx(legacy_obj, abs=1e-6)
+    assert warm.stats["warm_start_used"] == 1.0
+
+    # Constraint-split micro-benchmark on the large basic-encoding model.
+    big = _basic_problem().model
+    repetitions = 3
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        _legacy_split_constraints(big.to_sparse_arrays())
+    split_dense_seconds = (time.perf_counter() - start) / repetitions
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        _split_constraints(big.to_matrices())
+    split_sparse_seconds = (time.perf_counter() - start) / repetitions
+
+    cold_nodes = cold.stats["nodes_explored"]
+    warm_nodes = warm.stats["nodes_explored"]
+    node_reduction = legacy_nodes / max(warm_nodes, 1.0)
+    time_speedup = legacy_seconds / max(warm_seconds, 1e-9)
+    split_speedup = split_dense_seconds / max(split_sparse_seconds, 1e-9)
+
+    report = {
+        "workload": "figure4-style (60 tuples, 10 queries, Inc_1 window, seed 1)",
+        "model": model.summary(),
+        "legacy_dense_cold": {"nodes": int(legacy_nodes), "seconds": round(legacy_seconds, 6)},
+        "sparse_presolve_cold": {
+            "nodes": int(cold_nodes),
+            "seconds": round(cold_seconds, 6),
+            "presolve": {
+                key.removeprefix("presolve_"): value
+                for key, value in cold.stats.items()
+                if key.startswith("presolve_")
+            },
+        },
+        "sparse_presolve_warm": {"nodes": int(warm_nodes), "seconds": round(warm_seconds, 6)},
+        "split_constraints": {
+            "model": big.summary(),
+            "dense_loop_seconds": round(split_dense_seconds, 6),
+            "sparse_vectorized_seconds": round(split_sparse_seconds, 6),
+            "speedup": round(split_speedup, 3),
+        },
+        "node_reduction_legacy_vs_warm": round(node_reduction, 3),
+        "wall_time_speedup_legacy_vs_warm": round(time_speedup, 3),
+    }
+    with open(OUTPUT_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    # Acceptance gate: >= 2x node-count reduction or >= 2x wall time vs the
+    # pre-PR dense/cold path on the diagnosis workload.
+    assert node_reduction >= 2.0 or time_speedup >= 2.0, report
+    # And the vectorized split must beat the per-row dense loop outright.
+    assert split_speedup >= 2.0, report["split_constraints"]

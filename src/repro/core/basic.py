@@ -19,7 +19,7 @@ from repro.core.repair import RepairResult, build_repair_result
 from repro.core.slicing import relevant_attributes, relevant_queries
 from repro.db.database import Database
 from repro.db.schema import Schema
-from repro.milp.solvers import Solver, get_solver
+from repro.milp.solvers import Solver, get_solver, solve_with_warm_start
 from repro.queries.log import QueryLog
 
 
@@ -41,8 +41,15 @@ class BasicRepairer:
         final: Database,
         log: QueryLog,
         complaints: ComplaintSet,
+        *,
+        warm_start: "dict[str, float] | None" = None,
     ) -> RepairResult:
-        """Diagnose ``complaints`` and return a repaired log."""
+        """Diagnose ``complaints`` and return a repaired log.
+
+        ``warm_start`` is a variable assignment from a previous solve of the
+        same encoding (see :meth:`EncodedProblem.solution_hint`); it seeds
+        the solver's incumbent when it still covers the freshly built model.
+        """
         config = self.config
         complaint_attrs = complaints.complaint_attributes(final)
 
@@ -75,7 +82,9 @@ class BasicRepairer:
         problem = encoder.encode()
         encode_seconds = time.perf_counter() - encode_start
 
-        solution = self.solver.solve(problem.model)
+        solution = solve_with_warm_start(
+            self.solver, problem.model, problem.solution_hint(warm_start)
+        )
         result = build_repair_result(
             initial,
             log,

@@ -83,6 +83,28 @@ class EncodedProblem:
     #: Additional statistics for reporting.
     stats: dict[str, float] = field(default_factory=dict)
 
+    def solution_hint(
+        self, previous: Mapping[str, float] | None
+    ) -> dict[str, float] | None:
+        """Restrict a previous solve's values to a usable warm start.
+
+        Variable names are deterministic for a fixed (log, complaints,
+        config) triple, so a cached solution from an identical encoding maps
+        onto this model verbatim.  Returns ``None`` unless ``previous``
+        covers *every* variable of this model — a partial assignment cannot
+        seed a branch-and-bound incumbent, and passing it along would only
+        cost the solver a wasted feasibility check.
+        """
+        if not previous:
+            return None
+        hint: dict[str, float] = {}
+        for variable in self.model.variables:
+            value = previous.get(variable.name)
+            if value is None:
+                return None
+            hint[variable.name] = float(value)
+        return hint
+
 
 class LogEncoder:
     """Encode a query log, a pair of database states, and a complaint set."""

@@ -43,6 +43,10 @@ class RepairResult:
     refined: bool = False
     problem_stats: dict[str, float] = field(default_factory=dict)
     message: str = ""
+    #: Raw solver assignment (variable name -> value) of the winning solve.
+    #: Cached by the service layer and replayed as a warm start when the same
+    #: (log, complaints, config) encoding is solved again.
+    solution_values: dict[str, float] = field(default_factory=dict)
 
     @property
     def changed_queries(self) -> tuple[int, ...]:
@@ -184,6 +188,7 @@ def build_repair_result(
     changed = tuple(changed_queries(original_log, repaired_log))
     distance = log_distance(original_log, repaired_log)
     return RepairResult(
+        solution_values=dict(solution.values),
         original_log=original_log,
         repaired_log=repaired_log,
         feasible=True,

@@ -20,6 +20,7 @@ from repro.milp.expr import LinExpr
 from repro.milp.constraints import Constraint, Sense
 from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStatus
+from repro.milp.presolve import PresolveResult, presolve
 from repro.milp.linearize import (
     add_binary_times_affine,
     add_absolute_value,
@@ -44,6 +45,8 @@ __all__ = [
     "Model",
     "Solution",
     "SolveStatus",
+    "PresolveResult",
+    "presolve",
     "add_binary_times_affine",
     "add_absolute_value",
     "add_comparison_indicator",

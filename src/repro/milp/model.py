@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 import numpy as np
+from scipy import sparse
 
 from repro.exceptions import ModelError
 from repro.milp.constraints import Constraint, Sense
@@ -169,53 +170,36 @@ class Model:
 
     # -- matrix export -------------------------------------------------------------
 
-    def to_matrices(self) -> dict[str, np.ndarray]:
-        """Export the model as dense numpy arrays.
+    def to_matrices(self) -> dict[str, object]:
+        """Export the model with a ``scipy.sparse`` CSR constraint matrix.
 
         Returns a dict with keys ``c`` (objective coefficients), ``A``
-        (constraint matrix), ``lb_con`` / ``ub_con`` (constraint bounds),
-        ``lb_var`` / ``ub_var`` (variable bounds), and ``integrality``
-        (1 for integral variables, 0 otherwise).
+        (constraint matrix, CSR — the QFix encoding is overwhelmingly sparse,
+        so the dense form is never materialized), ``lb_con`` / ``ub_con``
+        (constraint bounds), ``lb_var`` / ``ub_var`` (variable bounds), and
+        ``integrality`` (1 for integral variables, 0 otherwise).
         """
-        n = len(self._variables)
-        m = len(self._constraints)
-        c = np.zeros(n)
-        for variable, coeff in self._objective.terms.items():
-            c[variable.index] = coeff
-        A = np.zeros((m, n))
-        lb_con = np.full(m, -np.inf)
-        ub_con = np.full(m, np.inf)
-        for row, constraint in enumerate(self._constraints):
-            for variable, coeff in constraint.expr.terms.items():
-                A[row, variable.index] = coeff
-            if constraint.sense is Sense.LE:
-                ub_con[row] = constraint.rhs
-            elif constraint.sense is Sense.GE:
-                lb_con[row] = constraint.rhs
-            else:
-                lb_con[row] = constraint.rhs
-                ub_con[row] = constraint.rhs
-        lb_var = np.array([variable.lower for variable in self._variables])
-        ub_var = np.array([variable.upper for variable in self._variables])
-        integrality = np.array(
-            [1 if variable.is_integral else 0 for variable in self._variables]
+        arrays = self.to_sparse_arrays()
+        A = sparse.csr_matrix(
+            (arrays["data"], (arrays["rows"], arrays["cols"])),
+            shape=(arrays["n_constraints"], len(arrays["c"])),
         )
         return {
-            "c": c,
+            "c": arrays["c"],
             "A": A,
-            "lb_con": lb_con,
-            "ub_con": ub_con,
-            "lb_var": lb_var,
-            "ub_var": ub_var,
-            "integrality": integrality,
+            "lb_con": arrays["lb_con"],
+            "ub_con": arrays["ub_con"],
+            "lb_var": arrays["lb_var"],
+            "ub_var": arrays["ub_var"],
+            "integrality": arrays["integrality"],
         }
 
     def to_sparse_arrays(self) -> dict[str, object]:
         """Export objective/bounds as dense vectors and constraints as COO triplets.
 
-        Unlike :meth:`to_matrices` this never materializes the dense constraint
-        matrix, which matters once the encoder emits tens of thousands of
-        constraints (refinement over large NC sets, basic over full tables).
+        This is the raw triplet form behind :meth:`to_matrices`; callers that
+        want to assemble their own sparse matrix (or ship the triplets across
+        a process boundary) can consume it directly.
         """
         n = len(self._variables)
         m = len(self._constraints)

@@ -1,0 +1,171 @@
+"""Cheap matrix-level presolve applied before any MILP backend runs.
+
+The QFix encodings carry a lot of structure that a solver would otherwise
+rediscover node by node: integral variables with fractional domain bounds,
+singleton rows (``a * x <= b``) that are really variable bounds in disguise,
+final-state equality rows that pin a variable outright, and the encoder's
+explicit contradiction rows (``0 == 1``) for trivially infeasible targets.
+:func:`presolve` normalizes all of that once, on the sparse matrix form,
+in three passes that run until a fixed point:
+
+* **bound tightening** — singleton rows are folded into the variable bounds
+  and dropped; integral variables get their bounds rounded inward.
+* **fixed-variable elimination** — a variable whose bounds coincide has its
+  column folded into the row activity bounds and zeroed, so every remaining
+  row gets sparser (the variable itself stays in the export with a pinned
+  bound, which keeps solution decoding index-stable).
+* **feasibility screening** — crossed variable bounds and constant rows whose
+  activity window excludes zero are reported as infeasible immediately,
+  without ever invoking an LP.
+
+The transformation is exact: it never cuts off an integer-feasible point and
+never changes the objective value of any feasible assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+#: Slack used when comparing bounds (absorbs division round-off).
+_TOLERANCE = 1e-9
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of :func:`presolve`.
+
+    ``matrices`` has the same keys and variable order as the input, so a
+    solution of the presolved problem decodes exactly like one of the
+    original.  When ``infeasible`` is set the matrices are unusable and
+    ``reason`` explains which reduction proved infeasibility.
+    """
+
+    matrices: dict[str, object]
+    infeasible: bool = False
+    reason: str = ""
+    stats: dict[str, float] = field(default_factory=dict)
+
+
+def presolve(matrices: dict[str, object], *, max_passes: int = 4) -> PresolveResult:
+    """Tighten bounds, eliminate fixed variables, and screen feasibility.
+
+    ``matrices`` is the dict produced by ``Model.to_matrices()`` (sparse
+    ``A``).  The input is not mutated.
+    """
+    A = matrices["A"].tocsr(copy=True)
+    A.eliminate_zeros()
+    lb_con = np.array(matrices["lb_con"], dtype=float)
+    ub_con = np.array(matrices["ub_con"], dtype=float)
+    lb_var = np.array(matrices["lb_var"], dtype=float)
+    ub_var = np.array(matrices["ub_var"], dtype=float)
+    integrality = np.asarray(matrices["integrality"])
+    c = np.asarray(matrices["c"], dtype=float)
+    n = len(c)
+
+    stats: dict[str, float] = {
+        "rows_before": float(A.shape[0]),
+        "singleton_rows": 0.0,
+        "fixed_variables": 0.0,
+        "bounds_tightened": 0.0,
+        "passes": 0.0,
+    }
+
+    def _result(infeasible: bool = False, reason: str = "") -> PresolveResult:
+        stats["rows_after"] = float(A.shape[0])
+        out = {
+            "c": c,
+            "A": A,
+            "lb_con": lb_con,
+            "ub_con": ub_con,
+            "lb_var": lb_var,
+            "ub_var": ub_var,
+            "integrality": integrality,
+        }
+        return PresolveResult(out, infeasible=infeasible, reason=reason, stats=stats)
+
+    integral = integrality == 1
+    tightened = _round_integral_bounds(lb_var, ub_var, integral)
+    stats["bounds_tightened"] += tightened
+    if np.any(lb_var > ub_var + _TOLERANCE):
+        return _result(True, "variable bounds cross after integral rounding")
+
+    folded = np.zeros(n, dtype=bool)
+    for pass_index in range(max_passes):
+        stats["passes"] = float(pass_index + 1)
+        changed = False
+
+        row_nnz = np.diff(A.indptr)
+
+        # Constant rows: the (possibly shifted) activity window must contain 0.
+        empty = row_nnz == 0
+        if np.any(empty & ((lb_con > _TOLERANCE) | (ub_con < -_TOLERANCE))):
+            return _result(True, "constant constraint is violated (e.g. 0 == 1)")
+
+        # Singleton rows become variable bounds.
+        for row in np.flatnonzero(row_nnz == 1):
+            pointer = A.indptr[row]
+            column = int(A.indices[pointer])
+            coefficient = float(A.data[pointer])
+            lower, upper = lb_con[row], ub_con[row]
+            if coefficient > 0:
+                implied_lower, implied_upper = lower / coefficient, upper / coefficient
+            else:
+                implied_lower, implied_upper = upper / coefficient, lower / coefficient
+            if implied_lower > lb_var[column] + _TOLERANCE:
+                lb_var[column] = implied_lower
+                stats["bounds_tightened"] += 1
+                changed = True
+            if implied_upper < ub_var[column] - _TOLERANCE:
+                ub_var[column] = implied_upper
+                stats["bounds_tightened"] += 1
+                changed = True
+            stats["singleton_rows"] += 1
+
+        stats["bounds_tightened"] += _round_integral_bounds(lb_var, ub_var, integral)
+        if np.any(lb_var > ub_var + _TOLERANCE):
+            return _result(True, "variable bounds cross after singleton tightening")
+
+        # Drop rows that are now fully absorbed into the bounds.
+        keep_rows = row_nnz > 1
+        if not keep_rows.all():
+            A = A[keep_rows]
+            lb_con = lb_con[keep_rows]
+            ub_con = ub_con[keep_rows]
+            changed = True
+
+        # Fold fixed variables out of the remaining rows.
+        fixed = (ub_var - lb_var <= _TOLERANCE) & ~folded
+        if fixed.any():
+            values = np.where(fixed, (lb_var + ub_var) / 2.0, 0.0)
+            contribution = A @ values
+            # -inf/+inf row bounds survive the shift unchanged.
+            lb_con = lb_con - contribution
+            ub_con = ub_con - contribution
+            keep_columns = sparse.diags((~fixed).astype(float))
+            A = (A @ keep_columns).tocsr()
+            A.eliminate_zeros()
+            folded |= fixed
+            stats["fixed_variables"] = float(folded.sum())
+            changed = True
+
+        if not changed:
+            break
+
+    return _result()
+
+
+def _round_integral_bounds(
+    lb_var: np.ndarray, ub_var: np.ndarray, integral: np.ndarray
+) -> int:
+    """Round integral-variable bounds inward, in place; return the change count."""
+    if not integral.any():
+        return 0
+    new_lower = np.where(integral, np.ceil(lb_var - _TOLERANCE), lb_var)
+    new_upper = np.where(integral, np.floor(ub_var + _TOLERANCE), ub_var)
+    changed = int(np.count_nonzero(new_lower != lb_var) + np.count_nonzero(new_upper != ub_var))
+    lb_var[:] = new_lower
+    ub_var[:] = new_upper
+    return changed

@@ -39,6 +39,9 @@ class Solution:
     solve_seconds: float = 0.0
     solver_name: str = ""
     message: str = ""
+    #: Backend-specific solve statistics (node counts, presolve reductions,
+    #: whether a warm start seeded the incumbent).  Purely informational.
+    stats: dict[str, float] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         return self.status.has_solution

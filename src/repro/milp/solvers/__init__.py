@@ -1,6 +1,30 @@
-"""Solver backends for the MILP modeling layer."""
+"""Solver backends for the MILP modeling layer.
 
-from repro.milp.solvers.base import Solver
+Choosing a backend
+==================
+
+``highs`` (:class:`HighsSolver`, the default)
+    Drives ``scipy.optimize.milp`` — a compiled branch-and-cut engine with
+    cutting planes and its own presolve.  Fastest to optimality on every
+    workload we benchmark; the only reasons to switch away are debuggability
+    (it is a black box per solve) and the lack of a warm-start hook (hints
+    are accepted but ignored, so repeated session diagnoses pay full price).
+
+``branch-and-bound`` (:class:`BranchAndBoundSolver`)
+    Pure-Python best-first branch-and-bound over HiGHS LP relaxations.
+    Slower per node, but fully inspectable (``Solution.stats`` reports node
+    counts and presolve reductions) and warm-startable: a feasible assignment
+    from a previous solve seeds the incumbent, which prunes most of the tree
+    when the instance barely changed.  Prefer it for incremental/session
+    workloads dominated by near-identical re-solves, and in tests that need
+    to observe solver behaviour rather than just the answer.
+
+Both backends consume the same sparse CSR export (``Model.to_matrices``) and
+run the same matrix presolve (:mod:`repro.milp.presolve`) first, so reported
+objectives are directly comparable; the property suite asserts they agree.
+"""
+
+from repro.milp.solvers.base import Solver, finalize_solution_values, solve_with_warm_start
 from repro.milp.solvers.scipy_backend import HighsSolver
 from repro.milp.solvers.branch_and_bound import BranchAndBoundSolver
 from repro.milp.solvers.registry import available_solvers, get_solver, register_solver
@@ -12,4 +36,6 @@ __all__ = [
     "get_solver",
     "register_solver",
     "available_solvers",
+    "finalize_solution_values",
+    "solve_with_warm_start",
 ]

@@ -1,8 +1,11 @@
-"""Abstract solver interface."""
+"""Abstract solver interface and helpers shared by the backends."""
 
 from __future__ import annotations
 
 import abc
+import inspect
+import warnings
+from typing import Mapping
 
 from repro.milp.model import Model
 from repro.milp.solution import Solution
@@ -24,8 +27,75 @@ class Solver(abc.ABC):
         self.mip_gap = mip_gap
 
     @abc.abstractmethod
-    def solve(self, model: Model) -> Solution:
-        """Solve ``model`` (minimization) and return a :class:`Solution`."""
+    def solve(
+        self, model: Model, *, warm_start: Mapping[str, float] | None = None
+    ) -> Solution:
+        """Solve ``model`` (minimization) and return a :class:`Solution`.
+
+        ``warm_start`` is an optional full variable assignment (keyed by
+        variable name) from a previous solve of a structurally identical
+        model.  Backends that can exploit it seed their incumbent from it
+        after verifying feasibility; backends that cannot must accept and
+        ignore it.  An incomplete or infeasible hint is silently discarded —
+        a warm start may never change which solution is optimal.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(time_limit={self.time_limit}, mip_gap={self.mip_gap})"
+
+
+def accepts_keyword(callable_obj: object, name: str) -> bool:
+    """Whether ``callable_obj`` can be called with keyword argument ``name``.
+
+    Used to forward warm-start hints only to implementations that understand
+    them: third-party solvers/diagnosers registered before the warm-start API
+    existed keep working — they just solve cold.
+    """
+    parameters = inspect.signature(callable_obj).parameters
+    return name in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD for parameter in parameters.values()
+    )
+
+
+def solve_with_warm_start(
+    solver: Solver, model: Model, warm_start: Mapping[str, float] | None
+) -> Solution:
+    """Call ``solver.solve``, forwarding ``warm_start`` only when supported."""
+    if warm_start is not None and accepts_keyword(solver.solve, "warm_start"):
+        return solver.solve(model, warm_start=warm_start)
+    return solver.solve(model)
+
+
+def finalize_solution_values(
+    model: Model,
+    raw_values: Mapping[str, float],
+    *,
+    tolerance: float = 1e-5,
+) -> tuple[dict[str, float], str]:
+    """Round integral variables and validate the rounded point.
+
+    A relaxation accepted within the integrality tolerance can, once rounded,
+    violate a constraint the fractional point satisfied (big-M rows amplify
+    sub-tolerance drift).  The rounded assignment is therefore checked with
+    ``model.check_assignment``; when it fails, the unrounded incumbent is
+    returned instead, with a warning message the caller should surface.
+    """
+    rounded = {
+        variable.name: (
+            float(round(raw_values[variable.name]))
+            if variable.is_integral
+            else float(raw_values[variable.name])
+        )
+        for variable in model.variables
+    }
+    unrounded = {variable.name: float(raw_values[variable.name]) for variable in model.variables}
+    if rounded == unrounded:
+        return rounded, ""
+    if not model.check_assignment(rounded, tolerance=tolerance):
+        return rounded, ""
+    message = (
+        "rounded integral values violate the model constraints; "
+        "falling back to the unrounded incumbent"
+    )
+    warnings.warn(message, stacklevel=3)
+    return unrounded, message

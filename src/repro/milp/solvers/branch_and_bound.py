@@ -5,14 +5,24 @@ does not depend on any particular solver, and it provides a slow-but-simple
 cross-check for the HiGHS backend in the test suite (both must return repairs
 of identical objective value on small instances).
 
-The algorithm is textbook best-first branch-and-bound:
+The algorithm is textbook best-first branch-and-bound over the sparse matrix
+export:
 
-1. solve the LP relaxation with ``scipy.optimize.linprog`` (HiGHS simplex);
-2. if the relaxation is integral (all integer variables within tolerance of an
-   integer), record it as the incumbent;
-3. otherwise branch on the most fractional integer variable, adding floor /
-   ceil bound constraints, and recurse, pruning nodes whose relaxation bound
-   cannot beat the incumbent.
+1. run the matrix presolve (bound tightening, fixed-variable elimination,
+   trivial-infeasibility screening) once per model;
+2. split the two-sided row bounds into ``A_ub``/``A_eq`` once, vectorized,
+   keeping the constraint matrix in CSR form for every LP relaxation;
+3. optionally seed the incumbent from a caller-provided warm start (a full
+   feasible assignment from a previous solve of the same model);
+4. solve LP relaxations with ``scipy.optimize.linprog`` (HiGHS); when a
+   relaxation is integral record it as the incumbent, otherwise branch on the
+   most fractional integer variable, pruning nodes whose bound cannot beat
+   the incumbent.
+
+Branch feasibility is checked against the *current node's* tightened bounds,
+not the root bounds: the root-bounds check admits child boxes that the node's
+own branching already emptied (``lower > upper``), each of which costs a
+wasted LP solve and counts against ``max_nodes``.
 """
 
 from __future__ import annotations
@@ -21,13 +31,15 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
+from typing import Iterator, Mapping
 
 import numpy as np
-from scipy import optimize
+from scipy import optimize, sparse
 
 from repro.milp.model import Model
+from repro.milp.presolve import presolve
 from repro.milp.solution import Solution, SolveStatus
-from repro.milp.solvers.base import Solver
+from repro.milp.solvers.base import Solver, finalize_solution_values
 
 #: Tolerance within which a relaxation value counts as integral.
 INTEGRALITY_TOLERANCE = 1e-6
@@ -54,11 +66,15 @@ class BranchAndBoundSolver(Solver):
         time_limit: float | None = None,
         mip_gap: float = 1e-6,
         max_nodes: int = 50_000,
+        use_presolve: bool = True,
     ) -> None:
         super().__init__(time_limit=time_limit, mip_gap=mip_gap)
         self.max_nodes = max_nodes
+        self.use_presolve = use_presolve
 
-    def solve(self, model: Model) -> Solution:
+    def solve(
+        self, model: Model, *, warm_start: Mapping[str, float] | None = None
+    ) -> Solution:
         start = time.perf_counter()
         matrices = model.to_matrices()
         n = len(matrices["c"])
@@ -68,31 +84,63 @@ class BranchAndBoundSolver(Solver):
                 return Solution(SolveStatus.INFEASIBLE, None, {}, 0.0, self.name)
             return Solution(SolveStatus.OPTIMAL, 0.0, {}, 0.0, self.name)
 
+        stats: dict[str, float] = {}
+        if self.use_presolve:
+            reduction = presolve(matrices)
+            stats.update({f"presolve_{key}": value for key, value in reduction.stats.items()})
+            if reduction.infeasible:
+                elapsed = time.perf_counter() - start
+                return Solution(
+                    SolveStatus.INFEASIBLE, None, {}, elapsed, self.name,
+                    message=f"presolve: {reduction.reason}", stats=stats,
+                )
+            matrices = reduction.matrices
+
+        c = matrices["c"]
         integer_indices = np.flatnonzero(matrices["integrality"] == 1)
         A_ub, b_ub, A_eq, b_eq = _split_constraints(matrices)
 
         incumbent_x: np.ndarray | None = None
         incumbent_obj = np.inf
+        warm_seeded = self._seed_incumbent(model, warm_start)
+        if warm_seeded is not None:
+            incumbent_obj, incumbent_x = warm_seeded
+        stats["warm_start_used"] = 1.0 if warm_seeded is not None else 0.0
+
         counter = itertools.count()
         explored = 0
         hit_limit = False
+        limit_reason = ""
 
         root = _Node(-np.inf, next(counter), matrices["lb_var"].copy(), matrices["ub_var"].copy())
         heap = [root]
-        relaxation_infeasible_everywhere = True
+        relaxation_feasible_somewhere = False
 
         while heap:
-            if self._out_of_time(start) or explored >= self.max_nodes:
-                hit_limit = True
+            if explored >= self.max_nodes:
+                hit_limit, limit_reason = True, "node limit"
+                break
+            remaining = self._remaining_time(start)
+            if remaining is not None and remaining <= 0.0:
+                hit_limit, limit_reason = True, "time limit"
                 break
             node = heapq.heappop(heap)
             if node.bound >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
                 continue
             explored += 1
-            lp = _solve_relaxation(matrices["c"], A_ub, b_ub, A_eq, b_eq, node.lower, node.upper)
+            lp = _solve_relaxation(
+                c, A_ub, b_ub, A_eq, b_eq, node.lower, node.upper, time_limit=remaining
+            )
             if lp is None:
+                # A failed relaxation may be genuine infeasibility or HiGHS
+                # hitting the remaining-time budget; re-check the clock so a
+                # timed-out LP is not misreported as an infeasible box.
+                still_left = self._remaining_time(start)
+                if still_left is not None and still_left <= 0.0:
+                    hit_limit, limit_reason = True, "time limit"
+                    break
                 continue
-            relaxation_infeasible_everywhere = False
+            relaxation_feasible_somewhere = True
             lp_obj, lp_x = lp
             if lp_obj >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
                 continue
@@ -101,86 +149,176 @@ class BranchAndBoundSolver(Solver):
                 incumbent_obj = lp_obj
                 incumbent_x = lp_x
                 continue
-            value = lp_x[branch_index]
-            floor_value = np.floor(value)
-            # Down branch: x <= floor(value)
-            down_upper = node.upper.copy()
-            down_upper[branch_index] = floor_value
-            if matrices["lb_var"][branch_index] <= floor_value:
-                heapq.heappush(
-                    heap, _Node(lp_obj, next(counter), node.lower.copy(), down_upper)
-                )
-            # Up branch: x >= floor(value) + 1
-            up_lower = node.lower.copy()
-            up_lower[branch_index] = floor_value + 1.0
-            if matrices["ub_var"][branch_index] >= floor_value + 1.0:
-                heapq.heappush(
-                    heap, _Node(lp_obj, next(counter), up_lower, node.upper.copy())
-                )
+            for child in self._child_nodes(
+                node, branch_index, np.floor(lp_x[branch_index]), lp_obj, counter
+            ):
+                heapq.heappush(heap, child)
 
         elapsed = time.perf_counter() - start
+        stats["nodes_explored"] = float(explored)
         if incumbent_x is not None:
-            values = {
-                variable.name: (
-                    float(np.round(incumbent_x[variable.index]))
-                    if variable.is_integral
-                    else float(incumbent_x[variable.index])
-                )
+            raw = {
+                variable.name: float(incumbent_x[variable.index])
                 for variable in model.variables
             }
+            values, warning = finalize_solution_values(model, raw)
             status = SolveStatus.FEASIBLE if hit_limit else SolveStatus.OPTIMAL
-            return Solution(status, float(incumbent_obj), values, elapsed, self.name)
+            message = warning or (f"stopped by {limit_reason}" if hit_limit else "")
+            return Solution(
+                status, float(incumbent_obj), values, elapsed, self.name,
+                message=message, stats=stats,
+            )
         if hit_limit:
-            return Solution(SolveStatus.TIME_LIMIT, None, {}, elapsed, self.name)
-        if relaxation_infeasible_everywhere:
-            return Solution(SolveStatus.INFEASIBLE, None, {}, elapsed, self.name)
-        return Solution(SolveStatus.INFEASIBLE, None, {}, elapsed, self.name)
+            # Pruned search, no integer point yet: this is a limit, not a
+            # proof of infeasibility.
+            return Solution(
+                SolveStatus.TIME_LIMIT, None, {}, elapsed, self.name,
+                message=f"stopped by {limit_reason} before an integer-feasible point",
+                stats=stats,
+            )
+        message = (
+            "search exhausted: integer infeasible (LP relaxation was feasible)"
+            if relaxation_feasible_somewhere
+            else "LP relaxation infeasible"
+        )
+        return Solution(
+            SolveStatus.INFEASIBLE, None, {}, elapsed, self.name,
+            message=message, stats=stats,
+        )
 
-    def _out_of_time(self, start: float) -> bool:
-        return self.time_limit is not None and (time.perf_counter() - start) > self.time_limit
+    # -- search steps ------------------------------------------------------------
+
+    def _child_nodes(
+        self,
+        node: _Node,
+        branch_index: int,
+        floor_value: float,
+        bound: float,
+        counter: "itertools.count[int]",
+    ) -> Iterator[_Node]:
+        """Yield the down/up children of ``node`` whose boxes are non-empty.
+
+        Feasibility is checked against ``node.lower`` / ``node.upper`` — the
+        bounds the child actually inherits.  The historical code compared
+        against the *root* bounds instead, admitting boxes that branching had
+        already emptied; the regression test reproduces that by overriding
+        this method.
+        """
+        # Down branch: x <= floor(value)
+        if node.lower[branch_index] <= floor_value:
+            down_upper = node.upper.copy()
+            down_upper[branch_index] = floor_value
+            yield _Node(bound, next(counter), node.lower.copy(), down_upper)
+        # Up branch: x >= floor(value) + 1
+        if node.upper[branch_index] >= floor_value + 1.0:
+            up_lower = node.lower.copy()
+            up_lower[branch_index] = floor_value + 1.0
+            yield _Node(bound, next(counter), up_lower, node.upper.copy())
+
+    def _seed_incumbent(
+        self, model: Model, warm_start: Mapping[str, float] | None
+    ) -> tuple[float, np.ndarray] | None:
+        """Validate a warm-start hint and return ``(objective, x)`` if usable.
+
+        The hint must cover every variable, satisfy integrality after
+        rounding, and satisfy every constraint; anything less is discarded so
+        a stale hint can never corrupt the search.
+        """
+        if not warm_start:
+            return None
+        values: dict[str, float] = {}
+        for variable in model.variables:
+            if variable.name not in warm_start:
+                return None
+            value = float(warm_start[variable.name])
+            if variable.is_integral:
+                rounded = float(round(value))
+                if abs(value - rounded) > INTEGRALITY_TOLERANCE:
+                    return None
+                value = rounded
+            values[variable.name] = value
+        if model.check_assignment(values):
+            return None
+        x = np.empty(model.num_variables)
+        for variable in model.variables:
+            x[variable.index] = values[variable.name]
+        # The incumbent objective must live in LP space (c @ x, no constant
+        # term): node relaxation objectives come from linprog, which never
+        # sees the objective's constant, and pruning compares the two.
+        objective = sum(
+            coefficient * values[variable.name]
+            for variable, coefficient in model.objective.terms.items()
+        )
+        return float(objective), x
+
+    def _remaining_time(self, start: float) -> float | None:
+        if self.time_limit is None:
+            return None
+        return self.time_limit - (time.perf_counter() - start)
 
 
 def _split_constraints(
-    matrices: dict[str, np.ndarray],
-) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None, np.ndarray | None]:
-    """Convert two-sided row bounds into linprog's A_ub/b_ub and A_eq/b_eq."""
-    A = matrices["A"]
-    lb = matrices["lb_con"]
-    ub = matrices["ub_con"]
-    ub_rows = []
-    ub_rhs = []
-    eq_rows = []
-    eq_rhs = []
-    for row in range(A.shape[0]):
-        lower, upper = lb[row], ub[row]
-        if np.isfinite(lower) and np.isfinite(upper) and lower == upper:
-            eq_rows.append(A[row])
-            eq_rhs.append(upper)
-            continue
-        if np.isfinite(upper):
-            ub_rows.append(A[row])
-            ub_rhs.append(upper)
-        if np.isfinite(lower):
-            ub_rows.append(-A[row])
-            ub_rhs.append(-lower)
-    A_ub = np.array(ub_rows) if ub_rows else None
-    b_ub = np.array(ub_rhs) if ub_rhs else None
-    A_eq = np.array(eq_rows) if eq_rows else None
-    b_eq = np.array(eq_rhs) if eq_rhs else None
+    matrices: dict[str, object],
+) -> tuple[
+    "sparse.csr_matrix | None",
+    np.ndarray | None,
+    "sparse.csr_matrix | None",
+    np.ndarray | None,
+]:
+    """Convert two-sided row bounds into linprog's A_ub/b_ub and A_eq/b_eq.
+
+    Fully vectorized over the sparse constraint matrix: three boolean masks
+    and at most one ``sparse.vstack``, instead of a Python loop over rows.
+    Rows bounded on both sides (with distinct bounds) contribute one row to
+    each direction of ``A_ub``.
+    """
+    A = matrices["A"].tocsr()
+    lb = np.asarray(matrices["lb_con"], dtype=float)
+    ub = np.asarray(matrices["ub_con"], dtype=float)
+    if A.shape[0] == 0:
+        return None, None, None, None
+    eq_mask = np.isfinite(lb) & np.isfinite(ub) & (lb == ub)
+    ub_mask = ~eq_mask & np.isfinite(ub)
+    lb_mask = ~eq_mask & np.isfinite(lb)
+
+    A_eq = A[eq_mask] if eq_mask.any() else None
+    b_eq = ub[eq_mask] if eq_mask.any() else None
+
+    blocks = []
+    rhs = []
+    if ub_mask.any():
+        blocks.append(A[ub_mask])
+        rhs.append(ub[ub_mask])
+    if lb_mask.any():
+        blocks.append(-A[lb_mask])
+        rhs.append(-lb[lb_mask])
+    if not blocks:
+        return None, None, A_eq, b_eq
+    A_ub = blocks[0] if len(blocks) == 1 else sparse.vstack(blocks, format="csr")
+    b_ub = np.concatenate(rhs)
     return A_ub, b_ub, A_eq, b_eq
 
 
 def _solve_relaxation(
     c: np.ndarray,
-    A_ub: np.ndarray | None,
+    A_ub: "sparse.csr_matrix | None",
     b_ub: np.ndarray | None,
-    A_eq: np.ndarray | None,
+    A_eq: "sparse.csr_matrix | None",
     b_eq: np.ndarray | None,
     lower: np.ndarray,
     upper: np.ndarray,
+    *,
+    time_limit: float | None = None,
 ) -> tuple[float, np.ndarray] | None:
-    """Solve the LP relaxation; return (objective, x) or None if infeasible."""
+    """Solve the LP relaxation; return (objective, x) or None if infeasible.
+
+    ``time_limit`` is the *remaining* solve budget: it is handed to HiGHS so
+    one slow relaxation cannot overshoot the caller's deadline unboundedly.
+    """
     bounds = list(zip(lower, upper))
+    options: dict[str, float] = {}
+    if time_limit is not None:
+        options["time_limit"] = max(float(time_limit), 1e-3)
     result = optimize.linprog(
         c,
         A_ub=A_ub,
@@ -189,6 +327,7 @@ def _solve_relaxation(
         b_eq=b_eq,
         bounds=bounds,
         method="highs",
+        options=options,
     )
     if not result.success:
         return None

@@ -3,18 +3,24 @@
 This is the default solver.  The paper uses CPLEX; HiGHS is an open-source
 branch-and-cut engine that solves the same MILPs to optimality, so the repair
 quality is unaffected (only absolute solve times differ).
+
+The model is exported in sparse CSR form and run through the shared matrix
+presolve before HiGHS sees it: singleton rows become bounds, fixed variables
+are folded out of every row, and trivially contradictory encodings (the
+encoder's ``0 == 1`` rows) are rejected without invoking the solver at all.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Mapping
 
-import numpy as np
-from scipy import optimize, sparse
+from scipy import optimize
 
 from repro.milp.model import Model
+from repro.milp.presolve import presolve
 from repro.milp.solution import Solution, SolveStatus
-from repro.milp.solvers.base import Solver
+from repro.milp.solvers.base import Solver, finalize_solution_values
 
 
 class HighsSolver(Solver):
@@ -22,9 +28,27 @@ class HighsSolver(Solver):
 
     name = "highs"
 
-    def solve(self, model: Model) -> Solution:
+    def __init__(
+        self,
+        *,
+        time_limit: float | None = None,
+        mip_gap: float = 1e-6,
+        use_presolve: bool = True,
+    ) -> None:
+        super().__init__(time_limit=time_limit, mip_gap=mip_gap)
+        self.use_presolve = use_presolve
+
+    def solve(
+        self, model: Model, *, warm_start: Mapping[str, float] | None = None
+    ) -> Solution:
+        """Solve ``model``; ``warm_start`` is accepted but unused.
+
+        ``scipy.optimize.milp`` exposes no incumbent-injection hook, so the
+        hint cannot speed HiGHS up; it is accepted (and ignored) so callers
+        can pass the same hint to any registered backend.
+        """
         start = time.perf_counter()
-        matrices = model.to_sparse_arrays()
+        matrices = model.to_matrices()
         num_variables = len(matrices["c"])
         if num_variables == 0:
             # A model with no variables is optimal iff its (constant)
@@ -40,12 +64,23 @@ class HighsSolver(Solver):
                 solver_name=self.name,
             )
 
+        stats: dict[str, float] = {}
+        if self.use_presolve:
+            reduction = presolve(matrices)
+            stats.update({f"presolve_{key}": value for key, value in reduction.stats.items()})
+            if reduction.infeasible:
+                return Solution(
+                    status=SolveStatus.INFEASIBLE,
+                    solve_seconds=time.perf_counter() - start,
+                    solver_name=self.name,
+                    message=f"presolve: {reduction.reason}",
+                    stats=stats,
+                )
+            matrices = reduction.matrices
+
         constraints = None
-        if matrices["n_constraints"] > 0:
-            matrix = sparse.coo_matrix(
-                (matrices["data"], (matrices["rows"], matrices["cols"])),
-                shape=(matrices["n_constraints"], num_variables),
-            ).tocsr()
+        matrix = matrices["A"].tocsr()
+        if matrix.shape[0] > 0:
             constraints = optimize.LinearConstraint(
                 matrix,
                 matrices["lb_con"],
@@ -70,17 +105,22 @@ class HighsSolver(Solver):
                 solve_seconds=time.perf_counter() - start,
                 solver_name=self.name,
                 message=str(error),
+                stats=stats,
             )
 
         elapsed = time.perf_counter() - start
         status = _translate_status(result)
         values: dict[str, float] = {}
         objective = None
+        message = str(result.message)
         if result.x is not None and status.has_solution:
-            values = {
-                variable.name: _round_if_integral(float(result.x[variable.index]), variable.is_integral)
+            raw = {
+                variable.name: float(result.x[variable.index])
                 for variable in model.variables
             }
+            values, warning = finalize_solution_values(model, raw)
+            if warning:
+                message = f"{message} [{warning}]" if message else warning
             objective = float(result.fun) if result.fun is not None else None
         return Solution(
             status=status,
@@ -88,7 +128,8 @@ class HighsSolver(Solver):
             values=values,
             solve_seconds=elapsed,
             solver_name=self.name,
-            message=str(result.message),
+            message=message,
+            stats=stats,
         )
 
 
@@ -106,9 +147,3 @@ def _translate_status(result: "optimize.OptimizeResult") -> SolveStatus:
     if status == 3:
         return SolveStatus.UNBOUNDED
     return SolveStatus.ERROR
-
-
-def _round_if_integral(value: float, is_integral: bool) -> float:
-    if is_integral:
-        return float(np.round(value))
-    return value

@@ -19,15 +19,18 @@ solver wiring and exposes three call shapes:
 from __future__ import annotations
 
 import json
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.core.complaints import ComplaintSet
 from repro.core.config import QFixConfig
 from repro.core.repair import RepairResult
 from repro.db.database import Database
 from repro.exceptions import ReproError
+from repro.milp.solvers.base import accepts_keyword
 from repro.milp.solvers import Solver, get_solver
 from repro.queries.log import QueryLog
 from repro.service.registry import get_diagnoser
@@ -66,6 +69,14 @@ class DiagnosisEngine:
         self.config = config if config is not None else QFixConfig.fully_optimized()
         self.max_workers = max_workers
         self._shared_solver = solver
+        # Warm-start cache: (diagnoser, config, log/complaint fingerprint)
+        # -> solver assignment of the last feasible repair.  Re-solving the
+        # same encoding then starts from the previous repair instead of
+        # ``-inf``; a stale hit is harmless (hints are validated before use).
+        self._warm_lock = threading.Lock()
+        self._warm_cache: "OrderedDict[Hashable, dict[str, float]]" = OrderedDict()
+        self._warm_hits = 0
+        self._warm_misses = 0
 
     def _solver_for(self, config: QFixConfig) -> Solver:
         if self._shared_solver is not None:
@@ -73,6 +84,39 @@ class DiagnosisEngine:
         return get_solver(
             config.solver, time_limit=config.time_limit, mip_gap=config.mip_gap
         )
+
+    # -- warm-start cache --------------------------------------------------------
+
+    #: Maximum number of cached warm starts (LRU-evicted beyond this).
+    WARM_CACHE_MAX = 64
+
+    def _warm_lookup(self, key: Hashable) -> dict[str, float] | None:
+        with self._warm_lock:
+            values = self._warm_cache.get(key)
+            if values is None:
+                self._warm_misses += 1
+                return None
+            self._warm_cache.move_to_end(key)
+            self._warm_hits += 1
+            return dict(values)
+
+    def _warm_store(self, key: Hashable, values: Mapping[str, float]) -> None:
+        if not values:
+            return
+        with self._warm_lock:
+            self._warm_cache[key] = dict(values)
+            self._warm_cache.move_to_end(key)
+            while len(self._warm_cache) > self.WARM_CACHE_MAX:
+                self._warm_cache.popitem(last=False)
+
+    def warm_cache_info(self) -> dict[str, int]:
+        """Warm-start cache statistics (size, hits, misses)."""
+        with self._warm_lock:
+            return {
+                "size": len(self._warm_cache),
+                "hits": self._warm_hits,
+                "misses": self._warm_misses,
+            }
 
     # -- in-process path ---------------------------------------------------------
 
@@ -86,6 +130,7 @@ class DiagnosisEngine:
         diagnoser: str | None = None,
         config: QFixConfig | None = None,
         solver: Solver | None = None,
+        warm_key: Hashable | None = None,
     ) -> RepairResult:
         """Run one diagnosis and return the :class:`RepairResult`.
 
@@ -94,20 +139,36 @@ class DiagnosisEngine:
         this call (the ``QFix`` facade uses this to keep its historical
         one-solver-per-instance behaviour).  Exceptions propagate to the
         caller — use :meth:`submit` for the never-raises service path.
+
+        The engine keeps a bounded warm-start cache: a repeat diagnosis of
+        the same (log, complaints, config) hands the previous repair's solver
+        assignment to the diagnoser as an incumbent hint.  ``warm_key`` lets
+        long-lived callers (sessions) supply a cheap pre-computed cache key
+        instead of paying the log fingerprint on every call.
         """
         effective = config if config is not None else self.config
         name = diagnoser if diagnoser is not None else effective.diagnoser
         if complaints.is_empty():
             raise ReproError("the complaint set is empty; nothing to diagnose")
         algorithm = get_diagnoser(name)
-        return algorithm.diagnose(
+        cache_key = (
+            name,
+            effective,
+            warm_key if warm_key is not None else diagnosis_fingerprint(log, complaints),
+        )
+        result = _call_diagnoser(
+            algorithm,
             initial,
             final,
             log,
             complaints,
             config=effective,
             solver=solver if solver is not None else self._solver_for(effective),
+            warm_start=self._warm_lookup(cache_key),
         )
+        if result.feasible and result.solution_values:
+            self._warm_store(cache_key, result.solution_values)
+        return result
 
     # -- service path ------------------------------------------------------------
 
@@ -168,6 +229,64 @@ class DiagnosisEngine:
             return [self.submit(request) for request in items]
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(self.submit, items))
+
+
+def diagnosis_fingerprint(log: QueryLog, complaints: ComplaintSet) -> Hashable:
+    """Stable fingerprint of a (log, complaints) pair for warm-start keying.
+
+    Two calls with the same rendered log and the same complaint targets map
+    to the same key, so a repeat diagnosis reuses the cached solver
+    assignment.  Collisions are merely a performance hazard, never a
+    correctness one: solvers validate hints before seeding an incumbent.
+    """
+    return (log.render_sql(), complaint_fingerprint(complaints))
+
+
+def complaint_fingerprint(complaints: ComplaintSet) -> Hashable:
+    """Stable fingerprint of a complaint set (rids, targets, dirty presence)."""
+    return tuple(
+        sorted(
+            (
+                complaint.rid,
+                complaint.exists_in_dirty,
+                None
+                if complaint.target is None
+                else tuple(sorted(complaint.target.items())),
+            )
+            for complaint in complaints
+        )
+    )
+
+
+def _call_diagnoser(
+    algorithm: "object",
+    initial: Database,
+    final: Database,
+    log: QueryLog,
+    complaints: ComplaintSet,
+    *,
+    config: QFixConfig,
+    solver: Solver,
+    warm_start: "dict[str, float] | None",
+) -> RepairResult:
+    """Invoke a diagnoser, forwarding ``warm_start`` only when it accepts it.
+
+    Custom diagnosers registered before the warm-start API existed keep
+    working — they just solve cold.
+    """
+    if warm_start is not None and accepts_keyword(algorithm.diagnose, "warm_start"):
+        return algorithm.diagnose(
+            initial,
+            final,
+            log,
+            complaints,
+            config=config,
+            solver=solver,
+            warm_start=warm_start,
+        )
+    return algorithm.diagnose(
+        initial, final, log, complaints, config=config, solver=solver
+    )
 
 
 def serve_jsonl_lines(

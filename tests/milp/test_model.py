@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from scipy import sparse as sp
 
 from repro.exceptions import ModelError
 from repro.milp.constraints import Sense
@@ -115,21 +116,32 @@ class TestModelConstraints:
 
 
 class TestMatrixExport:
-    def test_dense_and_sparse_agree(self):
+    def test_csr_and_triplets_agree(self):
         model = Model()
         x = model.add_continuous("x", 0, 5)
         y = model.add_binary("y")
         model.add_le(x + 2 * y, 4)
         model.add_equal(x - y, 1)
         model.set_objective(-1 * x - y)
-        dense = model.to_matrices()
-        sparse = model.to_sparse_arrays()
-        assert dense["A"].shape == (2, 2)
-        rebuilt = np.zeros_like(dense["A"])
-        for row, col, value in zip(sparse["rows"], sparse["cols"], sparse["data"]):
+        matrices = model.to_matrices()
+        triplets = model.to_sparse_arrays()
+        assert sp.issparse(matrices["A"])
+        assert matrices["A"].format == "csr"
+        assert matrices["A"].shape == (2, 2)
+        rebuilt = np.zeros(matrices["A"].shape)
+        for row, col, value in zip(triplets["rows"], triplets["cols"], triplets["data"]):
             rebuilt[row, col] = value
-        np.testing.assert_allclose(rebuilt, dense["A"])
-        np.testing.assert_allclose(dense["c"], sparse["c"])
-        np.testing.assert_allclose(dense["lb_con"], sparse["lb_con"])
-        np.testing.assert_allclose(dense["ub_con"], sparse["ub_con"])
-        np.testing.assert_allclose(dense["integrality"], sparse["integrality"])
+        np.testing.assert_allclose(rebuilt, matrices["A"].toarray())
+        np.testing.assert_allclose(matrices["c"], triplets["c"])
+        np.testing.assert_allclose(matrices["lb_con"], triplets["lb_con"])
+        np.testing.assert_allclose(matrices["ub_con"], triplets["ub_con"])
+        np.testing.assert_allclose(matrices["integrality"], triplets["integrality"])
+
+    def test_csr_export_never_densifies(self):
+        model = Model()
+        variables = [model.add_binary(f"b{i}") for i in range(20)]
+        for index, variable in enumerate(variables[:-1]):
+            model.add_le(variable + variables[index + 1], 1)
+        matrices = model.to_matrices()
+        assert matrices["A"].nnz == 2 * 19
+        np.testing.assert_allclose(matrices["A"].toarray().sum(axis=1), np.full(19, 2.0))

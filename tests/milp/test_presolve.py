@@ -1,0 +1,120 @@
+"""Tests for the matrix-level presolve shared by the solver backends."""
+
+import numpy as np
+import pytest
+
+from repro.milp.model import Model
+from repro.milp.presolve import presolve
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers import get_solver
+
+
+def _presolved(model):
+    return presolve(model.to_matrices())
+
+
+class TestBoundTightening:
+    def test_singleton_rows_become_bounds_and_are_dropped(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 100)
+        y = model.add_continuous("y", 0, 100)
+        model.add_le(x, 7)            # singleton: ub_var 100 -> 7
+        model.add_ge(2 * y, 10)       # singleton with coefficient: lb_var 0 -> 5
+        model.add_le(x + y, 50)       # genuine row, must survive
+        result = _presolved(model)
+        assert not result.infeasible
+        assert result.matrices["ub_var"][x.index] == pytest.approx(7.0)
+        assert result.matrices["lb_var"][y.index] == pytest.approx(5.0)
+        assert result.matrices["A"].shape[0] == 1
+        assert result.stats["singleton_rows"] == 2
+
+    def test_negative_coefficient_singleton_flips_direction(self):
+        model = Model()
+        x = model.add_continuous("x", -100, 100)
+        model.add_le(-2 * x, 10)      # -2x <= 10  =>  x >= -5
+        result = _presolved(model)
+        assert result.matrices["lb_var"][x.index] == pytest.approx(-5.0)
+
+    def test_integral_bounds_rounded_inward(self):
+        model = Model()
+        x = model.add_integer("x", 0.4, 7.8)
+        result = _presolved(model)
+        assert result.matrices["lb_var"][x.index] == pytest.approx(1.0)
+        assert result.matrices["ub_var"][x.index] == pytest.approx(7.0)
+
+    def test_crossed_integral_bounds_detected_infeasible(self):
+        model = Model()
+        model.add_integer("x", 0.2, 0.8)  # no integer in [0.2, 0.8]
+        result = _presolved(model)
+        assert result.infeasible
+
+
+class TestFixedVariableElimination:
+    def test_fixed_column_folds_into_row_bounds(self):
+        model = Model()
+        x = model.add_continuous("x", 3, 3)   # fixed at 3
+        y = model.add_continuous("y", 0, 100)
+        model.add_le(2 * x + y, 10)           # => y <= 4 after folding
+        result = _presolved(model)
+        assert not result.infeasible
+        assert result.stats["fixed_variables"] == 1
+        # The folded row became a singleton on y and then a bound.
+        assert result.matrices["ub_var"][y.index] == pytest.approx(4.0)
+        assert result.matrices["A"].shape[0] == 0
+
+    def test_fixed_variables_keep_their_index(self):
+        model = Model()
+        model.add_continuous("x", 3, 3)
+        y = model.add_continuous("y", 0, 10)
+        model.add_ge(y, 1)
+        result = _presolved(model)
+        assert len(result.matrices["lb_var"]) == 2
+        assert result.matrices["lb_var"][0] == pytest.approx(3.0)
+        assert result.matrices["ub_var"][0] == pytest.approx(3.0)
+
+
+class TestInfeasibilityScreening:
+    def test_contradiction_row_detected(self):
+        # The encoder emits 0 == 1 rows for trivially infeasible targets.
+        model = Model()
+        model.add_continuous("x", 0, 1)
+        from repro.milp.expr import LinExpr
+
+        model.add_equal(LinExpr(), 1.0)
+        result = _presolved(model)
+        assert result.infeasible
+        assert "constant" in result.reason
+
+    def test_fixed_values_violating_a_row_detected(self):
+        model = Model()
+        model.add_continuous("x", 2, 2)
+        model.add_continuous("y", 3, 3)
+        model.add_le(model.get_variable("x") + model.get_variable("y"), 4)
+        result = _presolved(model)
+        assert result.infeasible
+
+    def test_singleton_crossing_bounds_detected(self):
+        model = Model()
+        x = model.add_continuous("x", 5, 10)
+        model.add_le(x, 2)
+        result = _presolved(model)
+        assert result.infeasible
+
+
+class TestPresolvePreservesOptimum:
+    @pytest.mark.parametrize("solver_name", ["highs", "branch-and-bound"])
+    def test_same_optimum_with_and_without_presolve(self, solver_name):
+        model = Model()
+        x = model.add_integer("x", 0, 50)
+        y = model.add_continuous("y", 0, 50)
+        z = model.add_continuous("z", 4, 4)     # fixed
+        model.add_le(x, 6.7)                    # singleton
+        model.add_le(2 * x + y + z, 20)
+        model.add_ge(y, 0.5)
+        model.set_objective(-(3 * x + y + z))
+        with_presolve = get_solver(solver_name, use_presolve=True).solve(model)
+        without_presolve = get_solver(solver_name, use_presolve=False).solve(model)
+        assert with_presolve.status is SolveStatus.OPTIMAL
+        assert without_presolve.status is SolveStatus.OPTIMAL
+        assert with_presolve.objective == pytest.approx(without_presolve.objective, abs=1e-6)
+        assert not model.check_assignment(with_presolve.values)

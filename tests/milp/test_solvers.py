@@ -1,11 +1,15 @@
 """Tests for the MILP solver backends (HiGHS and branch-and-bound)."""
 
+import itertools
+
+import numpy as np
 import pytest
 
 from repro.exceptions import SolverError
 from repro.milp.model import Model
 from repro.milp.solution import SolveStatus
-from repro.milp.solvers import available_solvers, get_solver
+from repro.milp.solvers import available_solvers, finalize_solution_values, get_solver
+from repro.milp.solvers.branch_and_bound import BranchAndBoundSolver, _Node
 
 
 def _knapsack_model():
@@ -81,6 +85,196 @@ class TestBackendsAgree:
             assert solution.status is SolveStatus.OPTIMAL
             objectives.append(solution.objective)
         assert objectives[0] == pytest.approx(objectives[1], abs=1e-6)
+
+
+class _RootBoundsSolver(BranchAndBoundSolver):
+    """The historical (pre-fix) solver: no presolve, root-bounds branch checks.
+
+    Reproduces verbatim the two buggy guards of the old ``solve`` loop
+    (``matrices["lb_var"]`` / ``matrices["ub_var"]`` instead of the node's
+    tightened bounds) so the regression test can compare node counts.
+    """
+
+    def __init__(self, **options):
+        options["use_presolve"] = False
+        super().__init__(**options)
+        self._root_lower = None
+        self._root_upper = None
+
+    def solve(self, model, *, warm_start=None):
+        matrices = model.to_matrices()
+        self._root_lower = np.asarray(matrices["lb_var"], dtype=float)
+        self._root_upper = np.asarray(matrices["ub_var"], dtype=float)
+        return super().solve(model, warm_start=warm_start)
+
+    def _child_nodes(self, node, branch_index, floor_value, bound, counter):
+        down_upper = node.upper.copy()
+        down_upper[branch_index] = floor_value
+        if self._root_lower[branch_index] <= floor_value:
+            yield _Node(bound, next(counter), node.lower.copy(), down_upper)
+        up_lower = node.lower.copy()
+        up_lower[branch_index] = floor_value + 1.0
+        if self._root_upper[branch_index] >= floor_value + 1.0:
+            yield _Node(bound, next(counter), up_lower, node.upper.copy())
+
+
+def _fractionally_capped_model():
+    """Integer variables with wide raw bounds capped by fractional singleton rows.
+
+    Presolve folds the caps into tight integral bounds; the historical path
+    keeps the wide raw bounds and re-proves each cap with an LP per branch,
+    so the root-bounds check admits strictly more nodes.
+    """
+    model = Model("caps")
+    xs = [model.add_integer(f"x{i}", 0, 100) for i in range(4)]
+    for x in xs:
+        model.add_le(x, 3.5)
+    model.add_le(xs[0] + 2 * xs[1] + 2 * xs[2] + 2 * xs[3], 8.2)
+    model.set_objective(-(xs[0] + xs[1] + xs[2] + xs[3]))
+    return model
+
+
+class TestNodeBoundsRegression:
+    def test_root_bounds_check_explores_strictly_more_nodes(self):
+        fixed = BranchAndBoundSolver().solve(_fractionally_capped_model())
+        buggy = _RootBoundsSolver().solve(_fractionally_capped_model())
+        assert fixed.status is SolveStatus.OPTIMAL
+        assert buggy.status is SolveStatus.OPTIMAL
+        assert fixed.objective == pytest.approx(buggy.objective, abs=1e-6)
+        assert fixed.stats["nodes_explored"] < buggy.stats["nodes_explored"]
+
+    def test_node_bounds_never_admit_an_empty_box(self):
+        """The fixed guard skips a child whose box branching has emptied.
+
+        The state below arises when an LP relaxation drifts just below a
+        node's tightened lower bound: branching at floor(value) = lower - 1
+        must not enqueue the [lower, lower - 1] box.  The historical guard
+        compared against the root bounds and enqueued it.
+        """
+        solver = BranchAndBoundSolver()
+        counter = itertools.count()
+        node = _Node(0.0, next(counter), np.array([2.0]), np.array([5.0]))
+        children = list(solver._child_nodes(node, 0, 1.0, 0.0, counter))
+        assert all((child.lower <= child.upper).all() for child in children)
+        assert len(children) == 1  # only the up branch survives
+        # The historical root-bounds guard (root box [0, 10]) would have
+        # admitted the down branch too: lower=[2] > upper=[1], an empty box
+        # costing one LP solve.
+
+
+class TestWarmStart:
+    def test_warm_start_seeds_incumbent_and_reduces_nodes(self):
+        model = _fractionally_capped_model()
+        solver = BranchAndBoundSolver()
+        cold = solver.solve(model)
+        warm = solver.solve(_fractionally_capped_model(), warm_start=cold.values)
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-6)
+        assert warm.stats["warm_start_used"] == 1.0
+        assert warm.stats["nodes_explored"] <= cold.stats["nodes_explored"]
+
+    def test_infeasible_hint_is_discarded(self):
+        model = _knapsack_model()
+        hint = {"x1": 1.0, "x2": 1.0, "x3": 1.0}  # violates the weight limit
+        solution = BranchAndBoundSolver().solve(model, warm_start=hint)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-10.0)
+        assert solution.stats["warm_start_used"] == 0.0
+
+    def test_partial_hint_is_discarded(self):
+        solution = BranchAndBoundSolver().solve(_knapsack_model(), warm_start={"x1": 1.0})
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.stats["warm_start_used"] == 0.0
+
+    def test_fractional_hint_for_integer_variable_is_discarded(self):
+        solution = BranchAndBoundSolver().solve(
+            _knapsack_model(), warm_start={"x1": 0.5, "x2": 1.0, "x3": 1.0}
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.stats["warm_start_used"] == 0.0
+
+    def test_objective_constant_term_does_not_mislead_pruning(self):
+        # The warm incumbent objective must live in LP space (c @ x, no
+        # constant): seeding with model.objective_value would add the -10
+        # constant, undercut every LP bound, prune the whole tree, and
+        # return the suboptimal hint as OPTIMAL.
+        model = Model()
+        x = model.add_integer("x", 0, 5)
+        model.set_objective(x - 10.0)
+        solution = BranchAndBoundSolver().solve(model, warm_start={"x": 5.0})
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.value("x") == pytest.approx(0.0)
+
+    def test_highs_accepts_and_ignores_hint(self):
+        solution = get_solver("highs").solve(
+            _knapsack_model(), warm_start={"x1": 1.0, "x2": 0.0, "x3": 1.0}
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-10.0)
+
+
+class TestTimeLimitHandling:
+    def test_immediate_time_limit_is_not_reported_infeasible(self):
+        solver = BranchAndBoundSolver(time_limit=0.0)
+        solution = solver.solve(_knapsack_model())
+        assert solution.status is SolveStatus.TIME_LIMIT
+        assert "time limit" in solution.message
+
+    def test_node_limit_with_incumbent_reports_feasible(self):
+        solver = BranchAndBoundSolver(max_nodes=1, use_presolve=False)
+        model = Model()
+        x = model.add_integer("x", 0, 10)
+        y = model.add_integer("y", 0, 10)
+        model.add_le(2 * x + 3 * y, 11.5)
+        model.set_objective(-(2 * x + 3 * y))
+        solution = solver.solve(model)
+        # One node cannot both find and prove an incumbent here.
+        assert solution.status in (SolveStatus.TIME_LIMIT, SolveStatus.FEASIBLE)
+        assert solution.status is not SolveStatus.INFEASIBLE
+
+    def test_infeasible_messages_distinguish_lp_from_integer(self):
+        lp_infeasible = Model()
+        x = lp_infeasible.add_continuous("x", 0, 1)
+        lp_infeasible.add_ge(x, 2)
+        solution = BranchAndBoundSolver(use_presolve=False).solve(lp_infeasible)
+        assert solution.status is SolveStatus.INFEASIBLE
+        assert "relaxation infeasible" in solution.message
+
+        integer_infeasible = Model()
+        y = integer_infeasible.add_integer("y", 0, 5)
+        integer_infeasible.add_equal(2 * y, 3)  # y = 1.5: LP-feasible only
+        solution = BranchAndBoundSolver(use_presolve=False).solve(integer_infeasible)
+        assert solution.status is SolveStatus.INFEASIBLE
+        assert "integer infeasible" in solution.message
+
+
+class TestRoundingValidation:
+    def test_rounded_values_validated_against_model(self):
+        # A big coefficient amplifies sub-tolerance drift: x = 1 - 5e-7 is
+        # integral within tolerance, but rounding to 1.0 violates the row by
+        # 0.5, far beyond the feasibility tolerance.
+        model = Model()
+        x = model.add_integer("x", 0, 1)
+        model.add_le(1e6 * x, 1e6 * (1.0 - 5e-7))
+        with pytest.warns(UserWarning, match="falling back to the unrounded"):
+            values, warning = finalize_solution_values(model, {"x": 1.0 - 5e-7})
+        assert warning
+        assert values["x"] == pytest.approx(1.0 - 5e-7)
+
+    def test_clean_rounding_passes_through(self):
+        model = Model()
+        x = model.add_integer("x", 0, 5)
+        model.add_le(x, 3)
+        values, warning = finalize_solution_values(model, {"x": 2.9999997})
+        assert warning == ""
+        assert values["x"] == 3.0
+
+    def test_backends_return_validated_integral_values(self):
+        for name in ("highs", "branch-and-bound"):
+            solution = get_solver(name).solve(_knapsack_model())
+            model = _knapsack_model()
+            assert not model.check_assignment(solution.values)
+            assert all(value == int(value) for value in solution.values.values())
 
 
 class TestRegistry:

@@ -1,0 +1,116 @@
+"""Property test: both MILP backends agree on randomly generated models.
+
+The branch-and-bound backend exists as a cross-check for HiGHS (and vice
+versa); after the sparse/presolve rewrite the two still have to return equal
+objective values on any model either can solve — including models with
+equality rows, fixed variables (``lower == upper``), and fractional bounds
+on integer variables, the cases the presolve reductions rewrite hardest.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.milp.model import Model
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers import get_solver
+
+coefficients = st.integers(min_value=-3, max_value=3)
+bound_values = st.integers(min_value=-4, max_value=4)
+senses = st.sampled_from(["<=", ">=", "=="])
+
+
+variable_specs = st.lists(
+    st.tuples(
+        st.booleans(),                 # integral?
+        bound_values,                  # bound seed a
+        bound_values,                  # bound seed b
+        st.booleans(),                 # fixed (lower == upper)?
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+constraint_specs = st.lists(
+    st.tuples(st.lists(coefficients, min_size=3, max_size=3), senses, bound_values),
+    min_size=0,
+    max_size=3,
+)
+
+
+def _build_model(specs, constraints, objective):
+    model = Model("property")
+    variables = []
+    for index, (integral, a, b, fixed) in enumerate(specs):
+        lower, upper = min(a, b), max(a, b)
+        if fixed:
+            upper = lower
+        if integral:
+            variables.append(model.add_integer(f"v{index}", lower, upper))
+        else:
+            variables.append(model.add_continuous(f"v{index}", lower, upper))
+    for coeffs, sense, rhs in constraints:
+        expr = sum(
+            (coeff * variable for coeff, variable in zip(coeffs, variables) if coeff),
+            start=0.0,
+        )
+        if isinstance(expr, float):
+            continue  # all coefficients hit zero for the live variables
+        model.add_constraint(expr, sense, float(rhs))
+    expr = sum(
+        (coeff * variable for coeff, variable in zip(objective, variables) if coeff),
+        start=0.0,
+    )
+    if not isinstance(expr, float):
+        model.set_objective(expr)
+    return model
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    specs=variable_specs,
+    constraints=constraint_specs,
+    objective=st.lists(coefficients, min_size=3, max_size=3),
+)
+def test_backends_agree_on_random_models(specs, constraints, objective):
+    """HiGHS and branch-and-bound agree on feasibility and optimal value."""
+    model_a = _build_model(specs, constraints, objective)
+    model_b = _build_model(specs, constraints, objective)
+    highs = get_solver("highs", time_limit=20.0).solve(model_a)
+    bnb = get_solver("branch-and-bound", time_limit=20.0).solve(model_b)
+
+    assert highs.status is not SolveStatus.ERROR
+    assert bnb.status is not SolveStatus.ERROR
+    assert highs.status.has_solution == bnb.status.has_solution, (
+        highs.status,
+        bnb.status,
+        highs.message,
+        bnb.message,
+    )
+    if highs.status.has_solution:
+        assert highs.objective == pytest.approx(bnb.objective, abs=1e-5)
+        # Both assignments must actually satisfy the model they solved.
+        assert not model_a.check_assignment(highs.values)
+        assert not model_b.check_assignment(bnb.values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    specs=variable_specs,
+    constraints=constraint_specs,
+    objective=st.lists(coefficients, min_size=3, max_size=3),
+)
+def test_presolve_never_changes_the_answer(specs, constraints, objective):
+    """The presolved and unpresolved branch-and-bound agree everywhere."""
+    with_presolve = get_solver("branch-and-bound", time_limit=20.0).solve(
+        _build_model(specs, constraints, objective)
+    )
+    without_presolve = get_solver(
+        "branch-and-bound", time_limit=20.0, use_presolve=False
+    ).solve(_build_model(specs, constraints, objective))
+    assert with_presolve.status.has_solution == without_presolve.status.has_solution
+    if with_presolve.status.has_solution:
+        assert with_presolve.objective == pytest.approx(
+            without_presolve.objective, abs=1e-5
+        )

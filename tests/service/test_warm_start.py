@@ -1,0 +1,167 @@
+"""Tests for the engine's warm-start cache and the session plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.complaints import ComplaintSet
+from repro.core.config import QFixConfig
+from repro.core.repair import RepairResult
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.milp.solution import SolveStatus
+from repro.milp.solvers import BranchAndBoundSolver
+from repro.queries.executor import replay
+from repro.queries.expressions import Attr, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison
+from repro.queries.query import UpdateQuery
+from repro.service.engine import DiagnosisEngine, diagnosis_fingerprint
+from repro.service.registry import register_diagnoser
+from repro.service.session import RepairSession
+
+
+class _RecordingSolver(BranchAndBoundSolver):
+    """Branch-and-bound that records the warm starts it was handed."""
+
+    def __init__(self, **options):
+        super().__init__(**options)
+        self.hints: list[dict | None] = []
+
+    def solve(self, model, *, warm_start=None):
+        self.hints.append(dict(warm_start) if warm_start else None)
+        return super().solve(model, warm_start=warm_start)
+
+
+def _scenario():
+    schema = Schema.build("t", ["a", "b"], upper=100)
+    initial = Database(
+        schema,
+        [{"a": 10, "b": 0}, {"a": 40, "b": 0}, {"a": 50, "b": 0}, {"a": 90, "b": 0}],
+    )
+    corrupted = QueryLog(
+        [
+            UpdateQuery(
+                "t",
+                {"b": Param("q1_set", 7.0)},
+                Comparison(Attr("a"), ">=", Param("q1_lo", 35.0)),
+                label="q1",
+            )
+        ]
+    )
+    dirty = replay(initial, corrupted)
+    truth = replay(initial, corrupted.with_params({"q1_lo": 60.0}))
+    complaints = ComplaintSet.from_states(dirty, truth)
+    return initial, dirty, corrupted, complaints
+
+
+class TestEngineWarmCache:
+    def test_repeat_diagnosis_hits_the_cache_and_seeds_the_solver(self):
+        initial, dirty, log, complaints = _scenario()
+        solver = _RecordingSolver()
+        engine = DiagnosisEngine(QFixConfig.fully_optimized(), solver)
+
+        first = engine.diagnose(initial, dirty, log, complaints)
+        assert first.feasible and first.solution_values
+        assert all(hint is None for hint in solver.hints)
+        assert engine.warm_cache_info()["hits"] == 0
+
+        second = engine.diagnose(initial, dirty, log, complaints)
+        assert second.feasible
+        assert second.parameter_values == pytest.approx(first.parameter_values)
+        info = engine.warm_cache_info()
+        assert info["hits"] == 1 and info["size"] == 1
+        # The winning window's solve was seeded with the cached assignment.
+        assert any(hint is not None for hint in solver.hints)
+
+    def test_different_complaints_use_different_cache_keys(self):
+        initial, dirty, log, complaints = _scenario()
+        engine = DiagnosisEngine(QFixConfig.fully_optimized())
+        engine.diagnose(initial, dirty, log, complaints)
+        partial = ComplaintSet(list(complaints)[:1])
+        engine.diagnose(initial, dirty, log, partial)
+        info = engine.warm_cache_info()
+        assert info["size"] == 2
+        assert info["hits"] == 0
+
+    def test_fingerprint_is_stable_and_distinguishes_logs(self):
+        initial, dirty, log, complaints = _scenario()
+        assert diagnosis_fingerprint(log, complaints) == diagnosis_fingerprint(
+            log, complaints
+        )
+        other = log.with_params({"q1_lo": 36.0})
+        assert diagnosis_fingerprint(log, complaints) != diagnosis_fingerprint(
+            other, complaints
+        )
+
+    def test_cache_is_bounded(self):
+        initial, dirty, log, complaints = _scenario()
+        engine = DiagnosisEngine(QFixConfig.fully_optimized())
+        engine.WARM_CACHE_MAX = 2
+        for offset in range(4):
+            shifted = log.with_params({"q1_lo": 35.0 + offset * 0.5})
+            shifted_dirty = replay(initial, shifted)
+            truth = replay(initial, shifted.with_params({"q1_lo": 60.0}))
+            engine.diagnose(
+                initial, shifted_dirty, shifted, ComplaintSet.from_states(shifted_dirty, truth)
+            )
+        assert engine.warm_cache_info()["size"] <= 2
+
+    def test_diagnoser_without_warm_start_keyword_still_works(self):
+        initial, dirty, log, complaints = _scenario()
+
+        class LegacyDiagnoser:
+            name = "legacy-style"
+            calls = 0
+
+            def diagnose(self, initial, final, log, complaints, *, config, solver):
+                type(self).calls += 1
+                return RepairResult(
+                    original_log=log,
+                    repaired_log=log,
+                    feasible=True,
+                    status=SolveStatus.OPTIMAL,
+                    solution_values={"param::q1_lo": 60.0},
+                )
+
+        register_diagnoser("legacy-style", LegacyDiagnoser, replace=True)
+        engine = DiagnosisEngine(QFixConfig.fully_optimized())
+        engine.diagnose(initial, dirty, log, complaints, diagnoser="legacy-style")
+        # Second call has a cached hint but the diagnoser cannot accept it.
+        result = engine.diagnose(initial, dirty, log, complaints, diagnoser="legacy-style")
+        assert result.feasible
+        assert LegacyDiagnoser.calls == 2
+
+
+class TestSessionWarmStart:
+    def test_session_rediagnosis_reuses_the_cache(self):
+        initial, dirty, log, complaints = _scenario()
+        solver = _RecordingSolver()
+        engine = DiagnosisEngine(QFixConfig.fully_optimized(), solver)
+        session = RepairSession(initial, log, engine=engine)
+        for complaint in complaints:
+            session.add_complaint(complaint)
+
+        first = session.diagnose()
+        assert first.feasible
+        second = session.diagnose()
+        assert second.feasible
+        info = engine.warm_cache_info()
+        assert info["hits"] == 1
+        assert any(hint is not None for hint in solver.hints)
+
+    def test_appending_a_query_changes_the_warm_key(self):
+        initial, dirty, log, complaints = _scenario()
+        engine = DiagnosisEngine(QFixConfig.fully_optimized())
+        session = RepairSession(initial, log, engine=engine)
+        for complaint in complaints:
+            session.add_complaint(complaint)
+        session.diagnose()
+        session.append(
+            UpdateQuery("t", {"b": Param("q2_set", 1.0)}, Comparison(Attr("a"), ">=", Param("q2_lo", 95.0)), label="q2")
+        )
+        session.diagnose()
+        info = engine.warm_cache_info()
+        # Two distinct keys were populated; the second diagnose missed.
+        assert info["size"] == 2
+        assert info["hits"] == 0
