@@ -12,8 +12,10 @@ The public API re-exports the pieces most users need: the relational substrate
 batched diagnosis, serializable request/response types), the HTTP serving
 layer (:mod:`repro.server` — threaded stdlib server, session store, typed
 client, telemetry), the decision-tree baseline (:mod:`repro.baselines`), the
-workload generators (:mod:`repro.workload`), and the experiment harness
-(:mod:`repro.experiments`).
+workload generators (:mod:`repro.workload`), the experiment harness
+(:mod:`repro.experiments`), and the scenario-matrix correctness harness
+(:mod:`repro.harness` — seeded scenario grids swept through the engine and
+checked against differential oracles).
 
 For one-off, in-process diagnosis the legacy :class:`QFix` facade still works;
 for anything service-shaped (batches, long-lived sessions, RPC payloads) use
@@ -67,12 +69,27 @@ _SERVER_EXPORTS = frozenset(
     }
 )
 
+#: Scenario-harness re-exports, also lazy: the matrix sweep machinery is only
+#: imported by users who actually run sweeps.
+_HARNESS_EXPORTS = frozenset(
+    {
+        "CellSpec",
+        "HarnessReport",
+        "HarnessRunner",
+        "OracleViolation",
+    }
+)
+
 
 def __getattr__(name: str):
     if name in _SERVER_EXPORTS:
         from repro import server
 
         return getattr(server, name)
+    if name in _HARNESS_EXPORTS:
+        from repro import harness
+
+        return getattr(harness, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -115,5 +132,9 @@ __all__ = [
     "Telemetry",
     "make_server",
     "serve",
+    "CellSpec",
+    "HarnessReport",
+    "HarnessRunner",
+    "OracleViolation",
     "__version__",
 ]

@@ -85,6 +85,10 @@ class QFixConfig:
     diagnoser: str = "auto"
     #: MILP solver backend name (see :func:`repro.milp.get_solver`).
     solver: str = "highs"
+    #: Run the MILP presolve reductions before handing the model to the
+    #: backend.  Presolve never changes the answer (property-tested); the
+    #: switch exists so differential harness cells can solve the raw model.
+    use_presolve: bool = True
     #: Per-solve time limit in seconds (None = unlimited).
     time_limit: float | None = 60.0
     #: Relative MIP gap passed to the solver.

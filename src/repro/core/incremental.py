@@ -49,6 +49,7 @@ class IncrementalRepairer:
             self.config.solver,
             time_limit=self.config.time_limit,
             mip_gap=self.config.mip_gap,
+            use_presolve=self.config.use_presolve,
         )
 
     def repair(

@@ -41,6 +41,56 @@ class RepairAccuracy:
             "errors_fixed": float(self.errors_fixed),
         }
 
+    @classmethod
+    def from_dict(cls, data: "dict[str, float]") -> "RepairAccuracy":
+        """Inverse of :meth:`as_dict` (used by harness report round-trips)."""
+        return cls(
+            precision=float(data.get("precision", 0.0)),
+            recall=float(data.get("recall", 0.0)),
+            f1=float(data.get("f1", 0.0)),
+            changed_tuples=int(data.get("changed_tuples", 0)),
+            correctly_fixed=int(data.get("correctly_fixed", 0)),
+            true_errors=int(data.get("true_errors", 0)),
+            errors_fixed=int(data.get("errors_fixed", 0)),
+        )
+
+    def consistency_errors(self) -> list[str]:
+        """Internal bookkeeping contradictions, if any (empty = consistent).
+
+        The harness oracle uses this to assert that reported metrics follow
+        from their own tuple counts: fixed counts can never exceed their
+        denominators, and precision / recall / F1 must equal the ratios of
+        the counts they summarize.
+        """
+        problems: list[str] = []
+        if self.correctly_fixed > self.changed_tuples:
+            problems.append(
+                f"correctly_fixed {self.correctly_fixed} > changed_tuples {self.changed_tuples}"
+            )
+        if self.errors_fixed > self.true_errors:
+            problems.append(
+                f"errors_fixed {self.errors_fixed} > true_errors {self.true_errors}"
+            )
+        if self.changed_tuples:
+            expected = self.correctly_fixed / self.changed_tuples
+            if abs(self.precision - expected) > 1e-9:
+                problems.append(
+                    f"precision {self.precision} != correctly_fixed/changed_tuples {expected}"
+                )
+        if self.true_errors:
+            expected = self.errors_fixed / self.true_errors
+            if abs(self.recall - expected) > 1e-9:
+                problems.append(
+                    f"recall {self.recall} != errors_fixed/true_errors {expected}"
+                )
+        if self.precision + self.recall > 0:
+            expected = 2 * self.precision * self.recall / (self.precision + self.recall)
+            if abs(self.f1 - expected) > 1e-9:
+                problems.append(f"f1 {self.f1} is not the harmonic mean {expected}")
+        elif self.f1 != 0.0:
+            problems.append(f"f1 {self.f1} nonzero with zero precision and recall")
+        return problems
+
 
 def _rows_differ(a: Database, b: Database, rid: int, tolerance: float) -> bool:
     row_a = a.get(rid)

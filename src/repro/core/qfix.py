@@ -52,6 +52,7 @@ class QFix:
             self.config.solver,
             time_limit=self.config.time_limit,
             mip_gap=self.config.mip_gap,
+            use_presolve=self.config.use_presolve,
         )
 
     # -- diagnosis ---------------------------------------------------------------------

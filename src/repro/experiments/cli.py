@@ -13,6 +13,7 @@ Examples::
     qfix-experiments all --scale small --seed 3
     qfix-experiments batch --input requests.jsonl --output responses.jsonl --max-workers 8
     qfix-experiments serve --host 0.0.0.0 --port 8080 --workers 8
+    qfix-experiments harness --grid smoke --seed 1 --budget 60s --output report.json
 """
 
 from __future__ import annotations
@@ -61,11 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "batch", "serve"],
+        choices=sorted(EXPERIMENTS) + ["all", "batch", "serve", "harness"],
         help=(
             "which figure to reproduce ('all' runs every experiment; 'batch' "
             "runs a JSONL file of diagnosis requests through the engine; "
-            "'serve' boots the HTTP diagnosis service)"
+            "'serve' boots the HTTP diagnosis service; 'harness' sweeps a "
+            "scenario matrix through the differential correctness oracle)"
         ),
     )
     parser.add_argument(
@@ -90,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="batch mode: thread-pool width for concurrent diagnosis",
+    )
+    harness_group = parser.add_argument_group("harness mode")
+    harness_group.add_argument(
+        "--grid",
+        default="smoke",
+        help="harness mode: named cell grid to sweep (micro, smoke, full)",
+    )
+    harness_group.add_argument(
+        "--budget",
+        default=None,
+        help=(
+            "harness mode: wall-clock budget, e.g. '60s', '2m', or plain "
+            "seconds; cells beyond the budget are reported as skipped"
+        ),
     )
     serve_group = parser.add_argument_group("serve mode")
     serve_group.add_argument(
@@ -188,6 +204,107 @@ def run_batch(
     return 1 if failures else 0
 
 
+def parse_budget(text: str | None) -> float | None:
+    """Parse a wall-clock budget: ``'60s'``, ``'2m'``, or plain seconds."""
+    if text is None:
+        return None
+    raw = text.strip().lower()
+    multiplier = 1.0
+    if raw.endswith("ms"):
+        raw, multiplier = raw[:-2], 0.001
+    elif raw.endswith("s"):
+        raw = raw[:-1]
+    elif raw.endswith("m"):
+        raw, multiplier = raw[:-1], 60.0
+    try:
+        value = float(raw) * multiplier
+    except ValueError:
+        raise ValueError(f"cannot parse budget {text!r} (try '60s', '2m', or '90')") from None
+    if value <= 0:
+        raise ValueError("budget must be positive")
+    return value
+
+
+def run_harness(
+    grid_name: str,
+    seed: int,
+    budget: str | None,
+    output_path: str | None,
+    max_workers: int,
+) -> int:
+    """Sweep a named scenario grid and report oracle violations.
+
+    Prints a per-cell table and the seed-determinism fingerprint digest, and
+    writes the full JSON report to ``--output`` when given.  Exit status: 2
+    for usage errors, 1 when any oracle violation was found, 0 otherwise —
+    so CI can gate on the sweep directly.
+    """
+    # Imported lazily: the figure commands don't pay for the harness stack.
+    from repro.harness import get_grid, run_grid
+
+    try:
+        budget_seconds = parse_budget(budget)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if max_workers < 1:
+        print("--max-workers must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        cells = get_grid(grid_name, seed)
+    except Exception as error:  # noqa: BLE001 - CLI boundary
+        print(str(error), file=sys.stderr)
+        return 2
+
+    engine = DiagnosisEngine(max_workers=max_workers)
+    report = run_grid(
+        cells,
+        grid_name=grid_name,
+        seed=seed,
+        budget_seconds=budget_seconds,
+        max_workers=max_workers,
+        engine=engine,
+    )
+
+    rows = [
+        {
+            "cell": cell.cell_id,
+            "ok": cell.ok,
+            "feasible": cell.feasible,
+            "status": cell.status,
+            "distance": cell.distance,
+            "f1": cell.accuracy.f1 if cell.accuracy is not None else "",
+            "seconds": cell.elapsed_seconds,
+        }
+        for cell in report.cells
+    ]
+    print(f"== harness: grid '{grid_name}', seed {seed}")
+    print(format_table(rows))
+    summary = report.summary()
+    print()
+    print(
+        "cells={cells} executed={executed} skipped={skipped} feasible={feasible} "
+        "violations={violations}".format(**summary)
+    )
+    print(f"scenario fingerprints: {report.fingerprint_digest()}")
+    for violation in report.violations:
+        print(
+            f"ORACLE VIOLATION [{violation.invariant}] {violation.cell_id}: "
+            f"{violation.message}",
+            file=sys.stderr,
+        )
+
+    if output_path is not None:
+        payload = report.to_json()
+        if output_path == "-":
+            print(payload)
+        else:
+            with open(output_path, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"report written to {output_path}")
+    return 1 if report.violations else 0
+
+
 def run_serve(
     host: str,
     port: int,
@@ -244,6 +361,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.experiment == "batch":
         return run_batch(args.input, args.output, args.max_workers)
+    if args.experiment == "harness":
+        return run_harness(
+            args.grid, args.seed, args.budget, args.output, args.max_workers
+        )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         run_experiment(name, args.scale, args.seed)

@@ -1,0 +1,56 @@
+"""End-to-end scenario matrix + differential correctness harness.
+
+This package converts correctness from example-based to oracle-based: instead
+of hand-built figure scenarios, a seeded grid of
+:class:`~repro.workload.spec.ScenarioSpec` cells — workload family x
+corruption class x complaint completeness x diagnoser x solver backend — is
+fabricated deterministically, swept through the production
+:class:`~repro.service.engine.DiagnosisEngine`, and held to the invariants
+the paper guarantees (see :mod:`repro.harness.oracle`).
+
+Quick start::
+
+    from repro.harness import get_grid, run_grid
+
+    report = run_grid(get_grid("smoke", seed=1), grid_name="smoke", seed=1)
+    assert not report.violations
+    print(report.to_json())
+
+The ``harness`` CLI subcommand (``python -m repro.experiments.cli harness``)
+wraps exactly this, with ``--grid``, ``--seed``, ``--budget`` and JSON output.
+"""
+
+from repro.harness.grid import (
+    CellSpec,
+    available_grids,
+    expand_cells,
+    get_grid,
+    register_grid,
+)
+from repro.harness.oracle import (
+    DISTANCE_TOLERANCE,
+    check_agreement,
+    check_cell,
+    check_convergence,
+    check_matrix,
+)
+from repro.harness.report import CellResult, HarnessReport, OracleViolation
+from repro.harness.runner import HarnessRunner, run_grid
+
+__all__ = [
+    "CellSpec",
+    "CellResult",
+    "HarnessReport",
+    "HarnessRunner",
+    "OracleViolation",
+    "DISTANCE_TOLERANCE",
+    "available_grids",
+    "check_agreement",
+    "check_cell",
+    "check_convergence",
+    "check_matrix",
+    "expand_cells",
+    "get_grid",
+    "register_grid",
+    "run_grid",
+]

@@ -1,0 +1,214 @@
+"""The harness runner: specs in, a checked :class:`HarnessReport` out.
+
+The runner deliberately exercises the *production* path: every cell becomes a
+:class:`~repro.service.types.DiagnosisRequest` and is served through
+:meth:`DiagnosisEngine.run_matrix` (the same submit / thread-pool machinery
+behind the CLI ``batch`` command and the HTTP ``/v1/batch`` endpoint), so a
+sweep validates the stack end to end rather than a test-only code path.
+
+Execution is organized scenario by scenario:
+
+1. each distinct :class:`~repro.workload.spec.ScenarioSpec` is materialized
+   once (and fingerprinted) no matter how many cells share it;
+2. the scenario's cold cells go through ``run_matrix`` in one batch;
+3. its warm cells go through a second ``run_matrix`` — their requests are
+   identical to their cold twins', so the engine's warm-start cache is
+   guaranteed hot and the cells measure the warm path deterministically;
+4. the per-cell and cross-cell oracles run over everything that executed.
+
+A time budget cuts the sweep between scenario batches: cells that never ran
+are reported as ``skipped`` (never as violations), so a budgeted CI run stays
+honest about its coverage.  Scenario fingerprints are recorded even for
+budget-skipped groups, keeping the report's determinism check independent of
+where the budget happened to cut.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.core.metrics import evaluate_states
+from repro.harness.grid import CellSpec
+from repro.harness.oracle import check_cell, check_matrix
+from repro.harness.report import CellResult, HarnessReport
+from repro.queries.executor import replay
+from repro.service.engine import DiagnosisEngine
+from repro.service.types import DiagnosisRequest, DiagnosisResponse
+from repro.workload.scenario import Scenario
+from repro.workload.spec import build_spec_scenario, scenario_fingerprint
+
+
+class HarnessRunner:
+    """Drive a list of cells through the engine and the oracle.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`DiagnosisEngine` to sweep through.  A private engine is
+        created when omitted.  Cells carry their own full configuration, so
+        the engine's default config never leaks into cell outcomes.
+    """
+
+    def __init__(self, engine: DiagnosisEngine | None = None) -> None:
+        self.engine = engine if engine is not None else DiagnosisEngine()
+
+    def run(
+        self,
+        cells: Sequence[CellSpec],
+        *,
+        grid_name: str = "",
+        seed: int = 0,
+        budget_seconds: float | None = None,
+        max_workers: int | None = None,
+    ) -> HarnessReport:
+        """Execute ``cells`` and return the checked report."""
+        start = time.perf_counter()
+        deadline = start + budget_seconds if budget_seconds is not None else None
+
+        report = HarnessReport(grid=grid_name, seed=seed, budget_seconds=budget_seconds)
+        scenarios: dict[str, Scenario] = {}
+        executed: list[tuple[CellSpec, CellResult]] = []
+
+        for scenario_label, group in _group_by_scenario(cells):
+            # Scenarios are materialized and fingerprinted even when the
+            # budget has already expired (building is cheap next to solving):
+            # same-seed runs then report byte-identical fingerprints no
+            # matter where their budgets happened to cut.
+            scenario = build_spec_scenario(group[0].scenario)
+            fingerprint = scenario_fingerprint(scenario)
+            scenarios[scenario_label] = scenario
+            report.scenario_fingerprints[scenario_label] = fingerprint
+
+            if deadline is not None and time.perf_counter() > deadline:
+                for cell in group:
+                    report.cells.append(
+                        _skipped_row(cell, reason="budget", fingerprint=fingerprint)
+                    )
+                continue
+
+            if len(scenario.complaints) == 0:
+                # The corruption produced no observable (reported) data error;
+                # there is nothing to diagnose and nothing to hold an oracle to.
+                for cell in group:
+                    report.cells.append(
+                        _skipped_row(cell, reason="vacuous", fingerprint=fingerprint)
+                    )
+                continue
+
+            cold = [cell for cell in group if not cell.warm]
+            warm = [cell for cell in group if cell.warm]
+            responses: dict[str, DiagnosisResponse] = {}
+            for phase in (cold, warm):
+                if not phase:
+                    continue
+                responses.update(
+                    self.engine.run_matrix(
+                        [(cell.cell_id, _cell_request(cell, scenario)) for cell in phase],
+                        max_workers=max_workers,
+                    )
+                )
+
+            for cell in group:
+                response = responses[cell.cell_id]
+                row = _result_row(cell, scenario, fingerprint, response)
+                report.cells.append(row)
+                executed.append((cell, row))
+                report.violations.extend(check_cell(cell, scenario, response, row))
+
+        report.violations.extend(check_matrix(executed, scenarios))
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
+
+
+def run_grid(
+    cells: Sequence[CellSpec],
+    *,
+    grid_name: str = "",
+    seed: int = 0,
+    budget_seconds: float | None = None,
+    max_workers: int | None = None,
+    engine: DiagnosisEngine | None = None,
+) -> HarnessReport:
+    """Convenience wrapper: one call from cells to a checked report."""
+    runner = HarnessRunner(engine)
+    return runner.run(
+        cells,
+        grid_name=grid_name,
+        seed=seed,
+        budget_seconds=budget_seconds,
+        max_workers=max_workers,
+    )
+
+
+def _group_by_scenario(
+    cells: Iterable[CellSpec],
+) -> list[tuple[str, list[CellSpec]]]:
+    """Cells grouped by scenario label, preserving first-seen order."""
+    groups: dict[str, list[CellSpec]] = {}
+    for cell in cells:
+        groups.setdefault(cell.scenario.label(), []).append(cell)
+    return list(groups.items())
+
+
+def _cell_request(cell: CellSpec, scenario: Scenario) -> DiagnosisRequest:
+    return DiagnosisRequest(
+        initial=scenario.initial,
+        log=scenario.corrupted_log,
+        complaints=scenario.complaints,
+        final=scenario.dirty,
+        diagnoser=cell.diagnoser,
+        config=cell.config(),
+        request_id=cell.cell_id,
+    )
+
+
+def _skipped_row(
+    cell: CellSpec, *, reason: str, fingerprint: str = ""
+) -> CellResult:
+    return CellResult(
+        cell_id=cell.cell_id,
+        scenario_label=cell.scenario.label(),
+        scenario_fingerprint=fingerprint,
+        diagnoser=cell.diagnoser,
+        solver=cell.solver,
+        use_presolve=cell.use_presolve,
+        warm=cell.warm,
+        status=reason,
+        skipped=True,
+    )
+
+
+def _result_row(
+    cell: CellSpec,
+    scenario: Scenario,
+    fingerprint: str,
+    response: DiagnosisResponse,
+) -> CellResult:
+    accuracy = None
+    if response.ok and response.result is not None:
+        # Score against the ground truth the scenario recorded at build time.
+        # The repaired final state is replayed here (not trusted from the
+        # response) so the score reflects what the repair actually does.
+        repaired = replay(scenario.initial, response.result.repaired_log)
+        accuracy = evaluate_states(scenario.dirty, scenario.truth, repaired)
+    return CellResult(
+        cell_id=cell.cell_id,
+        scenario_label=cell.scenario.label(),
+        scenario_fingerprint=fingerprint,
+        diagnoser=cell.diagnoser,
+        solver=cell.solver,
+        use_presolve=cell.use_presolve,
+        warm=cell.warm,
+        ok=response.ok,
+        feasible=response.feasible,
+        status=response.status,
+        distance=response.distance,
+        changed_query_indices=tuple(response.changed_query_indices),
+        accuracy=accuracy,
+        complaints=len(scenario.complaints),
+        full_complaints=len(scenario.full_complaints),
+        elapsed_seconds=response.elapsed_seconds,
+        error_type=response.error_type,
+        error_message=response.error_message,
+    )

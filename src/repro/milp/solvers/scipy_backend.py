@@ -99,6 +99,22 @@ class HighsSolver(Solver):
                 integrality=matrices["integrality"],
                 options=options,
             )
+            if int(getattr(result, "status", 0)) == 4:
+                # "HiGHS Status 4: Solve error" — HiGHS's *internal* presolve
+                # is known to fall over on big-M indicator encodings with wide
+                # domains (surfaced by the scenario harness on TATP-sized
+                # models that branch-and-bound solves to optimality).  Retry
+                # once with HiGHS presolve disabled before reporting an error.
+                retry = optimize.milp(
+                    c=matrices["c"],
+                    constraints=constraints,
+                    bounds=bounds,
+                    integrality=matrices["integrality"],
+                    options={**options, "presolve": False},
+                )
+                if int(getattr(retry, "status", 4)) != 4:
+                    result = retry
+                    stats["highs_presolve_retry"] = 1.0
         except Exception as error:  # pragma: no cover - defensive
             return Solution(
                 status=SolveStatus.ERROR,

@@ -82,7 +82,10 @@ class DiagnosisEngine:
         if self._shared_solver is not None:
             return self._shared_solver
         return get_solver(
-            config.solver, time_limit=config.time_limit, mip_gap=config.mip_gap
+            config.solver,
+            time_limit=config.time_limit,
+            mip_gap=config.mip_gap,
+            use_presolve=config.use_presolve,
         )
 
     # -- warm-start cache --------------------------------------------------------
@@ -229,6 +232,39 @@ class DiagnosisEngine:
             return [self.submit(request) for request in items]
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(self.submit, items))
+
+    def run_matrix(
+        self,
+        cells: "Mapping[str, DiagnosisRequest] | Iterable[tuple[str, DiagnosisRequest]]",
+        *,
+        max_workers: int | None = None,
+    ) -> dict[str, DiagnosisResponse]:
+        """Serve a keyed batch of requests: ``{cell_id: request}`` in, ``{cell_id: response}`` out.
+
+        This is the entry point of the scenario harness (:mod:`repro.harness`)
+        — a sweep over a matrix of scenario/config cells goes through the same
+        :meth:`submit` / :meth:`diagnose_batch` machinery as production
+        traffic, so harness results certify the serving path itself.  Each
+        response's ``request_id`` is overwritten with its cell id, making the
+        mapping self-describing even after serialization.
+
+        Duplicate cell ids are rejected: two cells would otherwise silently
+        collapse into one result.
+        """
+        pairs = list(cells.items()) if isinstance(cells, Mapping) else list(cells)
+        seen: set[str] = set()
+        for cell_id, _ in pairs:
+            if cell_id in seen:
+                raise ReproError(f"duplicate matrix cell id {cell_id!r}")
+            seen.add(cell_id)
+        responses = self.diagnose_batch(
+            [request for _, request in pairs], max_workers=max_workers
+        )
+        keyed: dict[str, DiagnosisResponse] = {}
+        for (cell_id, _), response in zip(pairs, responses):
+            response.request_id = cell_id
+            keyed[cell_id] = response
+        return keyed
 
 
 def diagnosis_fingerprint(log: QueryLog, complaints: ComplaintSet) -> Hashable:

@@ -12,7 +12,9 @@ families, all reproduced here:
   (point UPDATEs);
 * :mod:`~repro.workload.corruption` — query corruption and
   :mod:`~repro.workload.scenario` — the end-to-end "generate, corrupt,
-  replay, diff, complain" pipeline used by every experiment.
+  replay, diff, complain" pipeline used by every experiment;
+* :mod:`~repro.workload.spec` — declarative :class:`ScenarioSpec` grids and
+  the scenario-family registry behind the :mod:`repro.harness` matrix sweeps.
 """
 
 from repro.workload.synthetic import (
@@ -29,6 +31,15 @@ from repro.workload.corruption import (
     corrupt_single_parameter,
 )
 from repro.workload.scenario import Scenario, build_scenario
+from repro.workload.spec import (
+    ScenarioSpec,
+    available_scenario_families,
+    build_spec_scenario,
+    expand_scenario_grid,
+    get_scenario_family,
+    register_scenario_family,
+    scenario_fingerprint,
+)
 from repro.workload.tpcc import TPCCConfig, TPCCWorkloadGenerator
 from repro.workload.tatp import TATPConfig, TATPWorkloadGenerator
 
@@ -43,7 +54,14 @@ __all__ = [
     "corrupt_parameters",
     "corrupt_single_parameter",
     "Scenario",
+    "ScenarioSpec",
+    "available_scenario_families",
     "build_scenario",
+    "build_spec_scenario",
+    "expand_scenario_grid",
+    "get_scenario_family",
+    "register_scenario_family",
+    "scenario_fingerprint",
     "TPCCConfig",
     "TPCCWorkloadGenerator",
     "TATPConfig",

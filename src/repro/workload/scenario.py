@@ -39,6 +39,14 @@ class Scenario:
     corruptions: list[CorruptionInfo] = field(default_factory=list)
     metadata: dict[str, object] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Defensive copies: callers that build several scenarios from one
+        # shared ``metadata`` dict or ``corruptions`` list (grid sweeps do
+        # exactly that) must never alias mutable state between scenarios —
+        # annotating one cell's metadata would silently annotate them all.
+        self.corruptions = list(self.corruptions)
+        self.metadata = dict(self.metadata)
+
     @property
     def corrupted_indices(self) -> tuple[int, ...]:
         return tuple(info.query_index for info in self.corruptions)

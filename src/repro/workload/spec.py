@@ -1,0 +1,458 @@
+"""Declarative scenario specifications and the scenario-family registry.
+
+The paper's evaluation (Section 7) is a *matrix*: workload families crossed
+with corruption classes, complaint completeness, and repair algorithms.  A
+:class:`ScenarioSpec` names one data-side cell of that matrix declaratively —
+which family, how big, what gets corrupted, where in the log, and how complete
+the reported complaint set is — and :func:`build_spec_scenario` turns it into
+a concrete, fully deterministic :class:`~repro.workload.scenario.Scenario`.
+
+Two properties make specs the right currency for the differential harness
+(:mod:`repro.harness`):
+
+* **Determinism** — the same spec always produces byte-identical scenario
+  content; :func:`scenario_fingerprint` hashes that content so two runs can
+  be compared at a distance.
+* **Extensibility** — workload families are looked up in a registry
+  (:func:`register_scenario_family`), so a new generator becomes sweepable by
+  registering one factory, exactly like solver and diagnoser backends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.queries.query import DeleteQuery, Query, UpdateQuery
+from repro.workload.corruption import corrupt_parameters, corrupt_single_parameter
+from repro.workload.scenario import Scenario, build_scenario
+from repro.workload.synthetic import (
+    SetClauseType,
+    SyntheticConfig,
+    SyntheticWorkloadGenerator,
+    WhereClauseType,
+    Workload,
+)
+from repro.workload.tatp import TATPConfig, TATPWorkloadGenerator
+from repro.workload.tpcc import TPCCConfig, TPCCWorkloadGenerator
+
+#: A corruption function with the :data:`repro.workload.corruption.Corruptor`
+#: signature, or ``None`` to re-randomize all parameters generically.
+FamilyBuild = tuple[Workload, "Callable[[Query, np.random.Generator], tuple[Query, dict[str, float]]] | None"]
+
+#: A scenario family: given a spec, produce the (workload, corruptor) pair.
+ScenarioFamily = Callable[["ScenarioSpec"], FamilyBuild]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One data-side cell of the evaluation matrix.
+
+    Attributes
+    ----------
+    family:
+        Registered workload family name (see :func:`available_scenario_families`).
+    n_tuples:
+        Initial database size (subscribers / orders for the OLTP families).
+    n_queries:
+        Log length.
+    corruption:
+        Corruption class: ``"workload"`` re-draws constants from the family's
+        own distribution (the paper's "randomly generated query of the same
+        type"), ``"multi-param"`` re-randomizes every parameter,
+        ``"predicate"`` corrupts a single WHERE-clause parameter, and
+        ``"set-clause"`` corrupts a single SET/VALUES parameter.
+    position:
+        Where the corrupted queries sit: ``"early"`` (oldest queries),
+        ``"late"`` (newest queries), or ``"spread"`` (``n_corruptions``
+        spaced evenly across the log, generalizing the paper's every-tenth
+        pattern).
+    n_corruptions:
+        How many queries are corrupted.
+    complaint_fraction:
+        Fraction of the true complaint set that is reported.
+    seed:
+        Master seed; workload generation and corruption derive from it
+        deterministically.
+    """
+
+    family: str = "synthetic"
+    n_tuples: int = 40
+    n_queries: int = 10
+    corruption: str = "workload"
+    position: str = "early"
+    n_corruptions: int = 1
+    complaint_fraction: float = 1.0
+    seed: int = 0
+
+    def with_overrides(self, **changes: object) -> "ScenarioSpec":
+        """Return a copy with some fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def label(self) -> str:
+        """Compact, unique, human-readable cell label."""
+        parts = [
+            self.family,
+            f"t{self.n_tuples}",
+            f"q{self.n_queries}",
+            self.corruption,
+            self.position,
+            f"x{self.n_corruptions}",
+            f"c{self.complaint_fraction:g}",
+            f"s{self.seed}",
+        ]
+        return "-".join(parts)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-native encoding (round-trips through :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
+        """Decode a spec produced by :meth:`to_dict`."""
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ReproError(f"unknown ScenarioSpec field(s): {', '.join(unknown)}")
+        return cls(**{str(key): value for key, value in data.items()})  # type: ignore[arg-type]
+
+    # -- corruption placement ----------------------------------------------------
+
+    def corruption_indices(self, log_size: int) -> tuple[int, ...]:
+        """Resolve the ``position`` axis into explicit log indices."""
+        if log_size <= 0:
+            return ()
+        count = max(1, min(self.n_corruptions, log_size))
+        if self.position == "early":
+            return tuple(range(count))
+        if self.position == "late":
+            # Leave at least one later query so the corruption propagates
+            # through downstream state (the interesting case for slicing).
+            start = max(0, log_size - 1 - count)
+            return tuple(range(start, start + count))
+        if self.position == "spread":
+            # ``count`` corruptions spaced evenly across the whole log (the
+            # paper's every-tenth pattern generalized to any log size).
+            if count == 1:
+                return (0,)
+            step = (log_size - 1) / (count - 1)
+            return tuple(sorted({int(round(i * step)) for i in range(count)}))
+        raise ReproError(
+            f"unknown corruption position {self.position!r}; "
+            "expected 'early', 'late', or 'spread'"
+        )
+
+
+# -- scenario families ----------------------------------------------------------------
+
+_FAMILIES: Dict[str, ScenarioFamily] = {}
+
+
+def register_scenario_family(
+    name: str, factory: ScenarioFamily, *, replace: bool = False
+) -> None:
+    """Register a workload family under ``name``.
+
+    Like the diagnoser registry, re-registering is an error unless
+    ``replace=True`` — a harness that silently swapped a family would make
+    golden reports lie.
+    """
+    if name in _FAMILIES and not replace:
+        raise ReproError(
+            f"scenario family '{name}' is already registered; pass replace=True to override"
+        )
+    _FAMILIES[name] = factory
+
+
+def available_scenario_families() -> tuple[str, ...]:
+    """Names of the registered scenario families, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+def get_scenario_family(name: str) -> ScenarioFamily:
+    """Look up a scenario family by name."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario family '{name}'; "
+            f"available: {', '.join(available_scenario_families())}"
+        ) from None
+
+
+def _synthetic_family(
+    spec: ScenarioSpec,
+    *,
+    set_type: SetClauseType = SetClauseType.CONSTANT,
+    where_type: WhereClauseType = WhereClauseType.RANGE,
+    query_type: str = "update",
+) -> FamilyBuild:
+    config = SyntheticConfig(
+        n_tuples=spec.n_tuples,
+        n_attributes=4,
+        n_queries=spec.n_queries,
+        query_type=query_type,
+        where_type=where_type,
+        set_type=set_type,
+        seed=spec.seed,
+    )
+    generator = SyntheticWorkloadGenerator(config)
+    workload = generator.generate()
+    workload.metadata.update(family=spec.family)
+    return workload, generator.corrupt_query
+
+
+def _tpcc_family(spec: ScenarioSpec) -> FamilyBuild:
+    config = TPCCConfig(
+        n_initial_orders=spec.n_tuples, n_queries=spec.n_queries, seed=spec.seed
+    )
+    generator = TPCCWorkloadGenerator(config)
+    return generator.generate(), generator.corrupt_query
+
+
+def _tatp_family(spec: ScenarioSpec) -> FamilyBuild:
+    config = TATPConfig(
+        n_subscribers=spec.n_tuples, n_queries=spec.n_queries, seed=spec.seed
+    )
+    generator = TATPWorkloadGenerator(config)
+    return generator.generate(), generator.corrupt_query
+
+
+register_scenario_family("synthetic", _synthetic_family)
+register_scenario_family(
+    "synthetic-relative",
+    lambda spec: _synthetic_family(spec, set_type=SetClauseType.RELATIVE),
+)
+register_scenario_family(
+    "synthetic-point",
+    lambda spec: _synthetic_family(spec, where_type=WhereClauseType.POINT),
+)
+register_scenario_family("tpcc", _tpcc_family)
+register_scenario_family("tatp", _tatp_family)
+
+
+# -- corruption classes ---------------------------------------------------------------
+
+
+def predicate_param_names(query: Query) -> tuple[str, ...]:
+    """Parameters bound inside the query's WHERE clause, in stable order."""
+    if isinstance(query, (UpdateQuery, DeleteQuery)):
+        return tuple(query.where.params())
+    return ()
+
+
+def set_param_names(query: Query) -> tuple[str, ...]:
+    """Parameters bound in the SET clause (or INSERT values), in stable order."""
+    where = set(predicate_param_names(query))
+    return tuple(name for name in query.params() if name not in where)
+
+
+def _targeted_corruptor(kind: str):
+    """A corruptor that changes exactly one predicate or set-clause parameter."""
+
+    def corrupt(query: Query, rng: np.random.Generator):
+        if kind == "predicate":
+            candidates = predicate_param_names(query)
+        else:
+            candidates = set_param_names(query)
+        if not candidates:
+            # The query has no parameter of the requested class (e.g. a
+            # set-clause corruption of a DELETE); corrupt what it does have.
+            return corrupt_parameters(query, rng=rng, domain=_query_domain(query))
+        name = str(candidates[int(rng.integers(0, len(candidates)))])
+        return corrupt_single_parameter(
+            query, rng=rng, domain=_query_domain(query), param_name=name
+        )
+
+    return corrupt
+
+
+def _query_domain(query: Query) -> tuple[float, float]:
+    """A value domain wide enough to cover the query's own constants."""
+    values = list(query.params().values())
+    upper = max(200.0, max(values) * 2 if values else 200.0)
+    return (0.0, float(upper))
+
+
+def _resolve_corruptor(spec: ScenarioSpec, family_corruptor):
+    if spec.corruption == "workload":
+        return family_corruptor
+    if spec.corruption == "multi-param":
+        return None  # build_scenario falls back to corrupt_parameters
+    if spec.corruption in ("predicate", "set-clause"):
+        return _targeted_corruptor(spec.corruption)
+    raise ReproError(
+        f"unknown corruption class {spec.corruption!r}; expected "
+        "'workload', 'multi-param', 'predicate', or 'set-clause'"
+    )
+
+
+# -- spec -> scenario ------------------------------------------------------------------
+
+
+#: How many corruption re-draws :func:`build_spec_scenario` tries before
+#: accepting a vacuous scenario (one whose corruption produced no observable,
+#: reported data error).
+MAX_VACUOUS_RETRIES = 20
+
+
+def build_spec_scenario(spec: ScenarioSpec) -> Scenario:
+    """Materialize a :class:`ScenarioSpec` into a deterministic scenario.
+
+    The workload is generated from ``spec.seed``; the corruption RNG derives
+    from the same seed (offset so corruption draws never overlap workload
+    draws), so the full scenario content is a pure function of the spec.
+
+    A corruption can land without observable effect (e.g. a set-clause
+    corruption of an UPDATE whose predicate matches no rows); such a scenario
+    holds no oracle accountable, so the harness retries — along a fixed,
+    seed-derived sequence, preserving determinism — until the reported
+    complaint set is non-empty (up to :data:`MAX_VACUOUS_RETRIES` attempts;
+    the last attempt is returned either way and the harness reports it as
+    vacuous).  Retries alternate between re-drawing the corrupted values and
+    shifting the corrupted indices through the log, because a query that
+    touches no rows stays unobservable under *any* value re-draw.
+    """
+    family = get_scenario_family(spec.family)
+    workload, family_corruptor = family(spec)
+    base_indices = _repairable_indices(spec, workload)
+    corruptor = _resolve_corruptor(spec, family_corruptor)
+    scenario: Scenario | None = None
+    for attempt in range(MAX_VACUOUS_RETRIES):
+        shift = attempt // 4
+        indices = _shift_indices(base_indices, shift, len(workload.log), workload)
+        scenario = build_scenario(
+            workload,
+            indices,
+            rng=np.random.default_rng(spec.seed + 7_919 + attempt * 104_729),
+            complaint_fraction=spec.complaint_fraction,
+            corruptor=corruptor,
+        )
+        if len(scenario.complaints) > 0:
+            break
+    assert scenario is not None
+    scenario.metadata["spec"] = spec.to_dict()
+    scenario.metadata["spec_label"] = spec.label()
+    return scenario
+
+
+def _repairable_indices(spec: ScenarioSpec, workload: Workload) -> list[int]:
+    indices = [
+        index
+        for index in spec.corruption_indices(len(workload.log))
+        if workload.log[index].params()  # type: ignore[union-attr]
+    ]
+    if not indices:
+        # Walk forward to the nearest repairable query so every spec yields a
+        # non-vacuous scenario (mirrors the figure9 experiment's fallback).
+        for index in range(len(workload.log)):
+            if workload.log[index].params():  # type: ignore[union-attr]
+                indices = [index]
+                break
+    return indices
+
+
+def _shift_indices(
+    indices: Sequence[int], shift: int, log_size: int, workload: Workload
+) -> list[int]:
+    """Rotate corruption indices through the log, keeping them repairable."""
+    if shift == 0 or log_size == 0:
+        return list(indices)
+    shifted = []
+    for index in indices:
+        candidate = (index + shift) % log_size
+        for _ in range(log_size):
+            if workload.log[candidate].params() and candidate not in shifted:  # type: ignore[union-attr]
+                break
+            candidate = (candidate + 1) % log_size
+        shifted.append(candidate)
+    return sorted(set(shifted))
+
+
+# -- fingerprints ----------------------------------------------------------------------
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """Stable SHA-256 over everything that defines a scenario's content.
+
+    Two scenarios with the same schema, initial rows, clean and corrupted
+    logs, complaint sets, and corruption records hash identically — across
+    processes and platforms — so the harness can assert seed-determinism
+    byte-for-byte without shipping whole scenarios around.
+    """
+    canonical = {
+        "schema": [
+            [spec.name, spec.lower, spec.upper, spec.key, spec.integral]
+            for spec in scenario.schema.attributes
+        ],
+        "initial": [
+            [row.rid, sorted(row.values.items())] for row in scenario.initial.rows()
+        ],
+        "clean_log": scenario.clean_log.render_sql(),
+        "corrupted_log": scenario.corrupted_log.render_sql(),
+        "complaints": _complaints_canonical(scenario.complaints),
+        "full_complaints": _complaints_canonical(scenario.full_complaints),
+        "corruptions": [
+            [
+                info.query_index,
+                sorted(info.original_params.items()),
+                sorted(info.corrupted_params.items()),
+            ]
+            for info in scenario.corruptions
+        ],
+    }
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _complaints_canonical(complaints) -> list[list[object]]:
+    return sorted(
+        [
+            complaint.rid,
+            complaint.exists_in_dirty,
+            sorted(complaint.target.items()) if complaint.target is not None else None,
+        ]
+        for complaint in complaints
+    )
+
+
+def expand_scenario_grid(
+    *,
+    families: Sequence[str] = ("synthetic",),
+    corruptions: Sequence[str] = ("workload",),
+    positions: Sequence[str] = ("early",),
+    complaint_fractions: Sequence[float] = (1.0,),
+    n_tuples: int = 40,
+    n_queries: int = 10,
+    n_corruptions: int = 1,
+    seed: int = 0,
+) -> list[ScenarioSpec]:
+    """Cartesian product of the data-side axes into a list of specs.
+
+    The seed is shared by every cell: specs differ only along the axes being
+    swept, which keeps differential comparisons (same scenario, different
+    algorithm) meaningful.
+    """
+    specs = []
+    for family in families:
+        for corruption in corruptions:
+            for position in positions:
+                for fraction in complaint_fractions:
+                    specs.append(
+                        ScenarioSpec(
+                            family=family,
+                            n_tuples=n_tuples,
+                            n_queries=n_queries,
+                            corruption=corruption,
+                            position=position,
+                            n_corruptions=n_corruptions,
+                            complaint_fraction=fraction,
+                            seed=seed,
+                        )
+                    )
+    return specs

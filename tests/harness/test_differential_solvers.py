@@ -1,0 +1,135 @@
+"""Differential regression: HiGHS vs. branch-and-bound on full diagnoser runs.
+
+PR 3's property suite pinned backend agreement on *random MILP models*; this
+extends it to the real thing — complete diagnoser runs over the figure 4 and
+figure 9 scenarios (synthetic log-growth and the TPC-C / TATP benchmarks).
+Both backends must agree on feasibility and on the minimized repair distance,
+and both repairs must resolve every complaint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QFixConfig
+from repro.core.repair import repair_resolves_complaints
+from repro.experiments.common import synthetic_scenario
+from repro.harness.oracle import DISTANCE_TOLERANCE
+from repro.service.engine import DiagnosisEngine
+from repro.workload.scenario import build_scenario
+from repro.workload.tatp import TATPConfig, TATPWorkloadGenerator
+from repro.workload.tpcc import TPCCConfig, TPCCWorkloadGenerator
+
+
+def _figure4_scenario(seed: int = 0):
+    """The smallest cell of figure 4's sweep (10-query log, first query bad)."""
+    return synthetic_scenario(
+        n_tuples=60, n_queries=10, corruption_indices=[0], seed=seed
+    )
+
+
+def _figure9_scenario(benchmark: str, seed: int = 0):
+    """A scaled-down figure 9 scenario (single late corruption)."""
+    if benchmark == "tpcc":
+        generator = TPCCWorkloadGenerator(TPCCConfig(n_initial_orders=60, n_queries=30))
+    else:
+        generator = TATPWorkloadGenerator(TATPConfig(n_subscribers=60, n_queries=30))
+    workload = generator.generate()
+    index = len(workload.log) - 3
+    while not workload.log[index].params():
+        index -= 1
+    return build_scenario(
+        workload, [index], rng=seed, corruptor=generator.corrupt_query
+    )
+
+
+def _diagnose_with(scenario, solver_name: str, diagnoser: str):
+    config = QFixConfig.fully_optimized(solver=solver_name, time_limit=30.0)
+    engine = DiagnosisEngine(config)
+    return engine.diagnose(
+        scenario.initial,
+        scenario.dirty,
+        scenario.corrupted_log,
+        scenario.complaints,
+        diagnoser=diagnoser,
+    )
+
+
+@pytest.mark.parametrize(
+    "scenario_factory",
+    [
+        pytest.param(lambda: _figure4_scenario(), id="figure4-synthetic"),
+        pytest.param(lambda: _figure9_scenario("tpcc"), id="figure9-tpcc"),
+        pytest.param(lambda: _figure9_scenario("tatp"), id="figure9-tatp"),
+    ],
+)
+def test_backends_agree_on_figure_scenarios(scenario_factory):
+    scenario = scenario_factory()
+    assert scenario.has_errors, "figure scenario lost its observable corruption"
+    highs = _diagnose_with(scenario, "highs", "incremental")
+    bnb = _diagnose_with(scenario, "branch-and-bound", "incremental")
+
+    assert highs.feasible and bnb.feasible
+    assert highs.distance == pytest.approx(bnb.distance, abs=DISTANCE_TOLERANCE)
+    for result in (highs, bnb):
+        assert repair_resolves_complaints(
+            scenario.initial, result.repaired_log, scenario.complaints
+        )
+
+
+def test_highs_survives_its_own_presolve_bug_on_wide_domains():
+    """Regression: harness-discovered HiGHS failure on big-M TATP encodings.
+
+    HiGHS's internal presolve reports "Status 4: Solve error" on the basic
+    (all-queries-parameterized) encoding of TATP-sized domains (2^16
+    locations); branch-and-bound proves the same model optimal.  The backend
+    now retries with HiGHS presolve disabled, and both backends must agree.
+    """
+    from repro.workload import ScenarioSpec, build_spec_scenario
+
+    spec = ScenarioSpec(
+        family="tatp",
+        corruption="set-clause",
+        position="late",
+        n_tuples=25,
+        n_queries=8,
+        seed=7,
+    )
+    scenario = build_spec_scenario(spec)
+    results = {}
+    for solver_name in ("highs", "branch-and-bound"):
+        engine = DiagnosisEngine(
+            QFixConfig.basic(solver=solver_name, time_limit=60.0)
+        )
+        results[solver_name] = engine.diagnose(
+            scenario.initial,
+            scenario.dirty,
+            scenario.corrupted_log,
+            scenario.complaints,
+            diagnoser="basic",
+        )
+    highs, bnb = results["highs"], results["branch-and-bound"]
+    assert highs.feasible, highs.message
+    assert bnb.feasible, bnb.message
+    assert highs.distance == pytest.approx(bnb.distance, abs=DISTANCE_TOLERANCE)
+
+
+def test_backends_agree_on_figure4_basic_diagnoser():
+    """The global (basic) encoding agrees across backends too."""
+    scenario = _figure4_scenario(seed=1)
+    config = QFixConfig.basic(
+        tuple_slicing=True, refinement=True, attribute_slicing=True, time_limit=30.0
+    )
+    results = {}
+    for solver_name in ("highs", "branch-and-bound"):
+        engine = DiagnosisEngine(config.with_overrides(solver=solver_name))
+        results[solver_name] = engine.diagnose(
+            scenario.initial,
+            scenario.dirty,
+            scenario.corrupted_log,
+            scenario.complaints,
+            diagnoser="basic",
+        )
+    highs, bnb = results["highs"], results["branch-and-bound"]
+    assert highs.feasible and bnb.feasible
+    assert highs.distance == pytest.approx(bnb.distance, abs=DISTANCE_TOLERANCE)

@@ -1,0 +1,50 @@
+"""Golden-report regression: the micro grid at seed 1 is pinned byte-for-byte.
+
+The golden file stores the *stable* slice of the report — cell ids, scenario
+fingerprints, feasibility, rounded distances — never timings.  If this test
+fails, something changed scenario generation, the encoding, or a solver's
+optimum.  If the change is intentional (e.g. a new corruption class reshuffles
+RNG draws), regenerate with::
+
+    PYTHONPATH=src python -m tests.harness.test_golden_report
+
+and review the diff like any other behavioural change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.harness import get_grid, run_grid
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_micro_report.json"
+GRID, SEED = "micro", 1
+
+
+def compute_stable_report() -> dict:
+    report = run_grid(get_grid(GRID, seed=SEED), grid_name=GRID, seed=SEED)
+    return report.stable_dict()
+
+
+def test_micro_grid_matches_golden_report():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    current = compute_stable_report()
+    assert current["scenario_fingerprints"] == golden["scenario_fingerprints"], (
+        "scenario generation changed: same spec no longer produces the same "
+        "data (did an RNG draw order change?)"
+    )
+    assert current["violations"] == golden["violations"] == []
+    golden_cells = {cell["cell_id"]: cell for cell in golden["cells"]}
+    current_cells = {cell["cell_id"]: cell for cell in current["cells"]}
+    assert set(current_cells) == set(golden_cells)
+    for cell_id, cell in current_cells.items():
+        assert cell == golden_cells[cell_id], f"cell {cell_id} diverged from golden"
+
+
+if __name__ == "__main__":  # pragma: no cover - golden regeneration helper
+    GOLDEN_PATH.write_text(
+        json.dumps(compute_stable_report(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"regenerated {GOLDEN_PATH}")

@@ -1,0 +1,104 @@
+"""Property tests over random scenarios (satellite of the harness PR).
+
+Two properties, for arbitrary (family, corruption, placement, seed) draws:
+
+* **corruption bookkeeping** — diffing the clean log against the corrupted
+  log parameter-by-parameter reproduces exactly what each
+  :class:`CorruptionInfo` recorded in ``changed_params``; replaying both logs
+  disagrees on the final state iff the scenario reports observable errors.
+* **seed determinism** — the same spec always materializes the identical
+  scenario (fingerprint, logs, complaints), and an independent corruption of
+  the same workload with the same RNG seed is reproducible query-for-query.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workload import ScenarioSpec, build_spec_scenario, scenario_fingerprint
+from repro.workload.corruption import corrupt_log
+from repro.workload.synthetic import SyntheticConfig, SyntheticWorkloadGenerator
+from repro.queries.executor import replay
+
+spec_strategy = st.builds(
+    ScenarioSpec,
+    family=st.sampled_from(["synthetic", "synthetic-relative", "tatp"]),
+    n_tuples=st.integers(min_value=6, max_value=14),
+    n_queries=st.integers(min_value=3, max_value=6),
+    corruption=st.sampled_from(["workload", "multi-param", "predicate", "set-clause"]),
+    position=st.sampled_from(["early", "late", "spread"]),
+    n_corruptions=st.integers(min_value=1, max_value=2),
+    complaint_fraction=st.sampled_from([1.0, 0.5]),
+    seed=st.integers(min_value=0, max_value=50),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=spec_strategy)
+def test_corruption_records_match_the_log_diff(spec):
+    """The clean-vs-corrupted parameter diff is exactly ``changed_params``."""
+    scenario = build_spec_scenario(spec)
+    corrupted_indices = set(scenario.corrupted_indices)
+    for index, (clean, corrupt) in enumerate(
+        zip(scenario.clean_log, scenario.corrupted_log)
+    ):
+        clean_params = clean.params()
+        corrupt_params = corrupt.params()
+        assert set(clean_params) == set(corrupt_params)
+        diff = {
+            name
+            for name in clean_params
+            if abs(clean_params[name] - corrupt_params[name]) > 1e-9
+        }
+        if index in corrupted_indices:
+            (info,) = [i for i in scenario.corruptions if i.query_index == index]
+            assert diff == set(info.changed_params)
+            assert diff, "a recorded corruption must change at least one parameter"
+        else:
+            assert not diff, f"uncorrupted query {index} drifted"
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=spec_strategy)
+def test_replay_diff_matches_observable_errors(spec):
+    """Replaying clean vs. corrupted logs disagrees iff errors are reported."""
+    scenario = build_spec_scenario(spec)
+    truth = replay(scenario.initial, scenario.clean_log)
+    dirty = replay(scenario.initial, scenario.corrupted_log)
+    assert truth.same_state(scenario.truth)
+    assert dirty.same_state(scenario.dirty)
+    # full_complaints is exactly the dirty-vs-truth diff, so has_errors agrees.
+    assert scenario.has_errors == (not dirty.same_state(truth))
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=spec_strategy)
+def test_same_seed_reproduces_identical_scenarios(spec):
+    first = build_spec_scenario(spec)
+    second = build_spec_scenario(spec)
+    assert scenario_fingerprint(first) == scenario_fingerprint(second)
+    assert first.clean_log.render_sql() == second.clean_log.render_sql()
+    assert first.corrupted_log.render_sql() == second.corrupted_log.render_sql()
+    assert first.corrupted_indices == second.corrupted_indices
+    assert len(first.complaints) == len(second.complaints)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    n_queries=st.integers(min_value=2, max_value=6),
+    single=st.booleans(),
+)
+def test_corrupt_log_is_seed_deterministic(seed, n_queries, single):
+    """corrupt_log with the same RNG seed corrupts identically, twice."""
+    workload = SyntheticWorkloadGenerator(
+        SyntheticConfig(n_tuples=6, n_queries=n_queries, seed=seed)
+    ).generate()
+    log_a, info_a = corrupt_log(
+        workload.log, [0], rng=seed, single_parameter=single
+    )
+    log_b, info_b = corrupt_log(
+        workload.log, [0], rng=seed, single_parameter=single
+    )
+    assert log_a.render_sql() == log_b.render_sql()
+    assert info_a == info_b

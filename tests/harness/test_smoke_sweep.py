@@ -1,0 +1,22 @@
+"""Opt-in full smoke-grid sweep (``pytest -m slow``).
+
+The tier-1 suite covers the micro grid; this runs the same sweep CI's
+harness-smoke job runs, in-process, and asserts the oracle stays silent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import get_grid, run_grid
+
+
+@pytest.mark.slow
+def test_smoke_grid_runs_clean():
+    cells = get_grid("smoke", seed=1)
+    assert len(cells) >= 24
+    report = run_grid(cells, grid_name="smoke", seed=1, budget_seconds=300.0)
+    assert not report.violations, [v.to_dict() for v in report.violations]
+    summary = report.summary()
+    assert summary["executed"] >= 24
+    assert summary["ok"] == summary["executed"]

@@ -1,0 +1,205 @@
+"""ScenarioSpec: determinism, fingerprints, corruption classes, aliasing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.queries.query import UpdateQuery
+from repro.workload import (
+    ScenarioSpec,
+    available_scenario_families,
+    build_scenario,
+    build_spec_scenario,
+    expand_scenario_grid,
+    scenario_fingerprint,
+)
+from repro.workload.spec import (
+    predicate_param_names,
+    register_scenario_family,
+    set_param_names,
+)
+from repro.workload.synthetic import SyntheticConfig, SyntheticWorkloadGenerator
+
+
+class TestSpecBasics:
+    def test_round_trip(self):
+        spec = ScenarioSpec(family="tpcc", n_tuples=77, corruption="predicate", seed=9)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ReproError, match="unknown ScenarioSpec field"):
+            ScenarioSpec.from_dict({"family": "synthetic", "n_rows": 10})
+
+    def test_labels_are_unique_across_axes(self):
+        specs = expand_scenario_grid(
+            families=("synthetic", "tatp"),
+            corruptions=("workload", "predicate"),
+            positions=("early", "late"),
+            complaint_fractions=(1.0, 0.5),
+        )
+        labels = [spec.label() for spec in specs]
+        assert len(labels) == 16
+        assert len(set(labels)) == 16
+
+    def test_builtin_families_registered(self):
+        families = available_scenario_families()
+        for name in ("synthetic", "synthetic-relative", "synthetic-point", "tpcc", "tatp"):
+            assert name in families
+
+    def test_register_family_rejects_duplicates(self):
+        with pytest.raises(ReproError, match="already registered"):
+            register_scenario_family("synthetic", lambda spec: None)
+
+    def test_unknown_family_and_axes_raise(self):
+        with pytest.raises(ReproError, match="unknown scenario family"):
+            build_spec_scenario(ScenarioSpec(family="nope"))
+        with pytest.raises(ReproError, match="unknown corruption class"):
+            build_spec_scenario(ScenarioSpec(corruption="nope"))
+        with pytest.raises(ReproError, match="unknown corruption position"):
+            ScenarioSpec(position="nope").corruption_indices(10)
+
+
+class TestCorruptionPlacement:
+    def test_early_late_spread(self):
+        assert ScenarioSpec(position="early", n_corruptions=2).corruption_indices(10) == (0, 1)
+        late = ScenarioSpec(position="late", n_corruptions=1).corruption_indices(10)
+        assert late == (8,)  # leaves a later query for downstream propagation
+        spread = ScenarioSpec(position="spread", n_corruptions=3).corruption_indices(9)
+        assert spread == (0, 4, 8)
+
+    def test_spread_never_floods_small_logs(self):
+        indices = ScenarioSpec(position="spread", n_corruptions=2).corruption_indices(8)
+        assert len(indices) == 2
+
+    def test_empty_log(self):
+        assert ScenarioSpec().corruption_indices(0) == ()
+
+
+class TestDeterminism:
+    def test_same_spec_same_fingerprint(self):
+        spec = ScenarioSpec(n_tuples=15, n_queries=5, seed=3)
+        first = build_spec_scenario(spec)
+        second = build_spec_scenario(spec)
+        assert scenario_fingerprint(first) == scenario_fingerprint(second)
+        assert first.corrupted_log.render_sql() == second.corrupted_log.render_sql()
+
+    def test_different_seed_different_fingerprint(self):
+        base = ScenarioSpec(n_tuples=15, n_queries=5, seed=3)
+        other = base.with_overrides(seed=4)
+        assert scenario_fingerprint(build_spec_scenario(base)) != scenario_fingerprint(
+            build_spec_scenario(other)
+        )
+
+    def test_scenarios_are_never_vacuous_on_small_grids(self):
+        for spec in expand_scenario_grid(
+            families=("synthetic", "tatp"),
+            corruptions=("workload", "set-clause"),
+            positions=("early", "late"),
+            n_tuples=12,
+            n_queries=5,
+            seed=5,
+        ):
+            scenario = build_spec_scenario(spec)
+            assert len(scenario.complaints) > 0, spec.label()
+
+
+class TestCorruptionClasses:
+    def _scenario(self, corruption: str) -> tuple:
+        spec = ScenarioSpec(
+            n_tuples=12, n_queries=5, corruption=corruption, position="early", seed=2
+        )
+        return spec, build_spec_scenario(spec)
+
+    def test_predicate_corruption_changes_only_where_params(self):
+        _, scenario = self._scenario("predicate")
+        (info,) = scenario.corruptions
+        query = scenario.clean_log[info.query_index]
+        assert isinstance(query, UpdateQuery)
+        changed = set(info.changed_params)
+        assert len(changed) == 1
+        assert changed <= set(predicate_param_names(query))
+
+    def test_set_clause_corruption_changes_only_set_params(self):
+        _, scenario = self._scenario("set-clause")
+        (info,) = scenario.corruptions
+        query = scenario.clean_log[info.query_index]
+        changed = set(info.changed_params)
+        assert len(changed) == 1
+        assert changed <= set(set_param_names(query))
+
+    def test_param_name_helpers_split_the_parameter_space(self):
+        workload = SyntheticWorkloadGenerator(
+            SyntheticConfig(n_tuples=5, n_queries=3, seed=1)
+        ).generate()
+        for query in workload.log:
+            params = set(query.params())
+            where = set(predicate_param_names(query))
+            sets = set(set_param_names(query))
+            assert where | sets == params
+            assert not (where & sets)
+
+
+class TestScenarioAliasing:
+    """Two scenarios must never share mutable metadata/corruptions state."""
+
+    def test_spec_scenarios_do_not_alias(self):
+        spec = ScenarioSpec(n_tuples=10, n_queries=4, seed=1)
+        first = build_spec_scenario(spec)
+        second = build_spec_scenario(spec)
+        first.metadata["marker"] = "first-only"
+        first.corruptions.append("sentinel")  # type: ignore[arg-type]
+        assert "marker" not in second.metadata
+        assert "sentinel" not in second.corruptions
+
+    def test_build_scenario_copies_workload_metadata(self):
+        generator = SyntheticWorkloadGenerator(
+            SyntheticConfig(n_tuples=10, n_queries=4, seed=1)
+        )
+        workload = generator.generate()
+        workload.metadata["shared"] = "workload"
+        first = build_scenario(workload, [0], rng=1)
+        second = build_scenario(workload, [0], rng=2)
+        first.metadata["only"] = "first"
+        assert "only" not in second.metadata
+        assert "only" not in workload.metadata
+        assert second.metadata["shared"] == "workload"
+
+    def test_direct_construction_copies_caller_containers(self):
+        generator = SyntheticWorkloadGenerator(
+            SyntheticConfig(n_tuples=10, n_queries=4, seed=1)
+        )
+        workload = generator.generate()
+        shared_metadata: dict[str, object] = {"shared": True}
+        shared_corruptions: list = []
+        first = build_scenario(workload, [0], rng=1)
+        second = first.__class__(
+            schema=first.schema,
+            initial=first.initial,
+            clean_log=first.clean_log,
+            corrupted_log=first.corrupted_log,
+            truth=first.truth,
+            dirty=first.dirty,
+            complaints=first.complaints,
+            full_complaints=first.full_complaints,
+            corruptions=shared_corruptions,
+            metadata=shared_metadata,
+        )
+        third = first.__class__(
+            schema=first.schema,
+            initial=first.initial,
+            clean_log=first.clean_log,
+            corrupted_log=first.corrupted_log,
+            truth=first.truth,
+            dirty=first.dirty,
+            complaints=first.complaints,
+            full_complaints=first.full_complaints,
+            corruptions=shared_corruptions,
+            metadata=shared_metadata,
+        )
+        second.metadata["mine"] = True
+        second.corruptions.append("x")  # type: ignore[arg-type]
+        assert "mine" not in third.metadata
+        assert not third.corruptions
+        assert shared_metadata == {"shared": True}
+        assert shared_corruptions == []
