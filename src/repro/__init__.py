@@ -9,7 +9,9 @@ The public API re-exports the pieces most users need: the relational substrate
 (:mod:`repro.db`), the query model (:mod:`repro.queries`), the SQL surface
 (:mod:`repro.sql`), the MILP substrate (:mod:`repro.milp`), the QFix core
 (:mod:`repro.core`), the service layer (:mod:`repro.service` — sessions,
-batched diagnosis, serializable request/response types), the HTTP serving
+batched diagnosis, serializable request/response types), the execution tier
+(:mod:`repro.parallel` — serial / thread / process strategies with
+shard-affine warm caching and streaming backpressure), the HTTP serving
 layer (:mod:`repro.server` — threaded stdlib server, session store, typed
 client, telemetry), the decision-tree baseline (:mod:`repro.baselines`), the
 workload generators (:mod:`repro.workload`), the experiment harness
@@ -44,6 +46,11 @@ from repro.queries import (
     replay,
 )
 from repro.sql import parse_query, parse_script
+from repro.parallel import (
+    available_executors,
+    get_executor,
+    register_executor,
+)
 from repro.service import (
     DiagnosisEngine,
     DiagnosisRequest,
@@ -124,6 +131,9 @@ __all__ = [
     "available_diagnosers",
     "get_diagnoser",
     "register_diagnoser",
+    "available_executors",
+    "get_executor",
+    "register_executor",
     "DiagnosisApp",
     "DiagnosisClient",
     "DiagnosisServer",

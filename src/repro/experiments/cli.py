@@ -12,8 +12,10 @@ Examples::
     qfix-experiments figure4 --scale small
     qfix-experiments all --scale small --seed 3
     qfix-experiments batch --input requests.jsonl --output responses.jsonl --max-workers 8
-    qfix-experiments serve --host 0.0.0.0 --port 8080 --workers 8
+    qfix-experiments batch --input requests.jsonl --executor process --max-inflight 16
+    qfix-experiments serve --host 0.0.0.0 --port 8080 --workers 8 --max-inflight 32
     qfix-experiments harness --grid smoke --seed 1 --budget 60s --output report.json
+    qfix-experiments harness --grid smoke --executor process --max-workers 2
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ import os
 import sys
 from typing import Callable, TextIO
 
+from repro.parallel import available_executors
 from repro.service.engine import DiagnosisEngine, serve_jsonl_lines
 from repro.experiments import (
     example2,
@@ -91,7 +94,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-workers",
         type=int,
         default=4,
-        help="batch mode: thread-pool width for concurrent diagnosis",
+        help=(
+            "batch/harness mode: fan-out width for concurrent diagnosis "
+            "(threads for --executor thread, worker processes for "
+            "--executor process)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default="thread",
+        help=(
+            "batch/harness/serve mode: execution strategy — 'serial' runs "
+            "inline, 'thread' uses a thread pool (fine for the native HiGHS "
+            "backend), 'process' fans out over shard-affine worker processes "
+            "(use for the CPU-bound branch-and-bound backend, where threads "
+            "serialize on the GIL); serve mode applies it to the engine "
+            "behind /v1/batch"
+        ),
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help=(
+            "batch/harness mode: bound on in-flight requests (backpressure "
+            "window; default: twice --max-workers); serve mode: admission "
+            "limit — excess requests get 429 + Retry-After (default: "
+            "unlimited)"
+        ),
     )
     harness_group = parser.add_argument_group("harness mode")
     harness_group.add_argument(
@@ -156,6 +187,8 @@ def run_batch(
     input_path: str | None,
     output_path: str | None,
     max_workers: int,
+    executor: str = "thread",
+    max_inflight: int | None = None,
     *,
     stdin: TextIO | None = None,
 ) -> int:
@@ -164,15 +197,20 @@ def run_batch(
     Each input line is one serialized request; each output line is the
     matching response, in input order.  A malformed line becomes an
     ``ok=False`` response rather than aborting the batch, mirroring the
-    engine's per-request error isolation.  Exit status: 2 for usage errors,
-    1 when any request failed (so scripted callers can detect trouble), 0
-    when every request was served successfully.
+    engine's per-request error isolation.  ``--executor`` picks the execution
+    strategy (``process`` for CPU-bound multi-core fan-out) and
+    ``--max-inflight`` bounds the backpressure window.  Exit status: 2 for
+    usage errors, 1 when any request failed (so scripted callers can detect
+    trouble), 0 when every request was served successfully.
     """
     if input_path is None:
         print("batch mode requires --input (path to a JSONL file, or '-')", file=sys.stderr)
         return 2
     if max_workers < 1:
         print("--max-workers must be at least 1", file=sys.stderr)
+        return 2
+    if max_inflight is not None and max_inflight < 1:
+        print("--max-inflight must be at least 1", file=sys.stderr)
         return 2
 
     if input_path == "-":
@@ -185,8 +223,13 @@ def run_batch(
             print(f"cannot read --input file: {error}", file=sys.stderr)
             return 2
 
-    engine = DiagnosisEngine(max_workers=max_workers)
-    responses = serve_jsonl_lines(engine, lines)
+    engine = DiagnosisEngine(
+        max_workers=max_workers, executor=executor, max_inflight=max_inflight
+    )
+    try:
+        responses = serve_jsonl_lines(engine, lines)
+    finally:
+        engine.close()
 
     payload = "\n".join(json.dumps(response.to_dict()) for response in responses)
     if output_path is None or output_path == "-":
@@ -231,13 +274,17 @@ def run_harness(
     budget: str | None,
     output_path: str | None,
     max_workers: int,
+    executor: str = "thread",
+    max_inflight: int | None = None,
 ) -> int:
     """Sweep a named scenario grid and report oracle violations.
 
     Prints a per-cell table and the seed-determinism fingerprint digest, and
-    writes the full JSON report to ``--output`` when given.  Exit status: 2
-    for usage errors, 1 when any oracle violation was found, 0 otherwise —
-    so CI can gate on the sweep directly.
+    writes the full JSON report to ``--output`` when given.  The sweep runs
+    through the same executor tier as production batches (``--executor
+    process`` certifies the multi-core serving path).  Exit status: 2 for
+    usage errors, 1 when any oracle violation was found, 0 otherwise — so CI
+    can gate on the sweep directly.
     """
     # Imported lazily: the figure commands don't pay for the harness stack.
     from repro.harness import get_grid, run_grid
@@ -250,21 +297,29 @@ def run_harness(
     if max_workers < 1:
         print("--max-workers must be at least 1", file=sys.stderr)
         return 2
+    if max_inflight is not None and max_inflight < 1:
+        print("--max-inflight must be at least 1", file=sys.stderr)
+        return 2
     try:
         cells = get_grid(grid_name, seed)
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(str(error), file=sys.stderr)
         return 2
 
-    engine = DiagnosisEngine(max_workers=max_workers)
-    report = run_grid(
-        cells,
-        grid_name=grid_name,
-        seed=seed,
-        budget_seconds=budget_seconds,
-        max_workers=max_workers,
-        engine=engine,
+    engine = DiagnosisEngine(
+        max_workers=max_workers, executor=executor, max_inflight=max_inflight
     )
+    try:
+        report = run_grid(
+            cells,
+            grid_name=grid_name,
+            seed=seed,
+            budget_seconds=budget_seconds,
+            max_workers=max_workers,
+            engine=engine,
+        )
+    finally:
+        engine.close()
 
     rows = [
         {
@@ -311,6 +366,8 @@ def run_serve(
     workers: int,
     max_request_bytes: int | None,
     port_file: str | None,
+    executor: str = "thread",
+    max_inflight: int | None = None,
 ) -> int:
     """Boot the HTTP diagnosis service and block until interrupted.
 
@@ -329,6 +386,9 @@ def run_serve(
     if limit < 1:
         print("--max-request-bytes must be at least 1", file=sys.stderr)
         return 2
+    if max_inflight is not None and max_inflight < 1:
+        print("--max-inflight must be at least 1", file=sys.stderr)
+        return 2
 
     def on_ready(server) -> None:
         bound_host, bound_port = server.server_address[0], server.port
@@ -344,8 +404,9 @@ def run_serve(
     serve(
         host,
         port,
-        engine=DiagnosisEngine(max_workers=workers),
+        engine=DiagnosisEngine(max_workers=workers, executor=executor),
         max_request_bytes=limit,
+        max_inflight=max_inflight,
         ready_callback=on_ready,
     )
     return 0
@@ -357,13 +418,27 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.experiment == "serve":
         return run_serve(
-            args.host, args.port, args.workers, args.max_request_bytes, args.port_file
+            args.host,
+            args.port,
+            args.workers,
+            args.max_request_bytes,
+            args.port_file,
+            args.executor,
+            args.max_inflight,
         )
     if args.experiment == "batch":
-        return run_batch(args.input, args.output, args.max_workers)
+        return run_batch(
+            args.input, args.output, args.max_workers, args.executor, args.max_inflight
+        )
     if args.experiment == "harness":
         return run_harness(
-            args.grid, args.seed, args.budget, args.output, args.max_workers
+            args.grid,
+            args.seed,
+            args.budget,
+            args.output,
+            args.max_workers,
+            args.executor,
+            args.max_inflight,
         )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -99,6 +99,26 @@ def synthetic_scenario(
     )
 
 
+def nonvacuous_scenarios(count, build) -> "list[Scenario]":
+    """The first ``count`` scenarios from ``build(candidate)`` that have
+    observable errors.
+
+    Some (size, corruption, seed) combinations corrupt a query in a way that
+    never changes the final state — the complaint set diffs to nothing and
+    there is nothing to diagnose.  Benchmarks and load tests that need *k*
+    deterministic, diagnosable scenarios walk ``candidate = 1, 2, ...``
+    through their builder and keep the non-vacuous ones.
+    """
+    scenarios: "list[Scenario]" = []
+    candidate = 0
+    while len(scenarios) < count:
+        candidate += 1
+        scenario = build(candidate)
+        if len(scenario.complaints) > 0:
+            scenarios.append(scenario)
+    return scenarios
+
+
 def run_qfix_on_scenario(
     scenario: Scenario,
     config: QFixConfig,

@@ -61,8 +61,15 @@ class HarnessRunner:
         seed: int = 0,
         budget_seconds: float | None = None,
         max_workers: int | None = None,
+        executor: str | None = None,
+        max_inflight: int | None = None,
     ) -> HarnessReport:
-        """Execute ``cells`` and return the checked report."""
+        """Execute ``cells`` and return the checked report.
+
+        ``executor`` / ``max_inflight`` override the engine's execution
+        strategy per sweep (e.g. ``executor="process"`` certifies the
+        multi-core path with the same oracles as the default sweep).
+        """
         start = time.perf_counter()
         deadline = start + budget_seconds if budget_seconds is not None else None
 
@@ -106,6 +113,8 @@ class HarnessRunner:
                     self.engine.run_matrix(
                         [(cell.cell_id, _cell_request(cell, scenario)) for cell in phase],
                         max_workers=max_workers,
+                        executor=executor,
+                        max_inflight=max_inflight,
                     )
                 )
 
@@ -128,6 +137,8 @@ def run_grid(
     seed: int = 0,
     budget_seconds: float | None = None,
     max_workers: int | None = None,
+    executor: str | None = None,
+    max_inflight: int | None = None,
     engine: DiagnosisEngine | None = None,
 ) -> HarnessReport:
     """Convenience wrapper: one call from cells to a checked report."""
@@ -138,6 +149,8 @@ def run_grid(
         seed=seed,
         budget_seconds=budget_seconds,
         max_workers=max_workers,
+        executor=executor,
+        max_inflight=max_inflight,
     )
 
 

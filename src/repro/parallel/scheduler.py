@@ -1,0 +1,91 @@
+"""The streaming batch scheduler: chunked submission, bounded in-flight window.
+
+One loop drives every execution strategy:
+
+* at most ``max_inflight`` items are outstanding at any moment — backpressure
+  by construction, so a million-line batch file never materializes a million
+  futures (or a million pickled work units) at once;
+* results are yielded ``(index, response)`` **as they complete**, not
+  barriered at the end — a caller can stream responses to disk or over HTTP
+  while slow cells are still solving;
+* a failed future becomes an ``ok=False`` response in place (the engine's
+  isolation contract extends across the process boundary), after at most one
+  strategy-sanctioned retry (:meth:`Executor.retryable` — a worker crash that
+  broke a pool out from under innocent neighbours).
+
+Order restoration, when a caller needs it, is the caller's one-liner: place
+each response at ``responses[index]``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.exceptions import ReproError
+from repro.parallel.base import BatchItem, Executor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.types import DiagnosisResponse
+
+
+def stream_batch(
+    executor: Executor,
+    items: Iterable[BatchItem],
+    *,
+    max_inflight: int,
+) -> "Iterator[tuple[int, DiagnosisResponse]]":
+    """Drive ``items`` through ``executor``, yielding results as they finish.
+
+    ``items`` may be any iterable — it is consumed lazily, one window at a
+    time, so generators of requests never fully materialize.
+    """
+    if max_inflight < 1:
+        raise ReproError("max_inflight must be at least 1")
+
+    pending: "dict[Future[DiagnosisResponse], BatchItem]" = {}
+    retry_queue: "deque[BatchItem]" = deque()
+    source = iter(items)
+    exhausted = False
+
+    while True:
+        # Refill the window: crash retries first (they block the oldest
+        # results), then fresh items from the source.
+        while len(pending) < max_inflight:
+            if retry_queue:
+                item = retry_queue.popleft()
+            elif not exhausted:
+                try:
+                    item = next(source)
+                except StopIteration:
+                    exhausted = True
+                    continue
+            else:
+                break
+            pending[executor.submit(item)] = item
+
+        if not pending:
+            break
+
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            item = pending.pop(future)
+            try:
+                response = future.result()
+            except Exception as error:  # noqa: BLE001 - isolation boundary
+                if executor.retryable(item, error):
+                    retry_queue.append(item)
+                    continue
+                response = _error_response(item, error)
+            yield item.index, response
+
+
+def _error_response(item: BatchItem, error: BaseException) -> "DiagnosisResponse":
+    from repro.service.types import DiagnosisResponse
+
+    return DiagnosisResponse.from_error(
+        item.request_id,
+        item.request.diagnoser or "",
+        error,
+    )

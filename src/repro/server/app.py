@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import re
+import threading
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -73,6 +74,8 @@ class Response:
     status: int = 200
     content_type: str = "application/json"
     body: bytes = b""
+    #: Extra response headers (e.g. ``Retry-After`` on a 429).
+    headers: tuple[tuple[str, str], ...] = ()
 
 
 Handler = Callable[["DiagnosisApp", Request], Response]
@@ -88,12 +91,59 @@ class Route:
     #: Stable label for telemetry (the route template, not the concrete path,
     #: so ``/v1/sessions/abc`` and ``/v1/sessions/def`` aggregate together).
     label: str
+    #: Whether the route triggers diagnosis work and therefore counts against
+    #: the app's admission limit (``max_inflight``).
+    gated: bool = False
 
 
-def _route(method: str, template: str, handler: Handler) -> Route:
+def _route(method: str, template: str, handler: Handler, *, gated: bool = False) -> Route:
     """Compile ``/v1/sessions/{sid}/diagnose`` into a routing entry."""
     pattern = re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", template)
-    return Route(method, re.compile(f"^{pattern}$"), handler, f"{method} {template}")
+    return Route(
+        method, re.compile(f"^{pattern}$"), handler, f"{method} {template}", gated
+    )
+
+
+class AdmissionGate:
+    """Bounded-concurrency admission control for diagnosis routes.
+
+    The serving loop admits at most ``limit`` diagnosis-triggering requests at
+    a time; the rest are answered ``429 Too Many Requests`` *before* any
+    payload is parsed or any solver runs, so an overloaded server sheds load
+    at the door instead of queueing unboundedly behind MILP solves.  The
+    current depth is mirrored into the telemetry ``queue_depth`` gauge on
+    every transition.
+    """
+
+    def __init__(self, limit: int, telemetry: Telemetry) -> None:
+        if limit < 1:
+            raise ReproError("max_inflight must be at least 1")
+        self.limit = limit
+        self._telemetry = telemetry
+        self._lock = threading.Lock()
+        self._depth = 0
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def try_acquire(self) -> bool:
+        # The gauge write stays inside the gate lock: updating it outside
+        # would let a descheduled thread overwrite a newer depth with a
+        # stale one (telemetry's own lock never takes this one, so the
+        # nesting cannot deadlock).
+        with self._lock:
+            if self._depth >= self.limit:
+                return False
+            self._depth += 1
+            self._telemetry.set_queue_depth(self._depth)
+        return True
+
+    def release(self) -> None:
+        with self._lock:
+            self._depth = max(0, self._depth - 1)
+            self._telemetry.set_queue_depth(self._depth)
 
 
 class DiagnosisApp:
@@ -108,6 +158,12 @@ class DiagnosisApp:
         Session store; a fresh one over ``engine`` is created when omitted.
     telemetry:
         Counter sink; a fresh one is created when omitted.
+    max_inflight:
+        Admission-control limit: at most this many diagnosis-triggering
+        requests (``/v1/diagnose``, ``/v1/batch``, session diagnose) may be
+        in flight at once; excess requests are answered 429 with a
+        ``Retry-After`` header.  ``None`` (the default) disables admission
+        control.
     """
 
     def __init__(
@@ -116,13 +172,19 @@ class DiagnosisApp:
         *,
         store: SessionStore | None = None,
         telemetry: Telemetry | None = None,
+        max_inflight: int | None = None,
     ) -> None:
         self.engine = engine if engine is not None else DiagnosisEngine()
         self.store = store if store is not None else SessionStore(self.engine)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.gate = (
+            AdmissionGate(max_inflight, self.telemetry)
+            if max_inflight is not None
+            else None
+        )
         self.routes: tuple[Route, ...] = (
-            _route("POST", "/v1/diagnose", handlers.handle_diagnose),
-            _route("POST", "/v1/batch", handlers.handle_batch),
+            _route("POST", "/v1/diagnose", handlers.handle_diagnose, gated=True),
+            _route("POST", "/v1/batch", handlers.handle_batch, gated=True),
             _route("POST", "/v1/sessions", handlers.handle_session_create),
             _route("GET", "/v1/sessions", handlers.handle_session_list),
             _route("GET", "/v1/sessions/{sid}", handlers.handle_session_get),
@@ -132,7 +194,10 @@ class DiagnosisApp:
                 "POST", "/v1/sessions/{sid}/complaints", handlers.handle_session_complaints
             ),
             _route(
-                "POST", "/v1/sessions/{sid}/diagnose", handlers.handle_session_diagnose
+                "POST",
+                "/v1/sessions/{sid}/diagnose",
+                handlers.handle_session_diagnose,
+                gated=True,
             ),
             _route(
                 "POST", "/v1/sessions/{sid}/accept-repair", handlers.handle_session_accept
@@ -183,6 +248,23 @@ class DiagnosisApp:
             )
             return response
 
+        if route.gated and self.gate is not None and not self.gate.try_acquire():
+            # Shed load at the door: the queue is full, so answer 429 before
+            # parsing the payload or touching the engine.  Retry-After is a
+            # hint — one in-flight MILP solve is usually about a second.
+            response = _error_response(
+                429,
+                f"server is at its diagnosis admission limit "
+                f"({self.gate.limit} in flight); retry shortly",
+                "AdmissionLimitExceeded",
+            )
+            response.headers = (("Retry-After", "1"),)
+            self.telemetry.record_rejected()
+            self.telemetry.record_request(
+                route.label, response.status, time.perf_counter() - start
+            )
+            return response
+
         request = Request(
             method=method,
             path=path,
@@ -190,6 +272,7 @@ class DiagnosisApp:
             query=dict(parse_qsl(split.query)),
             body=body,
         )
+        admitted = route.gated and self.gate is not None
         try:
             response = route.handler(self, request)
         except HTTPError as error:
@@ -208,6 +291,9 @@ class DiagnosisApp:
             response = _error_response(
                 500, f"internal error: {error}", type(error).__name__
             )
+        finally:
+            if admitted:
+                self.gate.release()
         self.telemetry.record_request(
             route.label, response.status, time.perf_counter() - start
         )
@@ -300,6 +386,8 @@ class _HTTPRequestHandler(BaseHTTPRequestHandler):
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(response.body)
 
@@ -333,14 +421,18 @@ def make_server(
     app: DiagnosisApp | None = None,
     engine: DiagnosisEngine | None = None,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    max_inflight: int | None = None,
 ) -> DiagnosisServer:
     """Build a bound (but not yet serving) :class:`DiagnosisServer`.
 
     ``port=0`` binds an ephemeral port; read it back from ``server.port``.
     Call ``serve_forever()`` (often on a background thread) to start serving
-    and ``shutdown()`` to stop.
+    and ``shutdown()`` to stop.  ``max_inflight`` enables 429 admission
+    control on the diagnosis routes (ignored when ``app`` is supplied).
     """
-    application = app if app is not None else DiagnosisApp(engine)
+    application = (
+        app if app is not None else DiagnosisApp(engine, max_inflight=max_inflight)
+    )
     return DiagnosisServer(
         (host, port), application, max_request_bytes=max_request_bytes
     )
@@ -352,6 +444,7 @@ def serve(
     *,
     engine: DiagnosisEngine | None = None,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    max_inflight: int | None = None,
     ready_callback: Callable[[DiagnosisServer], None] | None = None,
 ) -> None:
     """Blocking convenience runner: build a server and serve until interrupted.
@@ -360,7 +453,11 @@ def serve(
     serving loop starts — the CLI uses it to print / persist the actual port.
     """
     server = make_server(
-        host, port, engine=engine, max_request_bytes=max_request_bytes
+        host,
+        port,
+        engine=engine,
+        max_request_bytes=max_request_bytes,
+        max_inflight=max_inflight,
     )
     if ready_callback is not None:
         ready_callback(server)

@@ -41,13 +41,34 @@ from repro.service.types import DiagnosisRequest, DiagnosisResponse
 
 
 class ServerError(ReproError):
-    """The server answered with an HTTP error status (or was unreachable)."""
+    """The server answered with an HTTP error status (or was unreachable).
 
-    def __init__(self, status: int, message: str, error_type: str = "") -> None:
+    ``headers`` carries the error response's headers — a 429 from the
+    admission gate includes ``Retry-After``, which backoff loops should
+    honour before resubmitting.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        error_type: str = "",
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         super().__init__(f"[{status}] {message}" if status else message)
         self.status = status
         self.message = message
         self.error_type = error_type
+        self.headers: dict[str, str] = dict(headers) if headers is not None else {}
+
+    @property
+    def retry_after(self) -> float | None:
+        """The ``Retry-After`` delay in seconds, when the server sent one."""
+        value = self.headers.get("Retry-After")
+        try:
+            return float(value) if value is not None else None
+        except ValueError:
+            return None
 
 
 class DiagnosisClient:
@@ -93,7 +114,12 @@ class DiagnosisClient:
         except urllib.error.HTTPError as error:
             payload = error.read()
             message, error_type = _parse_error(payload)
-            raise ServerError(error.code, message or str(error), error_type) from None
+            raise ServerError(
+                error.code,
+                message or str(error),
+                error_type,
+                headers=dict(error.headers.items()),
+            ) from None
         except urllib.error.URLError as error:
             raise ServerError(0, f"server unreachable: {error.reason}") from None
 

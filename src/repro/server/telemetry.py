@@ -71,11 +71,15 @@ class Telemetry:
         self._requests: dict[str, dict[int, int]] = {}
         #: per-route latency aggregates
         self._latency: dict[str, _LatencyWindow] = {}
-        #: requests refused before reaching a handler (oversized, bad route)
+        #: requests refused before reaching a handler (oversized, bad route,
+        #: admission-control 429s)
         self._rejected = 0
         #: engine-path counters
         self._diagnoses_ok = 0
         self._diagnoses_failed = 0
+        #: diagnosis requests currently admitted and in flight (gauge,
+        #: maintained by the app's admission gate)
+        self._queue_depth = 0
 
     # -- recording -----------------------------------------------------------------
 
@@ -98,6 +102,11 @@ class Telemetry:
         """Count one request refused before it reached a handler."""
         with self._lock:
             self._rejected += 1
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Update the admitted-and-in-flight diagnosis gauge."""
+        with self._lock:
+            self._queue_depth = depth
 
     # -- observation ---------------------------------------------------------------
 
@@ -131,6 +140,7 @@ class Telemetry:
                 "requests_total": total,
                 "errors_total": errors,
                 "rejected_total": self._rejected,
+                "queue_depth": self._queue_depth,
                 "requests_by_route": requests,
                 "latency_by_route": latency,
                 "diagnoses": {
@@ -158,6 +168,9 @@ class Telemetry:
             "# HELP qfix_http_rejected_total Requests refused before reaching a handler.",
             "# TYPE qfix_http_rejected_total counter",
             f"qfix_http_rejected_total {snap['rejected_total']}",
+            "# HELP qfix_queue_depth Diagnosis requests currently admitted and in flight.",
+            "# TYPE qfix_queue_depth gauge",
+            f"qfix_queue_depth {snap['queue_depth']}",
             "# HELP qfix_http_request_seconds Request latency aggregates by route.",
             "# TYPE qfix_http_request_seconds summary",
         ]

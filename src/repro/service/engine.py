@@ -10,10 +10,19 @@ solver wiring and exposes three call shapes:
 * :meth:`submit` — the service path: a :class:`DiagnosisRequest` in, a
   :class:`DiagnosisResponse` out.  Never raises; failures are captured in the
   response (``ok=False``) so one bad request cannot take down a serving loop.
-* :meth:`diagnose_batch` — thread-pool fan-out of :meth:`submit` over many
+* :meth:`diagnose_batch` — executor-tier fan-out of :meth:`submit` over many
   independent requests, preserving input order.  Because each submit builds
   its own solver instance (unless the engine was constructed with an explicit
   shared solver), requests are fully isolated from each other.
+* :meth:`diagnose_stream` — the same fan-out, but yielding ``(index,
+  response)`` pairs *as they complete* under a bounded in-flight window, so a
+  huge batch streams instead of barriering.
+
+Where the work actually runs is pluggable (:mod:`repro.parallel`): the
+``executor`` argument selects ``serial`` (inline), ``thread`` (the historical
+thread pool — fine when solves release the GIL), or ``process`` (shard-affine
+worker processes for the CPU-bound pure-Python solver, where threads would
+serialize on the GIL).
 """
 
 from __future__ import annotations
@@ -22,8 +31,7 @@ import json
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.complaints import ComplaintSet
 from repro.core.config import QFixConfig
@@ -32,6 +40,13 @@ from repro.db.database import Database
 from repro.exceptions import ReproError
 from repro.milp.solvers.base import accepts_keyword
 from repro.milp.solvers import Solver, get_solver
+from repro.parallel import (
+    BatchItem,
+    Executor,
+    get_executor,
+    stream_batch,
+    validate_executor_name,
+)
 from repro.queries.log import QueryLog
 from repro.service.registry import get_diagnoser
 from repro.service.types import DiagnosisRequest, DiagnosisResponse
@@ -51,10 +66,20 @@ class DiagnosisEngine:
         from the effective config — the safe choice for
         :meth:`diagnose_batch`, where requests run on worker threads.
     max_workers:
-        Default thread-pool width for :meth:`diagnose_batch` (per-call
-        override still possible).  Deployment surfaces (the CLI ``batch`` and
-        ``serve`` commands) configure concurrency here, once, instead of
-        threading a pool size through every call site.
+        Default fan-out width for :meth:`diagnose_batch` (per-call override
+        still possible): the thread-pool size for the ``thread`` strategy,
+        the shard/worker-process count for ``process``.  Deployment surfaces
+        (the CLI ``batch`` and ``serve`` commands) configure concurrency
+        here, once, instead of threading a pool size through every call site.
+    executor:
+        Execution strategy for batch work, by registry name (``"serial"``,
+        ``"thread"``, ``"process"`` — see :mod:`repro.parallel`) or as a
+        pre-built :class:`~repro.parallel.Executor` instance.  Validated at
+        construction time, instantiated lazily on first batch.
+    max_inflight:
+        Default bound on in-flight batch items (backpressure window for
+        :meth:`diagnose_stream` / :meth:`diagnose_batch`).  ``None`` means
+        twice the effective worker count.
     """
 
     def __init__(
@@ -63,11 +88,23 @@ class DiagnosisEngine:
         solver: Solver | None = None,
         *,
         max_workers: int = 4,
+        executor: "str | Executor" = "thread",
+        max_inflight: int | None = None,
     ) -> None:
-        if max_workers < 1:
-            raise ReproError("max_workers must be at least 1")
+        self._validate_workers(max_workers)
+        self._validate_inflight(max_inflight)
+        if isinstance(executor, str):
+            validate_executor_name(executor)
         self.config = config if config is not None else QFixConfig.fully_optimized()
         self.max_workers = max_workers
+        self.max_inflight = max_inflight
+        self._executor_spec: "str | Executor" = executor
+        # Persistent executors keyed by (strategy name, workers): process
+        # shards — and their worker-local warm caches — survive across
+        # batches, including batches that override the engine's defaults
+        # (the harness's warm second pass depends on this).
+        self._executors: dict[tuple[str, int], Executor] = {}
+        self._executor_lock = threading.Lock()
         self._shared_solver = solver
         # Warm-start cache: (diagnoser, config, log/complaint fingerprint)
         # -> solver assignment of the last feasible repair.  Re-solving the
@@ -87,6 +124,78 @@ class DiagnosisEngine:
             mip_gap=config.mip_gap,
             use_presolve=config.use_presolve,
         )
+
+    # -- concurrency wiring ------------------------------------------------------
+
+    @staticmethod
+    def _validate_workers(value: int) -> None:
+        """One home for the worker-count invariant, checked at wiring time —
+        constructor, per-call override, matrix entry point — never after work
+        has already been submitted."""
+        if value < 1:
+            raise ReproError("max_workers must be at least 1")
+
+    @staticmethod
+    def _validate_inflight(value: int | None) -> None:
+        if value is not None and value < 1:
+            raise ReproError("max_inflight must be at least 1")
+
+    def _resolve_workers(self, override: int | None) -> int:
+        workers = override if override is not None else self.max_workers
+        self._validate_workers(workers)
+        return workers
+
+    def _resolve_inflight(self, override: int | None, workers: int) -> int:
+        self._validate_inflight(override)
+        window = override if override is not None else self.max_inflight
+        return window if window is not None else 2 * workers
+
+    @property
+    def executor_name(self) -> str:
+        """Registry name of the configured execution strategy."""
+        spec = self._executor_spec
+        return spec if isinstance(spec, str) else spec.name
+
+    def _acquire_executor(self, spec: "str | Executor | None", workers: int) -> Executor:
+        """Resolve the executor for one batch, reusing persistent instances.
+
+        Executors are cached per (strategy, workers) — including per-call
+        overrides — so repeated batches with the same wiring reuse the same
+        pools, worker processes, and worker-local warm caches.  Everything
+        cached is released by :meth:`close`.
+        """
+        if spec is None:
+            spec = self._executor_spec
+        if isinstance(spec, Executor):
+            return spec.bind(self)
+        validate_executor_name(spec)
+        key = (spec, workers)
+        with self._executor_lock:
+            executor = self._executors.get(key)
+            if executor is None:
+                executor = get_executor(spec, max_workers=workers).bind(self)
+                self._executors[key] = executor
+            return executor
+
+    def close(self) -> None:
+        """Release the persistent executors (worker processes, pools).
+
+        Safe to call repeatedly; the engine remains usable afterwards (the
+        next batch simply rebuilds its executor).
+        """
+        with self._executor_lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+        for executor in executors:
+            executor.close()
+        if isinstance(self._executor_spec, Executor):
+            self._executor_spec.close()
+
+    def __enter__(self) -> "DiagnosisEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- warm-start cache --------------------------------------------------------
 
@@ -112,6 +221,16 @@ class DiagnosisEngine:
             while len(self._warm_cache) > self.WARM_CACHE_MAX:
                 self._warm_cache.popitem(last=False)
 
+    def _warm_peek(self, key: Hashable) -> dict[str, float] | None:
+        """Read the cache without touching the hit/miss counters.
+
+        Used when *shipping* hints to process workers: the worker's own
+        lookup is the one that should count, not the parent's peek.
+        """
+        with self._warm_lock:
+            values = self._warm_cache.get(key)
+            return dict(values) if values is not None else None
+
     def warm_cache_info(self) -> dict[str, int]:
         """Warm-start cache statistics (size, hits, misses)."""
         with self._warm_lock:
@@ -120,6 +239,27 @@ class DiagnosisEngine:
                 "hits": self._warm_hits,
                 "misses": self._warm_misses,
             }
+
+    def warm_key(self, request: DiagnosisRequest) -> Hashable:
+        """The warm-cache / shard-routing key for ``request``.
+
+        Identical to the key :meth:`diagnose` uses internally — (resolved
+        diagnoser name, effective config, log+complaint fingerprint) — so
+        shard-affine executors route repeats of a request to the worker whose
+        local cache holds its previous solution.
+        """
+        config = request.config if request.config is not None else self.config
+        name = request.diagnoser if request.diagnoser is not None else config.diagnoser
+        return (name, config, diagnosis_fingerprint(request.log, request.complaints))
+
+    def seed_warm(self, request: DiagnosisRequest, values: Mapping[str, float]) -> None:
+        """Pre-load the warm cache for ``request`` (hint shipped from afar).
+
+        A later :meth:`submit` of the same request starts from ``values``.
+        Bad hints are harmless — solvers validate them before seeding an
+        incumbent — so callers may forward hints speculatively.
+        """
+        self._warm_store(self.warm_key(request), values)
 
     # -- in-process path ---------------------------------------------------------
 
@@ -208,11 +348,67 @@ class DiagnosisEngine:
             elapsed_seconds=time.perf_counter() - start,
         )
 
+    def diagnose_stream(
+        self,
+        requests: Iterable[DiagnosisRequest],
+        *,
+        max_workers: int | None = None,
+        executor: "str | Executor | None" = None,
+        max_inflight: int | None = None,
+    ) -> Iterator[tuple[int, DiagnosisResponse]]:
+        """Serve requests concurrently, yielding ``(index, response)`` pairs
+        **as they complete**.
+
+        ``requests`` is consumed lazily under a bounded in-flight window
+        (``max_inflight``, default twice the worker count), so arbitrarily
+        large batches stream with constant memory and built-in backpressure.
+        ``executor`` / ``max_workers`` override the engine's configured
+        strategy for this call only.
+
+        Wiring is validated here, eagerly — a bad worker count, window, or
+        executor name raises at the call site, not at first iteration of
+        the returned generator.
+        """
+        workers = self._resolve_workers(max_workers)
+        window = self._resolve_inflight(max_inflight, workers)
+        executor_obj = self._acquire_executor(executor, workers)
+        return self._stream(executor_obj, requests, window)
+
+    def _stream(
+        self,
+        executor_obj: Executor,
+        requests: Iterable[DiagnosisRequest],
+        window: int,
+    ) -> Iterator[tuple[int, DiagnosisResponse]]:
+        routed = executor_obj.uses_shard_routing
+        items = (
+            self._batch_item(index, request, routed=routed)
+            for index, request in enumerate(requests)
+        )
+        yield from stream_batch(executor_obj, items, max_inflight=window)
+
+    def _batch_item(
+        self, index: int, request: DiagnosisRequest, *, routed: bool
+    ) -> BatchItem:
+        if not routed:
+            # Local strategies execute the request in-process, where
+            # :meth:`diagnose` computes its own cache key — fingerprinting
+            # here would just double the hashing cost of the batch.
+            return BatchItem(index=index, request=request)
+        try:
+            key = self.warm_key(request)
+            hint = self._warm_peek(key)
+        except Exception:  # noqa: BLE001 - a malformed request still gets served
+            key, hint = None, None
+        return BatchItem(index=index, request=request, shard_key=key, warm_hint=hint)
+
     def diagnose_batch(
         self,
         requests: Iterable[DiagnosisRequest],
         *,
         max_workers: int | None = None,
+        executor: "str | Executor | None" = None,
+        max_inflight: int | None = None,
     ) -> list[DiagnosisResponse]:
         """Serve many independent requests concurrently.
 
@@ -220,24 +416,47 @@ class DiagnosisEngine:
         :meth:`submit`, so a crashing or infeasible case yields an
         ``ok=False`` / ``feasible=False`` response without affecting its
         neighbours.  ``max_workers`` defaults to the engine's configured
-        pool width.
+        fan-out width, ``executor`` to its configured strategy.
+
+        All wiring is validated *before* anything is submitted — a bad
+        worker count, window, or executor name fails fast even for an empty
+        batch.
         """
+        workers = self._resolve_workers(max_workers)
+        self._validate_inflight(max_inflight)
+        spec = executor if executor is not None else self._executor_spec
+        if isinstance(spec, str):
+            validate_executor_name(spec)
         items: Sequence[DiagnosisRequest] = list(requests)
         if not items:
             return []
-        workers = max_workers if max_workers is not None else self.max_workers
-        if workers < 1:
-            raise ReproError("max_workers must be at least 1")
-        if workers == 1 or len(items) == 1:
+        if spec == "thread" and (workers == 1 or len(items) == 1):
+            # The historical fast path: no pool for trivial thread batches.
             return [self.submit(request) for request in items]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.submit, items))
+        responses: list[DiagnosisResponse | None] = [None] * len(items)
+        for index, response in self.diagnose_stream(
+            items, max_workers=workers, executor=spec, max_inflight=max_inflight
+        ):
+            responses[index] = response
+        missing = [index for index, response in enumerate(responses) if response is None]
+        if missing:
+            # Every submitted request must come back exactly once; keyed
+            # callers (run_matrix) pair responses positionally, so a silent
+            # shortfall would mis-attribute every later response.
+            name = spec if isinstance(spec, str) else spec.name
+            raise ReproError(
+                f"executor '{name}' lost {len(missing)} of {len(items)} batch "
+                f"responses (first missing index: {missing[0]})"
+            )
+        return [response for response in responses if response is not None]
 
     def run_matrix(
         self,
         cells: "Mapping[str, DiagnosisRequest] | Iterable[tuple[str, DiagnosisRequest]]",
         *,
         max_workers: int | None = None,
+        executor: "str | Executor | None" = None,
+        max_inflight: int | None = None,
     ) -> dict[str, DiagnosisResponse]:
         """Serve a keyed batch of requests: ``{cell_id: request}`` in, ``{cell_id: response}`` out.
 
@@ -251,6 +470,9 @@ class DiagnosisEngine:
         Duplicate cell ids are rejected: two cells would otherwise silently
         collapse into one result.
         """
+        # Validate wiring first (shared with diagnose_batch): a bad worker
+        # count or executor name must fail before any cell is submitted.
+        self._resolve_workers(max_workers)
         pairs = list(cells.items()) if isinstance(cells, Mapping) else list(cells)
         seen: set[str] = set()
         for cell_id, _ in pairs:
@@ -258,7 +480,10 @@ class DiagnosisEngine:
                 raise ReproError(f"duplicate matrix cell id {cell_id!r}")
             seen.add(cell_id)
         responses = self.diagnose_batch(
-            [request for _, request in pairs], max_workers=max_workers
+            [request for _, request in pairs],
+            max_workers=max_workers,
+            executor=executor,
+            max_inflight=max_inflight,
         )
         keyed: dict[str, DiagnosisResponse] = {}
         for (cell_id, _), response in zip(pairs, responses):

@@ -1,0 +1,52 @@
+"""Shared fixtures for the execution-tier tests.
+
+Scenarios here are deliberately tiny (sub-20-tuple, sub-10-query) so a load
+test can push hundreds of requests through every executor strategy in
+seconds; corruption seeds are chosen so the corruption is observable (the
+complaint set is non-empty).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import nonvacuous_scenarios, synthetic_scenario
+from repro.service.types import DiagnosisRequest
+from repro.workload.scenario import Scenario
+
+
+def tiny_scenarios(count: int) -> list[Scenario]:
+    """``count`` distinct, deterministic scenarios with observable errors."""
+    return nonvacuous_scenarios(
+        count,
+        lambda candidate: synthetic_scenario(
+            n_tuples=14 + 2 * (candidate % 3),
+            n_queries=5 + candidate % 3,
+            corruption_indices=[1 + candidate % 3],
+            seed=candidate,
+        ),
+    )
+
+
+def scenario_request(
+    scenario: Scenario, request_id: str, *, diagnoser: str | None = None
+) -> DiagnosisRequest:
+    return DiagnosisRequest(
+        initial=scenario.initial,
+        log=scenario.corrupted_log,
+        complaints=scenario.complaints,
+        final=scenario.dirty,
+        diagnoser=diagnoser,
+        request_id=request_id,
+    )
+
+
+@pytest.fixture(scope="session")
+def scenario_pool() -> list[Scenario]:
+    return tiny_scenarios(5)
+
+
+@pytest.fixture(scope="session")
+def make_request():
+    """Factory fixture: (scenario, request_id, *, diagnoser=None) -> request."""
+    return scenario_request

@@ -1,0 +1,148 @@
+"""Load / soak tests: hundreds of mixed requests through every executor.
+
+The contract under load, for ``serial``, ``thread``, and ``process`` alike:
+
+* every submitted request comes back exactly once (no lost keys, no
+  duplicated keys), in input order from :meth:`diagnose_batch`;
+* the *diagnoses* are identical across executors (order-insensitively —
+  completion order legitimately differs);
+* a poisoned request (empty complaint set, unknown diagnoser) fails alone:
+  its neighbours' responses are byte-for-byte what they would have been in a
+  clean batch.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.complaints import ComplaintSet
+from repro.parallel import ProcessExecutor
+from repro.service.engine import DiagnosisEngine
+from repro.service.types import DiagnosisRequest
+
+#: 40 repeats of 5 scenarios = 200 requests, plus the poisoned riders.
+N_REPEATS = 40
+
+
+def _mixed_requests(
+    scenario_pool, make_request, *, poisoned: bool, repeats: int = N_REPEATS
+) -> list[DiagnosisRequest]:
+    requests = []
+    for repeat in range(repeats):
+        for index, scenario in enumerate(scenario_pool):
+            requests.append(
+                make_request(scenario, f"s{index}-r{repeat}")
+            )
+    if poisoned:
+        # An unknown diagnoser and an empty complaint set, spliced into the
+        # middle of the batch: both must fail alone.
+        donor = scenario_pool[0]
+        requests.insert(
+            len(requests) // 3,
+            make_request(donor, "poison-diagnoser", diagnoser="no-such-algo"),
+        )
+        empty = make_request(donor, "poison-empty")
+        requests.insert(
+            2 * len(requests) // 3,
+            DiagnosisRequest(
+                initial=empty.initial,
+                log=empty.log,
+                complaints=ComplaintSet([]),
+                final=empty.final,
+                request_id="poison-empty",
+            ),
+        )
+    return requests
+
+
+def _executors():
+    return [
+        ("serial", lambda: DiagnosisEngine(max_workers=1, executor="serial")),
+        ("thread", lambda: DiagnosisEngine(max_workers=4, executor="thread")),
+        (
+            "process",
+            lambda: DiagnosisEngine(
+                max_workers=2, executor=ProcessExecutor(2, force=True)
+            ),
+        ),
+    ]
+
+
+def _digest(responses):
+    """Order-insensitive view: request_id -> the diagnosis that matters."""
+    return {
+        response.request_id: (
+            response.ok,
+            response.feasible,
+            response.status,
+            response.repaired_sql,
+            response.error_type,
+        )
+        for response in responses
+    }
+
+
+def test_load_identical_results_across_executors(scenario_pool, make_request):
+    requests = _mixed_requests(scenario_pool, make_request, poisoned=False)
+    assert len(requests) == 200
+
+    digests = {}
+    for name, build in _executors():
+        engine = build()
+        try:
+            responses = engine.diagnose_batch(requests)
+        finally:
+            engine.close()
+
+        # No lost or duplicated request keys, and input order is preserved.
+        counts = Counter(response.request_id for response in responses)
+        assert len(responses) == len(requests), name
+        assert all(count == 1 for count in counts.values()), name
+        assert [response.request_id for response in responses] == [
+            request.request_id for request in requests
+        ], name
+        assert all(response.ok for response in responses), name
+        digests[name] = _digest(responses)
+
+    assert digests["serial"] == digests["thread"]
+    assert digests["serial"] == digests["process"]
+
+
+@pytest.mark.parametrize("name,build", _executors())
+def test_load_poisoned_requests_fail_alone(scenario_pool, make_request, name, build):
+    requests = _mixed_requests(scenario_pool, make_request, poisoned=True, repeats=8)
+    engine = build()
+    try:
+        responses = engine.diagnose_batch(requests)
+    finally:
+        engine.close()
+
+    by_id = {response.request_id: response for response in responses}
+    assert len(by_id) == len(requests)
+
+    poisoned = by_id["poison-diagnoser"]
+    assert not poisoned.ok and "no-such-algo" in poisoned.error_message
+    empty = by_id["poison-empty"]
+    assert not empty.ok and "empty" in empty.error_message
+
+    healthy = [
+        response
+        for response in responses
+        if not response.request_id.startswith("poison-")
+    ]
+    assert len(healthy) == len(requests) - 2
+    assert all(response.ok for response in healthy)
+
+
+def test_streaming_yields_every_index_under_small_window(scenario_pool, make_request):
+    """diagnose_stream with a tight in-flight window still covers the batch."""
+    requests = _mixed_requests(scenario_pool, make_request, poisoned=False)[:50]
+    engine = DiagnosisEngine(max_workers=4, executor="thread", max_inflight=3)
+    try:
+        seen = dict(engine.diagnose_stream(requests))
+    finally:
+        engine.close()
+    assert sorted(seen) == list(range(len(requests)))
+    assert all(response.ok for response in seen.values())

@@ -1,0 +1,159 @@
+"""Admission control: 429 + Retry-After at the limit, gauges in /metrics.
+
+Two altitudes, mirroring the rest of the server suite: socket-free
+``dispatch`` tests for the gate mechanics, and an end-to-end test that drives
+a live server past its in-flight limit with :class:`DiagnosisClient`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.server.app import DiagnosisApp, make_server
+from repro.server.client import DiagnosisClient, ServerError
+from repro.service.engine import DiagnosisEngine
+from repro.service.registry import register_diagnoser
+
+
+# -- a diagnoser the tests can hold open ----------------------------------------------
+
+_started = threading.Event()
+_release = threading.Event()
+
+
+class _HoldOpenDiagnoser:
+    """Blocks inside the engine until the test releases it."""
+
+    name = "hold-open-admission-test"
+
+    def diagnose(self, *args, **kwargs):
+        _started.set()
+        _release.wait(timeout=30)
+        raise ReproError("released by the admission test")
+
+
+register_diagnoser(_HoldOpenDiagnoser.name, _HoldOpenDiagnoser)
+
+
+# -- dispatch-level gate mechanics ----------------------------------------------------
+
+
+def test_gated_route_answers_429_with_retry_after_when_full():
+    app = DiagnosisApp(DiagnosisEngine(), max_inflight=1)
+    assert app.gate.try_acquire()
+    try:
+        response = app.dispatch("POST", "/v1/diagnose", b"{}")
+        assert response.status == 429
+        assert ("Retry-After", "1") in response.headers
+        assert b"AdmissionLimitExceeded" in response.body
+        # Ungated routes keep answering while the gate is full.
+        assert app.dispatch("GET", "/healthz").status == 200
+        assert app.dispatch("GET", "/metrics").status == 200
+    finally:
+        app.gate.release()
+
+
+def test_gate_is_released_even_when_the_handler_fails():
+    app = DiagnosisApp(DiagnosisEngine(), max_inflight=1)
+    response = app.dispatch("POST", "/v1/diagnose", b"this is not json")
+    assert response.status == 400
+    assert app.gate.depth == 0
+    # The next admitted request is not blocked by the failed one.
+    assert app.dispatch("POST", "/v1/diagnose", b"also not json").status == 400
+
+
+def test_rejections_count_and_queue_depth_gauge_track_the_gate():
+    app = DiagnosisApp(DiagnosisEngine(), max_inflight=1)
+    assert app.telemetry.snapshot()["queue_depth"] == 0
+    assert app.gate.try_acquire()
+    assert app.telemetry.snapshot()["queue_depth"] == 1
+    app.dispatch("POST", "/v1/batch", b"{}")  # rejected at the door
+    snapshot = app.telemetry.snapshot()
+    assert snapshot["rejected_total"] == 1
+    app.gate.release()
+    assert app.telemetry.snapshot()["queue_depth"] == 0
+
+
+def test_app_without_limit_has_no_gate():
+    app = DiagnosisApp(DiagnosisEngine())
+    assert app.gate is None
+    assert app.dispatch("POST", "/v1/diagnose", b"{}").status == 400  # not 429
+
+
+def test_zero_limit_is_rejected_at_wiring_time():
+    with pytest.raises(ReproError, match="max_inflight must be at least 1"):
+        DiagnosisApp(DiagnosisEngine(), max_inflight=0)
+
+
+# -- end to end over a live server ----------------------------------------------------
+
+
+def test_batch_past_the_limit_gets_429_and_metrics_expose_the_gauges(
+    request_payload,
+):
+    _started.clear()
+    _release.clear()
+    app = DiagnosisApp(DiagnosisEngine(max_workers=2), max_inflight=1)
+    server = make_server("127.0.0.1", 0, app=app)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = DiagnosisClient(f"http://127.0.0.1:{server.port}", timeout=60.0)
+
+    blocker = replace(request_payload, diagnoser=_HoldOpenDiagnoser.name)
+    outcome = {}
+
+    def occupy():
+        outcome["responses"] = client.diagnose_batch([blocker])
+
+    occupier = threading.Thread(target=occupy)
+    try:
+        occupier.start()
+        assert _started.wait(timeout=30), "the hold-open diagnosis never started"
+
+        # The server is at its limit: /v1/batch and /v1/diagnose both shed.
+        with pytest.raises(ServerError) as excinfo:
+            client.diagnose_batch([request_payload])
+        assert excinfo.value.status == 429
+        assert excinfo.value.error_type == "AdmissionLimitExceeded"
+        assert excinfo.value.headers.get("Retry-After") == "1"
+        assert excinfo.value.retry_after == 1.0
+        with pytest.raises(ServerError) as excinfo:
+            client.diagnose(request_payload)
+        assert excinfo.value.status == 429
+
+        # Both /metrics forms expose the gauges while the request is held.
+        snapshot = client.metrics_snapshot()
+        assert snapshot["queue_depth"] == 1
+        assert snapshot["rejected_total"] >= 2
+        text = client.metrics()
+        assert "qfix_queue_depth 1" in text
+        assert "qfix_http_rejected_total" in text
+    finally:
+        _release.set()
+        occupier.join(timeout=30)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    # The held request finished normally (engine isolation: ok=False, not 4xx)
+    # and the gate drained.
+    (held,) = outcome["responses"]
+    assert not held.ok and "released by the admission test" in held.error_message
+    assert app.telemetry.snapshot()["queue_depth"] == 0
+
+    # Once drained, traffic is admitted again.
+    server2 = make_server("127.0.0.1", 0, app=app)
+    thread2 = threading.Thread(target=server2.serve_forever, daemon=True)
+    thread2.start()
+    try:
+        client2 = DiagnosisClient(f"http://127.0.0.1:{server2.port}", timeout=60.0)
+        response = client2.diagnose(request_payload)
+        assert response.ok and response.feasible
+    finally:
+        server2.shutdown()
+        server2.server_close()
+        thread2.join(timeout=5)
