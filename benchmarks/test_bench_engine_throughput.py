@@ -16,8 +16,9 @@ change an answer.
 Results are written to ``BENCH_engine_throughput.json`` (override with
 ``BENCH_ENGINE_THROUGHPUT_OUT``) so CI can archive the throughput trajectory
 across PRs.  The acceptance gate — process >= 2x serial wall-clock — only
-applies on multi-core machines; a single-core runner still produces the
-report (the process strategy falls back to serial there, by design).
+applies on multi-core machines; a single-core runner still writes the report
+and asserts cross-executor correctness, then **skips visibly** so the run
+never reads as "speedup verified" when no second core existed to verify it.
 """
 
 from __future__ import annotations
@@ -25,6 +26,8 @@ from __future__ import annotations
 import json
 import os
 import time
+
+import pytest
 
 from repro.core.config import QFixConfig
 from repro.experiments.common import nonvacuous_scenarios, synthetic_scenario
@@ -166,6 +169,13 @@ def test_bench_engine_throughput():
 
     # Acceptance gate: on a multi-core machine the process strategy must at
     # least double serial batch throughput (threads cannot — the backend is
-    # pure Python, so they serialize on the GIL).
-    if cores >= 2:
-        assert process_speedup >= 2.0, report
+    # pure Python, so they serialize on the GIL).  On a single-core runner
+    # the gate cannot apply — skip *visibly* (the report above is still
+    # written, correctness was still asserted) instead of passing quietly
+    # and reading as "speedup verified" in CI.
+    if cores < 2:
+        pytest.skip(
+            f"process-speedup gate needs >= 2 cores, found {cores}; "
+            f"correctness checked, report written to {OUTPUT_PATH}"
+        )
+    assert process_speedup >= 2.0, report

@@ -1,0 +1,698 @@
+"""The session journal: per-shard WAL + snapshot coordination and recovery.
+
+One :class:`SessionJournal` owns a data directory laid out as::
+
+    data-dir/
+        durability.json             # layout metadata (shard count), sanity-checked on open
+        shard-00/
+            snapshot-0000000002.json
+            wal-0000000002.log
+        shard-01/
+            ...
+
+Session ids are placed onto shards by a consistent-hash ring
+(:class:`~repro.durability.shards.HashRing`), so a session's whole history
+lives in exactly one shard directory — the unit a multi-process deployment
+hands to one worker.
+
+What gets journaled
+-------------------
+Every acknowledged mutation of the :class:`~repro.server.store.SessionStore`
+becomes one WAL record ``{"sid", "v", "op", ...}``:
+
+``create``            the full session bootstrap (schema, initial state, log,
+                      optional private config) — self-contained, so replay
+                      needs no out-of-band state;
+``append``            the appended queries (structural form — lossless);
+``complaints``        registered complaints;
+``clear_complaints``  complaint reset;
+``diagnose``          a cached *feasible* repair (the pending
+                      ``accept-repair`` candidate) — so a crash between
+                      diagnose and accept does not lose the solve;
+``accept``            the adopted repaired log;
+``close``             session retirement.
+
+``v`` is a per-session operation counter.  Snapshots record each session's
+``v`` at capture time, and replay applies an operation only when its ``v`` is
+newer — that idempotence is what lets compaction rotate the WAL *before*
+capturing state (see below) without double-applying the overlap.
+
+Compaction
+----------
+``snapshot_shard`` rotates forward: open ``wal-(g+1)`` and atomically swap it
+in as the append target, capture every live session of the shard (each under
+its own store entry lock), publish ``snapshot-(g+1)`` atomically, then delete
+generation ``g``.  A crash anywhere in that sequence leaves either generation
+``g`` complete, or both generations on disk — recovery loads the newest
+loadable snapshot and replays *every* WAL at or above it, in order, relying
+on the version rule to skip already-captured operations.
+
+Recovery
+--------
+:meth:`recover` rebuilds sessions by replaying the journal through the
+existing :class:`~repro.service.session.RepairSession` machinery (the same
+incremental-replay code every test already trusts).  A torn final WAL record
+— the expected artifact of a crash mid-append — is dropped and physically
+truncated; it was never acknowledged, so nothing acknowledged is lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.repair import RepairResult
+from repro.durability.shards import HashRing
+from repro.durability.snapshot import (
+    latest_snapshot,
+    list_generations,
+    prune_below,
+    wal_path,
+    write_snapshot,
+)
+from repro.durability.wal import FSYNC_POLICIES, WriteAheadLog, read_wal
+from repro.exceptions import ReproError
+from repro.milp.solution import SolveStatus
+from repro.service.serialize import (
+    complaints_from_dict,
+    complaints_to_dict,
+    config_from_dict,
+    database_from_dict,
+    database_to_dict,
+    log_from_dict,
+    log_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.service.session import RepairSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
+    from repro.service.engine import DiagnosisEngine
+
+
+#: Metadata file at the data-dir root; guards against reopening a directory
+#: with a different shard count (which would silently misroute every session).
+META_FILENAME = "durability.json"
+
+#: Fsync latency histogram bucket upper bounds (seconds).
+FSYNC_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0)
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Tunables of the durable session tier.
+
+    Attributes
+    ----------
+    data_dir:
+        Root directory for shard subdirectories (created when missing).
+    shards:
+        Number of consistent-hash shards.  Fixed for the lifetime of a data
+        directory — reopening with a different count is refused.
+    fsync:
+        WAL fsync policy: ``"always"`` (default), ``"batch"``, ``"never"``.
+    snapshot_every:
+        WAL records per shard between automatic compactions; ``0`` disables
+        automatic snapshots (explicit/shutdown snapshots still run).
+    batch_every:
+        Records between fsyncs under the ``"batch"`` policy.
+    vnodes:
+        Virtual nodes per shard on the hash ring.
+    """
+
+    data_dir: str
+    shards: int = 1
+    fsync: str = "always"
+    snapshot_every: int = 256
+    batch_every: int = 32
+    vnodes: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.data_dir:
+            raise ReproError("durability data_dir must be a non-empty path")
+        if self.shards < 1:
+            raise ReproError("durability shards must be at least 1")
+        if self.fsync not in FSYNC_POLICIES:
+            raise ReproError(
+                f"unknown fsync policy {self.fsync!r}; expected one of {FSYNC_POLICIES}"
+            )
+        if self.snapshot_every < 0:
+            raise ReproError("snapshot_every must be >= 0 (0 disables auto-snapshots)")
+
+
+class DurabilityStats:
+    """Thread-safe counters behind the ``/metrics`` durability section."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.wal_records = 0
+        self.wal_bytes = 0
+        self.fsync_count = 0
+        self.fsync_seconds_total = 0.0
+        self.fsync_max_seconds = 0.0
+        self.fsync_buckets = [0] * (len(FSYNC_BUCKETS) + 1)
+        self.snapshots_taken = 0
+        self.snapshot_seconds_total = 0.0
+        self.last_snapshot_seconds = 0.0
+        self.last_snapshot_sessions = 0
+        self.recovery_seconds = 0.0
+        self.recovered_sessions = 0
+        self.replayed_records = 0
+        self.torn_records_dropped = 0
+        self.torn_bytes_dropped = 0
+        self.skipped_ops = 0
+
+    def record_append(self, n_bytes: int, fsync_seconds: float | None) -> None:
+        with self._lock:
+            self.wal_records += 1
+            self.wal_bytes += n_bytes
+            if fsync_seconds is not None:
+                self.fsync_count += 1
+                self.fsync_seconds_total += fsync_seconds
+                if fsync_seconds > self.fsync_max_seconds:
+                    self.fsync_max_seconds = fsync_seconds
+                for index, bound in enumerate(FSYNC_BUCKETS):
+                    if fsync_seconds <= bound:
+                        self.fsync_buckets[index] += 1
+                        break
+                else:
+                    self.fsync_buckets[-1] += 1
+
+    def record_snapshot(self, seconds: float, sessions: int) -> None:
+        with self._lock:
+            self.snapshots_taken += 1
+            self.snapshot_seconds_total += seconds
+            self.last_snapshot_seconds = seconds
+            self.last_snapshot_sessions = sessions
+
+    def record_recovery(
+        self,
+        seconds: float,
+        sessions: int,
+        replayed: int,
+        *,
+        torn_records: int = 0,
+        torn_bytes: int = 0,
+    ) -> None:
+        with self._lock:
+            self.recovery_seconds = seconds
+            self.recovered_sessions = sessions
+            self.replayed_records = replayed
+            self.torn_records_dropped += torn_records
+            self.torn_bytes_dropped += torn_bytes
+
+    def record_skipped_op(self) -> None:
+        with self._lock:
+            self.skipped_ops += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-native copy of every counter."""
+        with self._lock:
+            buckets: dict[str, int] = {}
+            cumulative = 0
+            for bound, count in zip(FSYNC_BUCKETS, self.fsync_buckets):
+                cumulative += count
+                buckets[f"{bound:g}"] = cumulative
+            buckets["+Inf"] = cumulative + self.fsync_buckets[-1]
+            return {
+                "wal": {
+                    "records_appended": self.wal_records,
+                    "bytes_appended": self.wal_bytes,
+                },
+                "fsync": {
+                    "count": self.fsync_count,
+                    "seconds_total": self.fsync_seconds_total,
+                    "max_seconds": self.fsync_max_seconds,
+                    "mean_seconds": (
+                        self.fsync_seconds_total / self.fsync_count
+                        if self.fsync_count
+                        else 0.0
+                    ),
+                    "buckets": buckets,
+                },
+                "snapshots": {
+                    "taken": self.snapshots_taken,
+                    "seconds_total": self.snapshot_seconds_total,
+                    "last_seconds": self.last_snapshot_seconds,
+                    "last_sessions": self.last_snapshot_sessions,
+                },
+                "recovery": {
+                    "seconds": self.recovery_seconds,
+                    "sessions": self.recovered_sessions,
+                    "replayed_records": self.replayed_records,
+                    "torn_records_dropped": self.torn_records_dropped,
+                    "torn_bytes_dropped": self.torn_bytes_dropped,
+                    "skipped_ops": self.skipped_ops,
+                },
+            }
+
+
+# -- payload codecs --------------------------------------------------------------------
+
+
+def result_payload(result: RepairResult) -> dict[str, Any]:
+    """Encode the replayable core of a :class:`RepairResult`."""
+    return {
+        "repaired_log": log_to_dict(result.repaired_log),
+        "status": result.status.value,
+        "feasible": bool(result.feasible),
+        "distance": float(result.distance),
+        "changed": [int(index) for index in result.changed_query_indices],
+        "parameters": {
+            str(name): float(value) for name, value in result.parameter_values.items()
+        },
+    }
+
+
+def result_from_payload(
+    payload: Mapping[str, Any], original_log: Any
+) -> RepairResult:
+    """Decode a journaled repair against the session's current log."""
+    return RepairResult(
+        original_log=original_log,
+        repaired_log=log_from_dict(payload.get("repaired_log", [])),
+        feasible=bool(payload.get("feasible", True)),
+        status=SolveStatus(str(payload.get("status", "optimal"))),
+        changed_query_indices=tuple(
+            int(index) for index in payload.get("changed", ())
+        ),
+        parameter_values={
+            str(name): float(value)
+            for name, value in payload.get("parameters", {}).items()
+        },
+        distance=float(payload.get("distance", 0.0)),
+        message="recovered from journal",
+    )
+
+
+def session_payload(
+    session_id: str,
+    session: RepairSession,
+    pending: RepairResult | None,
+    version: int,
+    config_payload: dict[str, Any] | None,
+) -> dict[str, Any]:
+    """The full, self-contained state of one live session.
+
+    Used verbatim both as the ``create`` WAL operation and as one entry of a
+    shard snapshot — the only difference is that a freshly created session
+    has no pending repair yet.
+    """
+    payload: dict[str, Any] = {
+        "sid": session_id,
+        "v": version,
+        "schema": schema_to_dict(session.initial.schema),
+        "initial": database_to_dict(session.initial),
+        "log": log_to_dict(session.log),
+        "complaints": complaints_to_dict(session.complaints),
+        "config": config_payload,
+    }
+    if pending is not None:
+        payload["pending"] = result_payload(pending)
+    return payload
+
+
+@dataclass
+class RecoveredSession:
+    """One session rebuilt by :meth:`SessionJournal.recover`."""
+
+    session_id: str
+    session: RepairSession
+    pending: RepairResult | None
+    version: int
+    config_payload: dict[str, Any] | None = None
+
+
+def _restore_session(
+    payload: Mapping[str, Any], engine: "DiagnosisEngine | None"
+) -> RecoveredSession:
+    """Rebuild one session (and its pending repair) from a stored payload."""
+    schema = schema_from_dict(payload["schema"])
+    initial = database_from_dict(schema, payload.get("initial", {}))
+    log = log_from_dict(payload.get("log", []))
+    config_payload = payload.get("config")
+    session = RepairSession(
+        initial,
+        log,
+        engine=engine if config_payload is None else None,
+        config=config_from_dict(config_payload) if config_payload is not None else None,
+        session_id=str(payload.get("sid", "")),
+    )
+    for complaint in complaints_from_dict(payload.get("complaints", [])):
+        session.add_complaint(complaint)
+    pending_data = payload.get("pending")
+    pending = (
+        result_from_payload(pending_data, session.log)
+        if pending_data is not None
+        else None
+    )
+    return RecoveredSession(
+        session_id=str(payload.get("sid", "")),
+        session=session,
+        pending=pending,
+        version=int(payload.get("v", 0)),
+        config_payload=config_payload,
+    )
+
+
+def _apply_op(
+    op: Mapping[str, Any],
+    live: dict[str, RecoveredSession],
+    engine: "DiagnosisEngine | None",
+    stats: DurabilityStats,
+) -> None:
+    """Replay one WAL operation onto the recovered-session map.
+
+    Tolerant by design: an operation for an unknown session, or one whose
+    version the snapshot already covers, is counted and skipped — recovery
+    must converge on whatever consistent state the disk holds, not die on
+    the overlap that forward rotation deliberately produces.
+    """
+    kind = str(op.get("op", ""))
+    sid = str(op.get("sid", ""))
+    version = int(op.get("v", 0))
+
+    if kind == "create":
+        if sid in live:
+            stats.record_skipped_op()
+            return
+        live[sid] = _restore_session(op, engine)
+        return
+    if kind == "close":
+        if live.pop(sid, None) is None:
+            stats.record_skipped_op()
+        return
+
+    entry = live.get(sid)
+    if entry is None or version <= entry.version:
+        stats.record_skipped_op()
+        return
+
+    session = entry.session
+    if kind == "append":
+        session.append_many(log_from_dict(op.get("queries", [])))
+        entry.pending = None
+    elif kind == "complaints":
+        for complaint in complaints_from_dict(op.get("complaints", [])):
+            session.add_complaint(complaint)
+        entry.pending = None
+    elif kind == "clear_complaints":
+        session.clear_complaints()
+        entry.pending = None
+    elif kind == "diagnose":
+        entry.pending = result_from_payload(op.get("result", {}), session.log)
+    elif kind == "accept":
+        session.accept_repair(result_from_payload(op.get("result", {}), session.log))
+        entry.pending = None
+    else:
+        stats.record_skipped_op()
+        return
+    entry.version = version
+
+
+# -- the journal -----------------------------------------------------------------------
+
+
+@dataclass
+class _Shard:
+    """Runtime state of one shard directory."""
+
+    index: int
+    directory: str
+    generation: int = 0
+    wal: WriteAheadLog | None = None
+    #: Serializes WAL-handle swaps against appends.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Serializes whole-shard compactions (held across collect + publish).
+    snapshot_lock: threading.Lock = field(default_factory=threading.Lock)
+    records_since_snapshot: int = 0
+
+
+class SessionJournal:
+    """Durable, sharded operation journal for a session store.
+
+    Lifecycle: construct over a :class:`DurabilityConfig`, call
+    :meth:`recover` exactly once to rebuild prior state and open the WALs,
+    hand the recovered sessions to the store, then :meth:`attach` the store
+    so compaction can capture live state.  The
+    :class:`~repro.server.store.SessionStore` drives all of this from its
+    constructor when given a journal.
+    """
+
+    def __init__(self, config: DurabilityConfig) -> None:
+        self.config = config
+        self.ring = HashRing(config.shards, vnodes=config.vnodes)
+        self.stats = DurabilityStats()
+        self._store: Any | None = None
+        self._recovered = False
+        self._closed = False
+        os.makedirs(config.data_dir, exist_ok=True)
+        self._check_layout()
+        self._shards = [
+            _Shard(index, os.path.join(config.data_dir, f"shard-{index:02d}"))
+            for index in range(config.shards)
+        ]
+
+    def _check_layout(self) -> None:
+        """Refuse to reopen a data dir whose shard count does not match."""
+        meta_path = os.path.join(self.config.data_dir, META_FILENAME)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except FileNotFoundError:
+            with open(meta_path, "w", encoding="utf-8") as handle:
+                json.dump({"layout_version": 1, "shards": self.config.shards}, handle)
+                handle.write("\n")
+            return
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ReproError(
+                f"durability metadata {meta_path} is unreadable: {error}"
+            ) from error
+        existing = int(meta.get("shards", 0))
+        if existing != self.config.shards:
+            raise ReproError(
+                f"data dir {self.config.data_dir} was created with {existing} "
+                f"shard(s) but is being opened with {self.config.shards}; the "
+                "shard count is fixed per data directory (sessions would be "
+                "misrouted otherwise)"
+            )
+
+    # -- placement -----------------------------------------------------------------
+
+    def shard_for(self, session_id: str) -> int:
+        """The shard index owning ``session_id`` (stable across restarts)."""
+        return self.ring.shard_for(session_id)
+
+    @property
+    def shards(self) -> int:
+        return self.config.shards
+
+    def shard_directories(self) -> list[str]:
+        return [shard.directory for shard in self._shards]
+
+    # -- recovery ------------------------------------------------------------------
+
+    def recover(self, engine: "DiagnosisEngine | None" = None) -> list[RecoveredSession]:
+        """Rebuild all sessions from disk and open the WALs for append.
+
+        Loads each shard's newest loadable snapshot, replays every WAL at or
+        above it in generation order (torn tails truncated), and leaves the
+        shard appending to its highest existing generation.  Single-use:
+        calling twice raises.
+        """
+        if self._recovered:
+            raise ReproError("journal.recover() may only be called once")
+        self._recovered = True
+        start = time.perf_counter()
+        recovered: list[RecoveredSession] = []
+        replayed = 0
+        torn_records = 0
+        torn_bytes = 0
+        for shard in self._shards:
+            os.makedirs(shard.directory, exist_ok=True)
+            base_generation, snapshot = latest_snapshot(shard.directory)
+            live: dict[str, RecoveredSession] = {}
+            if snapshot is not None:
+                for payload in snapshot.get("sessions", []):
+                    entry = _restore_session(payload, engine)
+                    live[entry.session_id] = entry
+            _, wal_generations = list_generations(shard.directory)
+            open_generation = base_generation
+            for generation in wal_generations:
+                if generation < base_generation:
+                    continue  # compacted away already; superseded by the snapshot
+                open_generation = max(open_generation, generation)
+                records, tail = read_wal(
+                    wal_path(shard.directory, generation), truncate=True
+                )
+                if not tail.clean:
+                    torn_records += 1 + tail.lost_records
+                    torn_bytes += tail.dropped_bytes
+                for op in records:
+                    replayed += 1
+                    _apply_op(op, live, engine, self.stats)
+            shard.generation = open_generation
+            shard.wal = self._open_wal(shard)
+            recovered.extend(live.values())
+        recovered.sort(key=lambda item: item.session_id)
+        self.stats.record_recovery(
+            time.perf_counter() - start,
+            len(recovered),
+            replayed,
+            torn_records=torn_records,
+            torn_bytes=torn_bytes,
+        )
+        return recovered
+
+    def _open_wal(self, shard: _Shard) -> WriteAheadLog:
+        return WriteAheadLog(
+            wal_path(shard.directory, shard.generation),
+            fsync=self.config.fsync,
+            batch_every=self.config.batch_every,
+            observer=self.stats.record_append,
+        )
+
+    # -- journaling ----------------------------------------------------------------
+
+    def attach(self, store: Any) -> None:
+        """Bind the live store so compaction can capture session state."""
+        self._store = store
+
+    def record(self, session_id: str, op: dict[str, Any]) -> int | None:
+        """Append one operation to the owning shard's WAL.
+
+        Returns the shard index when that shard is due for an automatic
+        compaction, else ``None``.  The *caller* runs the compaction after
+        releasing its own locks — triggering it from here would acquire
+        store entry locks while one is already held.
+        """
+        if not self._recovered:
+            raise ReproError("journal must recover() before recording operations")
+        if self._closed:
+            raise ReproError("journal is closed")
+        shard = self._shards[self.shard_for(session_id)]
+        with shard.lock:
+            wal = shard.wal
+            if wal is None:  # pragma: no cover - defensive, recover() opened it
+                wal = shard.wal = self._open_wal(shard)
+            wal.append(dict(op, sid=session_id))
+            shard.records_since_snapshot += 1
+            due = (
+                self.config.snapshot_every > 0
+                and shard.records_since_snapshot >= self.config.snapshot_every
+            )
+        return shard.index if due else None
+
+    # -- compaction ----------------------------------------------------------------
+
+    def snapshot_shard(self, index: int, *, blocking: bool = True) -> bool:
+        """Compact one shard: rotate the WAL forward, capture state, publish.
+
+        With ``blocking=False`` the call is a no-op when another thread is
+        already compacting the shard (the automatic trigger uses this —
+        piling up compactions would only re-capture the same state).
+        Returns whether a snapshot was published.
+        """
+        if self._store is None:
+            raise ReproError("journal has no attached store to snapshot")
+        shard = self._shards[index]
+        if not shard.snapshot_lock.acquire(blocking=blocking):
+            return False
+        try:
+            start = time.perf_counter()
+            new_generation = shard.generation + 1
+            new_wal = WriteAheadLog(
+                wal_path(shard.directory, new_generation),
+                fsync=self.config.fsync,
+                batch_every=self.config.batch_every,
+                observer=self.stats.record_append,
+            )
+            with shard.lock:
+                old_wal = shard.wal
+                shard.wal = new_wal
+                shard.generation = new_generation
+                shard.records_since_snapshot = 0
+            if old_wal is not None:
+                old_wal.close()
+            # Capture AFTER the swap: every operation in the old WAL finished
+            # (under its entry lock) before capture acquires that same lock,
+            # so the snapshot covers at least the old WAL; concurrent new
+            # operations land in the new WAL and replay idempotently by
+            # version.
+            sessions = []
+            for session_id in self._store.ids():
+                if self.shard_for(session_id) != index:
+                    continue
+                payload = self._store.journal_payload(session_id)
+                if payload is not None:
+                    sessions.append(payload)
+            write_snapshot(
+                shard.directory,
+                new_generation,
+                {"generation": new_generation, "sessions": sessions},
+            )
+            prune_below(shard.directory, new_generation)
+            self.stats.record_snapshot(time.perf_counter() - start, len(sessions))
+            return True
+        finally:
+            shard.snapshot_lock.release()
+
+    def snapshot_all(self) -> int:
+        """Compact every shard (startup checkpoint, shutdown flush, tests)."""
+        published = 0
+        for index in range(len(self._shards)):
+            if self.snapshot_shard(index):
+                published += 1
+        return published
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush and fsync every open WAL (regardless of fsync policy)."""
+        for shard in self._shards:
+            with shard.lock:
+                if shard.wal is not None:
+                    shard.wal.flush(sync=True)
+
+    def close(self, *, final_snapshot: bool = False) -> None:
+        """Flush and close every WAL; optionally publish a final snapshot."""
+        if self._closed:
+            return
+        if final_snapshot and self._store is not None:
+            self.snapshot_all()
+        for shard in self._shards:
+            with shard.lock:
+                if shard.wal is not None:
+                    shard.wal.close()
+        self._closed = True
+
+    # -- observation ---------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """JSON-native durability counters, plus the shard layout."""
+        data = self.stats.snapshot()
+        data["config"] = {
+            "data_dir": self.config.data_dir,
+            "shards": self.config.shards,
+            "fsync": self.config.fsync,
+            "snapshot_every": self.config.snapshot_every,
+        }
+        data["shard_generations"] = [shard.generation for shard in self._shards]
+        return data
+
+    def shard_counts(self, session_ids: "list[str]") -> list[int]:
+        """Live-session counts per shard for the given id list."""
+        counts = [0] * self.config.shards
+        for session_id in session_ids:
+            counts[self.shard_for(session_id)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SessionJournal(data_dir={self.config.data_dir!r}, "
+            f"shards={self.config.shards}, fsync={self.config.fsync!r})"
+        )

@@ -1,0 +1,163 @@
+"""Atomic, generation-numbered snapshot files that compact the WAL.
+
+A shard directory holds at most a handful of files::
+
+    shard-00/
+        snapshot-0000000003.json    # full live-session state as of rotation 3
+        wal-0000000003.log          # operations journaled since that snapshot
+
+Generation ``g`` means "the state in ``snapshot-g`` plus the operations in
+``wal-g``".  Generation 0 has no snapshot file — it is the empty store — so a
+fresh shard is just ``wal-0000000000.log``.
+
+Snapshots are written with the classic atomic-publish sequence: serialize to
+``snapshot-g.json.tmp``, flush + fsync, ``os.replace`` onto the final name,
+fsync the directory.  A reader therefore never observes a half-written
+snapshot under the real name; a crash mid-write leaves only a ``.tmp`` file,
+which recovery ignores (and cleans up).
+
+Compaction rotates *forward*: the journal first opens ``wal-(g+1)`` and
+routes new appends there, then collects live state, then publishes
+``snapshot-(g+1)``, and only then deletes generation ``g``.  Every crash
+window in that sequence leaves a recoverable disk state — at worst both
+generations exist and recovery replays the overlap, which the journal's
+per-session operation versions make idempotent (see
+:mod:`repro.durability.journal`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any
+
+SNAPSHOT_PREFIX = "snapshot-"
+WAL_PREFIX = "wal-"
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{10})\.json$")
+_WAL_RE = re.compile(r"^wal-(\d{10})\.log$")
+
+
+def snapshot_path(directory: str | os.PathLike[str], generation: int) -> str:
+    return os.path.join(os.fspath(directory), f"snapshot-{generation:010d}.json")
+
+
+def wal_path(directory: str | os.PathLike[str], generation: int) -> str:
+    return os.path.join(os.fspath(directory), f"wal-{generation:010d}.log")
+
+
+def _fsync_directory(directory: str) -> None:
+    """Make a rename/create durable (POSIX); best-effort elsewhere."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. directories on some filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(
+    directory: str | os.PathLike[str], generation: int, payload: dict[str, Any]
+) -> str:
+    """Atomically publish ``payload`` as the snapshot for ``generation``."""
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    final = snapshot_path(directory, generation)
+    staging = final + ".tmp"
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    with open(staging, "w", encoding="utf-8") as handle:
+        handle.write(body)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(staging, final)
+    _fsync_directory(directory)
+    return final
+
+
+def load_snapshot(
+    directory: str | os.PathLike[str], generation: int
+) -> dict[str, Any] | None:
+    """Load one generation's snapshot; ``None`` when missing or unreadable."""
+    try:
+        with open(snapshot_path(directory, generation), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError, OSError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def list_generations(
+    directory: str | os.PathLike[str],
+) -> tuple[list[int], list[int]]:
+    """``(snapshot_generations, wal_generations)`` present on disk, sorted."""
+    directory = os.fspath(directory)
+    snapshots: list[int] = []
+    wals: list[int] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return [], []
+    for name in names:
+        found = _SNAPSHOT_RE.match(name)
+        if found:
+            snapshots.append(int(found.group(1)))
+            continue
+        found = _WAL_RE.match(name)
+        if found:
+            wals.append(int(found.group(1)))
+    return sorted(snapshots), sorted(wals)
+
+
+def latest_snapshot(
+    directory: str | os.PathLike[str],
+) -> tuple[int, dict[str, Any] | None]:
+    """The newest *loadable* snapshot: ``(generation, payload)``.
+
+    Walks generations newest-first so one unreadable file (it should not
+    happen — publication is atomic — but disks lie) degrades to the previous
+    snapshot instead of failing recovery.  ``(0, None)`` means "start from
+    the empty store".
+    """
+    snapshots, _ = list_generations(directory)
+    for generation in reversed(snapshots):
+        payload = load_snapshot(directory, generation)
+        if payload is not None:
+            return generation, payload
+    return 0, None
+
+
+def prune_below(directory: str | os.PathLike[str], generation: int) -> list[str]:
+    """Delete snapshot/WAL files of generations below ``generation``.
+
+    Also sweeps orphaned ``.tmp`` staging files (a crash mid-publish).  Best
+    effort: an undeletable file is skipped — stale generations cost disk, not
+    correctness, because recovery always prefers the newest snapshot.
+    """
+    directory = os.fspath(directory)
+    removed: list[str] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return removed
+    for name in names:
+        doomed = False
+        if name.endswith(".tmp"):
+            doomed = True
+        else:
+            found = _SNAPSHOT_RE.match(name) or _WAL_RE.match(name)
+            if found and int(found.group(1)) < generation:
+                doomed = True
+        if doomed:
+            path = os.path.join(directory, name)
+            try:
+                os.remove(path)
+                removed.append(path)
+            except OSError:  # pragma: no cover - permissions/races
+                continue
+    if removed:
+        _fsync_directory(directory)
+    return removed

@@ -1,0 +1,285 @@
+"""Append-only write-ahead log of length-prefixed, checksummed JSON records.
+
+Record framing::
+
+    +----------------+----------------+------------------------+
+    | length (4, BE) | crc32 (4, BE)  | payload (JSON, UTF-8)  |
+    +----------------+----------------+------------------------+
+
+The length covers the payload only; the CRC is over the payload bytes.  The
+framing makes two crash outcomes distinguishable on read-back:
+
+* a **torn tail** — the process (or machine) died mid-write, leaving a final
+  record whose header or body is short, or whose CRC does not match.  This is
+  the expected crash artifact: the record was *never acknowledged* (the WAL
+  appends before the caller answers), so :func:`read_wal` drops it — and can
+  physically truncate it — rather than failing recovery.
+* **mid-file corruption** — a bad record with valid records after it.  The
+  framing cannot resynchronize past an unreliable length prefix, so everything
+  from the first bad record on is dropped the same way; the distinction is
+  reported through :class:`TailSummary.lost_records` so callers can tell a
+  clean tail-trim from real damage.
+
+Fsync policy is the durability/throughput dial:
+
+* ``"always"`` — flush + ``os.fsync`` after every append.  An acknowledged
+  record survives even an OS crash.  This is the default.
+* ``"batch"``  — flush after every append (survives *process* death), fsync
+  every ``batch_every`` records and on :meth:`flush`/:meth:`close`.
+* ``"never"``  — flush after every append, never fsync; the OS decides when
+  bytes reach the platter.  Survives process death, not power loss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.exceptions import ReproError
+
+#: ``(length, crc32)`` big-endian header.
+_HEADER = struct.Struct(">II")
+
+#: Upper bound on a single record's payload.  A length prefix above this is
+#: treated as corruption (a garbled header would otherwise make the reader
+#: attempt a multi-gigabyte allocation).
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+#: Valid fsync policies.
+FSYNC_POLICIES = ("always", "batch", "never")
+
+
+class CorruptRecord(ReproError):
+    """A WAL record failed framing or checksum validation."""
+
+
+def pack_record(payload: dict[str, Any]) -> bytes:
+    """Frame one JSON-native payload as a WAL record."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(body) > MAX_RECORD_BYTES:
+        raise CorruptRecord(
+            f"record of {len(body)} bytes exceeds the WAL limit of "
+            f"{MAX_RECORD_BYTES} bytes"
+        )
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def _unpack_at(data: bytes, offset: int) -> tuple[dict[str, Any] | None, int]:
+    """Decode the record at ``offset``; ``(None, offset)`` on a bad/short one."""
+    if offset + _HEADER.size > len(data):
+        return None, offset
+    length, checksum = _HEADER.unpack_from(data, offset)
+    if length > MAX_RECORD_BYTES:
+        return None, offset
+    start = offset + _HEADER.size
+    end = start + length
+    if end > len(data):
+        return None, offset
+    body = data[start:end]
+    if zlib.crc32(body) != checksum:
+        return None, offset
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None, offset
+    if not isinstance(payload, dict):
+        return None, offset
+    return payload, end
+
+
+@dataclass
+class TailSummary:
+    """What :func:`read_wal` found past the last valid record."""
+
+    #: Byte offset of the end of the last valid record.
+    valid_bytes: int = 0
+    #: Bytes past the last valid record (0 means the log ended cleanly).
+    dropped_bytes: int = 0
+    #: Valid-looking records found *after* the first bad one.  Zero for the
+    #: ordinary torn tail; non-zero means mid-file corruption ate real data.
+    lost_records: int = 0
+    #: Whether the file was physically truncated to ``valid_bytes``.
+    truncated: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return self.dropped_bytes == 0
+
+
+def read_wal(
+    path: str | os.PathLike[str],
+    *,
+    truncate: bool = False,
+) -> tuple[list[dict[str, Any]], TailSummary]:
+    """Read every valid record of a WAL file, tolerating a torn tail.
+
+    Returns the decoded payloads in append order plus a :class:`TailSummary`.
+    A missing file reads as an empty, clean log.  With ``truncate=True`` a
+    torn/corrupt tail is physically removed so the next append produces a
+    well-framed log again — recovery calls it this way, because appending
+    after garbage would otherwise hide every later record from the next
+    recovery.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], TailSummary()
+
+    records: list[dict[str, Any]] = []
+    offset = 0
+    while True:
+        payload, end = _unpack_at(data, offset)
+        if payload is None:
+            break
+        records.append(payload)
+        offset = end
+
+    summary = TailSummary(valid_bytes=offset, dropped_bytes=len(data) - offset)
+    if summary.dropped_bytes:
+        # Count salvageable-looking records past the bad one, for reporting
+        # only: the length prefix that framed them is untrustworthy, so they
+        # are dropped either way.
+        probe = offset + 1
+        while probe < len(data):
+            payload, end = _unpack_at(data, probe)
+            if payload is not None:
+                summary.lost_records += 1
+                probe = end
+            else:
+                probe += 1
+        if truncate:
+            with open(path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+            summary.truncated = True
+    return records, summary
+
+
+def iter_wal(path: str | os.PathLike[str]) -> Iterator[dict[str, Any]]:
+    """Iterate the valid records of a WAL file (read-only convenience)."""
+    records, _ = read_wal(path)
+    return iter(records)
+
+
+class WriteAheadLog:
+    """One open, append-only WAL file.
+
+    Thread-safe: appends are serialized by an internal lock (callers above
+    typically add their own coarser ordering — the session store journals
+    under its per-entry lock).
+
+    Parameters
+    ----------
+    path:
+        The log file; created (with its parent directory) when missing,
+        appended to when present.
+    fsync:
+        One of :data:`FSYNC_POLICIES` — see the module docstring.
+    batch_every:
+        Records between fsyncs under the ``"batch"`` policy.
+    observer:
+        Optional callback ``(bytes_written, fsync_seconds | None)`` invoked
+        after every append — the journal points this at its stats sink.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        fsync: str = "always",
+        batch_every: int = 32,
+        observer: Callable[[int, float | None], None] | None = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ReproError(
+                f"unknown fsync policy {fsync!r}; expected one of {FSYNC_POLICIES}"
+            )
+        if batch_every < 1:
+            raise ReproError("batch_every must be at least 1")
+        self.path = os.fspath(path)
+        self.fsync_policy = fsync
+        self.batch_every = batch_every
+        self.observer = observer
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        self._handle = open(self.path, "ab")
+        self._lock = threading.Lock()
+        self._unsynced = 0
+        self.records_appended = 0
+        self.bytes_appended = 0
+
+    # -- writing -------------------------------------------------------------------
+
+    def append(self, payload: dict[str, Any]) -> int:
+        """Frame, write, and (per policy) sync one record; returns its size.
+
+        The record is always flushed to the OS before returning, so a
+        *process* crash never loses an acknowledged record under any policy;
+        only the fsync step (surviving an OS/power crash) is policy-gated.
+        """
+        record = pack_record(payload)
+        with self._lock:
+            if self._handle.closed:
+                raise ReproError(f"WAL {self.path} is closed")
+            self._handle.write(record)
+            self._handle.flush()
+            self._unsynced += 1
+            fsync_seconds: float | None = None
+            if self.fsync_policy == "always" or (
+                self.fsync_policy == "batch" and self._unsynced >= self.batch_every
+            ):
+                start = time.perf_counter()
+                os.fsync(self._handle.fileno())
+                fsync_seconds = time.perf_counter() - start
+                self._unsynced = 0
+            self.records_appended += 1
+            self.bytes_appended += len(record)
+        if self.observer is not None:
+            self.observer(len(record), fsync_seconds)
+        return len(record)
+
+    def flush(self, *, sync: bool = True) -> float | None:
+        """Flush buffered bytes; with ``sync`` also fsync.  Returns fsync time."""
+        with self._lock:
+            if self._handle.closed:
+                return None
+            self._handle.flush()
+            if not sync:
+                return None
+            start = time.perf_counter()
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
+            return time.perf_counter() - start
+
+    def close(self, *, sync: bool = True) -> None:
+        """Flush (and by default fsync) then close the underlying file."""
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.flush()
+            if sync:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog({self.path!r}, fsync={self.fsync_policy!r}, "
+            f"records={self.records_appended})"
+        )

@@ -14,6 +14,7 @@ Examples::
     qfix-experiments batch --input requests.jsonl --output responses.jsonl --max-workers 8
     qfix-experiments batch --input requests.jsonl --executor process --max-inflight 16
     qfix-experiments serve --host 0.0.0.0 --port 8080 --workers 8 --max-inflight 32
+    qfix-experiments serve --data-dir ./qfix-data --shards 4 --fsync batch
     qfix-experiments harness --grid smoke --seed 1 --budget 60s --output report.json
     qfix-experiments harness --grid smoke --executor process --max-workers 2
 """
@@ -168,6 +169,42 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "serve mode: write the actually bound port to this file once "
             "listening (useful with --port 0 in scripts and CI)"
+        ),
+    )
+    serve_group.add_argument(
+        "--data-dir",
+        default=None,
+        help=(
+            "serve mode: persist sessions under this directory (WAL + "
+            "snapshots) and recover them on startup; omitted = in-memory only"
+        ),
+    )
+    serve_group.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "serve mode: consistent-hash shard directories under --data-dir "
+            "(fixed for the lifetime of a data directory)"
+        ),
+    )
+    serve_group.add_argument(
+        "--fsync",
+        choices=("always", "batch", "never"),
+        default="always",
+        help=(
+            "serve mode: WAL fsync policy — 'always' fsyncs every record "
+            "(machine-crash safe), 'batch' every N records, 'never' leaves "
+            "it to the OS (process-crash safe only)"
+        ),
+    )
+    serve_group.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=256,
+        help=(
+            "serve mode: WAL records per shard between automatic snapshot "
+            "compactions (0 disables automatic snapshots)"
         ),
     )
     return parser
@@ -368,12 +405,18 @@ def run_serve(
     port_file: str | None,
     executor: str = "thread",
     max_inflight: int | None = None,
+    data_dir: str | None = None,
+    shards: int = 1,
+    fsync: str = "always",
+    snapshot_every: int = 256,
 ) -> int:
-    """Boot the HTTP diagnosis service and block until interrupted.
+    """Boot the HTTP diagnosis service and block until stopped.
 
     The bound address is printed once listening (with ``--port 0`` this is
     the only way to learn the ephemeral port); ``--port-file`` additionally
-    persists the port for scripted callers.
+    persists the port for scripted callers.  With ``--data-dir`` the session
+    tier journals to disk, recovers on startup, and SIGTERM/SIGINT shut down
+    gracefully (WAL flushed, final snapshot published).
     """
     # Imported lazily so the figure commands don't pay for the server stack
     # (the repro package re-exports repro.server lazily for the same reason).
@@ -389,6 +432,21 @@ def run_serve(
     if max_inflight is not None and max_inflight < 1:
         print("--max-inflight must be at least 1", file=sys.stderr)
         return 2
+    durability = None
+    if data_dir is not None:
+        from repro.durability import DurabilityConfig
+        from repro.exceptions import ReproError
+
+        try:
+            durability = DurabilityConfig(
+                data_dir=data_dir,
+                shards=shards,
+                fsync=fsync,
+                snapshot_every=snapshot_every,
+            )
+        except ReproError as error:
+            print(str(error), file=sys.stderr)
+            return 2
 
     def on_ready(server) -> None:
         bound_host, bound_port = server.server_address[0], server.port
@@ -407,6 +465,7 @@ def run_serve(
         engine=DiagnosisEngine(max_workers=workers, executor=executor),
         max_request_bytes=limit,
         max_inflight=max_inflight,
+        durability=durability,
         ready_callback=on_ready,
     )
     return 0
@@ -425,6 +484,10 @@ def main(argv: list[str] | None = None) -> int:
             args.port_file,
             args.executor,
             args.max_inflight,
+            args.data_dir,
+            args.shards,
+            args.fsync,
+            args.snapshot_every,
         )
     if args.experiment == "batch":
         return run_batch(

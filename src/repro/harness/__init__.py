@@ -20,6 +20,7 @@ The ``harness`` CLI subcommand (``python -m repro.experiments.cli harness``)
 wraps exactly this, with ``--grid``, ``--seed``, ``--budget`` and JSON output.
 """
 
+from repro.harness.durability import run_crash_recovery_oracle
 from repro.harness.grid import (
     CellSpec,
     available_grids,
@@ -52,5 +53,6 @@ __all__ = [
     "expand_cells",
     "get_grid",
     "register_grid",
+    "run_crash_recovery_oracle",
     "run_grid",
 ]

@@ -1,0 +1,225 @@
+"""Crash/recovery oracle for the durable session tier.
+
+The durability guarantee under test is sharp: **no acknowledged mutation is
+ever lost**.  Once ``create`` / ``append`` / ``complaints`` / ``diagnose`` /
+``accept-repair`` / ``delete`` has returned to the caller, the operation is in
+the WAL, and a process that dies without any shutdown courtesy must recover
+exactly the acknowledged state — pending repairs included — from the
+snapshot + WAL-tail pair on disk.
+
+:func:`run_crash_recovery_oracle` drives that end to end, in-process:
+
+1. **Mutate** — build a durable :class:`~repro.server.store.SessionStore`
+   over a data directory and run a seeded script of session operations
+   (creates, appends, complaints, diagnoses, accepts, deletes), recording an
+   independent in-memory model of every *acknowledged* outcome.
+2. **Crash** — abandon the store without calling ``close()``: no flush
+   beyond what each acknowledged append already did, no final snapshot —
+   the same disk state a ``SIGKILL`` leaves behind.
+3. **Recover & compare** — reopen the directory with a fresh journal + store
+   and hold the rebuilt sessions to the recorded model: same session ids
+   (deleted ones stay gone), same log lengths, same complaint counts, same
+   pending-repair flags, same final rows.
+4. **Tear the tail** — append garbage to every shard's live WAL (a torn
+   final record, the canonical crash-mid-write artifact) and recover again:
+   the torn bytes must be dropped and counted, never fatal, and the
+   acknowledged state must still match.
+
+Violations come back as the harness's standard
+:class:`~repro.harness.report.OracleViolation` records, so the CLI harness
+and tests consume them like any other oracle's findings.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Any, Callable
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.harness.report import OracleViolation
+from repro.queries.expressions import Attr, Param
+from repro.queries.predicates import Comparison
+from repro.queries.query import UpdateQuery
+from repro.core.complaints import Complaint
+from repro.service.engine import DiagnosisEngine
+from repro.service.session import RepairSession
+
+
+def _make_session(rng: random.Random) -> RepairSession:
+    """One small, diagnosable session: 3 rows, 1 update, headroom to repair."""
+    base = [
+        {"a": 10.0 + rng.randrange(5), "b": 0.0},
+        {"a": 50.0 + rng.randrange(5), "b": 0.0},
+        {"a": 90.0 + rng.randrange(5), "b": 0.0},
+    ]
+    initial = Database(Schema.build("t", ["a", "b"], upper=200), base)
+    query = UpdateQuery(
+        "t",
+        {"b": Param("q0_set", 7.0)},
+        Comparison(Attr("a"), ">=", Param("q0_lo", 40.0)),
+        label="q0",
+    )
+    return RepairSession(initial, [query])
+
+
+def _extra_query(index: int) -> UpdateQuery:
+    return UpdateQuery(
+        "t",
+        {"b": Param(f"q{index}_set", float(index))},
+        Comparison(Attr("a"), ">=", Param(f"q{index}_lo", 80.0)),
+        label=f"q{index}",
+    )
+
+
+def _expected_state(store: Any, session_id: str) -> dict[str, Any]:
+    """The acknowledged state the oracle will demand back after recovery."""
+    summary = store.describe(session_id)
+    return {
+        "queries": summary["queries"],
+        "complaints": summary["complaints"],
+        "pending_repair": summary["pending_repair"],
+        "rows": {row["rid"]: row["values"] for row in store.rows(session_id)},
+    }
+
+
+def _compare(
+    store: Any,
+    expected: dict[str, dict[str, Any]],
+    deleted: set[str],
+    phase: str,
+) -> list[OracleViolation]:
+    """Hold a recovered store to the acknowledged model."""
+    violations: list[OracleViolation] = []
+    live = set(store.ids())
+    for session_id in sorted(expected):
+        if session_id not in live:
+            violations.append(
+                OracleViolation(
+                    invariant=f"durability.{phase}.session-recovered",
+                    cell_id=session_id,
+                    message="acknowledged session missing after recovery",
+                )
+            )
+            continue
+        want = expected[session_id]
+        got = _expected_state(store, session_id)
+        for key in ("queries", "complaints", "pending_repair"):
+            if got[key] != want[key]:
+                violations.append(
+                    OracleViolation(
+                        invariant=f"durability.{phase}.{key}",
+                        cell_id=session_id,
+                        message=f"expected {key}={want[key]!r}, recovered {got[key]!r}",
+                    )
+                )
+        if got["rows"] != want["rows"]:
+            violations.append(
+                OracleViolation(
+                    invariant=f"durability.{phase}.rows",
+                    cell_id=session_id,
+                    message=(
+                        f"final rows diverged: expected {want['rows']!r}, "
+                        f"recovered {got['rows']!r}"
+                    ),
+                )
+            )
+    for session_id in sorted(deleted & live):
+        violations.append(
+            OracleViolation(
+                invariant=f"durability.{phase}.session-closed",
+                cell_id=session_id,
+                message="deleted session resurrected by recovery",
+            )
+        )
+    return violations
+
+
+def run_crash_recovery_oracle(
+    data_dir: str | os.PathLike[str],
+    *,
+    seed: int = 0,
+    sessions: int = 4,
+    shards: int = 2,
+    fsync: str = "always",
+    snapshot_every: int = 3,
+    inject: Callable[[str], None] | None = None,
+) -> list[OracleViolation]:
+    """Run the full mutate → crash → recover → torn-tail sweep.
+
+    ``snapshot_every`` defaults low so the script crosses at least one
+    automatic compaction — the recovery path must handle a mixed
+    snapshot + WAL-tail layout, not just a bare WAL.  ``inject`` (tests
+    only) runs between the simulated crash and the first recovery with the
+    data-dir path, to prove the oracle *detects* loss rather than
+    vacuously passing.
+    """
+    from repro.durability import DurabilityConfig, SessionJournal
+    from repro.server.store import SessionStore
+
+    data_dir = os.fspath(data_dir)
+    rng = random.Random(seed)
+    config = DurabilityConfig(
+        data_dir=data_dir,
+        shards=shards,
+        fsync=fsync,
+        snapshot_every=snapshot_every,
+    )
+
+    # Phase 1: acknowledged mutations, recorded into the independent model.
+    store = SessionStore(DiagnosisEngine(), journal=SessionJournal(config))
+    expected: dict[str, dict[str, Any]] = {}
+    deleted: set[str] = set()
+    for index in range(sessions):
+        sid = store.create(_make_session(rng), session_id=f"oracle-{seed}-{index:02d}")
+        store.append(sid, [_extra_query(index + 1)])
+        store.add_complaints(
+            sid, [Complaint(rid=1, target={"a": store.rows(sid)[1]["values"]["a"], "b": 3.0})]
+        )
+        response = store.diagnose(sid)
+        if response.ok and response.feasible and index % 2 == 0:
+            # Half the sessions adopt their repair; the other half crash with
+            # the repair still pending — both must survive.
+            store.accept_repair(sid)
+        if index == sessions - 1:
+            store.delete(sid)
+            deleted.add(sid)
+        else:
+            expected[sid] = _expected_state(store, sid)
+
+    # Phase 2: crash.  No close(), no flush, no final snapshot — the journal
+    # object is simply abandoned, exactly like a killed process.
+    del store
+    if inject is not None:
+        inject(data_dir)
+
+    # Phase 3: recover and compare.
+    store = SessionStore(DiagnosisEngine(), journal=SessionJournal(config))
+    violations = _compare(store, expected, deleted, "crash")
+
+    # Phase 4: torn tail.  Garbage after the last complete record models a
+    # crash mid-append; recovery must truncate it and keep everything
+    # acknowledged.  (close() first so appending to the files is well-defined.)
+    journal = store.journal
+    assert journal is not None
+    store.close(final_snapshot=False)
+    for shard_dir in journal.shard_directories():
+        wals = sorted(name for name in os.listdir(shard_dir) if name.startswith("wal-"))
+        if not wals:
+            continue
+        with open(os.path.join(shard_dir, wals[-1]), "ab") as handle:
+            handle.write(b"\x00\x00\x00\x20torn" + bytes(rng.randrange(256) for _ in range(8)))
+    reopened = SessionStore(DiagnosisEngine(), journal=SessionJournal(config))
+    violations += _compare(reopened, expected, deleted, "torn-tail")
+    recovery = reopened.journal.stats.snapshot()["recovery"]  # type: ignore[union-attr]
+    if recovery["torn_records_dropped"] < 1:
+        violations.append(
+            OracleViolation(
+                invariant="durability.torn-tail.detected",
+                cell_id="*",
+                message="injected torn tail was not detected/truncated by recovery",
+            )
+        )
+    reopened.close(final_snapshot=False)
+    return violations

@@ -43,8 +43,9 @@ import threading
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, Any, Hashable
+from typing import TYPE_CHECKING, Any
 
+from repro.durability.shards import FirstSeenRouter
 from repro.parallel.base import BatchItem, Executor, WorkUnit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -157,14 +158,9 @@ class ProcessExecutor(Executor):
         self._pools: list[ProcessPoolExecutor | None] = [None] * max_workers
         self._pools_lock = threading.Lock()
         self._config_payload: dict[str, Any] | None = None
-        # First-seen round-robin shard assignment: deterministic (unlike
-        # hash(), which PYTHONHASHSEED randomizes) and balanced (k distinct
-        # keys spread k/n per shard instead of binomially).  Bounded so a
-        # key-churning workload cannot grow it without limit — evicting an
-        # old key merely costs its next request a cold solve.
-        self._shard_map: "dict[Hashable, int]" = {}
-        self._shard_map_max = 4096
-        self._shard_counter = 0
+        # First-seen round-robin shard assignment, shared with the durable
+        # session tier (see repro.durability.shards for why not hash()).
+        self._router = FirstSeenRouter(max_workers)
 
     def bind(self, engine: "Any") -> "ProcessExecutor":
         super().bind(engine)
@@ -179,15 +175,7 @@ class ProcessExecutor(Executor):
         key = item.shard_key
         if key is None:
             return item.index % self.max_workers
-        with self._pools_lock:
-            shard = self._shard_map.get(key)
-            if shard is None:
-                if len(self._shard_map) >= self._shard_map_max:
-                    self._shard_map.pop(next(iter(self._shard_map)))
-                shard = self._shard_counter % self.max_workers
-                self._shard_counter += 1
-                self._shard_map[key] = shard
-            return shard
+        return self._router.shard_for(key)
 
     def _pool(self, shard: int) -> ProcessPoolExecutor:
         with self._pools_lock:

@@ -27,6 +27,7 @@ POST    /v1/sessions/{id}/queries          append queries (SQL or structural)
 POST    /v1/sessions/{id}/complaints       register complaints
 POST    /v1/sessions/{id}/diagnose         diagnose, cache the repair
 POST    /v1/sessions/{id}/accept-repair    adopt the cached repair
+POST    /v1/admin/snapshot                 force a durability snapshot (all shards)
 GET     /healthz                           liveness
 GET     /metrics                           Prometheus text (or ``?format=json``)
 ======  =================================  ========================================
@@ -36,6 +37,7 @@ from __future__ import annotations
 
 import json
 import re
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -43,6 +45,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.durability import DurabilityConfig, SessionJournal
 from repro.exceptions import ReproError
 from repro.server import handlers
 from repro.server.handlers import HTTPError
@@ -164,6 +167,13 @@ class DiagnosisApp:
         in flight at once; excess requests are answered 429 with a
         ``Retry-After`` header.  ``None`` (the default) disables admission
         control.
+    durability:
+        Optional :class:`~repro.durability.DurabilityConfig`.  When given
+        (and ``store`` is omitted), the app builds a
+        :class:`~repro.durability.SessionJournal` over the configured data
+        directory, recovers any sessions a previous process journaled there,
+        and journals every session mutation before acknowledging it.  The
+        journal's counters appear under ``durability`` in ``/metrics``.
     """
 
     def __init__(
@@ -173,10 +183,16 @@ class DiagnosisApp:
         store: SessionStore | None = None,
         telemetry: Telemetry | None = None,
         max_inflight: int | None = None,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         self.engine = engine if engine is not None else DiagnosisEngine()
-        self.store = store if store is not None else SessionStore(self.engine)
+        if store is None:
+            journal = SessionJournal(durability) if durability is not None else None
+            store = SessionStore(self.engine, journal=journal)
+        self.store = store
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if self.store.journal is not None:
+            self.telemetry.set_durability_source(self._durability_snapshot)
         self.gate = (
             AdmissionGate(max_inflight, self.telemetry)
             if max_inflight is not None
@@ -202,9 +218,27 @@ class DiagnosisApp:
             _route(
                 "POST", "/v1/sessions/{sid}/accept-repair", handlers.handle_session_accept
             ),
+            _route("POST", "/v1/admin/snapshot", handlers.handle_admin_snapshot),
             _route("GET", "/healthz", handlers.handle_healthz),
             _route("GET", "/metrics", handlers.handle_metrics),
         )
+
+    # -- durability ----------------------------------------------------------------
+
+    def _durability_snapshot(self) -> dict[str, Any]:
+        """The journal's counters plus the live per-shard session gauge."""
+        journal = self.store.journal
+        if journal is None:  # pragma: no cover - source is only set with a journal
+            return {}
+        snap = journal.stats_snapshot()
+        counts = self.store.shard_session_counts()
+        if counts is not None:
+            snap["sessions_per_shard"] = counts
+        return snap
+
+    def close(self) -> None:
+        """Flush and snapshot the store's journal (no-op without one)."""
+        self.store.close()
 
     # -- dispatch ------------------------------------------------------------------
 
@@ -422,20 +456,49 @@ def make_server(
     engine: DiagnosisEngine | None = None,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     max_inflight: int | None = None,
+    durability: DurabilityConfig | None = None,
 ) -> DiagnosisServer:
     """Build a bound (but not yet serving) :class:`DiagnosisServer`.
 
     ``port=0`` binds an ephemeral port; read it back from ``server.port``.
     Call ``serve_forever()`` (often on a background thread) to start serving
     and ``shutdown()`` to stop.  ``max_inflight`` enables 429 admission
-    control on the diagnosis routes (ignored when ``app`` is supplied).
+    control on the diagnosis routes; ``durability`` makes the session tier
+    journal to disk and recover on startup (both ignored when ``app`` is
+    supplied).
     """
     application = (
-        app if app is not None else DiagnosisApp(engine, max_inflight=max_inflight)
+        app
+        if app is not None
+        else DiagnosisApp(engine, max_inflight=max_inflight, durability=durability)
     )
     return DiagnosisServer(
         (host, port), application, max_request_bytes=max_request_bytes
     )
+
+
+def _install_shutdown_handlers(server: DiagnosisServer) -> None:
+    """Route SIGTERM/SIGINT into a clean ``server.shutdown()``.
+
+    ``shutdown()`` must not be called from the thread running
+    ``serve_forever`` (it joins the loop), and certainly not from a signal
+    handler interrupting that thread — so the handler hands off to a
+    one-shot thread.  Repeat signals are no-ops while the first shutdown
+    drains.  Only the main thread may install signal handlers; callers
+    embedding :func:`serve` elsewhere simply keep Ctrl-C semantics.
+    """
+    fired = threading.Event()
+
+    def _handle(signum: int, frame: Any) -> None:
+        if fired.is_set():
+            return
+        fired.set()
+        threading.Thread(
+            target=server.shutdown, name="qfix-shutdown", daemon=True
+        ).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _handle)
 
 
 def serve(
@@ -445,12 +508,18 @@ def serve(
     engine: DiagnosisEngine | None = None,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     max_inflight: int | None = None,
+    durability: DurabilityConfig | None = None,
     ready_callback: Callable[[DiagnosisServer], None] | None = None,
 ) -> None:
-    """Blocking convenience runner: build a server and serve until interrupted.
+    """Blocking convenience runner: build a server and serve until stopped.
 
     ``ready_callback`` (if given) receives the bound server right before the
     serving loop starts — the CLI uses it to print / persist the actual port.
+
+    SIGTERM and SIGINT trigger a graceful stop (when running on the main
+    thread): the accept loop exits, in-flight connections finish, and — when
+    ``durability`` is set — the WAL is flushed and a final snapshot published
+    before the process returns, so a routine restart replays nothing.
     """
     server = make_server(
         host,
@@ -458,7 +527,10 @@ def serve(
         engine=engine,
         max_request_bytes=max_request_bytes,
         max_inflight=max_inflight,
+        durability=durability,
     )
+    if threading.current_thread() is threading.main_thread():
+        _install_shutdown_handlers(server)
     if ready_callback is not None:
         ready_callback(server)
     try:
@@ -467,3 +539,4 @@ def serve(
         pass
     finally:
         server.server_close()
+        server.app.close()

@@ -275,6 +275,30 @@ def handle_session_accept(app: "DiagnosisApp", request: "Request") -> "Response"
     return _json_response(app.store.accept_repair(request.params["sid"]))
 
 
+# -- administration --------------------------------------------------------------------
+
+
+def handle_admin_snapshot(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``POST /v1/admin/snapshot`` — force a compaction of every shard.
+
+    Operational lever for "snapshot now" (before a planned restart, after a
+    bulk load) without waiting for ``snapshot_every`` to trip.  409 when the
+    server runs without a data directory — an in-memory store has nothing to
+    snapshot, and answering 200 would falsely promise durability.
+    """
+    journal = app.store.journal
+    if journal is None:
+        raise HTTPError(409, "server is running without durability (no --data-dir)")
+    journal.snapshot_all()
+    return _json_response(
+        {
+            "snapshotted": True,
+            "shards": journal.config.shards,
+            "generations": journal.stats_snapshot()["shard_generations"],
+        }
+    )
+
+
 # -- observability ---------------------------------------------------------------------
 
 

@@ -11,6 +11,13 @@ Each entry also remembers the most recent successful diagnosis so that
 portable :class:`~repro.service.types.DiagnosisResponse` fields, but adopting
 a repaired log needs the in-process :class:`~repro.core.repair.RepairResult`,
 which therefore stays server-side, keyed by the session.
+
+The store can optionally sit on a :class:`~repro.durability.SessionJournal`:
+every acknowledged mutation is then written ahead to the owning shard's WAL
+before the call returns, the journal's snapshots periodically compact those
+logs, and constructing a store over a journal *recovers* — prior sessions
+(pending repairs included) are rebuilt from disk before the store serves its
+first request.
 """
 
 from __future__ import annotations
@@ -21,9 +28,11 @@ from typing import Any, Iterable
 
 from repro.core.complaints import Complaint
 from repro.core.repair import RepairResult
+from repro.durability.journal import SessionJournal, result_payload, session_payload
 from repro.exceptions import ReproError
 from repro.queries.query import Query
 from repro.service.engine import DiagnosisEngine
+from repro.service.serialize import complaint_to_dict, config_to_dict, query_to_dict
 from repro.service.session import RepairSession
 from repro.service.types import DiagnosisResponse
 
@@ -39,7 +48,7 @@ class NoPendingRepair(ReproError):
 class _Entry:
     """One live session plus its lock and cached last result."""
 
-    __slots__ = ("session", "lock", "last_result", "version")
+    __slots__ = ("session", "lock", "last_result", "version", "oplog", "config_payload")
 
     def __init__(self, session: RepairSession) -> None:
         self.session = session
@@ -49,6 +58,15 @@ class _Entry:
         #: solve outside the lock and only caches its repair if the session
         #: is still at the version it snapshotted.
         self.version = 0
+        #: Per-session journal operation counter.  Every journaled operation
+        #: (including cached diagnoses, which do not bump ``version``) gets
+        #: the next value; snapshots record it so WAL replay can skip
+        #: operations the snapshot already covers.
+        self.oplog = 0
+        #: The session's private engine config in dict form, ``None`` when it
+        #: shares the store engine.  Captured once so snapshots can journal
+        #: it without re-deciding whose engine the session runs on.
+        self.config_payload: dict[str, Any] | None = None
 
 
 class SessionStore:
@@ -62,13 +80,42 @@ class SessionStore:
     max_sessions:
         Hard cap on concurrently live sessions; creation beyond it raises
         :class:`ReproError` rather than growing without bound under traffic.
+    journal:
+        Optional, fresh (un-recovered) :class:`SessionJournal`.  When given,
+        the constructor *recovers*: sessions journaled by a previous process
+        are rebuilt from the journal's snapshots and WAL tails before the
+        store accepts its first call, and every subsequent mutation is
+        journaled before it is acknowledged.  Recovered sessions are
+        restored even past ``max_sessions`` (refusing to boot over one's own
+        data would turn a cap change into data loss).
     """
 
-    def __init__(self, engine: DiagnosisEngine | None = None, *, max_sessions: int = 1024) -> None:
+    def __init__(
+        self,
+        engine: DiagnosisEngine | None = None,
+        *,
+        max_sessions: int = 1024,
+        journal: SessionJournal | None = None,
+    ) -> None:
         self.engine = engine if engine is not None else DiagnosisEngine()
         self.max_sessions = max_sessions
         self._lock = threading.Lock()
         self._entries: dict[str, _Entry] = {}
+        self.journal = journal
+        if journal is not None:
+            recovered = journal.recover(self.engine)
+            for item in recovered:
+                entry = _Entry(item.session)
+                entry.last_result = item.pending
+                entry.oplog = item.version
+                entry.config_payload = item.config_payload
+                self._entries[item.session_id] = entry
+            journal.attach(self)
+            if recovered or journal.stats.replayed_records:
+                # Startup checkpoint: fold whatever mix of generations the
+                # crash left behind into one fresh (snapshot, empty WAL)
+                # pair per shard, pruning the stale files.
+                journal.snapshot_all()
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -84,14 +131,37 @@ class SessionStore:
             if sid in self._entries:
                 raise ReproError(f"session id {sid!r} already exists")
             session.session_id = sid
-            self._entries[sid] = _Entry(session)
+            entry = _Entry(session)
+            if self.journal is not None:
+                # A session on a private engine must journal its config, or
+                # recovery would silently rebind it to the shared engine.
+                if session.engine is not self.engine:
+                    entry.config_payload = config_to_dict(session.engine.config)
+                # Journaled *before* the entry becomes visible: once another
+                # thread can reach the session, its operations must find the
+                # create record already in the WAL ahead of them.
+                entry.oplog = 1
+                self.journal.record(
+                    sid,
+                    session_payload(
+                        sid, session, None, entry.oplog, entry.config_payload
+                    )
+                    | {"op": "create"},
+                )
+            self._entries[sid] = entry
         return sid
 
     def delete(self, session_id: str) -> None:
         """Retire a session; unknown ids raise :class:`SessionNotFound`."""
         with self._lock:
-            if session_id not in self._entries:
+            entry = self._entries.get(session_id)
+            if entry is None:
                 raise SessionNotFound(f"no session {session_id!r}")
+            if self.journal is not None:
+                entry.oplog += 1
+                self.journal.record(
+                    session_id, {"op": "close", "v": entry.oplog}
+                )
             del self._entries[session_id]
 
     def _entry(self, session_id: str) -> _Entry:
@@ -100,6 +170,59 @@ class SessionStore:
                 return self._entries[session_id]
             except KeyError:
                 raise SessionNotFound(f"no session {session_id!r}") from None
+
+    # -- durability plumbing -------------------------------------------------------
+
+    def _journal_locked(self, entry: _Entry, session_id: str, op: dict[str, Any]) -> int | None:
+        """Journal one mutation; the caller holds ``entry.lock``.
+
+        Returns the shard index when the journal wants a compaction — the
+        caller must run it *after* releasing the entry lock (compaction
+        captures every session of the shard under those same locks).
+        """
+        if self.journal is None:
+            return None
+        entry.oplog += 1
+        return self.journal.record(session_id, dict(op, v=entry.oplog))
+
+    def _maybe_compact(self, shard: int | None) -> None:
+        """Run a due compaction outside any store lock (non-blocking)."""
+        if shard is not None and self.journal is not None:
+            self.journal.snapshot_shard(shard, blocking=False)
+
+    def journal_payload(self, session_id: str) -> dict[str, Any] | None:
+        """One session's full snapshot payload (``None`` if it vanished).
+
+        Called by the journal during compaction; the capture runs under the
+        entry lock so the state and its operation version can never disagree.
+        """
+        with self._lock:
+            entry = self._entries.get(session_id)
+        if entry is None:
+            return None
+        with entry.lock:
+            return session_payload(
+                session_id,
+                entry.session,
+                entry.last_result,
+                entry.oplog,
+                entry.config_payload,
+            )
+
+    def shard_session_counts(self) -> list[int] | None:
+        """Live sessions per journal shard (``None`` without a journal)."""
+        if self.journal is None:
+            return None
+        return self.journal.shard_counts(self.ids())
+
+    def close(self, *, final_snapshot: bool = True) -> None:
+        """Flush the journal (and by default publish a final snapshot).
+
+        Without a journal this is a no-op; the in-memory store needs no
+        teardown.  Safe to call more than once.
+        """
+        if self.journal is not None:
+            self.journal.close(final_snapshot=final_snapshot)
 
     def __len__(self) -> int:
         with self._lock:
@@ -187,7 +310,14 @@ class SessionStore:
             # The cached repaired log no longer matches the history.
             entry.last_result = None
             entry.version += 1
-            return self._describe_locked(entry, session_id)
+            due = self._journal_locked(
+                entry,
+                session_id,
+                {"op": "append", "queries": [query_to_dict(q) for q in incoming]},
+            )
+            summary = self._describe_locked(entry, session_id)
+        self._maybe_compact(due)
+        return summary
 
     def query_count(self, session_id: str) -> int:
         """Current log length (used to derive default labels for appends)."""
@@ -202,14 +332,25 @@ class SessionStore:
     ) -> dict[str, Any]:
         """Register complaints against the session's current final state."""
         entry = self._entry(session_id)
+        incoming = list(complaints)
         with entry.lock:
-            for complaint in complaints:
+            for complaint in incoming:
                 entry.session.add_complaint(complaint)
             # A cached repair never saw these complaints; accepting it would
             # silently clear them unresolved.
             entry.last_result = None
             entry.version += 1
-            return self._describe_locked(entry, session_id)
+            due = self._journal_locked(
+                entry,
+                session_id,
+                {
+                    "op": "complaints",
+                    "complaints": [complaint_to_dict(c) for c in incoming],
+                },
+            )
+            summary = self._describe_locked(entry, session_id)
+        self._maybe_compact(due)
+        return summary
 
     def clear_complaints(self, session_id: str) -> dict[str, Any]:
         """Drop the session's registered complaints."""
@@ -219,7 +360,10 @@ class SessionStore:
             # The cached repair answered a complaint set that no longer exists.
             entry.last_result = None
             entry.version += 1
-            return self._describe_locked(entry, session_id)
+            due = self._journal_locked(entry, session_id, {"op": "clear_complaints"})
+            summary = self._describe_locked(entry, session_id)
+        self._maybe_compact(due)
+        return summary
 
     def diagnose(
         self,
@@ -246,6 +390,7 @@ class SessionStore:
             engine = entry.session.engine
             version = entry.version
         response = engine.submit(request)
+        due = None
         with entry.lock:
             if entry.version == version:
                 # Cache only repairs that accept_repair could actually adopt —
@@ -253,6 +398,15 @@ class SessionStore:
                 entry.last_result = (
                     response.result if response.ok and response.feasible else None
                 )
+                if entry.last_result is not None:
+                    # Journal the pending repair: a crash between diagnose
+                    # and accept must not cost the client its solve.
+                    due = self._journal_locked(
+                        entry,
+                        session_id,
+                        {"op": "diagnose", "result": result_payload(entry.last_result)},
+                    )
+        self._maybe_compact(due)
         return response
 
     def accept_repair(self, session_id: str) -> dict[str, Any]:
@@ -268,7 +422,12 @@ class SessionStore:
             entry.session.accept_repair(result)
             entry.last_result = None
             entry.version += 1
-            return self._describe_locked(entry, session_id)
+            due = self._journal_locked(
+                entry, session_id, {"op": "accept", "result": result_payload(result)}
+            )
+            summary = self._describe_locked(entry, session_id)
+        self._maybe_compact(due)
+        return summary
 
     def rows(self, session_id: str) -> list[dict[str, Any]]:
         """The session's current final-state rows (rid + values)."""

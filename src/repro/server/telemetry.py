@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any
+from typing import Any, Callable
 
 
 class _LatencyWindow:
@@ -80,6 +80,11 @@ class Telemetry:
         #: diagnosis requests currently admitted and in flight (gauge,
         #: maintained by the app's admission gate)
         self._queue_depth = 0
+        #: optional provider of the durability counters (WAL / snapshot /
+        #: recovery / per-shard sessions); set by the app when the store
+        #: journals to disk.  Called *outside* the telemetry lock — it takes
+        #: store and journal locks of its own.
+        self._durability_source: Callable[[], dict[str, Any]] | None = None
 
     # -- recording -----------------------------------------------------------------
 
@@ -108,6 +113,12 @@ class Telemetry:
         with self._lock:
             self._queue_depth = depth
 
+    def set_durability_source(
+        self, source: Callable[[], dict[str, Any]] | None
+    ) -> None:
+        """Register (or clear) the provider of the durability counters."""
+        self._durability_source = source
+
     # -- observation ---------------------------------------------------------------
 
     @property
@@ -117,6 +128,8 @@ class Telemetry:
 
     def snapshot(self) -> dict[str, Any]:
         """A consistent point-in-time copy of every counter (JSON-native)."""
+        source = self._durability_source
+        durability = source() if source is not None else None
         with self._lock:
             requests = {
                 route: {str(status): count for status, count in sorted(counts.items())}
@@ -135,7 +148,7 @@ class Telemetry:
                 for status, count in counts.items()
                 if status >= 400
             )
-            return {
+            snap = {
                 "uptime_seconds": time.time() - self._started_at,
                 "requests_total": total,
                 "errors_total": errors,
@@ -148,6 +161,9 @@ class Telemetry:
                     "failed": self._diagnoses_failed,
                 },
             }
+        if durability is not None:
+            snap["durability"] = durability
+        return snap
 
     def render_prometheus(self) -> str:
         """The snapshot as Prometheus text exposition (version 0.0.4)."""
@@ -188,4 +204,54 @@ class Telemetry:
             f'qfix_diagnoses_total{{outcome="ok"}} {snap["diagnoses"]["ok"]}',
             f'qfix_diagnoses_total{{outcome="failed"}} {snap["diagnoses"]["failed"]}',
         ]
+        durability = snap.get("durability")
+        if durability is not None:
+            lines += self._render_durability(durability)
         return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_durability(durability: dict[str, Any]) -> list[str]:
+        """Prometheus lines for the WAL / snapshot / recovery counters."""
+        wal = durability.get("wal", {})
+        fsync = durability.get("fsync", {})
+        snapshots = durability.get("snapshots", {})
+        recovery = durability.get("recovery", {})
+        lines = [
+            "# HELP qfix_wal_records_appended_total Operations journaled to the WAL.",
+            "# TYPE qfix_wal_records_appended_total counter",
+            f"qfix_wal_records_appended_total {wal.get('records_appended', 0)}",
+            "# HELP qfix_wal_bytes_appended_total Bytes journaled to the WAL.",
+            "# TYPE qfix_wal_bytes_appended_total counter",
+            f"qfix_wal_bytes_appended_total {wal.get('bytes_appended', 0)}",
+            "# HELP qfix_wal_fsync_seconds WAL fsync latency histogram.",
+            "# TYPE qfix_wal_fsync_seconds histogram",
+        ]
+        for bound, count in fsync.get("buckets", {}).items():
+            lines.append(f'qfix_wal_fsync_seconds_bucket{{le="{bound}"}} {count}')
+        lines += [
+            f"qfix_wal_fsync_seconds_count {fsync.get('count', 0)}",
+            f"qfix_wal_fsync_seconds_sum {fsync.get('seconds_total', 0.0):.6f}",
+            "# HELP qfix_snapshots_total Snapshot compactions taken.",
+            "# TYPE qfix_snapshots_total counter",
+            f"qfix_snapshots_total {snapshots.get('taken', 0)}",
+            "# HELP qfix_snapshot_seconds_sum Cumulative snapshot write time.",
+            "# TYPE qfix_snapshot_seconds_sum counter",
+            f"qfix_snapshot_seconds_sum {snapshots.get('seconds_total', 0.0):.6f}",
+            "# HELP qfix_recovery_seconds Time spent rebuilding state at startup.",
+            "# TYPE qfix_recovery_seconds gauge",
+            f"qfix_recovery_seconds {recovery.get('seconds', 0.0):.6f}",
+            "# HELP qfix_recovery_sessions Sessions rebuilt at startup.",
+            "# TYPE qfix_recovery_sessions gauge",
+            f"qfix_recovery_sessions {recovery.get('sessions', 0)}",
+            "# HELP qfix_recovery_replayed_records WAL records replayed at startup.",
+            "# TYPE qfix_recovery_replayed_records gauge",
+            f"qfix_recovery_replayed_records {recovery.get('replayed_records', 0)}",
+            "# HELP qfix_recovery_torn_records_dropped Torn trailing records dropped.",
+            "# TYPE qfix_recovery_torn_records_dropped gauge",
+            f"qfix_recovery_torn_records_dropped {recovery.get('torn_records_dropped', 0)}",
+            "# HELP qfix_sessions_per_shard Live sessions owned by each shard.",
+            "# TYPE qfix_sessions_per_shard gauge",
+        ]
+        for shard, count in enumerate(durability.get("sessions_per_shard", [])):
+            lines.append(f'qfix_sessions_per_shard{{shard="{shard}"}} {count}')
+        return lines

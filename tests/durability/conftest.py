@@ -1,0 +1,8 @@
+"""Shared fixtures for the durability tests."""
+
+import pytest
+
+
+@pytest.fixture()
+def data_dir(tmp_path):
+    return str(tmp_path / "data")

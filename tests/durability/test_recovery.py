@@ -1,0 +1,243 @@
+"""Journal + store end-to-end: crash recovery, compaction, torn tails."""
+
+import os
+
+import pytest
+
+from repro.core.complaints import Complaint
+from repro.core.config import QFixConfig
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.durability import DurabilityConfig, SessionJournal
+from repro.durability.snapshot import list_generations
+from repro.exceptions import ReproError
+from repro.queries.expressions import Attr, Param
+from repro.queries.predicates import Comparison
+from repro.queries.query import UpdateQuery
+from repro.server.store import SessionStore
+from repro.service.engine import DiagnosisEngine
+from repro.service.session import RepairSession
+
+
+def make_initial() -> Database:
+    return Database(
+        Schema.build("t", ["a", "b"], upper=200),
+        [{"a": 10.0, "b": 0.0}, {"a": 50.0, "b": 0.0}, {"a": 90.0, "b": 0.0}],
+    )
+
+
+def make_query(label: str, threshold: float = 40.0, amount: float = 7.0) -> UpdateQuery:
+    return UpdateQuery(
+        "t",
+        {"b": Param(f"{label}_set", amount)},
+        Comparison(Attr("a"), ">=", Param(f"{label}_lo", threshold)),
+        label=label,
+    )
+
+
+def make_session(**kwargs) -> RepairSession:
+    return RepairSession(make_initial(), [make_query("q0")], **kwargs)
+
+
+def make_complaint() -> Complaint:
+    """Row 1 (a=50) should have b=3 — repairable by moving the q0 amount."""
+    return Complaint(rid=1, target={"a": 50.0, "b": 3.0})
+
+
+def open_store(data_dir, **overrides) -> SessionStore:
+    options = {"shards": 2, "snapshot_every": 0}
+    options.update(overrides)
+    journal = SessionJournal(DurabilityConfig(data_dir=data_dir, **options))
+    return SessionStore(DiagnosisEngine(), journal=journal)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self, data_dir):
+        with pytest.raises(ReproError):
+            DurabilityConfig(data_dir="")
+        with pytest.raises(ReproError):
+            DurabilityConfig(data_dir=data_dir, shards=0)
+        with pytest.raises(ReproError):
+            DurabilityConfig(data_dir=data_dir, fsync="sometimes")
+        with pytest.raises(ReproError):
+            DurabilityConfig(data_dir=data_dir, snapshot_every=-1)
+
+    def test_shard_count_is_fixed_per_data_dir(self, data_dir):
+        open_store(data_dir, shards=2).close()
+        with pytest.raises(ReproError, match="shard"):
+            open_store(data_dir, shards=3)
+
+    def test_recover_is_single_use(self, data_dir):
+        journal = SessionJournal(DurabilityConfig(data_dir=data_dir))
+        SessionStore(DiagnosisEngine(), journal=journal)
+        with pytest.raises(ReproError):
+            journal.recover(DiagnosisEngine())
+
+
+class TestCrashRecovery:
+    def test_fresh_data_dir_recovers_empty(self, data_dir):
+        store = open_store(data_dir)
+        assert store.ids() == []
+        store.close()
+
+    def test_acknowledged_mutations_survive_abandonment(self, data_dir):
+        store = open_store(data_dir)
+        sid = store.create(make_session(), session_id="s1")
+        store.append(sid, [make_query("q1", threshold=80.0)])
+        store.add_complaints(sid, [make_complaint()])
+        rows_before = store.rows(sid)
+        del store  # crash: no close, no flush, no final snapshot
+
+        recovered = open_store(data_dir)
+        summary = recovered.describe(sid)
+        assert summary["queries"] == 2
+        assert summary["complaints"] == 1
+        assert recovered.rows(sid) == rows_before
+        recovered.close()
+
+    def test_pending_repair_survives_crash_and_is_acceptable(self, data_dir):
+        store = open_store(data_dir)
+        sid = store.create(make_session(), session_id="s1")
+        store.add_complaints(sid, [make_complaint()])
+        response = store.diagnose(sid)
+        assert response.ok and response.feasible
+        del store
+
+        recovered = open_store(data_dir)
+        assert recovered.describe(sid)["pending_repair"] is True
+        summary = recovered.accept_repair(sid)
+        assert summary["complaints"] == 0 and summary["pending_repair"] is False
+        row = next(r for r in recovered.rows(sid) if r["rid"] == 1)
+        assert row["values"]["b"] == pytest.approx(3.0)
+        recovered.close()
+
+    def test_accepted_repair_survives_second_crash(self, data_dir):
+        store = open_store(data_dir)
+        sid = store.create(make_session(), session_id="s1")
+        store.add_complaints(sid, [make_complaint()])
+        store.diagnose(sid)
+        store.accept_repair(sid)
+        del store
+
+        recovered = open_store(data_dir)
+        row = next(r for r in recovered.rows(sid) if r["rid"] == 1)
+        assert row["values"]["b"] == pytest.approx(3.0)
+        assert recovered.describe(sid)["complaints"] == 0
+        recovered.close()
+
+    def test_deleted_sessions_stay_deleted(self, data_dir):
+        store = open_store(data_dir)
+        keep = store.create(make_session(), session_id="keep")
+        gone = store.create(make_session(), session_id="gone")
+        store.delete(gone)
+        del store
+        recovered = open_store(data_dir)
+        assert recovered.ids() == [keep]
+        recovered.close()
+
+    def test_private_engine_config_is_restored(self, data_dir):
+        store = open_store(data_dir)
+        session = make_session(config=QFixConfig(time_limit=7.5))
+        sid = store.create(session, session_id="cfg")
+        del store
+        recovered = open_store(data_dir)
+        entry_session = recovered._entry(sid).session
+        assert entry_session.engine is not recovered.engine
+        assert entry_session.engine.config.time_limit == 7.5
+        recovered.close()
+
+    def test_recovery_stats_are_populated(self, data_dir):
+        store = open_store(data_dir)
+        store.create(make_session(), session_id="s1")
+        del store
+        recovered = open_store(data_dir)
+        stats = recovered.journal.stats_snapshot()
+        assert stats["recovery"]["sessions"] == 1
+        assert stats["recovery"]["replayed_records"] >= 1
+        assert stats["recovery"]["seconds"] > 0
+        recovered.close()
+
+
+class TestTornTail:
+    def test_torn_tail_is_truncated_and_counted(self, data_dir):
+        store = open_store(data_dir, shards=1)
+        sid = store.create(make_session(), session_id="s1")
+        store.append(sid, [make_query("q1", threshold=80.0)])
+        store.close(final_snapshot=False)
+        shard_dir = store.journal.shard_directories()[0]
+        wal_name = max(n for n in os.listdir(shard_dir) if n.startswith("wal-"))
+        with open(os.path.join(shard_dir, wal_name), "ab") as handle:
+            handle.write(b"\x00\x00\x00\x10mid-append crash")
+
+        recovered = open_store(data_dir, shards=1)
+        assert recovered.describe(sid)["queries"] == 2
+        recovery = recovered.journal.stats_snapshot()["recovery"]
+        assert recovery["torn_records_dropped"] >= 1
+        assert recovery["torn_bytes_dropped"] > 0
+        recovered.close()
+
+    def test_startup_checkpoint_clears_the_torn_tail_for_good(self, data_dir):
+        store = open_store(data_dir, shards=1)
+        store.create(make_session(), session_id="s1")
+        store.close(final_snapshot=False)
+        shard_dir = store.journal.shard_directories()[0]
+        wal_name = max(n for n in os.listdir(shard_dir) if n.startswith("wal-"))
+        with open(os.path.join(shard_dir, wal_name), "ab") as handle:
+            handle.write(b"garbage")
+
+        open_store(data_dir, shards=1).close(final_snapshot=False)
+        # The startup checkpoint compacted: a third open replays a clean log.
+        third = open_store(data_dir, shards=1)
+        assert third.journal.stats_snapshot()["recovery"]["torn_records_dropped"] == 0
+        assert third.ids() == ["s1"]
+        third.close()
+
+
+class TestCompaction:
+    def test_auto_snapshot_trips_and_prunes_old_generations(self, data_dir):
+        store = open_store(data_dir, shards=1, snapshot_every=3)
+        sid = store.create(make_session(), session_id="s1")
+        for index in range(1, 7):
+            store.append(sid, [make_query(f"q{index}", threshold=80.0)])
+        stats = store.journal.stats_snapshot()
+        assert stats["snapshots"]["taken"] >= 1
+        shard_dir = store.journal.shard_directories()[0]
+        snapshots, wals = list_generations(shard_dir)
+        # Pruning keeps the shard directory at one live generation.
+        assert len(wals) == 1 and wals[0] == stats["shard_generations"][0]
+        store.close(final_snapshot=False)
+
+        recovered = open_store(data_dir, shards=1)
+        assert recovered.describe(sid)["queries"] == 7
+        recovered.close()
+
+    def test_clean_shutdown_snapshot_means_replay_free_boot(self, data_dir):
+        store = open_store(data_dir)
+        store.create(make_session(), session_id="s1")
+        store.close(final_snapshot=True)
+
+        recovered = open_store(data_dir)
+        recovery = recovered.journal.stats_snapshot()["recovery"]
+        assert recovery["sessions"] == 1
+        assert recovery["replayed_records"] == 0
+        recovered.close()
+
+    def test_explicit_snapshot_all_publishes_every_shard(self, data_dir):
+        store = open_store(data_dir, shards=2)
+        store.create(make_session(), session_id="s1")
+        published = store.journal.snapshot_all()
+        assert published == 2
+        assert store.journal.stats_snapshot()["snapshots"]["taken"] == 2
+        store.close(final_snapshot=False)
+
+    def test_sessions_route_to_stable_shards(self, data_dir):
+        store = open_store(data_dir, shards=2)
+        ids = [store.create(make_session(), session_id=f"s{i}") for i in range(8)]
+        counts = store.shard_session_counts()
+        assert sum(counts) == 8
+        placement = {sid: store.journal.shard_for(sid) for sid in ids}
+        del store
+        recovered = open_store(data_dir, shards=2)
+        assert {sid: recovered.journal.shard_for(sid) for sid in ids} == placement
+        assert recovered.shard_session_counts() == counts
+        recovered.close()

@@ -1,0 +1,85 @@
+"""Atomic snapshot publication, generation listing, and pruning."""
+
+import json
+import os
+
+from repro.durability.snapshot import (
+    latest_snapshot,
+    list_generations,
+    load_snapshot,
+    prune_below,
+    snapshot_path,
+    wal_path,
+    write_snapshot,
+)
+
+
+class TestWriteLoad:
+    def test_roundtrip(self, tmp_path):
+        payload = {"generation": 3, "sessions": [{"sid": "a"}]}
+        path = write_snapshot(tmp_path, 3, payload)
+        assert os.path.basename(path) == "snapshot-0000000003.json"
+        assert load_snapshot(tmp_path, 3) == payload
+
+    def test_no_tmp_residue_after_publish(self, tmp_path):
+        write_snapshot(tmp_path, 1, {"sessions": []})
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_missing_and_garbage_load_as_none(self, tmp_path):
+        assert load_snapshot(tmp_path, 9) is None
+        with open(snapshot_path(tmp_path, 9), "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert load_snapshot(tmp_path, 9) is None
+
+    def test_non_dict_payload_loads_as_none(self, tmp_path):
+        with open(snapshot_path(tmp_path, 2), "w", encoding="utf-8") as handle:
+            json.dump([1, 2, 3], handle)
+        assert load_snapshot(tmp_path, 2) is None
+
+
+class TestGenerations:
+    def test_listing_sorts_and_separates(self, tmp_path):
+        write_snapshot(tmp_path, 2, {})
+        write_snapshot(tmp_path, 1, {})
+        open(wal_path(tmp_path, 2), "wb").close()
+        open(wal_path(tmp_path, 3), "wb").close()
+        snapshots, wals = list_generations(tmp_path)
+        assert snapshots == [1, 2]
+        assert wals == [2, 3]
+
+    def test_missing_directory_lists_empty(self, tmp_path):
+        assert list_generations(tmp_path / "absent") == ([], [])
+
+    def test_latest_snapshot_prefers_newest_loadable(self, tmp_path):
+        write_snapshot(tmp_path, 1, {"generation": 1})
+        # Generation 2 published but then corrupted — "disks lie".
+        write_snapshot(tmp_path, 2, {"generation": 2})
+        with open(snapshot_path(tmp_path, 2), "w", encoding="utf-8") as handle:
+            handle.write("garbage")
+        generation, payload = latest_snapshot(tmp_path)
+        assert generation == 1 and payload == {"generation": 1}
+
+    def test_latest_snapshot_empty_dir_means_generation_zero(self, tmp_path):
+        assert latest_snapshot(tmp_path) == (0, None)
+
+
+class TestPrune:
+    def test_prunes_old_generations_and_tmp_files(self, tmp_path):
+        write_snapshot(tmp_path, 1, {})
+        write_snapshot(tmp_path, 2, {})
+        open(wal_path(tmp_path, 1), "wb").close()
+        open(wal_path(tmp_path, 2), "wb").close()
+        open(os.path.join(tmp_path, "snapshot-0000000009.json.tmp"), "wb").close()
+        removed = prune_below(tmp_path, 2)
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["snapshot-0000000002.json", "wal-0000000002.log"]
+        assert len(removed) == 3
+
+    def test_prune_ignores_unrelated_files(self, tmp_path):
+        open(os.path.join(tmp_path, "durability.json"), "wb").close()
+        write_snapshot(tmp_path, 1, {})
+        prune_below(tmp_path, 5)
+        assert "durability.json" in os.listdir(tmp_path)
+
+    def test_prune_missing_directory_is_noop(self, tmp_path):
+        assert prune_below(tmp_path / "absent", 3) == []

@@ -1,0 +1,159 @@
+"""WAL framing, torn-tail handling, and fsync-policy behaviour."""
+
+import os
+import struct
+
+import pytest
+
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    MAX_RECORD_BYTES,
+    CorruptRecord,
+    WriteAheadLog,
+    iter_wal,
+    pack_record,
+    read_wal,
+)
+from repro.exceptions import ReproError
+
+
+class TestFraming:
+    def test_roundtrip_preserves_order_and_content(self, tmp_path):
+        path = tmp_path / "wal.log"
+        payloads = [{"op": "create", "v": 1}, {"op": "append", "v": 2, "q": ["x"]}]
+        with WriteAheadLog(path) as wal:
+            for payload in payloads:
+                wal.append(payload)
+        records, tail = read_wal(path)
+        assert records == payloads
+        assert tail.clean and tail.dropped_bytes == 0
+
+    def test_missing_file_reads_as_empty_clean_log(self, tmp_path):
+        records, tail = read_wal(tmp_path / "nope.log")
+        assert records == [] and tail.clean
+
+    def test_append_returns_framed_size(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        size = wal.append({"k": 1})
+        wal.close()
+        assert size == os.path.getsize(tmp_path / "wal.log")
+        assert size == len(pack_record({"k": 1}))
+
+    def test_oversized_record_is_refused(self):
+        with pytest.raises(CorruptRecord):
+            pack_record({"blob": "x" * (MAX_RECORD_BYTES + 1)})
+
+    def test_iter_wal_yields_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append({"n": 1})
+            wal.append({"n": 2})
+        assert [r["n"] for r in iter_wal(path)] == [1, 2]
+
+
+class TestTornTail:
+    def _write(self, path, payloads, garbage=b""):
+        with open(path, "wb") as handle:
+            for payload in payloads:
+                handle.write(pack_record(payload))
+            handle.write(garbage)
+
+    def test_short_header_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, [{"n": 1}], garbage=b"\x00\x00")
+        records, tail = read_wal(path)
+        assert [r["n"] for r in records] == [1]
+        assert tail.dropped_bytes == 2 and tail.lost_records == 0
+
+    def test_short_body_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.log"
+        torn = pack_record({"n": 2})[:-3]
+        self._write(path, [{"n": 1}], garbage=torn)
+        records, tail = read_wal(path)
+        assert [r["n"] for r in records] == [1]
+        assert not tail.clean
+
+    def test_crc_mismatch_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.log"
+        bad = bytearray(pack_record({"n": 2}))
+        bad[-1] ^= 0xFF
+        self._write(path, [{"n": 1}], garbage=bytes(bad))
+        records, tail = read_wal(path)
+        assert [r["n"] for r in records] == [1]
+
+    def test_truncate_physically_removes_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, [{"n": 1}], garbage=b"torn-bytes")
+        clean_size = len(pack_record({"n": 1}))
+        _, tail = read_wal(path, truncate=True)
+        assert tail.truncated
+        assert os.path.getsize(path) == clean_size
+        # Appends after truncation produce a well-framed log again.
+        with WriteAheadLog(path) as wal:
+            wal.append({"n": 2})
+        records, tail = read_wal(path)
+        assert [r["n"] for r in records] == [1, 2] and tail.clean
+
+    def test_mid_file_corruption_reports_lost_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        good_after = pack_record({"n": 3})
+        self._write(path, [{"n": 1}], garbage=b"\xde\xad\xbe\xef" * 3 + good_after)
+        records, tail = read_wal(path)
+        assert [r["n"] for r in records] == [1]
+        # The valid-looking record past the garbage is unreachable but counted.
+        assert tail.lost_records == 1
+
+    def test_insane_length_prefix_is_corruption_not_allocation(self, tmp_path):
+        path = tmp_path / "wal.log"
+        huge = struct.pack(">II", MAX_RECORD_BYTES + 1, 0) + b"x"
+        self._write(path, [{"n": 1}], garbage=huge)
+        records, tail = read_wal(path)
+        assert [r["n"] for r in records] == [1] and not tail.clean
+
+
+class TestFsyncPolicies:
+    def test_policies_are_always_batch_never(self):
+        assert FSYNC_POLICIES == ("always", "batch", "never")
+
+    def test_unknown_policy_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            WriteAheadLog(tmp_path / "wal.log", fsync="sometimes")
+
+    @pytest.mark.parametrize("policy", FSYNC_POLICIES)
+    def test_every_policy_survives_abandonment(self, tmp_path, policy):
+        """Flush-to-OS happens per append, so process death loses nothing."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path, fsync=policy, batch_every=100)
+        wal.append({"n": 1})
+        wal.append({"n": 2})
+        # No close(): read back through the filesystem as a new process would.
+        records, tail = read_wal(path)
+        assert [r["n"] for r in records] == [1, 2] and tail.clean
+
+    def test_observer_sees_fsync_latency_only_when_synced(self, tmp_path):
+        seen: list[tuple[int, float | None]] = []
+        wal = WriteAheadLog(
+            tmp_path / "wal.log",
+            fsync="batch",
+            batch_every=2,
+            observer=lambda size, seconds: seen.append((size, seconds)),
+        )
+        wal.append({"n": 1})
+        wal.append({"n": 2})
+        wal.close()
+        assert seen[0][1] is None  # first append: batched, no fsync yet
+        assert seen[1][1] is not None and seen[1][1] >= 0.0
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        with pytest.raises(ReproError):
+            wal.append({"n": 1})
+        assert wal.closed
+
+    def test_counters_track_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        total = wal.append({"n": 1}) + wal.append({"n": 2})
+        assert wal.records_appended == 2
+        assert wal.bytes_appended == total
+        wal.close()

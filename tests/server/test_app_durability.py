@@ -1,0 +1,127 @@
+"""Durability wiring at the app layer: recovery, /metrics, admin snapshot."""
+
+import json
+
+import pytest
+
+from repro.durability import DurabilityConfig
+from repro.server.app import DiagnosisApp
+
+
+def make_app(tmp_path, **overrides) -> DiagnosisApp:
+    options = {"shards": 2, "snapshot_every": 0}
+    options.update(overrides)
+    return DiagnosisApp(
+        durability=DurabilityConfig(data_dir=str(tmp_path / "data"), **options)
+    )
+
+
+def create_session(app, initial, queries) -> str:
+    from repro.service.serialize import database_to_dict, query_to_dict, schema_to_dict
+
+    payload = {
+        "schema": schema_to_dict(initial.schema),
+        "initial": database_to_dict(initial),
+        "log": [query_to_dict(query) for query in queries],
+    }
+    response = app.dispatch("POST", "/v1/sessions", json.dumps(payload).encode())
+    assert response.status == 201, response.body
+    return json.loads(response.body)["session_id"]
+
+
+class TestRecoveryThroughApp:
+    def test_sessions_survive_an_app_restart(self, tmp_path, initial, queries):
+        app = DiagnosisApp(
+            durability=DurabilityConfig(data_dir=str(tmp_path / "data"))
+        )
+        sid = create_session(app, initial, queries)
+        del app  # crash: the next app recovers purely from disk
+
+        reborn = DiagnosisApp(
+            durability=DurabilityConfig(data_dir=str(tmp_path / "data"))
+        )
+        response = reborn.dispatch("GET", f"/v1/sessions/{sid}")
+        assert response.status == 200
+        assert json.loads(response.body)["queries"] == len(queries)
+        reborn.close()
+
+
+class TestMetrics:
+    def test_json_metrics_carry_the_durability_section(self, tmp_path, initial, queries):
+        app = make_app(tmp_path)
+        sid = create_session(app, initial, queries)
+        snap = json.loads(app.dispatch("GET", "/metrics?format=json").body)
+        durability = snap["durability"]
+        assert durability["wal"]["records_appended"] >= 1
+        assert durability["config"]["shards"] == 2
+        assert sum(durability["sessions_per_shard"]) == 1
+        assert durability["fsync"]["count"] >= 1
+        assert "+Inf" in durability["fsync"]["buckets"]
+        assert sid  # keep the session referenced for clarity
+        app.close()
+
+    def test_prometheus_metrics_render_durability_series(self, tmp_path, initial, queries):
+        app = make_app(tmp_path)
+        create_session(app, initial, queries)
+        text = app.dispatch("GET", "/metrics").body.decode()
+        assert "qfix_wal_records_appended_total" in text
+        assert 'qfix_wal_fsync_seconds_bucket{le="+Inf"}' in text
+        assert 'qfix_sessions_per_shard{shard="0"}' in text
+        assert "qfix_recovery_seconds" in text
+        app.close()
+
+    def test_memory_only_app_has_no_durability_section(self, app):
+        snap = json.loads(app.dispatch("GET", "/metrics?format=json").body)
+        assert "durability" not in snap
+        assert "qfix_wal_records_appended_total" not in (
+            app.dispatch("GET", "/metrics").body.decode()
+        )
+
+
+class TestAdminSnapshot:
+    def test_forces_a_snapshot_on_every_shard(self, tmp_path, initial, queries):
+        app = make_app(tmp_path)
+        create_session(app, initial, queries)
+        response = app.dispatch("POST", "/v1/admin/snapshot", b"")
+        assert response.status == 200
+        body = json.loads(response.body)
+        assert body["snapshotted"] is True and body["shards"] == 2
+        assert app.store.journal.stats_snapshot()["snapshots"]["taken"] == 2
+        app.close()
+
+    def test_conflict_without_durability(self, app):
+        response = app.dispatch("POST", "/v1/admin/snapshot", b"")
+        assert response.status == 409
+        assert "data-dir" in json.loads(response.body)["error"]["message"]
+
+
+class TestDiagnoseJournal:
+    def test_pending_repair_recovers_and_accepts_over_http_shapes(
+        self, tmp_path, initial, queries, complaint
+    ):
+        from repro.service.serialize import complaint_to_dict
+
+        app = make_app(tmp_path)
+        sid = create_session(app, initial, queries)
+        body = json.dumps({"complaints": [complaint_to_dict(complaint)]}).encode()
+        assert app.dispatch("POST", f"/v1/sessions/{sid}/complaints", body).status == 200
+        diagnosis = json.loads(
+            app.dispatch("POST", f"/v1/sessions/{sid}/diagnose", b"").body
+        )
+        assert diagnosis["ok"] and diagnosis["feasible"]
+        del app  # crash with the repair pending
+
+        reborn = make_app(tmp_path)
+        summary = json.loads(reborn.dispatch("GET", f"/v1/sessions/{sid}").body)
+        assert summary["pending_repair"] is True
+        accepted = reborn.dispatch("POST", f"/v1/sessions/{sid}/accept-repair", b"")
+        assert accepted.status == 200
+        assert json.loads(accepted.body)["pending_repair"] is False
+        reborn.close()
+
+
+class TestShardMismatch:
+    def test_reopening_with_wrong_shard_count_is_refused(self, tmp_path):
+        make_app(tmp_path, shards=2).close()
+        with pytest.raises(Exception, match="shard"):
+            make_app(tmp_path, shards=4)

@@ -2,6 +2,9 @@
 
 This mirrors the CI smoke step: boot ``python -m repro.experiments.cli serve``
 on an ephemeral port, wait for ``/healthz``, make one real client request.
+The durability smoke goes further: create state, ``SIGKILL`` the server
+mid-flight, restart it over the same ``--data-dir``, and require the state
+back — the whole point of the WAL.
 """
 
 import os
@@ -15,6 +18,40 @@ from repro.experiments.cli import build_parser
 from repro.server.client import DiagnosisClient
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _spawn_serve(*extra_args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.cli", "serve", "--port", "0"]
+        + list(extra_args),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _wait_for_port(process: subprocess.Popen, port_file: Path, timeout: float = 30) -> int:
+    deadline = time.monotonic() + timeout
+    while not port_file.exists() and time.monotonic() < deadline:
+        assert process.poll() is None, f"serve exited early:\n{process.stdout.read()}"
+        time.sleep(0.05)
+    assert port_file.exists(), "serve never wrote the port file"
+    return int(port_file.read_text().strip())
+
+
+def _terminate(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - cleanup path
+            process.kill()
+            process.wait(timeout=10)
 
 
 class TestParser:
@@ -102,3 +139,92 @@ class TestServeSubprocess:
 
         assert main(["serve", "--workers", "0"]) == 2
         assert "--workers" in capsys.readouterr().err
+
+    def test_rejects_bad_durability_flags(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["serve", "--data-dir", "/tmp/x", "--shards", "0"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+
+class TestCrashRecoverySmoke:
+    def test_sigkill_then_restart_recovers_sessions_and_pending_repair(
+        self, tmp_path, initial, queries, complaint
+    ):
+        """The durability contract end to end, over real processes:
+
+        serve --data-dir → create session + complaints + diagnosis →
+        ``SIGKILL`` (no shutdown courtesy at all) → restart on the same
+        data dir → the session, its log, and the *pending repair* are back,
+        and /metrics reports the recovery.
+        """
+        data_dir = tmp_path / "data"
+        port_file = tmp_path / "port"
+        process = _spawn_serve(
+            "--port-file", str(port_file), "--data-dir", str(data_dir), "--shards", "2"
+        )
+        try:
+            port = _wait_for_port(process, port_file)
+            client = DiagnosisClient(f"http://127.0.0.1:{port}", timeout=30.0)
+            sid = client.create_session(initial, queries, session_id="smoke")
+            client.add_complaints(sid, [complaint])
+            diagnosis = client.diagnose_session(sid)
+            assert diagnosis.ok and diagnosis.feasible
+            assert client.get_session(sid)["pending_repair"] is True
+        finally:
+            process.kill()  # SIGKILL: no handler runs, no flush, no snapshot
+            process.wait(timeout=10)
+
+        port_file.unlink()
+        reborn = _spawn_serve(
+            "--port-file", str(port_file), "--data-dir", str(data_dir), "--shards", "2"
+        )
+        try:
+            port = _wait_for_port(reborn, port_file)
+            client = DiagnosisClient(f"http://127.0.0.1:{port}", timeout=30.0)
+            summary = client.get_session("smoke")
+            assert summary["queries"] == len(queries)
+            assert summary["complaints"] == 1
+            assert summary["pending_repair"] is True, (
+                "the diagnosed repair was acknowledged before the kill; "
+                "recovery must bring it back"
+            )
+            accepted = client.accept_repair("smoke")
+            assert accepted["pending_repair"] is False
+            durability = client.metrics_snapshot()["durability"]
+            assert durability["recovery"]["sessions"] == 1
+            assert sum(durability["sessions_per_shard"]) == 1
+            assert "qfix_recovery_sessions 1" in client.metrics()
+        finally:
+            _terminate(reborn)
+
+    def test_sigterm_shutdown_is_graceful_and_replay_free(
+        self, tmp_path, initial, queries
+    ):
+        """SIGTERM must flush the WAL and publish a final snapshot, so the
+        next boot replays zero WAL records."""
+        data_dir = tmp_path / "data"
+        port_file = tmp_path / "port"
+        process = _spawn_serve("--port-file", str(port_file), "--data-dir", str(data_dir))
+        try:
+            port = _wait_for_port(process, port_file)
+            client = DiagnosisClient(f"http://127.0.0.1:{port}", timeout=30.0)
+            client.create_session(initial, queries, session_id="graceful")
+        finally:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=15) == 0, process.stdout.read()
+
+        port_file.unlink()
+        reborn = _spawn_serve("--port-file", str(port_file), "--data-dir", str(data_dir))
+        try:
+            port = _wait_for_port(reborn, port_file)
+            client = DiagnosisClient(f"http://127.0.0.1:{port}", timeout=30.0)
+            assert client.get_session("graceful")["queries"] == len(queries)
+            recovery = client.metrics_snapshot()["durability"]["recovery"]
+            assert recovery["sessions"] == 1
+            assert recovery["replayed_records"] == 0, (
+                "a clean SIGTERM should leave a final snapshot and an empty "
+                "WAL tail — recovery replayed records instead"
+            )
+        finally:
+            _terminate(reborn)

@@ -1,0 +1,147 @@
+"""Concurrency stress for the SessionStore: one hot session hammered from
+many threads while others churn, with and without a journal underneath.
+
+The store's contract under this load: no exceptions other than the expected
+conflict types, no lost acknowledged mutations, internally consistent
+summaries — and, when journaled, a recovered store that agrees with the
+survivor's final state (including after the compactions the churn tripped).
+"""
+
+import threading
+
+import pytest
+
+from repro.durability import DurabilityConfig, SessionJournal
+from repro.exceptions import ReproError
+from repro.server.store import SessionNotFound, SessionStore
+from repro.service.engine import DiagnosisEngine
+from repro.service.session import RepairSession
+from repro.sql import parse_query
+
+
+def _session(initial, queries) -> RepairSession:
+    return RepairSession(initial, list(queries))
+
+
+def _update(label: str) -> object:
+    return parse_query(
+        "UPDATE Taxes SET owed = income * 0.25 WHERE income >= 90000", label=label
+    )
+
+
+THREADS = 8
+OPS_PER_THREAD = 12
+
+
+def _hammer(store: SessionStore, initial, queries, complaint) -> list[str]:
+    """Run the mixed workload; returns the churned session ids created."""
+    hot = store.create(_session(initial, queries), session_id="hot")
+    store.add_complaints(hot, [complaint])
+    churned: list[str] = []
+    churn_lock = threading.Lock()
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(THREADS)
+
+    def worker(worker_id: int) -> None:
+        barrier.wait()
+        try:
+            for op in range(OPS_PER_THREAD):
+                kind = op % 4
+                if kind == 0:
+                    store.append(hot, [_update(f"w{worker_id}-{op}")])
+                elif kind == 1:
+                    summary = store.describe(hot)
+                    assert summary["queries"] >= len(list(queries))
+                elif kind == 2:
+                    sid = store.create(
+                        _session(initial, queries),
+                        session_id=f"churn-{worker_id}-{op}",
+                    )
+                    if op % 8 == 2:
+                        store.delete(sid)
+                    else:
+                        with churn_lock:
+                            churned.append(sid)
+                else:
+                    store.rows(hot)
+        except BaseException as error:  # noqa: BLE001 - collected for the assert
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, f"store raised under concurrency: {errors!r}"
+    return churned
+
+
+class TestStoreConcurrency:
+    def test_memory_store_survives_the_hammer(self, initial, queries, complaint):
+        store = SessionStore(DiagnosisEngine(), max_sessions=4096)
+        churned = _hammer(store, initial, queries, complaint)
+        # Every acknowledged append with a unique label is in the log exactly once.
+        appended = THREADS * ((OPS_PER_THREAD + 3) // 4)
+        assert store.describe("hot")["queries"] == len(list(queries)) + appended
+        live = set(store.ids())
+        assert set(churned) <= live
+        # Unique-label conflict is still enforced under contention.
+        store.append("hot", [_update("w0-0b")])
+        with pytest.raises(ReproError):
+            store.append("hot", [_update("w0-0b")])
+
+    def test_journaled_store_recovers_exactly_what_survived(
+        self, tmp_path, initial, queries, complaint
+    ):
+        config = DurabilityConfig(
+            data_dir=str(tmp_path / "data"), shards=2, snapshot_every=16
+        )
+        store = SessionStore(
+            DiagnosisEngine(), max_sessions=4096, journal=SessionJournal(config)
+        )
+        _hammer(store, initial, queries, complaint)
+        expected_ids = store.ids()
+        expected_hot = store.describe("hot")
+        # Crash: abandon without close.
+        del store
+
+        recovered = SessionStore(
+            DiagnosisEngine(), max_sessions=4096, journal=SessionJournal(config)
+        )
+        assert recovered.ids() == expected_ids
+        got = recovered.describe("hot")
+        assert got["queries"] == expected_hot["queries"]
+        assert got["complaints"] == expected_hot["complaints"]
+        recovered.close()
+
+    def test_deletes_racing_describe_all_never_error(self, initial, queries):
+        store = SessionStore(DiagnosisEngine(), max_sessions=4096)
+        ids = [
+            store.create(_session(initial, queries), session_id=f"s{i}")
+            for i in range(32)
+        ]
+        errors: list[BaseException] = []
+
+        def deleter() -> None:
+            for sid in ids:
+                try:
+                    store.delete(sid)
+                except SessionNotFound:
+                    pass
+
+        def lister() -> None:
+            try:
+                for _ in range(20):
+                    store.describe_all()
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=deleter)] + [
+            threading.Thread(target=lister) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(store) == 0
