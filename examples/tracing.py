@@ -1,0 +1,110 @@
+"""Tracing end to end: sample a diagnosis, then read its span tree back.
+
+The observability layer (``repro.obs``) is off by default and costs ~nothing
+that way — one :func:`configure_tracing` call turns it on for the whole
+process.  This script samples everything, pushes the quickstart tax scenario
+through a :class:`DiagnosisEngine`, and then plays the trace back from the
+in-memory flight recorder: the engine span, the per-window solver phases
+(``solver.encode`` / ``solver.presolve`` / ``solver.search``), and their
+attributes (window index, variable counts, solver status).
+
+The same spans appear when serving over HTTP — boot with
+``serve --trace-sample-rate 1.0`` and fetch ``/v1/debug/traces/<id>``
+(or ``DiagnosisClient.get_trace``) instead of reading the store directly.
+
+Run with::
+
+    PYTHONPATH=src python examples/tracing.py
+"""
+
+from repro import Complaint, ComplaintSet, Database, QueryLog, Schema, replay
+from repro.obs import configure_tracing, reset_tracing
+from repro.service.engine import DiagnosisEngine
+from repro.service.types import DiagnosisRequest
+from repro.sql import parse_query
+
+
+def build_request() -> DiagnosisRequest:
+    """The Figure-2 tax scenario: q1's predicate constant is mistyped."""
+    schema = Schema.build("Taxes", ["income", "owed", "pay"], upper=300_000)
+    initial = Database(
+        schema,
+        [
+            {"income": 9_500, "owed": 950, "pay": 8_550},
+            {"income": 90_000, "owed": 22_500, "pay": 67_500},
+            {"income": 86_000, "owed": 21_500, "pay": 64_500},
+        ],
+    )
+    log = QueryLog(
+        [
+            parse_query(
+                "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700", label="q1"
+            ),
+            parse_query("UPDATE Taxes SET pay = income - owed", label="q2"),
+        ]
+    )
+    # Row 2 should have been left alone: complain with its correct values.
+    target = dict(replay(initial, log).get(2).values)
+    target.update(owed=21_500.0, pay=64_500.0)
+    return DiagnosisRequest(
+        initial=initial,
+        log=log,
+        complaints=ComplaintSet([Complaint(2, target)]),
+        request_id="tracing-example",
+    )
+
+
+def print_tree(node: dict, prefix: str = "") -> None:
+    attrs = node.get("attributes") or {}
+    detail = " ".join(f"{key}={value}" for key, value in attrs.items())
+    line = f"{prefix}{node['name']}  {node['duration_ms']:.1f}ms"
+    if node.get("status") and node["status"] != "ok":
+        line += f"  [{node['status']}]"
+    if detail:
+        line += f"  ({detail})"
+    print(line)
+    for child in node.get("children", []):
+        print_tree(child, prefix + "  ")
+
+
+def main() -> None:
+    # 1. Sample every trace; anything slower than 25ms also lands in the
+    #    slow-trace annex, which survives long after the recent ring evicts.
+    tracer = configure_tracing(1.0, slow_trace_ms=25.0)
+
+    # 2. Run a diagnosis.  engine.submit is a trace root: every tier below
+    #    it — scheduler, executor, solver — records spans into the same tree.
+    engine = DiagnosisEngine(max_workers=1)
+    try:
+        response = engine.submit(build_request())
+    finally:
+        engine.close()
+    print(f"diagnosis ok={response.ok} feasible={response.feasible}")
+    print(response.repaired_sql)
+    print()
+
+    # 3. Read the trace back from the flight recorder and walk the tree.
+    summary = tracer.store.list(limit=1)[0]
+    tree = tracer.store.get(summary["trace_id"])
+    slow = "  SLOW" if tree["slow"] else ""
+    print(
+        f"trace {tree['trace_id']}  {tree['duration_ms']:.1f}ms  "
+        f"{tree['span_count']} span(s){slow}"
+    )
+    print_tree(tree["root"])
+
+    # 4. Phase timings without walking spans: the response summary carries
+    #    the same numbers the harness rolls up per cell.
+    phases = {
+        key: value
+        for key, value in response.summary.items()
+        if key.endswith("_seconds")
+    }
+    print()
+    print("phase seconds:", " ".join(f"{k}={v:.4f}" for k, v in sorted(phases.items())))
+
+    reset_tracing()
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ from repro.core.slicing import relevant_attributes, relevant_queries
 from repro.db.database import Database
 from repro.db.schema import Schema
 from repro.milp.solvers import Solver, get_solver, solve_with_warm_start
+from repro.obs import trace as obs
 from repro.queries.log import QueryLog
 
 
@@ -68,19 +69,21 @@ class BasicRepairer:
         rids = complaints.rids if config.tuple_slicing else None
 
         encode_start = time.perf_counter()
-        encoder = LogEncoder(
-            schema,
-            initial,
-            final,
-            log,
-            complaints,
-            config,
-            parameterized=candidates,
-            rids=rids,
-            encoded_attributes=encoded_attrs,
-            candidate_indices=candidates if config.query_slicing else None,
-        )
-        problem = encoder.encode()
+        with obs.span("solver.encode", queries=len(log), candidates=len(candidates)) as encode_span:
+            encoder = LogEncoder(
+                schema,
+                initial,
+                final,
+                log,
+                complaints,
+                config,
+                parameterized=candidates,
+                rids=rids,
+                encoded_attributes=encoded_attrs,
+                candidate_indices=candidates if config.query_slicing else None,
+            )
+            problem = encoder.encode()
+            encode_span.set_attribute("variables", problem.model.num_variables)
         encode_seconds = time.perf_counter() - encode_start
 
         solution = solve_with_warm_start(

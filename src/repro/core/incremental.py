@@ -26,6 +26,7 @@ from repro.db.database import Database
 from repro.db.schema import Schema
 from repro.milp.solution import SolveStatus
 from repro.milp.solvers import Solver, get_solver, solve_with_warm_start
+from repro.obs import trace as obs
 from repro.queries.log import QueryLog
 
 
@@ -106,19 +107,23 @@ class IncrementalRepairer:
             windows_tried += 1
 
             encode_start = time.perf_counter()
-            encoder = LogEncoder(
-                schema,
-                initial,
-                final,
-                log,
-                complaints,
-                config,
-                parameterized=parameterized,
-                rids=rids,
-                encoded_attributes=encoded_attrs,
-                candidate_indices=sorted(candidates) if config.query_slicing else None,
-            )
-            problem = encoder.encode()
+            with obs.span(
+                "solver.encode", window=windows_tried, candidates=len(parameterized)
+            ) as encode_span:
+                encoder = LogEncoder(
+                    schema,
+                    initial,
+                    final,
+                    log,
+                    complaints,
+                    config,
+                    parameterized=parameterized,
+                    rids=rids,
+                    encoded_attributes=encoded_attrs,
+                    candidate_indices=sorted(candidates) if config.query_slicing else None,
+                )
+                problem = encoder.encode()
+                encode_span.set_attribute("variables", problem.model.num_variables)
             encode_seconds = time.perf_counter() - encode_start
             total_encode += encode_seconds
             last_stats = dict(problem.stats)

@@ -179,7 +179,7 @@ def build_repair_result(
             solve_seconds=solve_seconds,
             total_seconds=encode_seconds + solve_seconds,
             windows_tried=windows_tried,
-            problem_stats=dict(problem.stats),
+            problem_stats={**problem.stats, **solution.stats},
             message=solution.message,
         )
     repaired_log, values = finalize_repair(
@@ -200,7 +200,7 @@ def build_repair_result(
         solve_seconds=solve_seconds,
         total_seconds=encode_seconds + solve_seconds,
         windows_tried=windows_tried,
-        problem_stats=dict(problem.stats),
+        problem_stats={**problem.stats, **solution.stats},
         message=solution.message,
     )
 

@@ -76,6 +76,7 @@ from repro.durability.snapshot import (
 )
 from repro.durability.wal import FSYNC_POLICIES, WriteAheadLog, read_wal
 from repro.exceptions import ReproError
+from repro.obs import trace as obs
 from repro.milp.solution import SolveStatus
 from repro.service.serialize import (
     complaints_from_dict,
@@ -553,8 +554,27 @@ class SessionJournal:
             wal_path(shard.directory, shard.generation),
             fsync=self.config.fsync,
             batch_every=self.config.batch_every,
-            observer=self.stats.record_append,
+            observer=self._observe_append,
         )
+
+    def _observe_append(self, n_bytes: int, fsync_seconds: float | None) -> None:
+        """WAL append observer: feed the stats *and* the active trace, if any.
+
+        The WAL reports after the write, so the spans are reconstructed from
+        the reported durations rather than re-timed.
+        """
+        self.stats.record_append(n_bytes, fsync_seconds)
+        scope_trace = obs.current_trace_id()
+        if scope_trace is None:
+            return
+        fsync = fsync_seconds or 0.0
+        obs.record_span(
+            "wal.append",
+            seconds=fsync,
+            attributes={"bytes": n_bytes, "fsynced": fsync_seconds is not None},
+        )
+        if fsync_seconds is not None:
+            obs.record_span("wal.fsync", seconds=fsync_seconds)
 
     # -- journaling ----------------------------------------------------------------
 
@@ -609,7 +629,7 @@ class SessionJournal:
                 wal_path(shard.directory, new_generation),
                 fsync=self.config.fsync,
                 batch_every=self.config.batch_every,
-                observer=self.stats.record_append,
+                observer=self._observe_append,
             )
             with shard.lock:
                 old_wal = shard.wal

@@ -15,8 +15,11 @@ Examples::
     qfix-experiments batch --input requests.jsonl --executor process --max-inflight 16
     qfix-experiments serve --host 0.0.0.0 --port 8080 --workers 8 --max-inflight 32
     qfix-experiments serve --data-dir ./qfix-data --shards 4 --fsync batch
+    qfix-experiments serve --trace-sample-rate 0.1 --slow-trace-ms 250 --log-json
     qfix-experiments harness --grid smoke --seed 1 --budget 60s --output report.json
     qfix-experiments harness --grid smoke --executor process --max-workers 2
+    qfix-experiments harness --grid smoke --trace-dump traces.json
+    qfix-experiments trace --seed 1
 """
 
 from __future__ import annotations
@@ -66,12 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "batch", "serve", "harness"],
+        choices=sorted(EXPERIMENTS) + ["all", "batch", "serve", "harness", "trace"],
         help=(
             "which figure to reproduce ('all' runs every experiment; 'batch' "
             "runs a JSONL file of diagnosis requests through the engine; "
             "'serve' boots the HTTP diagnosis service; 'harness' sweeps a "
-            "scenario matrix through the differential correctness oracle)"
+            "scenario matrix through the differential correctness oracle; "
+            "'trace' runs one fully traced diagnosis and prints its span tree)"
         ),
     )
     parser.add_argument(
@@ -207,6 +211,49 @@ def build_parser() -> argparse.ArgumentParser:
             "compactions (0 disables automatic snapshots)"
         ),
     )
+    obs_group = parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "serve mode: fraction of requests to trace end-to-end, 0..1 "
+            "(0 disables the flight recorder; an incoming X-Trace-Id header "
+            "always forces a trace regardless of the rate)"
+        ),
+    )
+    obs_group.add_argument(
+        "--slow-trace-ms",
+        type=float,
+        default=500.0,
+        help=(
+            "traced requests slower than this (milliseconds) are pinned in "
+            "the slow-trace annex, surviving ring-buffer eviction"
+        ),
+    )
+    obs_group.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="serve mode: threshold for the structured 'qfix' logger hierarchy",
+    )
+    obs_group.add_argument(
+        "--log-json",
+        action="store_true",
+        help=(
+            "serve mode: emit one JSON object per log record (machine-"
+            "ingestible, with trace_id correlation) instead of text"
+        ),
+    )
+    obs_group.add_argument(
+        "--trace-dump",
+        default=None,
+        help=(
+            "harness mode: trace every cell (forces sampling on) and write "
+            "the flight recorder's full contents to this JSON file after the "
+            "sweep"
+        ),
+    )
     return parser
 
 
@@ -313,6 +360,8 @@ def run_harness(
     max_workers: int,
     executor: str = "thread",
     max_inflight: int | None = None,
+    trace_dump: str | None = None,
+    slow_trace_ms: float = 500.0,
 ) -> int:
     """Sweep a named scenario grid and report oracle violations.
 
@@ -321,7 +370,9 @@ def run_harness(
     through the same executor tier as production batches (``--executor
     process`` certifies the multi-core serving path).  Exit status: 2 for
     usage errors, 1 when any oracle violation was found, 0 otherwise — so CI
-    can gate on the sweep directly.
+    can gate on the sweep directly.  ``--trace-dump`` forces tracing on for
+    the whole sweep and archives the flight recorder as JSON — CI uploads it
+    so a slow or violating cell arrives with its solver phase breakdown.
     """
     # Imported lazily: the figure commands don't pay for the harness stack.
     from repro.harness import get_grid, run_grid
@@ -342,6 +393,15 @@ def run_harness(
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(str(error), file=sys.stderr)
         return 2
+
+    tracer = None
+    if trace_dump is not None:
+        from repro.obs import configure_tracing
+
+        # Every cell traced: the dump is a CI artifact, not a sampling study.
+        tracer = configure_tracing(
+            1.0, slow_trace_ms=slow_trace_ms, capacity=4096, slow_capacity=256
+        )
 
     engine = DiagnosisEngine(
         max_workers=max_workers, executor=executor, max_inflight=max_inflight
@@ -378,6 +438,12 @@ def run_harness(
         "cells={cells} executed={executed} skipped={skipped} feasible={feasible} "
         "violations={violations}".format(**summary)
     )
+    phases = summary.get("phase_seconds") or {}
+    if phases:
+        print(
+            "phase seconds: "
+            + " ".join(f"{name}={seconds:.3f}" for name, seconds in phases.items())
+        )
     print(f"scenario fingerprints: {report.fingerprint_digest()}")
     for violation in report.violations:
         print(
@@ -394,6 +460,17 @@ def run_harness(
             with open(output_path, "w", encoding="utf-8") as handle:
                 handle.write(payload + "\n")
             print(f"report written to {output_path}")
+
+    if tracer is not None and tracer.store is not None and trace_dump is not None:
+        dump = tracer.store.dump()
+        with open(trace_dump, "w", encoding="utf-8") as handle:
+            json.dump(dump, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"trace dump written to {trace_dump} "
+            f"({dump['traces_recorded']} trace(s), "
+            f"{dump['slow_traces_recorded']} slow)"
+        )
     return 1 if report.violations else 0
 
 
@@ -409,6 +486,10 @@ def run_serve(
     shards: int = 1,
     fsync: str = "always",
     snapshot_every: int = 256,
+    trace_sample_rate: float = 0.0,
+    slow_trace_ms: float = 500.0,
+    log_level: str = "info",
+    log_json: bool = False,
 ) -> int:
     """Boot the HTTP diagnosis service and block until stopped.
 
@@ -417,14 +498,33 @@ def run_serve(
     persists the port for scripted callers.  With ``--data-dir`` the session
     tier journals to disk, recovers on startup, and SIGTERM/SIGINT shut down
     gracefully (WAL flushed, final snapshot published).
+
+    ``--trace-sample-rate`` turns on the flight recorder: the process-wide
+    tracer is configured *before* the app is built, so
+    :class:`~repro.server.app.DiagnosisApp` (which defaults to the global
+    tracer) picks it up, and ``GET /v1/debug/traces`` serves the recordings.
     """
     # Imported lazily so the figure commands don't pay for the server stack
     # (the repro package re-exports repro.server lazily for the same reason).
+    from repro.obs import configure_logging, configure_tracing
     from repro.server.app import DEFAULT_MAX_REQUEST_BYTES, serve
 
     if workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
+    if not 0.0 <= trace_sample_rate <= 1.0:
+        print("--trace-sample-rate must be between 0 and 1", file=sys.stderr)
+        return 2
+    if slow_trace_ms <= 0:
+        print("--slow-trace-ms must be positive", file=sys.stderr)
+        return 2
+    try:
+        configure_logging(log_level, json_mode=log_json)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if trace_sample_rate > 0:
+        configure_tracing(trace_sample_rate, slow_trace_ms=slow_trace_ms)
     limit = max_request_bytes if max_request_bytes is not None else DEFAULT_MAX_REQUEST_BYTES
     if limit < 1:
         print("--max-request-bytes must be at least 1", file=sys.stderr)
@@ -471,6 +571,123 @@ def run_serve(
     return 0
 
 
+def _format_span_tree(tree: dict) -> list[str]:
+    """Render a recorded trace (a span-tree dict) as indented ASCII lines."""
+    lines = [
+        "trace {id}  root={root}  {ms:.1f}ms  {count} span(s){slow}".format(
+            id=tree.get("trace_id", ""),
+            root=tree.get("root_name", ""),
+            ms=float(tree.get("duration_ms", 0.0)),
+            count=tree.get("span_count", 0),
+            slow="  SLOW" if tree.get("slow") else "",
+        )
+    ]
+
+    def _walk(node: dict, prefix: str, connector: str) -> None:
+        attributes = node.get("attributes", {})
+        detail = " ".join(f"{key}={value}" for key, value in attributes.items())
+        status = node.get("status", "ok")
+        lines.append(
+            "{prefix}{connector}{name}  {ms:.1f}ms{status}{detail}".format(
+                prefix=prefix,
+                connector=connector,
+                name=node.get("name", ""),
+                ms=float(node.get("duration_ms", 0.0)),
+                status="" if status == "ok" else f"  [{status}]",
+                detail=f"  ({detail})" if detail else "",
+            )
+        )
+        children = node.get("children", [])
+        child_prefix = prefix + ("   " if connector.startswith("└") else "│  ")
+        if not connector:
+            child_prefix = prefix
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            _walk(child, child_prefix, "└─ " if last else "├─ ")
+
+    root = tree.get("root")
+    if root is not None:
+        _walk(root, "", "")
+    return lines
+
+
+def run_trace(
+    input_path: str | None,
+    seed: int,
+    output_path: str | None = None,
+    slow_trace_ms: float = 500.0,
+) -> int:
+    """Run one diagnosis with tracing forced on and print its span tree.
+
+    Without ``--input`` a small built-in synthetic scenario is diagnosed (one
+    corrupted query, full complaint set — enough to light up every phase
+    span).  With ``--input`` the first JSONL line of the file is served
+    instead, so a request captured from production can be re-run under the
+    profiler.  ``--output`` additionally writes the full span tree as JSON.
+    Exit status: 2 for usage errors, 1 when the diagnosis failed, 0 otherwise.
+    """
+    # Imported lazily, like the other service commands.
+    from repro.obs import configure_tracing, reset_tracing
+    from repro.service.types import DiagnosisRequest
+
+    if input_path is not None:
+        try:
+            with open(input_path, "r", encoding="utf-8") as handle:
+                first = next((line for line in handle if line.strip()), None)
+        except OSError as error:
+            print(f"cannot read --input file: {error}", file=sys.stderr)
+            return 2
+        if first is None:
+            print("--input file holds no request lines", file=sys.stderr)
+            return 2
+        try:
+            request = DiagnosisRequest.from_dict(json.loads(first))
+        except Exception as error:  # noqa: BLE001 - CLI boundary
+            print(f"cannot decode request: {error}", file=sys.stderr)
+            return 2
+    else:
+        from repro.workload.spec import ScenarioSpec, build_spec_scenario
+
+        scenario = build_spec_scenario(ScenarioSpec(seed=seed))
+        request = DiagnosisRequest(
+            initial=scenario.initial,
+            log=scenario.corrupted_log,
+            complaints=scenario.complaints,
+            final=scenario.dirty,
+            request_id=f"trace-demo-s{seed}",
+        )
+
+    tracer = configure_tracing(1.0, slow_trace_ms=slow_trace_ms)
+    engine = DiagnosisEngine(max_workers=1)
+    try:
+        response = engine.submit(request)
+    finally:
+        engine.close()
+
+    store = tracer.store
+    recorded = store.list(limit=1) if store is not None else []
+    if not recorded:
+        print("no trace was recorded", file=sys.stderr)
+        reset_tracing()
+        return 1
+    tree = store.get(recorded[0]["trace_id"]) or {}
+    reset_tracing()
+
+    for line in _format_span_tree(tree):
+        print(line)
+    print()
+    print(
+        f"diagnosis: ok={response.ok} feasible={response.feasible} "
+        f"status={response.status} elapsed={response.elapsed_seconds:.3f}s"
+    )
+    if output_path is not None:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(tree, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"span tree written to {output_path}")
+    return 0 if response.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -488,6 +705,10 @@ def main(argv: list[str] | None = None) -> int:
             args.shards,
             args.fsync,
             args.snapshot_every,
+            args.trace_sample_rate,
+            args.slow_trace_ms,
+            args.log_level,
+            args.log_json,
         )
     if args.experiment == "batch":
         return run_batch(
@@ -502,7 +723,11 @@ def main(argv: list[str] | None = None) -> int:
             args.max_workers,
             args.executor,
             args.max_inflight,
+            args.trace_dump,
+            args.slow_trace_ms,
         )
+    if args.experiment == "trace":
+        return run_trace(args.input, args.seed, args.output, args.slow_trace_ms)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         run_experiment(name, args.scale, args.seed)

@@ -65,6 +65,10 @@ class CellResult:
     error_type: str = ""
     error_message: str = ""
     skipped: bool = False
+    #: Phase-level timing pulled from the response summary (encode, solve,
+    #: presolve, search, lp…).  Timing detail, so it is serialized with the
+    #: cell but — like ``elapsed_seconds`` — kept out of :meth:`stable_dict`.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-native encoding (round-trips through :meth:`from_dict`)."""
@@ -88,6 +92,7 @@ class CellResult:
             "error_type": self.error_type,
             "error_message": self.error_message,
             "skipped": self.skipped,
+            "phase_seconds": dict(self.phase_seconds),
         }
 
     @classmethod
@@ -115,6 +120,9 @@ class CellResult:
             error_type=str(data.get("error_type", "")),
             error_message=str(data.get("error_message", "")),
             skipped=bool(data.get("skipped", False)),
+            phase_seconds={
+                str(k): float(v) for k, v in data.get("phase_seconds", {}).items()
+            },
         )
 
     def stable_dict(self) -> dict[str, Any]:
@@ -174,8 +182,18 @@ class HarnessReport:
                 if executed
                 else None
             ),
+            "phase_seconds": self._phase_rollup(executed),
             "elapsed_seconds": self.elapsed_seconds,
         }
+
+    @staticmethod
+    def _phase_rollup(executed: list[CellResult]) -> dict[str, float]:
+        """Total seconds per solver phase across every executed cell."""
+        totals: dict[str, float] = {}
+        for cell in executed:
+            for phase, seconds in cell.phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return {phase: round(seconds, 6) for phase, seconds in sorted(totals.items())}
 
     # -- serialization -----------------------------------------------------------
 

@@ -224,4 +224,25 @@ def _result_row(
         elapsed_seconds=response.elapsed_seconds,
         error_type=response.error_type,
         error_message=response.error_message,
+        phase_seconds=_phase_seconds(response.summary),
     )
+
+
+def _phase_seconds(summary: "dict[str, object]") -> dict[str, float]:
+    """Phase-level timings from a response summary.
+
+    ``encode_seconds`` / ``solve_seconds`` are top-level summary fields; the
+    solver backends additionally report ``stats.presolve_seconds`` /
+    ``stats.search_seconds`` / ``stats.lp_seconds`` — each becomes a phase
+    named by its stripped key (``encode``, ``solve``, ``presolve``, …).
+    """
+    phases: dict[str, float] = {}
+    for key, value in summary.items():
+        name = key[len("stats."):] if key.startswith("stats.") else key
+        if not name.endswith("_seconds") or name == "total_seconds":
+            continue
+        try:
+            phases[name[: -len("_seconds")]] = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            continue
+    return phases

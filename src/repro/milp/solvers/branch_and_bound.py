@@ -40,6 +40,7 @@ from repro.milp.model import Model
 from repro.milp.presolve import presolve
 from repro.milp.solution import Solution, SolveStatus
 from repro.milp.solvers.base import Solver, finalize_solution_values
+from repro.obs import trace as obs
 
 #: Tolerance within which a relaxation value counts as integral.
 INTEGRALITY_TOLERANCE = 1e-6
@@ -86,7 +87,11 @@ class BranchAndBoundSolver(Solver):
 
         stats: dict[str, float] = {}
         if self.use_presolve:
-            reduction = presolve(matrices)
+            presolve_start = time.perf_counter()
+            with obs.span("solver.presolve", solver=self.name) as presolve_span:
+                reduction = presolve(matrices)
+                presolve_span.set_attribute("infeasible", reduction.infeasible)
+            stats["presolve_seconds"] = time.perf_counter() - presolve_start
             stats.update({f"presolve_{key}": value for key, value in reduction.stats.items()})
             if reduction.infeasible:
                 elapsed = time.perf_counter() - start
@@ -109,6 +114,9 @@ class BranchAndBoundSolver(Solver):
 
         counter = itertools.count()
         explored = 0
+        lp_calls = 0
+        lp_seconds = 0.0
+        incumbent_updates = 0
         hit_limit = False
         limit_reason = ""
 
@@ -116,46 +124,62 @@ class BranchAndBoundSolver(Solver):
         heap = [root]
         relaxation_feasible_somewhere = False
 
-        while heap:
-            if explored >= self.max_nodes:
-                hit_limit, limit_reason = True, "node limit"
-                break
-            remaining = self._remaining_time(start)
-            if remaining is not None and remaining <= 0.0:
-                hit_limit, limit_reason = True, "time limit"
-                break
-            node = heapq.heappop(heap)
-            if node.bound >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
-                continue
-            explored += 1
-            lp = _solve_relaxation(
-                c, A_ub, b_ub, A_eq, b_eq, node.lower, node.upper, time_limit=remaining
-            )
-            if lp is None:
-                # A failed relaxation may be genuine infeasibility or HiGHS
-                # hitting the remaining-time budget; re-check the clock so a
-                # timed-out LP is not misreported as an infeasible box.
-                still_left = self._remaining_time(start)
-                if still_left is not None and still_left <= 0.0:
+        search_start = time.perf_counter()
+        with obs.span("solver.search", solver=self.name) as search_span:
+            while heap:
+                if explored >= self.max_nodes:
+                    hit_limit, limit_reason = True, "node limit"
+                    break
+                remaining = self._remaining_time(start)
+                if remaining is not None and remaining <= 0.0:
                     hit_limit, limit_reason = True, "time limit"
                     break
-                continue
-            relaxation_feasible_somewhere = True
-            lp_obj, lp_x = lp
-            if lp_obj >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
-                continue
-            branch_index = _most_fractional(lp_x, integer_indices)
-            if branch_index is None:
-                incumbent_obj = lp_obj
-                incumbent_x = lp_x
-                continue
-            for child in self._child_nodes(
-                node, branch_index, np.floor(lp_x[branch_index]), lp_obj, counter
-            ):
-                heapq.heappush(heap, child)
+                node = heapq.heappop(heap)
+                if node.bound >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
+                    continue
+                explored += 1
+                lp_t0 = time.perf_counter()
+                lp = _solve_relaxation(
+                    c, A_ub, b_ub, A_eq, b_eq, node.lower, node.upper, time_limit=remaining
+                )
+                lp_seconds += time.perf_counter() - lp_t0
+                lp_calls += 1
+                if lp is None:
+                    # A failed relaxation may be genuine infeasibility or HiGHS
+                    # hitting the remaining-time budget; re-check the clock so a
+                    # timed-out LP is not misreported as an infeasible box.
+                    still_left = self._remaining_time(start)
+                    if still_left is not None and still_left <= 0.0:
+                        hit_limit, limit_reason = True, "time limit"
+                        break
+                    continue
+                relaxation_feasible_somewhere = True
+                lp_obj, lp_x = lp
+                if lp_obj >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
+                    continue
+                branch_index = _most_fractional(lp_x, integer_indices)
+                if branch_index is None:
+                    incumbent_obj = lp_obj
+                    incumbent_x = lp_x
+                    incumbent_updates += 1
+                    search_span.add_event(
+                        "incumbent", objective=float(lp_obj), node=explored
+                    )
+                    continue
+                for child in self._child_nodes(
+                    node, branch_index, np.floor(lp_x[branch_index]), lp_obj, counter
+                ):
+                    heapq.heappush(heap, child)
+            search_span.set_attribute("nodes_explored", explored)
+            search_span.set_attribute("lp_relaxations", lp_calls)
+            search_span.set_attribute("incumbent_updates", incumbent_updates)
 
         elapsed = time.perf_counter() - start
         stats["nodes_explored"] = float(explored)
+        stats["search_seconds"] = time.perf_counter() - search_start
+        stats["lp_seconds"] = lp_seconds
+        stats["lp_relaxations"] = float(lp_calls)
+        stats["incumbent_updates"] = float(incumbent_updates)
         if incumbent_x is not None:
             raw = {
                 variable.name: float(incumbent_x[variable.index])

@@ -21,6 +21,7 @@ from repro.milp.model import Model
 from repro.milp.presolve import presolve
 from repro.milp.solution import Solution, SolveStatus
 from repro.milp.solvers.base import Solver, finalize_solution_values
+from repro.obs import trace as obs
 
 
 class HighsSolver(Solver):
@@ -66,7 +67,11 @@ class HighsSolver(Solver):
 
         stats: dict[str, float] = {}
         if self.use_presolve:
-            reduction = presolve(matrices)
+            presolve_start = time.perf_counter()
+            with obs.span("solver.presolve", solver=self.name) as presolve_span:
+                reduction = presolve(matrices)
+                presolve_span.set_attribute("infeasible", reduction.infeasible)
+            stats["presolve_seconds"] = time.perf_counter() - presolve_start
             stats.update({f"presolve_{key}": value for key, value in reduction.stats.items()})
             if reduction.infeasible:
                 return Solution(
@@ -91,30 +96,36 @@ class HighsSolver(Solver):
         if self.time_limit is not None:
             options["time_limit"] = float(self.time_limit)
 
+        search_start = time.perf_counter()
         try:
-            result = optimize.milp(
-                c=matrices["c"],
-                constraints=constraints,
-                bounds=bounds,
-                integrality=matrices["integrality"],
-                options=options,
-            )
-            if int(getattr(result, "status", 0)) == 4:
-                # "HiGHS Status 4: Solve error" — HiGHS's *internal* presolve
-                # is known to fall over on big-M indicator encodings with wide
-                # domains (surfaced by the scenario harness on TATP-sized
-                # models that branch-and-bound solves to optimality).  Retry
-                # once with HiGHS presolve disabled before reporting an error.
-                retry = optimize.milp(
+            with obs.span("solver.search", solver=self.name) as search_span:
+                result = optimize.milp(
                     c=matrices["c"],
                     constraints=constraints,
                     bounds=bounds,
                     integrality=matrices["integrality"],
-                    options={**options, "presolve": False},
+                    options=options,
                 )
-                if int(getattr(retry, "status", 4)) != 4:
-                    result = retry
-                    stats["highs_presolve_retry"] = 1.0
+                if int(getattr(result, "status", 0)) == 4:
+                    # "HiGHS Status 4: Solve error" — HiGHS's *internal* presolve
+                    # is known to fall over on big-M indicator encodings with wide
+                    # domains (surfaced by the scenario harness on TATP-sized
+                    # models that branch-and-bound solves to optimality).  Retry
+                    # once with HiGHS presolve disabled before reporting an error.
+                    search_span.add_event("highs_presolve_retry")
+                    retry = optimize.milp(
+                        c=matrices["c"],
+                        constraints=constraints,
+                        bounds=bounds,
+                        integrality=matrices["integrality"],
+                        options={**options, "presolve": False},
+                    )
+                    if int(getattr(retry, "status", 4)) != 4:
+                        result = retry
+                        stats["highs_presolve_retry"] = 1.0
+                search_span.set_attribute(
+                    "highs_status", int(getattr(result, "status", 4))
+                )
         except Exception as error:  # pragma: no cover - defensive
             return Solution(
                 status=SolveStatus.ERROR,
@@ -123,6 +134,7 @@ class HighsSolver(Solver):
                 message=str(error),
                 stats=stats,
             )
+        stats["search_seconds"] = time.perf_counter() - search_start
 
         elapsed = time.perf_counter() - start
         status = _translate_status(result)

@@ -1,0 +1,71 @@
+"""``repro.obs`` — observability: tracing, the flight recorder, and logging.
+
+Three stdlib-only pieces, designed to cost ~nothing when off:
+
+* :mod:`repro.obs.trace` — span trees with thread-local context propagation
+  across every tier (HTTP → engine → executor → solver → WAL), including
+  worker threads (:class:`ContextHandle`) and worker processes
+  (:func:`context_payload` / :func:`remote_context` / :func:`adopt_spans`);
+* :mod:`repro.obs.store` — the bounded in-memory :class:`TraceStore` ring
+  buffer whose slow-trace annex acts as a flight recorder for the requests
+  worth debugging after the fact;
+* :mod:`repro.obs.logs` — the ``qfix.`` logger hierarchy with trace-id
+  correlation and an optional JSON-lines format.
+
+The usual wiring is one :func:`configure_tracing` (and, when serving,
+:func:`configure_logging`) call at process start; every instrumentation point
+below reads the thread-local context and no-ops when nothing is sampled.
+"""
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.store import TraceStore
+from repro.obs.trace import (
+    NOOP_SPAN,
+    ContextHandle,
+    Span,
+    Tracer,
+    adopt_into,
+    adopt_spans,
+    attached,
+    build_trace_tree,
+    configure_tracing,
+    context_payload,
+    current_handle,
+    current_trace_id,
+    get_tracer,
+    handle_for,
+    maybe_trace,
+    record_span,
+    remote_context,
+    reset_tracing,
+    set_tracer,
+    span,
+    start_detached,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "ContextHandle",
+    "Span",
+    "TraceStore",
+    "Tracer",
+    "adopt_into",
+    "adopt_spans",
+    "attached",
+    "build_trace_tree",
+    "configure_logging",
+    "configure_tracing",
+    "context_payload",
+    "current_handle",
+    "current_trace_id",
+    "get_logger",
+    "get_tracer",
+    "handle_for",
+    "maybe_trace",
+    "record_span",
+    "remote_context",
+    "reset_tracing",
+    "set_tracer",
+    "span",
+    "start_detached",
+]

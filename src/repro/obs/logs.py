@@ -1,0 +1,110 @@
+"""Structured logging for the serving path: the ``qfix.`` logger hierarchy.
+
+One convention, two renderings:
+
+* every server/service/executor module logs through ``get_logger("server")``
+  etc. — children of the ``qfix`` root logger, so one :func:`configure_logging`
+  call governs level and format for the whole serving path;
+* the default format is a classic one-liner; ``json_mode=True`` switches to
+  one JSON object per line, machine-shippable as-is.
+
+Both renderings carry the active ``trace_id`` (from :mod:`repro.obs.trace`'s
+thread-local context) whenever the log call happens inside a sampled trace,
+so a slow-trace flight-recorder entry and its log lines correlate by id.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+from repro.obs.trace import current_trace_id
+
+ROOT_LOGGER_NAME = "qfix"
+
+#: Accepted ``--log-level`` values, mapped onto the stdlib levels.
+LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``qfix.`` hierarchy (``get_logger("server")`` →
+    ``qfix.server``); the bare root with no argument."""
+    return logging.getLogger(
+        f"{ROOT_LOGGER_NAME}.{name}" if name else ROOT_LOGGER_NAME
+    )
+
+
+class _TraceContextFilter(logging.Filter):
+    """Stamp each record with the active trace id (empty outside a trace)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not getattr(record, "trace_id", ""):
+            record.trace_id = current_trace_id() or ""
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, trace_id."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", "")
+        if trace_id:
+            payload["trace_id"] = trace_id
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """The human one-liner; appends ``trace=<id>`` inside a trace."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        trace_id = getattr(record, "trace_id", "")
+        return f"{line} trace={trace_id}" if trace_id else line
+
+
+def configure_logging(
+    level: str = "info",
+    *,
+    json_mode: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Configure the ``qfix`` root logger; idempotent (handlers replaced).
+
+    ``propagate`` is disabled so an application embedding the package with
+    its own root-logger handlers never sees duplicate lines.
+    """
+    try:
+        resolved = LOG_LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {', '.join(LOG_LEVELS)}"
+        ) from None
+    root = get_logger()
+    root.setLevel(resolved)
+    root.propagate = False
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else TextFormatter())
+    handler.addFilter(_TraceContextFilter())
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,120 @@
+"""The slow-request flight recorder: a bounded in-memory trace ring buffer.
+
+Two rings, one invariant:
+
+* ``recent`` holds the last *N* finished traces, slow or fast — the "what
+  just happened" window behind ``GET /v1/debug/traces``;
+* ``slow`` additionally pins every trace whose root duration crossed the
+  configured threshold.  High traffic evicts recent traces within seconds,
+  but the slow requests — the ones worth debugging an hour later — survive
+  until ``slow_capacity`` *other slow* traces push them out.
+
+Everything is JSON-native going in (span trees from
+:func:`repro.obs.trace.build_trace_tree`), so rendering an HTTP response or a
+CI artifact is a plain ``json.dumps``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+
+class TraceStore:
+    """Thread-safe ring buffer of finished traces with a slow-trace annex."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 256,
+        slow_capacity: int = 64,
+        slow_threshold_ms: float = 500.0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if slow_capacity < 1:
+            raise ValueError("slow_capacity must be at least 1")
+        self.slow_threshold_ms = float(slow_threshold_ms)
+        self._lock = threading.Lock()
+        self._recent: "deque[dict[str, Any]]" = deque(maxlen=capacity)
+        self._slow: "deque[dict[str, Any]]" = deque(maxlen=slow_capacity)
+        self._added = 0
+        self._slow_count = 0
+
+    def add(self, trace: dict[str, Any]) -> None:
+        """Record one finished trace (a span tree dict)."""
+        slow = float(trace.get("duration_ms", 0.0)) >= self.slow_threshold_ms
+        trace["slow"] = slow
+        with self._lock:
+            self._added += 1
+            self._recent.append(trace)
+            if slow:
+                self._slow_count += 1
+                self._slow.append(trace)
+
+    def get(self, trace_id: str) -> dict[str, Any] | None:
+        """Look one trace up by id — the slow annex outlives the recent ring."""
+        with self._lock:
+            for ring in (self._recent, self._slow):
+                for trace in reversed(ring):
+                    if trace.get("trace_id") == trace_id:
+                        return trace
+        return None
+
+    def list(
+        self, *, limit: int = 50, slow_only: bool = False
+    ) -> list[dict[str, Any]]:
+        """Newest-first summaries (id, root, duration, slow flag)."""
+        with self._lock:
+            if slow_only:
+                traces = list(self._slow)
+            else:
+                # The union, deduped by id: a slow trace evicted from the
+                # recent ring must still be listable.
+                seen: set[str] = set()
+                traces = []
+                for trace in list(self._recent) + list(self._slow):
+                    tid = str(trace.get("trace_id", ""))
+                    if tid in seen:
+                        continue
+                    seen.add(tid)
+                    traces.append(trace)
+        traces.sort(key=lambda trace: trace.get("started_at", 0.0), reverse=True)
+        return [
+            {
+                "trace_id": trace.get("trace_id", ""),
+                "root_name": trace.get("root_name", ""),
+                "started_at": trace.get("started_at", 0.0),
+                "duration_ms": trace.get("duration_ms", 0.0),
+                "span_count": trace.get("span_count", 0),
+                "status": trace.get("status", "ok"),
+                "slow": bool(trace.get("slow", False)),
+            }
+            for trace in traces[: max(limit, 0)]
+        ]
+
+    def dump(self) -> dict[str, Any]:
+        """The full store as one JSON-native document (the CI artifact)."""
+        with self._lock:
+            return {
+                "slow_threshold_ms": self.slow_threshold_ms,
+                "traces_recorded": self._added,
+                "slow_traces_recorded": self._slow_count,
+                "recent": list(self._recent),
+                "slow": list(self._slow),
+            }
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "slow_threshold_ms": self.slow_threshold_ms,
+                "traces_recorded": self._added,
+                "slow_traces_recorded": self._slow_count,
+                "recent_held": len(self._recent),
+                "slow_held": len(self._slow),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recent)

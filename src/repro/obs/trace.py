@@ -1,0 +1,603 @@
+"""Structured tracing: span trees, thread-local context, cross-tier propagation.
+
+The model is deliberately small — a stdlib-only subset of the OpenTelemetry
+shape, built for one question: *where did this diagnosis spend its time?*
+
+* A **trace** is one request's tree of spans, identified by a ``trace_id``.
+  Sampling happens once, at the root: an unsampled request costs a single
+  thread-local read per instrumentation point and allocates nothing.
+* A **span** is one timed region (monotonic clock) with attributes and
+  bounded events.  Spans are context managers; entering one pushes a *scope*
+  onto a thread-local stack so children created anywhere below — handlers,
+  the engine, solver backends, the WAL observer — nest under it without any
+  plumbing through call signatures.
+* Scopes cross **thread** boundaries via :class:`ContextHandle` (a live
+  reference to the trace's span buffer plus the parent span id) and cross
+  **process** boundaries via :func:`context_payload` / :func:`remote_context`
+  (a picklable ``{trace_id, parent_span_id}`` dict; the worker collects its
+  spans locally and ships them back for :func:`adopt_spans` to stitch into
+  the parent's tree).
+
+Finished traces land in a :class:`~repro.obs.store.TraceStore` ring buffer —
+the flight recorder behind ``GET /v1/debug/traces``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Any, Iterator, Mapping
+
+#: Hard caps so a runaway loop cannot balloon one trace without bound.
+MAX_SPANS_PER_TRACE = 5_000
+MAX_EVENTS_PER_SPAN = 64
+
+_STATE = threading.local()
+
+
+def _scopes() -> "list[tuple[_TraceBuffer, str]]":
+    scopes = getattr(_STATE, "scopes", None)
+    if scopes is None:
+        scopes = []
+        _STATE.scopes = scopes
+    return scopes
+
+
+def _current_scope() -> "tuple[_TraceBuffer, str] | None":
+    scopes = getattr(_STATE, "scopes", None)
+    return scopes[-1] if scopes else None
+
+
+class _TraceBuffer:
+    """The finished-span collection of one in-flight trace (thread-safe)."""
+
+    __slots__ = ("trace_id", "started_at", "spans", "dropped", "_lock")
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+        self.started_at = time.time()
+        self.spans: list[dict[str, Any]] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def add(self, span_dict: dict[str, Any]) -> None:
+        with self._lock:
+            if len(self.spans) >= MAX_SPANS_PER_TRACE:
+                self.dropped += 1
+                return
+            self.spans.append(span_dict)
+
+    def adopt(self, spans: "list[dict[str, Any]]") -> None:
+        """Stitch spans collected elsewhere (a worker process) into this trace."""
+        with self._lock:
+            room = MAX_SPANS_PER_TRACE - len(self.spans)
+            if room < len(spans):
+                self.dropped += len(spans) - max(room, 0)
+            self.spans.extend(spans[: max(room, 0)])
+
+    def export(self) -> "list[dict[str, Any]]":
+        with self._lock:
+            return list(self.spans)
+
+
+class ContextHandle:
+    """A live pointer into an active trace, for handing to worker threads."""
+
+    __slots__ = ("buffer", "parent_span_id")
+
+    def __init__(self, buffer: _TraceBuffer, parent_span_id: str) -> None:
+        self.buffer = buffer
+        self.parent_span_id = parent_span_id
+
+    @property
+    def trace_id(self) -> str:
+        return self.buffer.trace_id
+
+
+class Span:
+    """One timed region of a sampled trace.  Use as a context manager."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "started_at",
+        "attributes",
+        "events",
+        "status",
+        "_t0",
+        "_buffer",
+        "_finished",
+        "_on_stack",
+        "_finalizer",
+    )
+
+    recording = True
+
+    def __init__(
+        self,
+        buffer: _TraceBuffer,
+        name: str,
+        parent_id: str | None,
+        attributes: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.trace_id = buffer.trace_id
+        self.span_id = uuid.uuid4().hex[:16]
+        self.parent_id = parent_id
+        self.started_at = time.time()
+        self.attributes = attributes
+        self.events: list[dict[str, Any]] = []
+        self.status = "ok"
+        self._t0 = time.perf_counter()
+        self._buffer = buffer
+        self._finished = False
+        self._on_stack = False
+        self._finalizer = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time marker inside the span (bounded)."""
+        if len(self.events) >= MAX_EVENTS_PER_SPAN:
+            return
+        event: dict[str, Any] = {
+            "name": name,
+            "offset_ms": round((time.perf_counter() - self._t0) * 1000.0, 3),
+        }
+        if attributes:
+            event["attributes"] = attributes
+        self.events.append(event)
+
+    def set_status(self, status: str) -> None:
+        self.status = status
+
+    def finish(self) -> None:
+        """Record the span; idempotent.  Called by ``__exit__`` normally."""
+        if self._finished:
+            return
+        self._finished = True
+        span_dict: dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "duration_ms": round((time.perf_counter() - self._t0) * 1000.0, 3),
+            "status": self.status,
+        }
+        if self.attributes:
+            span_dict["attributes"] = self.attributes
+        if self.events:
+            span_dict["events"] = self.events
+        self._buffer.add(span_dict)
+        if self._finalizer is not None:
+            self._finalizer(self)
+
+    def __enter__(self) -> "Span":
+        _scopes().append((self._buffer, self.span_id))
+        self._on_stack = True
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self._on_stack:
+            self._on_stack = False
+            scopes = _scopes()
+            if scopes:
+                scopes.pop()
+        if exc_type is not None and self.status == "ok":
+            self.status = "error"
+            self.set_attribute("error_type", exc_type.__name__)
+        self.finish()
+
+
+class _NoopSpan:
+    """The do-nothing span returned on every unsampled path (one instance)."""
+
+    __slots__ = ()
+
+    recording = False
+    name = ""
+    trace_id = ""
+    span_id = ""
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def set_status(self, status: str) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Root-span factory: makes the per-trace sampling decision.
+
+    Parameters
+    ----------
+    sample_rate:
+        Probability in ``[0, 1]`` that a root span is sampled.  ``0.0``
+        disables tracing entirely (every span is the no-op singleton) except
+        for explicitly forced traces — an incoming ``X-Trace-Id`` header or
+        ``force=True``.
+    store:
+        Where finished traces go.  ``None`` means sampled spans are timed but
+        dropped at the root — useful only in tests.
+    """
+
+    def __init__(self, sample_rate: float = 0.0, store: "Any | None" = None) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be between 0.0 and 1.0")
+        self.sample_rate = sample_rate
+        self.store = store
+        # random.Random per tracer: the sampling stream must not perturb (or
+        # be perturbed by) workload generators seeding the global random.
+        import random
+
+        self._random = random.Random()
+
+    def trace(
+        self,
+        name: str,
+        *,
+        trace_id: str | None = None,
+        force: bool | None = None,
+        **attributes: Any,
+    ) -> "Span | _NoopSpan":
+        """Start a root span (a new trace), or the no-op span if unsampled.
+
+        ``trace_id`` adopts a caller-supplied id (an ``X-Trace-Id`` header)
+        and forces sampling — explicitly traced requests are always recorded.
+        """
+        if force is None:
+            force = trace_id is not None
+        if not force:
+            if self.sample_rate <= 0.0:
+                return NOOP_SPAN
+            if self.sample_rate < 1.0 and self._random.random() >= self.sample_rate:
+                return NOOP_SPAN
+        buffer = _TraceBuffer(trace_id if trace_id else uuid.uuid4().hex)
+        root = Span(buffer, name, None, dict(attributes))
+        root._finalizer = self._finalize_root
+        return root
+
+    def _finalize_root(self, root: Span) -> None:
+        store = self.store
+        if store is None:
+            return
+        buffer = root._buffer
+        store.add(
+            build_trace_tree(
+                buffer.trace_id,
+                buffer.export(),
+                started_at=buffer.started_at,
+                dropped=buffer.dropped,
+            )
+        )
+
+
+def build_trace_tree(
+    trace_id: str,
+    spans: "list[dict[str, Any]]",
+    *,
+    started_at: float | None = None,
+    dropped: int = 0,
+) -> dict[str, Any]:
+    """Assemble finished spans into one JSON-native span tree.
+
+    Spans whose parent never finished (an abandoned generator, a crashed
+    worker's partial shipment) attach under the root rather than vanishing.
+    """
+    nodes: dict[str, dict[str, Any]] = {}
+    for span in spans:
+        node = dict(span)
+        node["children"] = []
+        nodes[span["span_id"]] = node
+    root = None
+    orphans: list[dict[str, Any]] = []
+    for node in nodes.values():
+        parent_id = node.get("parent_id")
+        if parent_id is None:
+            root = node if root is None else root
+        elif parent_id in nodes:
+            nodes[parent_id]["children"].append(node)
+        else:
+            orphans.append(node)
+    if root is None:
+        root = {
+            "name": "(incomplete trace)",
+            "span_id": "",
+            "parent_id": None,
+            "started_at": started_at or 0.0,
+            "duration_ms": 0.0,
+            "status": "ok",
+            "children": [],
+        }
+    for orphan in orphans:
+        if orphan is not root:
+            root["children"].append(orphan)
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child.get("started_at", 0.0))
+    root["children"].sort(key=lambda child: child.get("started_at", 0.0))
+    tree: dict[str, Any] = {
+        "trace_id": trace_id,
+        "root_name": root["name"],
+        "started_at": started_at if started_at is not None else root["started_at"],
+        "duration_ms": root["duration_ms"],
+        "span_count": len(spans),
+        "status": root.get("status", "ok"),
+        "root": root,
+    }
+    if dropped:
+        tree["dropped_spans"] = dropped
+    return tree
+
+
+# -- instrumentation points (module-level, context-driven) -----------------------------
+
+
+def span(name: str, **attributes: Any) -> "Span | _NoopSpan":
+    """A child span of the current scope, or the no-op span outside any trace.
+
+    This is the one call every instrumented tier makes; off-path it is a
+    thread-local read and a ``None`` check.
+    """
+    scope = _current_scope()
+    if scope is None:
+        return NOOP_SPAN
+    buffer, parent_id = scope
+    return Span(buffer, name, parent_id, dict(attributes) if attributes else {})
+
+
+def maybe_trace(name: str, **attributes: Any) -> "Span | _NoopSpan":
+    """A child span when a trace is active, else a sampled root from the
+    global tracer — entry points (``engine.submit``) use this so they trace
+    both under an HTTP root and when driven directly."""
+    scope = _current_scope()
+    if scope is not None:
+        buffer, parent_id = scope
+        return Span(buffer, name, parent_id, dict(attributes) if attributes else {})
+    return get_tracer().trace(name, **attributes)
+
+
+def start_detached(name: str, **attributes: Any) -> "Span | _NoopSpan":
+    """A span that is timed and recorded but never pushed on the scope stack.
+
+    For regions that outlive a ``with`` block's discipline — generators
+    (``diagnose_stream``) whose consumption interleaves with the caller's own
+    spans.  Children must reference it explicitly via :func:`handle_for`.
+    The caller owns calling :meth:`Span.finish`.
+    """
+    scope = _current_scope()
+    if scope is None:
+        return NOOP_SPAN
+    buffer, parent_id = scope
+    return Span(buffer, name, parent_id, dict(attributes) if attributes else {})
+
+
+def record_span(
+    name: str, *, seconds: float, attributes: "Mapping[str, Any] | None" = None
+) -> None:
+    """Record an already-timed span under the current scope (observer hooks).
+
+    The WAL's append observer reports ``(bytes, fsync_seconds)`` *after* the
+    write; this turns that report into a span without re-timing anything.
+    """
+    scope = _current_scope()
+    if scope is None:
+        return
+    buffer, parent_id = scope
+    span_dict: dict[str, Any] = {
+        "name": name,
+        "span_id": uuid.uuid4().hex[:16],
+        "parent_id": parent_id,
+        "started_at": time.time() - seconds,
+        "duration_ms": round(seconds * 1000.0, 3),
+        "status": "ok",
+    }
+    if attributes:
+        span_dict["attributes"] = dict(attributes)
+    buffer.add(span_dict)
+
+
+def current_trace_id() -> str | None:
+    """The active trace id, or ``None`` outside any sampled trace."""
+    scope = _current_scope()
+    return scope[0].trace_id if scope is not None else None
+
+
+def current_handle() -> ContextHandle | None:
+    """A handle to the current scope, for attaching worker threads."""
+    scope = _current_scope()
+    if scope is None:
+        return None
+    return ContextHandle(scope[0], scope[1])
+
+
+def handle_for(parent: "Span | _NoopSpan") -> ContextHandle | None:
+    """A handle parenting new work under ``parent`` (``None`` if unsampled)."""
+    if not parent.recording:
+        return None
+    return ContextHandle(parent._buffer, parent.span_id)  # type: ignore[union-attr]
+
+
+class attached:
+    """Context manager: adopt a :class:`ContextHandle` on this thread.
+
+    Spans created inside the block join the handle's trace as children of the
+    handle's parent span.  A ``None`` handle makes the block a no-op, so call
+    sites never branch.
+    """
+
+    __slots__ = ("_handle", "_pushed")
+
+    def __init__(self, handle: ContextHandle | None) -> None:
+        self._handle = handle
+        self._pushed = False
+
+    def __enter__(self) -> "attached":
+        if self._handle is not None:
+            _scopes().append((self._handle.buffer, self._handle.parent_span_id))
+            self._pushed = True
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._pushed:
+            self._pushed = False
+            scopes = _scopes()
+            if scopes:
+                scopes.pop()
+
+
+# -- process-boundary propagation ------------------------------------------------------
+
+
+def context_payload() -> dict[str, str] | None:
+    """The current scope as a picklable dict, or ``None`` outside a trace."""
+    scope = _current_scope()
+    if scope is None:
+        return None
+    return {"trace_id": scope[0].trace_id, "parent_span_id": scope[1]}
+
+
+class remote_context:
+    """Worker-side continuation of a trace shipped via :func:`context_payload`.
+
+    Inside the block, spans record into a local collector (same ``trace_id``,
+    parented under the shipped span id); :meth:`export` returns them as plain
+    dicts for the response to carry back across the pickle boundary.
+    """
+
+    __slots__ = ("_payload", "_buffer", "_pushed")
+
+    def __init__(self, payload: "Mapping[str, str] | None") -> None:
+        self._payload = payload
+        self._buffer: _TraceBuffer | None = None
+        self._pushed = False
+
+    def __enter__(self) -> "remote_context":
+        if self._payload and self._payload.get("trace_id"):
+            self._buffer = _TraceBuffer(str(self._payload["trace_id"]))
+            parent = str(self._payload.get("parent_span_id", "")) or None
+            _scopes().append((self._buffer, parent or ""))
+            self._pushed = True
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._pushed:
+            self._pushed = False
+            scopes = _scopes()
+            if scopes:
+                scopes.pop()
+
+    def export(self) -> "list[dict[str, Any]]":
+        """The spans the worker collected (empty without an active payload).
+
+        Each span is tagged with its ``trace_id`` so the parent-side adopt
+        can reject spans from a stale or mismatched shipment.
+        """
+        if self._buffer is None:
+            return []
+        trace_id = self._buffer.trace_id
+        return [{**span, "trace_id": trace_id} for span in self._buffer.export()]
+
+
+def adopt_into(
+    handle: ContextHandle | None, spans: "list[dict[str, Any]] | None"
+) -> bool:
+    """Stitch worker-exported spans into ``handle``'s trace (scope-free).
+
+    Generator frames (``diagnose_stream``) have no scope stack of their own,
+    so adoption there goes through the stream span's handle directly.
+    """
+    if not spans or handle is None:
+        return False
+    buffer = handle.buffer
+    matching = [
+        span
+        for span in spans
+        if span.get("trace_id", buffer.trace_id) == buffer.trace_id
+    ]
+    buffer.adopt(matching)
+    return True
+
+
+def adopt_spans(spans: "list[dict[str, Any]] | None") -> bool:
+    """Stitch worker-exported spans into the current trace, if one is active.
+
+    Returns ``True`` when the spans were adopted (callers may then clear the
+    shipped copy).  Spans from a different trace are dropped — a late
+    response from a previous request must not pollute the current tree.
+    """
+    if not spans:
+        return False
+    scope = _current_scope()
+    if scope is None:
+        return False
+    buffer = scope[0]
+    matching = [span for span in spans if span.get("trace_id", buffer.trace_id) == buffer.trace_id]
+    buffer.adopt(matching)
+    return True
+
+
+# -- the global tracer -----------------------------------------------------------------
+
+_GLOBAL_LOCK = threading.Lock()
+_GLOBAL_TRACER = Tracer(sample_rate=0.0, store=None)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled until :func:`configure_tracing`)."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide tracer; returns it."""
+    global _GLOBAL_TRACER
+    with _GLOBAL_LOCK:
+        _GLOBAL_TRACER = tracer
+    return tracer
+
+
+def configure_tracing(
+    sample_rate: float,
+    *,
+    slow_trace_ms: float = 500.0,
+    capacity: int = 256,
+    slow_capacity: int = 64,
+) -> Tracer:
+    """Build a tracer + flight-recorder store and install them globally."""
+    from repro.obs.store import TraceStore
+
+    store = TraceStore(
+        capacity=capacity,
+        slow_capacity=slow_capacity,
+        slow_threshold_ms=slow_trace_ms,
+    )
+    return set_tracer(Tracer(sample_rate=sample_rate, store=store))
+
+
+def reset_tracing() -> None:
+    """Disable global tracing (tests use this to isolate state)."""
+    set_tracer(Tracer(sample_rate=0.0, store=None))
+
+
+def iter_scopes() -> Iterator[tuple[str, str]]:  # pragma: no cover - debug aid
+    """(trace_id, parent_span_id) pairs of this thread's scope stack."""
+    for buffer, parent in _scopes():
+        yield buffer.trace_id, parent

@@ -55,6 +55,9 @@ class BatchItem:
     warm_hint: dict[str, float] | None = None
     #: Submission attempts so far (bounded retry after a worker crash).
     attempts: int = 0
+    #: Trace context (:class:`repro.obs.trace.ContextHandle`) when the batch
+    #: runs inside a sampled trace; executors attach worker-side spans to it.
+    trace: Any = None
 
     @property
     def request_id(self) -> str:
@@ -78,6 +81,9 @@ class WorkUnit:
     payload: dict[str, Any]
     shard: int = 0
     warm_hint: dict[str, float] | None = field(default=None)
+    #: Picklable trace context (``{trace_id, parent_span_id}``) so the worker
+    #: process continues the parent's trace across the pickle boundary.
+    trace_context: dict[str, str] | None = field(default=None)
 
 
 class Executor(abc.ABC):

@@ -16,6 +16,7 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
+from repro.obs import trace as obs
 from repro.parallel.base import BatchItem, Executor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -28,7 +29,8 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def submit(self, item: BatchItem) -> "Future[DiagnosisResponse]":
-        return self._completed(self.engine.submit(item.request))
+        with obs.attached(item.trace):
+            return self._completed(self.engine.submit(item.request))
 
     def describe(self) -> dict[str, object]:
         return {"name": self.name, "max_workers": 1}
@@ -56,7 +58,13 @@ class ThreadExecutor(Executor):
                     thread_name_prefix="qfix-diagnose",
                 )
             pool = self._pool
-        return pool.submit(self.engine.submit, item.request)
+        return pool.submit(self._run, item)
+
+    def _run(self, item: BatchItem) -> "DiagnosisResponse":
+        # Pool threads have no scope stack of their own; adopt the batch's
+        # trace context so engine/solver spans nest under the stream span.
+        with obs.attached(item.trace):
+            return self.engine.submit(item.request)
 
     def describe(self) -> dict[str, object]:
         return {"name": self.name, "max_workers": self.max_workers}

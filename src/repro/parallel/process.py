@@ -46,6 +46,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Any
 
 from repro.durability.shards import FirstSeenRouter
+from repro.obs import logs as obs_logs
+from repro.obs import trace as obs
 from repro.parallel.base import BatchItem, Executor, WorkUnit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,6 +69,9 @@ def _warn_single_core_once() -> None:
         if _warned_single_core:
             return
         _warned_single_core = True
+    obs_logs.get_logger("parallel").warning(
+        "process executor found one CPU core; degrading to serial execution"
+    )
     warnings.warn(
         "the 'process' executor found only one CPU core; falling back to "
         "serial in-process execution (pass force=True to keep worker pools)",
@@ -124,7 +129,9 @@ def _run_unit(unit: WorkUnit) -> "DiagnosisResponse":
             engine.seed_warm(request, unit.warm_hint)
         except Exception:  # noqa: BLE001 - a bad hint must never sink the unit
             pass
-    response = engine.submit(request)
+    with obs.remote_context(unit.trace_context) as collector:
+        response = engine.submit(request)
+    response.trace_spans = collector.export()
     try:
         pickle.dumps(response)
     except Exception:  # noqa: BLE001 - exotic custom-diagnoser results
@@ -202,8 +209,17 @@ class ProcessExecutor(Executor):
     def submit(self, item: BatchItem) -> "Future[DiagnosisResponse]":
         item.attempts += 1
         if self._fallback:
-            return self._completed(self.engine.submit(item.request))
+            with obs.attached(item.trace):
+                return self._completed(self.engine.submit(item.request))
         shard = self._shard_for(item)
+        trace_context = (
+            {
+                "trace_id": item.trace.trace_id,
+                "parent_span_id": item.trace.parent_span_id,
+            }
+            if item.trace is not None
+            else None
+        )
         try:
             unit = WorkUnit(
                 index=item.index,
@@ -211,6 +227,7 @@ class ProcessExecutor(Executor):
                 payload=item.request.to_dict(),
                 shard=shard,
                 warm_hint=item.warm_hint,
+                trace_context=trace_context,
             )
         except Exception as error:  # noqa: BLE001 - unserializable request
             return self._failed(error)

@@ -28,6 +28,8 @@ POST    /v1/sessions/{id}/complaints       register complaints
 POST    /v1/sessions/{id}/diagnose         diagnose, cache the repair
 POST    /v1/sessions/{id}/accept-repair    adopt the cached repair
 POST    /v1/admin/snapshot                 force a durability snapshot (all shards)
+GET     /v1/debug/traces                   flight recorder: recent/slow traces
+GET     /v1/debug/traces/{id}              one recorded trace as a span tree
 GET     /healthz                           liveness
 GET     /metrics                           Prometheus text (or ``?format=json``)
 ======  =================================  ========================================
@@ -47,6 +49,8 @@ from urllib.parse import parse_qsl, urlsplit
 
 from repro.durability import DurabilityConfig, SessionJournal
 from repro.exceptions import ReproError
+from repro.obs import logs as obs_logs
+from repro.obs.trace import Tracer, get_tracer
 from repro.server import handlers
 from repro.server.handlers import HTTPError
 from repro.server.store import NoPendingRepair, SessionNotFound, SessionStore
@@ -58,6 +62,8 @@ from repro.service.serialize import SerializationError
 #: states, small enough that one client cannot balloon server memory.
 DEFAULT_MAX_REQUEST_BYTES = 16 * 1024 * 1024
 
+_LOGGER = obs_logs.get_logger("server")
+
 
 @dataclass
 class Request:
@@ -68,6 +74,9 @@ class Request:
     params: dict[str, str] = field(default_factory=dict)
     query: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: Request headers as received (original case preserved; see
+    #: :func:`_header` for the case-insensitive lookup handlers use).
+    headers: dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -79,6 +88,17 @@ class Response:
     body: bytes = b""
     #: Extra response headers (e.g. ``Retry-After`` on a 429).
     headers: tuple[tuple[str, str], ...] = ()
+
+
+def _header(headers: "dict[str, str] | None", name: str) -> str | None:
+    """Case-insensitive header lookup (HTTP header names are)."""
+    if not headers:
+        return None
+    lowered = name.lower()
+    for key, value in headers.items():
+        if key.lower() == lowered:
+            return value
+    return None
 
 
 Handler = Callable[["DiagnosisApp", Request], Response]
@@ -184,8 +204,12 @@ class DiagnosisApp:
         telemetry: Telemetry | None = None,
         max_inflight: int | None = None,
         durability: DurabilityConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.engine = engine if engine is not None else DiagnosisEngine()
+        # The process-wide tracer by default, so `configure_tracing` before
+        # app construction (the CLI's order) wires the flight recorder in.
+        self.tracer = tracer if tracer is not None else get_tracer()
         if store is None:
             journal = SessionJournal(durability) if durability is not None else None
             store = SessionStore(self.engine, journal=journal)
@@ -219,6 +243,8 @@ class DiagnosisApp:
                 "POST", "/v1/sessions/{sid}/accept-repair", handlers.handle_session_accept
             ),
             _route("POST", "/v1/admin/snapshot", handlers.handle_admin_snapshot),
+            _route("GET", "/v1/debug/traces", handlers.handle_debug_traces),
+            _route("GET", "/v1/debug/traces/{tid}", handlers.handle_debug_trace),
             _route("GET", "/healthz", handlers.handle_healthz),
             _route("GET", "/metrics", handlers.handle_metrics),
         )
@@ -254,7 +280,13 @@ class DiagnosisApp:
                 return route, dict(found.groupdict()), True
         return None, {}, path_matched
 
-    def dispatch(self, method: str, target: str, body: bytes = b"") -> Response:
+    def dispatch(
+        self,
+        method: str,
+        target: str,
+        body: bytes = b"",
+        headers: "dict[str, str] | None" = None,
+    ) -> Response:
         """Route and serve one request; never raises.
 
         ``target`` is the request target as it appears on the request line —
@@ -262,6 +294,10 @@ class DiagnosisApp:
         to statuses: bad payloads → 400, unknown ids → 404, accept-without-
         repair → 409, anything unexpected → 500 (with the error named in the
         JSON body, never a traceback leak).
+
+        An ``X-Trace-Id`` request header forces the request to be traced
+        under that id (sampling otherwise follows the app's tracer); traced
+        responses echo the id back in their own ``X-Trace-Id`` header.
         """
         start = time.perf_counter()
         split = urlsplit(target)
@@ -305,29 +341,56 @@ class DiagnosisApp:
             params=params,
             query=dict(parse_qsl(split.query)),
             body=body,
+            headers=dict(headers) if headers else {},
+        )
+        incoming_trace = _header(headers, "X-Trace-Id")
+        root_span = self.tracer.trace(
+            f"http {route.label}",
+            trace_id=incoming_trace.strip() if incoming_trace else None,
+            method=method,
+            path=path,
         )
         admitted = route.gated and self.gate is not None
         try:
-            response = route.handler(self, request)
-        except HTTPError as error:
-            response = _error_response(error.status, error.message, type(error).__name__)
-        except SessionNotFound as error:
-            response = _error_response(404, str(error), type(error).__name__)
-        except NoPendingRepair as error:
-            response = _error_response(409, str(error), type(error).__name__)
-        except SerializationError as error:
-            response = _error_response(400, str(error), type(error).__name__)
-        except ReproError as error:
-            # Domain errors from deeper layers (full store, length mismatch…)
-            # are client-resolvable conflicts, not server faults.
-            response = _error_response(409, str(error), type(error).__name__)
-        except Exception as error:  # noqa: BLE001 - the serving loop must survive
-            response = _error_response(
-                500, f"internal error: {error}", type(error).__name__
-            )
+            # Error mapping happens *inside* the root span so the span always
+            # records the status the client actually saw.
+            with root_span:
+                try:
+                    response = route.handler(self, request)
+                except HTTPError as error:
+                    response = _error_response(
+                        error.status, error.message, type(error).__name__
+                    )
+                except SessionNotFound as error:
+                    response = _error_response(404, str(error), type(error).__name__)
+                except NoPendingRepair as error:
+                    response = _error_response(409, str(error), type(error).__name__)
+                except SerializationError as error:
+                    response = _error_response(400, str(error), type(error).__name__)
+                except ReproError as error:
+                    # Domain errors from deeper layers (full store, length
+                    # mismatch…) are client-resolvable conflicts, not server
+                    # faults.
+                    response = _error_response(409, str(error), type(error).__name__)
+                except Exception as error:  # noqa: BLE001 - the serving loop must survive
+                    _LOGGER.error(
+                        "unhandled %s serving %s: %s",
+                        type(error).__name__,
+                        route.label,
+                        error,
+                        extra={"trace_id": getattr(root_span, "trace_id", "") or ""},
+                    )
+                    response = _error_response(
+                        500, f"internal error: {error}", type(error).__name__
+                    )
+                root_span.set_attribute("status_code", response.status)
+                if response.status >= 500:
+                    root_span.set_status("error")
         finally:
             if admitted:
                 self.gate.release()
+        if root_span.recording:
+            response.headers = response.headers + (("X-Trace-Id", root_span.trace_id),)
         self.telemetry.record_request(
             route.label, response.status, time.perf_counter() - start
         )
@@ -432,7 +495,9 @@ class _HTTPRequestHandler(BaseHTTPRequestHandler):
             # unread oversized body cannot wedge keep-alive framing.
             self.close_connection = True
             return
-        response = self.server.app.dispatch(self.command, self.path, body)
+        response = self.server.app.dispatch(
+            self.command, self.path, body, headers=dict(self.headers.items())
+        )
         self._write(response)
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
@@ -457,6 +522,7 @@ def make_server(
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     max_inflight: int | None = None,
     durability: DurabilityConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> DiagnosisServer:
     """Build a bound (but not yet serving) :class:`DiagnosisServer`.
 
@@ -470,7 +536,9 @@ def make_server(
     application = (
         app
         if app is not None
-        else DiagnosisApp(engine, max_inflight=max_inflight, durability=durability)
+        else DiagnosisApp(
+            engine, max_inflight=max_inflight, durability=durability, tracer=tracer
+        )
     )
     return DiagnosisServer(
         (host, port), application, max_request_bytes=max_request_bytes
@@ -509,6 +577,7 @@ def serve(
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     max_inflight: int | None = None,
     durability: DurabilityConfig | None = None,
+    tracer: Tracer | None = None,
     ready_callback: Callable[[DiagnosisServer], None] | None = None,
 ) -> None:
     """Blocking convenience runner: build a server and serve until stopped.
@@ -528,6 +597,7 @@ def serve(
         max_request_bytes=max_request_bytes,
         max_inflight=max_inflight,
         durability=durability,
+        tracer=tracer,
     )
     if threading.current_thread() is threading.main_thread():
         _install_shutdown_handlers(server)

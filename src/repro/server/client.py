@@ -87,6 +87,16 @@ class DiagnosisClient:
     def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Response headers of the most recent successful request.
+        self.last_headers: dict[str, str] = {}
+
+    @property
+    def last_trace_id(self) -> str | None:
+        """The ``X-Trace-Id`` of the last response, when the server traced it."""
+        for key, value in self.last_headers.items():
+            if key.lower() == "x-trace-id":
+                return value
+        return None
 
     # -- plumbing ------------------------------------------------------------------
 
@@ -97,15 +107,20 @@ class DiagnosisClient:
         *,
         body: bytes | None = None,
         content_type: str = "application/json",
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[int, str, bytes]:
+        request_headers = dict(headers) if headers else {}
+        if body is not None:
+            request_headers.setdefault("Content-Type", content_type)
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=body,
             method=method,
-            headers={"Content-Type": content_type} if body is not None else {},
+            headers=request_headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                self.last_headers = dict(reply.headers.items())
                 return (
                     reply.status,
                     reply.headers.get("Content-Type", ""),
@@ -123,16 +138,31 @@ class DiagnosisClient:
         except urllib.error.URLError as error:
             raise ServerError(0, f"server unreachable: {error.reason}") from None
 
-    def _json(self, method: str, path: str, payload: Any | None = None) -> Any:
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Any | None = None,
+        *,
+        headers: Mapping[str, str] | None = None,
+    ) -> Any:
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
-        _, _, raw = self._request(method, path, body=body)
+        _, _, raw = self._request(method, path, body=body, headers=headers)
         return json.loads(raw.decode("utf-8")) if raw else {}
 
     # -- stateless diagnosis -------------------------------------------------------
 
-    def diagnose(self, request: DiagnosisRequest) -> DiagnosisResponse:
-        """``POST /v1/diagnose`` — serve one request remotely."""
-        data = self._json("POST", "/v1/diagnose", request.to_dict())
+    def diagnose(
+        self, request: DiagnosisRequest, *, trace_id: str | None = None
+    ) -> DiagnosisResponse:
+        """``POST /v1/diagnose`` — serve one request remotely.
+
+        ``trace_id`` forces the server to trace the request under that id
+        (readable afterwards via :meth:`get_trace`); the echoed id is also
+        available as :attr:`last_trace_id`.
+        """
+        headers = {"X-Trace-Id": trace_id} if trace_id else None
+        data = self._json("POST", "/v1/diagnose", request.to_dict(), headers=headers)
         return DiagnosisResponse.from_dict(data)
 
     def diagnose_batch(
@@ -261,6 +291,17 @@ class DiagnosisClient:
     def metrics_snapshot(self) -> dict[str, Any]:
         """``GET /metrics?format=json`` — the structured counter snapshot."""
         return dict(self._json("GET", "/metrics?format=json"))
+
+    def traces(
+        self, *, slow_only: bool = False, limit: int = 50
+    ) -> list[dict[str, Any]]:
+        """``GET /v1/debug/traces`` — flight-recorder trace summaries."""
+        query = f"?limit={int(limit)}" + ("&slow=1" if slow_only else "")
+        return list(self._json("GET", f"/v1/debug/traces{query}")["traces"])
+
+    def get_trace(self, trace_id: str) -> dict[str, Any]:
+        """``GET /v1/debug/traces/{id}`` — one recorded trace's span tree."""
+        return dict(self._json("GET", f"/v1/debug/traces/{trace_id}"))
 
 
 def _parse_error(payload: bytes) -> tuple[str, str]:

@@ -321,8 +321,19 @@ def handle_healthz(app: "DiagnosisApp", request: "Request") -> "Response":
 
 
 def handle_metrics(app: "DiagnosisApp", request: "Request") -> "Response":
-    """``GET /metrics`` — Prometheus text by default, JSON with ``?format=json``."""
-    if request.query.get("format") == "json":
+    """``GET /metrics`` — Prometheus text by default, JSON on request.
+
+    JSON is selected by ``?format=json`` or an ``Accept`` header that prefers
+    ``application/json`` (scrapers send ``Accept: text/plain`` or nothing, so
+    the Prometheus rendering stays the default).
+    """
+    wants_json = request.query.get("format") == "json"
+    if not wants_json:
+        from repro.server.app import _header
+
+        accept = (_header(request.headers, "Accept") or "").lower()
+        wants_json = "application/json" in accept
+    if wants_json:
         return _json_response(app.telemetry.snapshot())
     from repro.server.app import Response
 
@@ -331,3 +342,40 @@ def handle_metrics(app: "DiagnosisApp", request: "Request") -> "Response":
         content_type="text/plain; version=0.0.4; charset=utf-8",
         body=app.telemetry.render_prometheus().encode("utf-8"),
     )
+
+
+def handle_debug_traces(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``GET /v1/debug/traces`` — the flight recorder's trace listing.
+
+    ``?slow=1`` restricts the listing to the slow-trace annex; ``?limit=N``
+    bounds the number of entries (default 50).  When the server runs with
+    tracing disabled the listing is empty but the endpoint still answers —
+    probes should not have to know the sampling configuration.
+    """
+    store = app.tracer.store
+    slow_only = request.query.get("slow", "") in ("1", "true", "yes")
+    try:
+        limit = int(request.query.get("limit", "50"))
+    except ValueError as error:
+        raise HTTPError(400, "limit must be an integer") from error
+    payload: dict[str, Any] = {
+        "enabled": store is not None,
+        "sample_rate": app.tracer.sample_rate,
+        "traces": store.list(limit=limit, slow_only=slow_only) if store else [],
+    }
+    if store is not None:
+        payload["stats"] = store.stats()
+    return _json_response(payload)
+
+
+def handle_debug_trace(app: "DiagnosisApp", request: "Request") -> "Response":
+    """``GET /v1/debug/traces/{id}`` — one recorded trace as a full span tree."""
+    store = app.tracer.store
+    if store is None:
+        raise HTTPError(
+            404, "tracing is disabled (start the server with --trace-sample-rate)"
+        )
+    trace = store.get(request.params["tid"])
+    if trace is None:
+        raise HTTPError(404, f"no recorded trace with id {request.params['tid']!r}")
+    return _json_response(trace)

@@ -20,9 +20,25 @@ per-request objects retained.
 
 from __future__ import annotations
 
+import platform
 import threading
 import time
 from typing import Any, Callable
+
+
+def build_info() -> dict[str, str]:
+    """Static build identity: package version + python runtime.
+
+    Exposed as the ``qfix_build_info`` gauge (the Prometheus convention for
+    version labels: constant value 1, identity in the labels) and under
+    ``build_info`` in the JSON snapshot.
+    """
+    import repro
+
+    return {
+        "version": repro.__version__,
+        "python": platform.python_version(),
+    }
 
 
 class _LatencyWindow:
@@ -149,6 +165,7 @@ class Telemetry:
                 if status >= 400
             )
             snap = {
+                "build_info": build_info(),
                 "uptime_seconds": time.time() - self._started_at,
                 "requests_total": total,
                 "errors_total": errors,
@@ -168,7 +185,11 @@ class Telemetry:
     def render_prometheus(self) -> str:
         """The snapshot as Prometheus text exposition (version 0.0.4)."""
         snap = self.snapshot()
+        info = snap["build_info"]
         lines = [
+            "# HELP qfix_build_info Build identity (constant 1; identity in labels).",
+            "# TYPE qfix_build_info gauge",
+            f'qfix_build_info{{version="{info["version"]}",python="{info["python"]}"}} 1',
             "# HELP qfix_http_uptime_seconds Seconds since the server started.",
             "# TYPE qfix_http_uptime_seconds gauge",
             f"qfix_http_uptime_seconds {snap['uptime_seconds']:.3f}",

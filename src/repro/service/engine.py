@@ -40,6 +40,7 @@ from repro.db.database import Database
 from repro.exceptions import ReproError
 from repro.milp.solvers.base import accepts_keyword
 from repro.milp.solvers import Solver, get_solver
+from repro.obs import trace as obs
 from repro.parallel import (
     BatchItem,
     Executor,
@@ -299,16 +300,27 @@ class DiagnosisEngine:
             effective,
             warm_key if warm_key is not None else diagnosis_fingerprint(log, complaints),
         )
-        result = _call_diagnoser(
-            algorithm,
-            initial,
-            final,
-            log,
-            complaints,
-            config=effective,
-            solver=solver if solver is not None else self._solver_for(effective),
-            warm_start=self._warm_lookup(cache_key),
-        )
+        warm_start = self._warm_lookup(cache_key)
+        with obs.span(
+            "engine.diagnose",
+            diagnoser=name,
+            solver=effective.solver,
+            queries=len(log),
+            complaints=len(complaints),
+            warm_hit=warm_start is not None,
+        ) as diag_span:
+            result = _call_diagnoser(
+                algorithm,
+                initial,
+                final,
+                log,
+                complaints,
+                config=effective,
+                solver=solver if solver is not None else self._solver_for(effective),
+                warm_start=warm_start,
+            )
+            diag_span.set_attribute("feasible", result.feasible)
+            diag_span.set_attribute("status", result.status.value)
         if result.feasible and result.solution_values:
             self._warm_store(cache_key, result.solution_values)
         return result
@@ -324,23 +336,29 @@ class DiagnosisEngine:
         start = time.perf_counter()
         config = request.config if request.config is not None else self.config
         name = request.diagnoser if request.diagnoser is not None else config.diagnoser
-        try:
-            final = request.resolved_final()
-            result = self.diagnose(
-                request.initial,
-                final,
-                request.log,
-                request.complaints,
-                diagnoser=name,
-                config=config,
-            )
-        except Exception as error:  # noqa: BLE001 - isolation boundary
-            return DiagnosisResponse.from_error(
-                request.request_id,
-                name,
-                error,
-                elapsed_seconds=time.perf_counter() - start,
-            )
+        with obs.maybe_trace(
+            "engine.submit", request_id=request.request_id, diagnoser=name
+        ) as submit_span:
+            try:
+                final = request.resolved_final()
+                result = self.diagnose(
+                    request.initial,
+                    final,
+                    request.log,
+                    request.complaints,
+                    diagnoser=name,
+                    config=config,
+                )
+            except Exception as error:  # noqa: BLE001 - isolation boundary
+                submit_span.set_status("error")
+                submit_span.set_attribute("error_type", type(error).__name__)
+                return DiagnosisResponse.from_error(
+                    request.request_id,
+                    name,
+                    error,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+            submit_span.set_attribute("feasible", result.feasible)
         return DiagnosisResponse.from_result(
             request.request_id,
             name,
@@ -381,26 +399,53 @@ class DiagnosisEngine:
         window: int,
     ) -> Iterator[tuple[int, DiagnosisResponse]]:
         routed = executor_obj.uses_shard_routing
+        # A detached span (never on the scope stack): the generator's
+        # lifetime interleaves with the consumer's own spans, so stack
+        # discipline cannot hold.  Batch items carry a handle parenting their
+        # worker-side spans under it explicitly.
+        stream_span = obs.start_detached(
+            "engine.stream", executor=executor_obj.name, window=window
+        )
+        handle = obs.handle_for(stream_span)
         items = (
-            self._batch_item(index, request, routed=routed)
+            self._batch_item(index, request, routed=routed, trace=handle)
             for index, request in enumerate(requests)
         )
-        yield from stream_batch(executor_obj, items, max_inflight=window)
+        served = 0
+        try:
+            for index, response in stream_batch(executor_obj, items, max_inflight=window):
+                served += 1
+                spans = getattr(response, "trace_spans", None)
+                if spans and obs.adopt_into(handle, spans):
+                    # Stitched into the parent tree; drop the shipped copy so
+                    # callers do not double-count it.
+                    response.trace_spans = []
+                yield index, response
+        finally:
+            stream_span.set_attribute("responses", served)
+            stream_span.finish()
 
     def _batch_item(
-        self, index: int, request: DiagnosisRequest, *, routed: bool
+        self,
+        index: int,
+        request: DiagnosisRequest,
+        *,
+        routed: bool,
+        trace: "obs.ContextHandle | None" = None,
     ) -> BatchItem:
         if not routed:
             # Local strategies execute the request in-process, where
             # :meth:`diagnose` computes its own cache key — fingerprinting
             # here would just double the hashing cost of the batch.
-            return BatchItem(index=index, request=request)
+            return BatchItem(index=index, request=request, trace=trace)
         try:
             key = self.warm_key(request)
             hint = self._warm_peek(key)
         except Exception:  # noqa: BLE001 - a malformed request still gets served
             key, hint = None, None
-        return BatchItem(index=index, request=request, shard_key=key, warm_hint=hint)
+        return BatchItem(
+            index=index, request=request, shard_key=key, warm_hint=hint, trace=trace
+        )
 
     def diagnose_batch(
         self,
@@ -430,14 +475,15 @@ class DiagnosisEngine:
         items: Sequence[DiagnosisRequest] = list(requests)
         if not items:
             return []
-        if spec == "thread" and (workers == 1 or len(items) == 1):
-            # The historical fast path: no pool for trivial thread batches.
-            return [self.submit(request) for request in items]
-        responses: list[DiagnosisResponse | None] = [None] * len(items)
-        for index, response in self.diagnose_stream(
-            items, max_workers=workers, executor=spec, max_inflight=max_inflight
-        ):
-            responses[index] = response
+        with obs.span("engine.batch", requests=len(items)):
+            if spec == "thread" and (workers == 1 or len(items) == 1):
+                # The historical fast path: no pool for trivial thread batches.
+                return [self.submit(request) for request in items]
+            responses: list[DiagnosisResponse | None] = [None] * len(items)
+            for index, response in self.diagnose_stream(
+                items, max_workers=workers, executor=spec, max_inflight=max_inflight
+            ):
+                responses[index] = response
         missing = [index for index, response in enumerate(responses) if response is None]
         if missing:
             # Every submitted request must come back exactly once; keyed

@@ -139,6 +139,12 @@ class DiagnosisResponse:
     error_message: str = ""
     elapsed_seconds: float = 0.0
     result: RepairResult | None = field(default=None, compare=False, repr=False)
+    #: Worker-side trace spans riding back across the process boundary; the
+    #: parent scheduler adopts and clears them.  Transport metadata, not part
+    #: of the wire format — excluded from :meth:`to_dict` like ``result``.
+    trace_spans: list[dict[str, Any]] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     # -- constructors -------------------------------------------------------------
 

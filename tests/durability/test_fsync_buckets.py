@@ -1,0 +1,44 @@
+"""The fsync latency histogram: boundary placement and cumulative rendering."""
+
+from repro.durability.journal import FSYNC_BUCKETS, DurabilityStats
+
+
+class TestBucketBoundaries:
+    def test_exact_boundary_lands_in_its_bucket(self):
+        # Prometheus buckets are `le` (inclusive upper bounds).
+        for bound in FSYNC_BUCKETS:
+            stats = DurabilityStats()
+            stats.record_append(1, bound)
+            buckets = stats.snapshot()["fsync"]["buckets"]
+            assert buckets[f"{bound:g}"] == 1, bound
+
+    def test_just_over_a_boundary_lands_in_the_next(self):
+        stats = DurabilityStats()
+        stats.record_append(1, FSYNC_BUCKETS[0] * 1.0001)
+        buckets = stats.snapshot()["fsync"]["buckets"]
+        assert buckets[f"{FSYNC_BUCKETS[0]:g}"] == 0
+        assert buckets[f"{FSYNC_BUCKETS[1]:g}"] == 1
+
+    def test_overflow_lands_only_in_inf(self):
+        stats = DurabilityStats()
+        stats.record_append(1, FSYNC_BUCKETS[-1] * 10)
+        buckets = stats.snapshot()["fsync"]["buckets"]
+        assert buckets[f"{FSYNC_BUCKETS[-1]:g}"] == 0
+        assert buckets["+Inf"] == 1
+
+    def test_buckets_are_cumulative(self):
+        stats = DurabilityStats()
+        for seconds in (FSYNC_BUCKETS[0] / 2, FSYNC_BUCKETS[1], FSYNC_BUCKETS[-1] * 2):
+            stats.record_append(1, seconds)
+        buckets = stats.snapshot()["fsync"]["buckets"]
+        rendered = list(buckets.values())
+        assert rendered == sorted(rendered), "cumulative counts must be monotone"
+        assert buckets["+Inf"] == 3
+
+    def test_unfsynced_appends_do_not_touch_the_histogram(self):
+        stats = DurabilityStats()
+        stats.record_append(64, None)
+        snap = stats.snapshot()
+        assert snap["wal"]["records_appended"] == 1
+        assert snap["fsync"]["count"] == 0
+        assert snap["fsync"]["buckets"]["+Inf"] == 0

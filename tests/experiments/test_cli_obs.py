@@ -1,0 +1,123 @@
+"""CLI observability surface: the trace command, serve flags, harness dumps."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import (
+    _format_span_tree,
+    build_parser,
+    run_harness,
+    run_serve,
+    run_trace,
+)
+from repro.obs import reset_tracing
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tracer():
+    reset_tracing()
+    yield
+    reset_tracing()
+
+
+class TestParser:
+    def test_observability_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.trace_sample_rate == 0.0
+        assert args.slow_trace_ms == 500.0
+        assert args.log_level == "info"
+        assert args.log_json is False
+        assert args.trace_dump is None
+
+    def test_trace_command_parses(self):
+        args = build_parser().parse_args(["trace", "--seed", "7"])
+        assert args.experiment == "trace"
+        assert args.seed == 7
+
+
+class TestServeValidation:
+    def test_rate_out_of_range_is_a_usage_error(self, capsys):
+        assert run_serve("127.0.0.1", 0, 1, None, None, trace_sample_rate=1.5) == 2
+        assert "--trace-sample-rate" in capsys.readouterr().err
+
+    def test_nonpositive_slow_threshold_is_a_usage_error(self, capsys):
+        assert run_serve("127.0.0.1", 0, 1, None, None, slow_trace_ms=0.0) == 2
+        assert "--slow-trace-ms" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_demo_scenario_prints_a_span_tree(self, capsys, tmp_path):
+        out = tmp_path / "tree.json"
+        assert run_trace(None, seed=1, output_path=str(out)) == 0
+        printed = capsys.readouterr().out
+        assert "engine.submit" in printed
+        assert "engine.diagnose" in printed
+        assert "solver." in printed
+        tree = json.loads(out.read_text())
+        assert tree["root"]["name"] == "engine.submit"
+
+    def test_missing_input_file_is_a_usage_error(self, capsys):
+        assert run_trace("/nonexistent/requests.jsonl", seed=0) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_undecodable_input_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"not": "a request"}\n')
+        assert run_trace(str(bad), seed=0) == 2
+        assert "cannot decode" in capsys.readouterr().err
+
+    def test_empty_input_is_a_usage_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n\n")
+        assert run_trace(str(empty), seed=0) == 2
+        assert "no request" in capsys.readouterr().err
+
+
+class TestHarnessTraceDump:
+    def test_budget_cut_sweep_still_writes_the_dump(self, tmp_path, capsys):
+        # A microscopic budget skips every cell: the dump plumbing must still
+        # produce a valid (empty) artifact rather than fail the sweep.
+        dump_path = tmp_path / "traces.json"
+        code = run_harness(
+            "micro",
+            seed=1,
+            budget="1ms",
+            output_path=None,
+            max_workers=1,
+            trace_dump=str(dump_path),
+        )
+        assert code == 0
+        dump = json.loads(dump_path.read_text())
+        assert dump["traces_recorded"] == 0
+        assert "trace dump written" in capsys.readouterr().out
+
+
+class TestSpanTreeFormatting:
+    def test_nested_tree_renders_with_connectors(self):
+        tree = {
+            "trace_id": "t1",
+            "root_name": "root",
+            "duration_ms": 10.0,
+            "span_count": 3,
+            "slow": True,
+            "root": {
+                "name": "root",
+                "duration_ms": 10.0,
+                "status": "ok",
+                "children": [
+                    {
+                        "name": "first",
+                        "duration_ms": 4.0,
+                        "status": "error",
+                        "attributes": {"k": 1},
+                        "children": [],
+                    },
+                    {"name": "last", "duration_ms": 5.0, "status": "ok", "children": []},
+                ],
+            },
+        }
+        lines = _format_span_tree(tree)
+        assert "SLOW" in lines[0]
+        assert any("├─ first" in line and "[error]" in line and "k=1" in line for line in lines)
+        assert any("└─ last" in line for line in lines)

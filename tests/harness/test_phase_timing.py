@@ -1,0 +1,62 @@
+"""Phase-level timing: summary extraction, cell round-trip, report rollup."""
+
+from repro.harness.report import CellResult, HarnessReport
+from repro.harness.runner import _phase_seconds
+
+
+class TestPhaseExtraction:
+    def test_top_level_and_stats_keys_become_phases(self):
+        summary = {
+            "encode_seconds": 0.25,
+            "solve_seconds": 1.5,
+            "total_seconds": 1.75,  # derived, not a phase
+            "stats.presolve_seconds": 0.1,
+            "stats.search_seconds": 1.3,
+            "stats.lp_seconds": 0.9,
+            "stats.lp_relaxations": 12,  # not a *_seconds key
+            "feasible": True,
+        }
+        assert _phase_seconds(summary) == {
+            "encode": 0.25,
+            "solve": 1.5,
+            "presolve": 0.1,
+            "search": 1.3,
+            "lp": 0.9,
+        }
+
+    def test_non_numeric_values_are_skipped(self):
+        assert _phase_seconds({"encode_seconds": "not-a-number"}) == {}
+        assert _phase_seconds({}) == {}
+
+
+class TestCellRoundTrip:
+    def test_phase_seconds_survive_json_round_trip(self):
+        cell = CellResult(cell_id="c1", phase_seconds={"encode": 0.1, "solve": 0.2})
+        again = CellResult.from_dict(cell.to_dict())
+        assert again.phase_seconds == {"encode": 0.1, "solve": 0.2}
+
+    def test_phase_seconds_stay_out_of_the_stable_slice(self):
+        cell = CellResult(cell_id="c1", phase_seconds={"encode": 0.1})
+        assert "phase_seconds" not in cell.stable_dict()
+
+    def test_missing_field_defaults_empty(self):
+        assert CellResult.from_dict({"cell_id": "c1"}).phase_seconds == {}
+
+
+class TestReportRollup:
+    def test_summary_totals_per_phase_across_executed_cells(self):
+        report = HarnessReport(
+            cells=[
+                CellResult(cell_id="a", phase_seconds={"encode": 0.1, "solve": 1.0}),
+                CellResult(cell_id="b", phase_seconds={"encode": 0.2, "search": 0.5}),
+                CellResult(cell_id="skip", skipped=True, phase_seconds={"encode": 9.0}),
+            ]
+        )
+        assert report.summary()["phase_seconds"] == {
+            "encode": 0.3,
+            "search": 0.5,
+            "solve": 1.0,
+        }
+
+    def test_empty_report_rolls_up_empty(self):
+        assert HarnessReport().summary()["phase_seconds"] == {}

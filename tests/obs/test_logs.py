@@ -1,0 +1,94 @@
+"""Unit tests for the qfix logger hierarchy and its trace correlation."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import TraceStore, Tracer, configure_logging, get_logger, reset_tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging_state():
+    reset_tracing()
+    yield
+    reset_tracing()
+    root = get_logger()
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+
+
+class TestHierarchy:
+    def test_named_loggers_live_under_the_qfix_root(self):
+        assert get_logger().name == "qfix"
+        assert get_logger("server").name == "qfix.server"
+        assert get_logger("server").parent is get_logger()
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        configure_logging("info", stream=stream)
+        assert len(get_logger().handlers) == 1
+        assert get_logger().propagate is False
+
+    def test_unknown_level_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("verbose")
+
+    def test_level_threshold_applies(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("server").info("quiet")
+        get_logger("server").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+
+class TestFormats:
+    def test_json_records_are_parseable_lines(self):
+        stream = io.StringIO()
+        configure_logging("info", json_mode=True, stream=stream)
+        get_logger("server").info("served %d requests", 3)
+        record = json.loads(stream.getvalue().strip())
+        assert record["level"] == "info"
+        assert record["logger"] == "qfix.server"
+        assert record["message"] == "served 3 requests"
+        assert "trace_id" not in record  # no active trace
+
+    def test_json_records_carry_the_active_trace_id(self):
+        stream = io.StringIO()
+        configure_logging("info", json_mode=True, stream=stream)
+        tracer = Tracer(sample_rate=1.0, store=TraceStore())
+        with tracer.trace("root") as root:
+            get_logger("server").info("inside")
+        record = json.loads(stream.getvalue().strip())
+        assert record["trace_id"] == root.trace_id
+
+    def test_text_format_appends_trace_id_only_inside_a_trace(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("server").info("outside")
+        tracer = Tracer(sample_rate=1.0, store=TraceStore())
+        with tracer.trace("root") as root:
+            get_logger("server").info("inside")
+        outside_line, inside_line = stream.getvalue().strip().splitlines()
+        assert "trace=" not in outside_line
+        assert f"trace={root.trace_id}" in inside_line
+
+    def test_presets_on_the_record_win_over_the_filter(self):
+        stream = io.StringIO()
+        configure_logging("info", json_mode=True, stream=stream)
+        get_logger("server").error("boom", extra={"trace_id": "preset-id"})
+        record = json.loads(stream.getvalue().strip())
+        assert record["trace_id"] == "preset-id"
+
+    def test_exceptions_are_rendered_in_json(self):
+        stream = io.StringIO()
+        configure_logging("info", json_mode=True, stream=stream)
+        try:
+            raise ValueError("bad")
+        except ValueError:
+            get_logger().exception("failed")
+        record = json.loads(stream.getvalue().strip())
+        assert "ValueError: bad" in record["exc_info"]

@@ -1,0 +1,267 @@
+"""Unit tests for the tracing core: sampling, nesting, propagation, trees."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    TraceStore,
+    Tracer,
+    adopt_into,
+    adopt_spans,
+    attached,
+    build_trace_tree,
+    configure_tracing,
+    context_payload,
+    current_handle,
+    current_trace_id,
+    get_tracer,
+    handle_for,
+    maybe_trace,
+    record_span,
+    remote_context,
+    reset_tracing,
+    span,
+    start_detached,
+)
+from repro.obs.trace import MAX_EVENTS_PER_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tracer():
+    """Every test starts and ends with the global tracer disabled."""
+    reset_tracing()
+    yield
+    reset_tracing()
+
+
+def tree_names(node):
+    yield node["name"]
+    for child in node.get("children", []):
+        yield from tree_names(child)
+
+
+class TestSampling:
+    def test_rate_zero_returns_the_noop_singleton(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.trace("root") is NOOP_SPAN
+
+    def test_rate_one_always_samples(self):
+        tracer = Tracer(sample_rate=1.0)
+        root = tracer.trace("root")
+        assert root.recording
+        root.finish()
+
+    def test_explicit_trace_id_forces_sampling_at_rate_zero(self):
+        tracer = Tracer(sample_rate=0.0)
+        root = tracer.trace("root", trace_id="cafe" * 8)
+        assert root.recording
+        assert root.trace_id == "cafe" * 8
+        root.finish()
+
+    def test_force_false_overrides_an_explicit_trace_id(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.trace("root", trace_id="abc", force=False) is NOOP_SPAN
+
+    def test_invalid_rate_is_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+    def test_unsampled_context_makes_child_spans_noop(self):
+        assert span("child") is NOOP_SPAN
+        assert start_detached("stream") is NOOP_SPAN
+        assert current_trace_id() is None
+        assert current_handle() is None
+        assert context_payload() is None
+
+
+class TestSpanNesting:
+    def test_children_nest_under_the_active_scope(self):
+        store = TraceStore()
+        tracer = Tracer(sample_rate=1.0, store=store)
+        with tracer.trace("root") as root:
+            with span("middle") as middle:
+                with span("leaf"):
+                    assert current_trace_id() == root.trace_id
+                assert middle.recording
+        tree = store.get(root.trace_id)
+        assert list(tree_names(tree["root"])) == ["root", "middle", "leaf"]
+
+    def test_exception_marks_the_span_status(self):
+        store = TraceStore()
+        tracer = Tracer(sample_rate=1.0, store=store)
+        root = tracer.trace("root")
+        with pytest.raises(RuntimeError):
+            with root:
+                raise RuntimeError("boom")
+        tree = store.get(root.trace_id)
+        assert tree["root"]["status"] == "error"
+        assert tree["root"]["attributes"]["error_type"] == "RuntimeError"
+
+    def test_events_are_bounded(self):
+        store = TraceStore()
+        tracer = Tracer(sample_rate=1.0, store=store)
+        with tracer.trace("root") as root:
+            for index in range(MAX_EVENTS_PER_SPAN + 10):
+                root.add_event("tick", index=index)
+        tree = store.get(root.trace_id)
+        assert len(tree["root"]["events"]) == MAX_EVENTS_PER_SPAN
+
+    def test_maybe_trace_roots_at_the_global_tracer(self):
+        store = TraceStore()
+        configure_tracing(1.0)
+        get_tracer().store = store
+        with maybe_trace("engine.submit"):
+            pass
+        assert len(store) == 1
+
+    def test_maybe_trace_nests_under_an_active_scope(self):
+        store = TraceStore()
+        tracer = Tracer(sample_rate=1.0, store=store)
+        with tracer.trace("root") as root:
+            with maybe_trace("engine.submit"):
+                pass
+        tree = store.get(root.trace_id)
+        assert list(tree_names(tree["root"])) == ["root", "engine.submit"]
+
+    def test_record_span_attaches_an_already_timed_region(self):
+        store = TraceStore()
+        tracer = Tracer(sample_rate=1.0, store=store)
+        with tracer.trace("root") as root:
+            record_span("wal.append", seconds=0.25, attributes={"bytes": 128})
+        tree = store.get(root.trace_id)
+        wal = tree["root"]["children"][0]
+        assert wal["name"] == "wal.append"
+        assert wal["duration_ms"] == 250.0
+        assert wal["attributes"] == {"bytes": 128}
+
+    def test_record_span_is_a_noop_outside_a_trace(self):
+        record_span("wal.append", seconds=0.1)  # must not raise
+
+
+class TestThreadPropagation:
+    def test_attached_joins_the_trace_from_another_thread(self):
+        store = TraceStore()
+        tracer = Tracer(sample_rate=1.0, store=store)
+        with tracer.trace("root") as root:
+            handle = current_handle()
+
+            def work():
+                with attached(handle):
+                    with span("worker"):
+                        pass
+
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        tree = store.get(root.trace_id)
+        assert "worker" in list(tree_names(tree["root"]))
+
+    def test_attached_with_none_handle_is_a_noop(self):
+        with attached(None):
+            assert current_trace_id() is None
+
+    def test_handle_for_unsampled_span_is_none(self):
+        assert handle_for(NOOP_SPAN) is None
+
+
+class TestProcessPropagation:
+    def test_remote_context_round_trip(self):
+        store = TraceStore()
+        tracer = Tracer(sample_rate=1.0, store=store)
+        with tracer.trace("root") as root:
+            payload = context_payload()
+            assert payload == {
+                "trace_id": root.trace_id,
+                "parent_span_id": root.span_id,
+            }
+        # "worker side": collect spans against the shipped payload.
+        with remote_context(payload) as collector:
+            with span("engine.diagnose"):
+                pass
+        shipped = collector.export()
+        assert shipped and all(s["trace_id"] == root.trace_id for s in shipped)
+        # "parent side": stitch them back in before the root finishes.
+        root2 = tracer.trace("root2", trace_id=root.trace_id)
+        with root2:
+            assert adopt_spans(shipped) is True
+        tree = store.get(root.trace_id)
+        assert "engine.diagnose" in list(tree_names(tree["root"]))
+
+    def test_remote_context_without_payload_collects_nothing(self):
+        with remote_context(None) as collector:
+            with span("ignored"):
+                pass
+        assert collector.export() == []
+
+    def test_adopt_spans_drops_mismatched_trace_ids(self):
+        store = TraceStore()
+        tracer = Tracer(sample_rate=1.0, store=store)
+        with tracer.trace("root") as root:
+            stale = [
+                {
+                    "name": "stale",
+                    "span_id": "s1",
+                    "parent_id": None,
+                    "started_at": 0.0,
+                    "duration_ms": 1.0,
+                    "status": "ok",
+                    "trace_id": "someone-else",
+                }
+            ]
+            assert adopt_spans(stale) is True
+        tree = store.get(root.trace_id)
+        assert "stale" not in list(tree_names(tree["root"]))
+
+    def test_adopt_into_works_without_a_scope_stack(self):
+        store = TraceStore()
+        tracer = Tracer(sample_rate=1.0, store=store)
+        root = tracer.trace("root")
+        handle = handle_for(root)
+        shipped = [
+            {
+                "name": "worker.span",
+                "span_id": "w1",
+                "parent_id": root.span_id,
+                "started_at": 0.0,
+                "duration_ms": 2.0,
+                "status": "ok",
+                "trace_id": root.trace_id,
+            }
+        ]
+        # No `with root:` — the caller's frame has no scope, like a generator.
+        assert adopt_into(handle, shipped) is True
+        assert adopt_into(handle, []) is False
+        assert adopt_into(None, shipped) is False
+        root.finish()
+        tree = store.get(root.trace_id)
+        assert "worker.span" in list(tree_names(tree["root"]))
+
+
+class TestBuildTraceTree:
+    def _span(self, name, span_id, parent_id):
+        return {
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "started_at": 1.0,
+            "duration_ms": 1.0,
+            "status": "ok",
+        }
+
+    def test_orphans_attach_under_the_root(self):
+        tree = build_trace_tree(
+            "t1",
+            [self._span("root", "a", None), self._span("lost", "b", "never-finished")],
+        )
+        assert [child["name"] for child in tree["root"]["children"]] == ["lost"]
+
+    def test_missing_root_synthesizes_one(self):
+        tree = build_trace_tree("t1", [self._span("lost", "b", "gone")])
+        assert tree["root_name"] == "(incomplete trace)"
+        assert [child["name"] for child in tree["root"]["children"]] == ["lost"]
+
+    def test_dropped_count_is_surfaced(self):
+        tree = build_trace_tree("t1", [self._span("root", "a", None)], dropped=3)
+        assert tree["dropped_spans"] == 3

@@ -1,0 +1,92 @@
+"""Unit tests for the flight-recorder ring buffer and its slow annex."""
+
+import pytest
+
+from repro.obs import TraceStore
+
+
+def trace(trace_id: str, duration_ms: float, started_at: float = 0.0) -> dict:
+    return {
+        "trace_id": trace_id,
+        "root_name": "root",
+        "started_at": started_at,
+        "duration_ms": duration_ms,
+        "span_count": 1,
+        "status": "ok",
+        "root": {"name": "root", "children": []},
+    }
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest_first(self):
+        store = TraceStore(capacity=3, slow_threshold_ms=10_000)
+        for index in range(5):
+            store.add(trace(f"t{index}", 1.0, started_at=float(index)))
+        assert len(store) == 3
+        assert store.get("t0") is None
+        assert store.get("t4") is not None
+
+    def test_slow_traces_survive_recent_eviction(self):
+        store = TraceStore(capacity=2, slow_capacity=8, slow_threshold_ms=100.0)
+        store.add(trace("slow-one", 500.0))
+        for index in range(4):
+            store.add(trace(f"fast-{index}", 1.0))
+        # Evicted from the recent ring, pinned in the slow annex.
+        assert store.get("slow-one") is not None
+        assert store.get("slow-one")["slow"] is True
+
+    def test_threshold_is_inclusive(self):
+        store = TraceStore(slow_threshold_ms=100.0)
+        store.add(trace("at", 100.0))
+        store.add(trace("under", 99.999))
+        assert store.get("at")["slow"] is True
+        assert store.get("under")["slow"] is False
+
+    def test_invalid_capacities_are_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+        with pytest.raises(ValueError):
+            TraceStore(slow_capacity=0)
+
+
+class TestListing:
+    def test_list_is_newest_first_and_bounded(self):
+        store = TraceStore(slow_threshold_ms=10_000)
+        for index in range(4):
+            store.add(trace(f"t{index}", 1.0, started_at=float(index)))
+        listed = store.list(limit=2)
+        assert [item["trace_id"] for item in listed] == ["t3", "t2"]
+
+    def test_slow_only_filters_the_annex(self):
+        store = TraceStore(slow_threshold_ms=100.0)
+        store.add(trace("fast", 1.0))
+        store.add(trace("slow", 200.0, started_at=1.0))
+        listed = store.list(slow_only=True)
+        assert [item["trace_id"] for item in listed] == ["slow"]
+
+    def test_list_entries_are_summaries_not_trees(self):
+        store = TraceStore(slow_threshold_ms=10_000)
+        store.add(trace("t0", 1.0))
+        (entry,) = store.list()
+        assert "root" not in entry
+        assert entry["root_name"] == "root"
+
+
+class TestDumpAndStats:
+    def test_dump_counts_everything_ever_recorded(self):
+        store = TraceStore(capacity=2, slow_threshold_ms=100.0)
+        for index in range(5):
+            store.add(trace(f"t{index}", 200.0 if index == 0 else 1.0))
+        dump = store.dump()
+        assert dump["traces_recorded"] == 5
+        assert dump["slow_traces_recorded"] == 1
+        assert len(dump["recent"]) == 2
+        assert len(dump["slow"]) == 1
+        assert dump["slow_threshold_ms"] == 100.0
+
+    def test_stats_shape(self):
+        store = TraceStore()
+        store.add(trace("t0", 1.0))
+        stats = store.stats()
+        assert stats["traces_recorded"] == 1
+        assert stats["recent_held"] == 1

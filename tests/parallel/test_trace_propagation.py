@@ -1,0 +1,136 @@
+"""Trace propagation across the executor tiers, including worker crashes.
+
+The tentpole guarantee under test: a batch traced at the root produces ONE
+stitched span tree no matter which executor served it — thread pools join via
+a live :class:`ContextHandle`, worker processes ship their spans back inside
+the pickled response, and a crashed worker loses only its own spans.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.obs import TraceStore, Tracer, reset_tracing
+from repro.parallel.process import ProcessExecutor
+from repro.service.engine import DiagnosisEngine
+from repro.service.registry import register_diagnoser
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tracer():
+    reset_tracing()
+    yield
+    reset_tracing()
+
+
+def make_tracer() -> Tracer:
+    return Tracer(sample_rate=1.0, store=TraceStore(slow_threshold_ms=10_000))
+
+
+def tree_names(node):
+    yield node["name"]
+    for child in node.get("children", []):
+        yield from tree_names(child)
+
+
+def traced_batch(engine, tracer, requests):
+    with tracer.trace("http POST /v1/batch") as root:
+        responses = engine.diagnose_batch(requests)
+    return responses, tracer.store.get(root.trace_id)
+
+
+class TestThreadTier:
+    def test_thread_batch_stitches_one_tree(self, scenario_pool, make_request):
+        tracer = make_tracer()
+        engine = DiagnosisEngine(max_workers=2)
+        try:
+            requests = [
+                make_request(scenario_pool[i], f"r{i}") for i in range(3)
+            ]
+            responses, tree = traced_batch(engine, tracer, requests)
+        finally:
+            engine.close()
+        assert all(response.ok for response in responses)
+        names = list(tree_names(tree["root"]))
+        assert names.count("engine.submit") == 3
+        assert names.count("engine.diagnose") == 3
+        assert "engine.batch" in names
+        assert "engine.stream" in names
+
+    def test_serial_fast_path_traces_too(self, scenario_pool, make_request):
+        tracer = make_tracer()
+        engine = DiagnosisEngine(max_workers=1)
+        try:
+            responses, tree = traced_batch(
+                engine, tracer, [make_request(scenario_pool[0], "solo")]
+            )
+        finally:
+            engine.close()
+        assert responses[0].ok
+        assert "engine.diagnose" in list(tree_names(tree["root"]))
+
+
+class TestProcessTier:
+    def test_worker_spans_ship_back_and_stitch(self, scenario_pool, make_request):
+        tracer = make_tracer()
+        engine = DiagnosisEngine(
+            max_workers=2, executor=ProcessExecutor(2, force=True)
+        )
+        try:
+            requests = [
+                make_request(scenario_pool[i], f"p{i}") for i in range(3)
+            ]
+            responses, tree = traced_batch(engine, tracer, requests)
+        finally:
+            engine.close()
+        assert all(response.ok for response in responses)
+        # Shipped copies are cleared once adopted: no double counting.
+        assert all(response.trace_spans == [] for response in responses)
+        names = list(tree_names(tree["root"]))
+        assert names.count("engine.submit") == 3
+        assert names.count("engine.diagnose") == 3
+
+    def test_crash_and_retry_keep_the_survivors_spans(
+        self, scenario_pool, make_request
+    ):
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("test-registered diagnosers only reach workers under fork")
+        tracer = make_tracer()
+        engine = DiagnosisEngine(
+            max_workers=2, executor=ProcessExecutor(2, force=True)
+        )
+        try:
+            requests = [
+                make_request(scenario_pool[0], "ok-0"),
+                make_request(
+                    scenario_pool[0], "boom", diagnoser=_TracePropagationKamikaze.name
+                ),
+                make_request(scenario_pool[1], "ok-1"),
+                make_request(scenario_pool[2], "ok-2"),
+            ]
+            responses, tree = traced_batch(engine, tracer, requests)
+        finally:
+            engine.close()
+        by_id = {response.request_id: response for response in responses}
+        assert not by_id["boom"].ok
+        for request_id in ("ok-0", "ok-1", "ok-2"):
+            assert by_id[request_id].ok, request_id
+        # Every survivor's worker-side spans made it into the parent tree —
+        # whether served before the crash, or retried on a quarantine pool.
+        names = list(tree_names(tree["root"]))
+        assert names.count("engine.diagnose") >= 3
+        assert "engine.stream" in names
+
+
+class _TracePropagationKamikaze:
+    """Kills its worker process; only this request's spans may be lost."""
+
+    name = "kamikaze-trace-propagation-test"
+
+    def diagnose(self, *args, **kwargs):  # pragma: no cover - dies in workers
+        import os
+
+        os._exit(17)
+
+
+register_diagnoser(_TracePropagationKamikaze.name, _TracePropagationKamikaze)

@@ -1,0 +1,239 @@
+"""End-to-end tracing through the HTTP app, debug endpoints, and metrics."""
+
+import json
+import threading
+
+import pytest
+
+from repro.durability import DurabilityConfig
+from repro.obs import TraceStore, Tracer, reset_tracing
+from repro.server.app import DiagnosisApp
+from repro.server.telemetry import Telemetry, build_info
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tracer():
+    reset_tracing()
+    yield
+    reset_tracing()
+
+
+def traced_app(**app_kwargs) -> DiagnosisApp:
+    tracer = Tracer(sample_rate=1.0, store=TraceStore(slow_threshold_ms=10_000))
+    return DiagnosisApp(tracer=tracer, **app_kwargs)
+
+
+def body_json(response):
+    return json.loads(response.body.decode("utf-8"))
+
+
+def header(response, name):
+    for key, value in response.headers:
+        if key.lower() == name.lower():
+            return value
+    return None
+
+
+def tree_names(node):
+    yield node["name"]
+    for child in node.get("children", []):
+        yield from tree_names(child)
+
+
+class TestTraceHeader:
+    def test_sampled_response_carries_a_trace_id(self, app):
+        app = traced_app()
+        response = app.dispatch("GET", "/healthz")
+        assert response.status == 200
+        assert header(response, "X-Trace-Id")
+
+    def test_incoming_trace_id_is_honored_and_echoed(self):
+        app = traced_app()
+        response = app.dispatch(
+            "GET", "/healthz", headers={"X-Trace-Id": "feed" * 8}
+        )
+        assert header(response, "X-Trace-Id") == "feed" * 8
+        assert app.tracer.store.get("feed" * 8) is not None
+
+    def test_header_lookup_is_case_insensitive(self):
+        app = traced_app()
+        response = app.dispatch(
+            "GET", "/healthz", headers={"x-trace-id": "beef" * 8}
+        )
+        assert header(response, "X-Trace-Id") == "beef" * 8
+
+    def test_unsampled_response_has_no_trace_header(self, app):
+        # The `app` fixture uses the (reset) global tracer: sampling off.
+        response = app.dispatch("GET", "/healthz")
+        assert response.status == 200
+        assert header(response, "X-Trace-Id") is None
+
+    def test_explicit_trace_id_forces_sampling_past_rate_zero(self):
+        app = DiagnosisApp(
+            tracer=Tracer(sample_rate=0.0, store=TraceStore())
+        )
+        assert header(app.dispatch("GET", "/healthz"), "X-Trace-Id") is None
+        response = app.dispatch(
+            "GET", "/healthz", headers={"X-Trace-Id": "f00d" * 8}
+        )
+        assert header(response, "X-Trace-Id") == "f00d" * 8
+
+
+class TestEndToEndSpans:
+    def test_diagnose_trace_spans_every_tier(self, request_payload):
+        app = traced_app()
+        response = app.dispatch(
+            "POST",
+            "/v1/diagnose",
+            json.dumps(request_payload.to_dict()).encode("utf-8"),
+            headers={"X-Trace-Id": "a1b2" * 8},
+        )
+        assert response.status == 200
+        tree = app.tracer.store.get("a1b2" * 8)
+        names = list(tree_names(tree["root"]))
+        assert names[0] == "http POST /v1/diagnose"
+        assert "engine.submit" in names
+        assert "engine.diagnose" in names
+        assert any(name.startswith("solver.") for name in names)
+
+    def test_session_mutations_record_wal_spans(self, tmp_path, initial, queries):
+        from repro.service.serialize import (
+            database_to_dict,
+            query_to_dict,
+            schema_to_dict,
+        )
+
+        app = traced_app(
+            durability=DurabilityConfig(data_dir=str(tmp_path / "data"), shards=2)
+        )
+        payload = {
+            "schema": schema_to_dict(initial.schema),
+            "initial": database_to_dict(initial),
+            "log": [query_to_dict(query) for query in queries],
+        }
+        response = app.dispatch(
+            "POST",
+            "/v1/sessions",
+            json.dumps(payload).encode("utf-8"),
+            headers={"X-Trace-Id": "0123" * 8},
+        )
+        assert response.status == 201
+        tree = app.tracer.store.get("0123" * 8)
+        names = list(tree_names(tree["root"]))
+        assert "wal.append" in names
+        assert "wal.fsync" in names  # default policy fsyncs every record
+
+    def test_failed_dispatch_marks_the_root_span(self):
+        app = traced_app()
+        response = app.dispatch(
+            "POST", "/v1/diagnose", b"{not json", headers={"X-Trace-Id": "dead" * 8}
+        )
+        assert response.status == 400
+        tree = app.tracer.store.get("dead" * 8)
+        assert tree["root"]["attributes"]["status_code"] == 400
+
+    def test_unmatched_routes_are_not_traced(self):
+        # Scanner probes 404 before the tracer runs: nothing recorded, no
+        # header — the flight recorder only holds requests that were routed.
+        app = traced_app()
+        response = app.dispatch(
+            "GET", "/v1/nope", headers={"X-Trace-Id": "dead" * 8}
+        )
+        assert response.status == 404
+        assert header(response, "X-Trace-Id") is None
+        assert app.tracer.store.get("dead" * 8) is None
+
+
+class TestDebugEndpoints:
+    def test_listing_reflects_recorded_traces(self):
+        app = traced_app()
+        app.dispatch("GET", "/healthz", headers={"X-Trace-Id": "aa" * 16})
+        listing = body_json(app.dispatch("GET", "/v1/debug/traces"))
+        assert listing["enabled"] is True
+        assert listing["sample_rate"] == 1.0
+        assert any(t["trace_id"] == "aa" * 16 for t in listing["traces"])
+        assert listing["stats"]["traces_recorded"] >= 1
+
+    def test_listing_honors_limit_and_rejects_junk(self):
+        app = traced_app()
+        for _ in range(3):
+            app.dispatch("GET", "/healthz")
+        listing = body_json(app.dispatch("GET", "/v1/debug/traces?limit=2"))
+        assert len(listing["traces"]) == 2
+        assert app.dispatch("GET", "/v1/debug/traces?limit=junk").status == 400
+
+    def test_get_trace_returns_the_full_tree(self):
+        app = traced_app()
+        app.dispatch("GET", "/healthz", headers={"X-Trace-Id": "bb" * 16})
+        tree = body_json(app.dispatch("GET", f"/v1/debug/traces/{'bb' * 16}"))
+        assert tree["trace_id"] == "bb" * 16
+        assert tree["root"]["name"] == "http GET /healthz"
+
+    def test_unknown_trace_is_404(self):
+        app = traced_app()
+        assert app.dispatch("GET", "/v1/debug/traces/nope").status == 404
+
+    def test_disabled_tracing_answers_empty_listing_and_404_detail(self, app):
+        listing = body_json(app.dispatch("GET", "/v1/debug/traces"))
+        assert listing == {"enabled": False, "sample_rate": 0.0, "traces": []}
+        response = app.dispatch("GET", "/v1/debug/traces/any")
+        assert response.status == 404
+        assert "disabled" in body_json(response)["error"]["message"]
+
+
+class TestMetricsNegotiation:
+    def test_default_is_prometheus_text(self, app):
+        response = app.dispatch("GET", "/metrics")
+        assert response.content_type.startswith("text/plain")
+        assert b"qfix_http_requests_total" in response.body
+
+    def test_query_parameter_selects_json(self, app):
+        response = app.dispatch("GET", "/metrics?format=json")
+        assert response.content_type == "application/json"
+        assert "requests_total" in body_json(response)
+
+    def test_accept_header_selects_json(self, app):
+        response = app.dispatch(
+            "GET", "/metrics", headers={"Accept": "application/json"}
+        )
+        assert response.content_type == "application/json"
+
+    def test_build_info_in_both_renderings(self, app):
+        info = build_info()
+        prom = app.dispatch("GET", "/metrics").body.decode("utf-8")
+        assert (
+            f'qfix_build_info{{version="{info["version"]}",'
+            f'python="{info["python"]}"}} 1' in prom
+        )
+        snap = body_json(app.dispatch("GET", "/metrics?format=json"))
+        assert snap["build_info"] == info
+
+    def test_every_prometheus_metric_uses_the_qfix_prefix(self, app):
+        prom = app.dispatch("GET", "/metrics").body.decode("utf-8")
+        for line in prom.splitlines():
+            if line and not line.startswith("#"):
+                assert line.startswith("qfix_"), line
+
+
+class TestTelemetryConcurrency:
+    def test_concurrent_increments_are_not_lost(self):
+        telemetry = Telemetry()
+        per_thread, threads = 200, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                telemetry.record_request("POST /v1/diagnose", 200, 0.001)
+                telemetry.record_diagnosis(True)
+                telemetry.record_rejected()
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        snap = telemetry.snapshot()
+        expected = per_thread * threads
+        assert snap["requests_total"] == expected
+        assert snap["diagnoses"]["ok"] == expected
+        assert snap["rejected_total"] == expected
+        assert snap["latency_by_route"]["POST /v1/diagnose"]["count"] == expected
