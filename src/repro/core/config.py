@@ -89,6 +89,12 @@ class QFixConfig:
     #: backend.  Presolve never changes the answer (property-tested); the
     #: switch exists so differential harness cells can solve the raw model.
     use_presolve: bool = True
+    #: Enable the decompose-and-conquer pipeline for long histories: compact
+    #: the log down to queries that can reach the encoded attributes before
+    #: encoding, then split the MILP into independent connected components
+    #: (solved in parallel when the engine has spare workers).  Off by default:
+    #: the monolithic path stays byte-identical to the paper's algorithms.
+    decompose: bool = False
     #: Per-solve time limit in seconds (None = unlimited).
     time_limit: float | None = 60.0
     #: Relative MIP gap passed to the solver.

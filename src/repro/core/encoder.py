@@ -32,7 +32,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.core.complaints import Complaint, ComplaintKind, ComplaintSet
 from repro.core.config import QFixConfig
-from repro.core.slicing import direct_impact
+from repro.core.slicing import CompactedLog, direct_impact
 from repro.core.symbolic import SymbolicValue, affine_to_symbolic
 from repro.db.database import Database
 from repro.db.schema import Schema
@@ -90,10 +90,20 @@ class EncodedProblem:
 
         Variable names are deterministic for a fixed (log, complaints,
         config) triple, so a cached solution from an identical encoding maps
-        onto this model verbatim.  Returns ``None`` unless ``previous``
-        covers *every* variable of this model — a partial assignment cannot
-        seed a branch-and-bound incumbent, and passing it along would only
-        cost the solver a wasted feasibility check.
+        onto this model verbatim.  The hint is filtered per encoding: values
+        for variables this window/component never created are dropped, and
+        ``None`` is returned unless ``previous`` covers *every* variable of
+        this model — a partial assignment cannot seed a branch-and-bound
+        incumbent, and passing it along would only cost the solver a wasted
+        feasibility check.
+
+        A value that violates this model's variable bounds also rejects the
+        hint outright.  This happens when the cached solution came from a
+        different encoding of the same names — e.g. a variable that
+        compaction or presolve has since pinned to a constant — and such a
+        stale assignment must never reach the solver: branch-and-bound seeds
+        its incumbent from constraint satisfaction alone, so a bound-violating
+        hint could otherwise prune the true optimum.
         """
         if not previous:
             return None
@@ -102,8 +112,24 @@ class EncodedProblem:
             value = previous.get(variable.name)
             if value is None:
                 return None
-            hint[variable.name] = float(value)
+            value = float(value)
+            if value < variable.lower - 1e-9 or value > variable.upper + 1e-9:
+                return None
+            hint[variable.name] = value
         return hint
+
+    def restore_original_indices(self, compaction: "CompactedLog") -> None:
+        """Map compacted-log query indices back to original log positions.
+
+        After encoding a compacted log (see :func:`repro.core.slicing.compact_log`)
+        the problem's index bookkeeping refers to positions in the compacted
+        log; downstream reporting (changed queries, candidate sets) speaks in
+        original log indices.  Parameter names are position-independent, so
+        only the index tuples need translating.
+        """
+        self.parameterized_indices = compaction.to_original(self.parameterized_indices)
+        self.encoded_query_indices = compaction.to_original(self.encoded_query_indices)
+        self.stats["compacted_queries"] = float(compaction.dropped)
 
 
 class LogEncoder:
@@ -144,6 +170,7 @@ class LogEncoder:
 
         self._model = Model("qfix")
         self._param_vars: dict[str, Variable] = {}
+        self._param_bound_cache: dict[str, tuple[float, float]] = {}
         self._param_originals: dict[str, float] = {}
         self._name_counter = itertools.count()
         self._objective_terms: list[LinExpr] = []
@@ -698,9 +725,16 @@ class LogEncoder:
         return view
 
     def _param_bound_map(self) -> dict[str, tuple[float, float]]:
-        return {
-            name: (self._param_lower, self._param_upper) for name in self._param_vars
-        }
+        # Every parameter shares the schema-wide (lower, upper) pair, and
+        # parameters are only ever added — so the map is rebuilt only when
+        # the variable set grew.  Rebuilding it per comparison made encoding
+        # quadratic in log length; this memo keeps it linear.
+        cache = self._param_bound_cache
+        if len(cache) != len(self._param_vars):
+            bounds = (self._param_lower, self._param_upper)
+            cache = {name: bounds for name in self._param_vars}
+            self._param_bound_cache = cache
+        return cache
 
     def _sentinel_for(self, attribute: str) -> float:
         spec = self.schema.spec(attribute)
@@ -710,7 +744,7 @@ class LogEncoder:
         return f"{prefix}#{next(self._name_counter)}"
 
     def _build_objective(self) -> None:
-        objective = LinExpr()
+        terms: list[LinExpr] = []
         for name, variable in self._param_vars.items():
             original = self._param_originals[name]
             distance = add_absolute_value(
@@ -719,10 +753,9 @@ class LogEncoder:
                 name=self._fresh(f"dist::{name}"),
                 upper=self._param_upper - self._param_lower,
             )
-            objective = objective + distance * self.param_objective_weight
-        for term in self._objective_terms:
-            objective = objective + term
-        self._model.set_objective(objective)
+            terms.append(as_linexpr(distance) * self.param_objective_weight)
+        terms.extend(self._objective_terms)
+        self._model.set_objective(LinExpr.sum(terms))
 
 
 def _evaluate_comparison(lhs: float, op: str, rhs: float, tolerance: float = 1e-9) -> bool:

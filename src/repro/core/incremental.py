@@ -21,7 +21,12 @@ from repro.core.repair import (
     build_repair_result,
     repair_resolves_complaints,
 )
-from repro.core.slicing import relevant_attributes, relevant_queries
+from repro.core.slicing import (
+    all_full_impacts,
+    compact_log,
+    relevant_attributes,
+    relevant_queries,
+)
 from repro.db.database import Database
 from repro.db.schema import Schema
 from repro.milp.solution import SolveStatus
@@ -46,12 +51,12 @@ class IncrementalRepairer:
 
     def __init__(self, config: QFixConfig | None = None, solver: Solver | None = None) -> None:
         self.config = config if config is not None else QFixConfig.fully_optimized()
-        self.solver = solver if solver is not None else get_solver(
-            self.config.solver,
-            time_limit=self.config.time_limit,
-            mip_gap=self.config.mip_gap,
-            use_presolve=self.config.use_presolve,
-        )
+        if solver is not None:
+            self.solver = solver
+        else:
+            from repro.core.basic import _default_solver
+
+            self.solver = _default_solver(self.config)
 
     def repair(
         self,
@@ -76,10 +81,18 @@ class IncrementalRepairer:
         start_time = time.perf_counter()
         complaint_attrs = complaints.complaint_attributes(final)
 
+        impacts = None
+        if config.query_slicing or config.attribute_slicing or config.decompose:
+            impacts = all_full_impacts(log, schema)
+
         if config.query_slicing:
             candidates = set(
                 relevant_queries(
-                    log, complaint_attrs, schema, single_fault=config.single_fault
+                    log,
+                    complaint_attrs,
+                    schema,
+                    single_fault=config.single_fault,
+                    impacts=impacts,
                 )
             )
         else:
@@ -88,8 +101,37 @@ class IncrementalRepairer:
         encoded_attrs = None
         if config.attribute_slicing:
             encoded_attrs = relevant_attributes(
-                log, sorted(candidates), complaint_attrs, schema
+                log, sorted(candidates), complaint_attrs, schema, impacts=impacts
             )
+
+        # Compaction (decompose pipeline): drop queries that provably cannot
+        # reach the encoded attributes, then run the window search over the
+        # compacted log.  Candidates always survive compaction (their impact
+        # intersects the complaint attributes), so the sequence of non-empty
+        # windows is unchanged — older windows just arrive sooner.
+        compaction = None
+        encode_log = log
+        if config.decompose:
+            compact_candidates = sorted(candidates)
+            if not config.query_slicing:
+                # Same candidate restriction as BasicRepairer: without it the
+                # relevant-attribute closure covers the whole schema and
+                # compaction cannot drop anything.  single_fault=False keeps
+                # the restriction sound regardless of the config's fault
+                # assumption.
+                compact_candidates = relevant_queries(
+                    log, complaint_attrs, schema, single_fault=False, impacts=impacts
+                )
+            if config.query_slicing and encoded_attrs is not None:
+                target_attrs = encoded_attrs
+            else:
+                target_attrs = relevant_attributes(
+                    log, compact_candidates, complaint_attrs, schema, impacts=impacts
+                )
+            compaction = compact_log(log, target_attrs, schema, impacts=impacts)
+            encode_log = compaction.log
+            candidates = set(compaction.remap(compact_candidates))
+            encoded_attrs = target_attrs
 
         rids = complaints.rids if config.tuple_slicing else None
 
@@ -100,7 +142,7 @@ class IncrementalRepairer:
         last_message = ""
         last_stats: dict[str, float] = {}
 
-        for window in windows_newest_first(len(log), config.incremental_batch):
+        for window in windows_newest_first(len(encode_log), config.incremental_batch):
             parameterized = [index for index in window if index in candidates]
             if not parameterized:
                 continue
@@ -114,18 +156,24 @@ class IncrementalRepairer:
                     schema,
                     initial,
                     final,
-                    log,
+                    encode_log,
                     complaints,
                     config,
                     parameterized=parameterized,
                     rids=rids,
                     encoded_attributes=encoded_attrs,
-                    candidate_indices=sorted(candidates) if config.query_slicing else None,
+                    candidate_indices=(
+                        sorted(candidates)
+                        if (config.query_slicing or config.decompose)
+                        else None
+                    ),
                 )
                 problem = encoder.encode()
                 encode_span.set_attribute("variables", problem.model.num_variables)
             encode_seconds = time.perf_counter() - encode_start
             total_encode += encode_seconds
+            if compaction is not None:
+                problem.restore_original_indices(compaction)
             last_stats = dict(problem.stats)
 
             if problem.trivially_infeasible:
@@ -154,7 +202,12 @@ class IncrementalRepairer:
             )
             if not result.feasible:
                 continue
-            if not repair_resolves_complaints(initial, result.repaired_log, complaints):
+            if not repair_resolves_complaints(
+                initial,
+                result.repaired_log,
+                complaints,
+                final_state=result.repaired_state,
+            ):
                 # The solver satisfied the encoded constraints but the concrete
                 # replay disagrees (e.g. sentinel-encoding corner cases); keep
                 # searching older windows.

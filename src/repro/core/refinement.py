@@ -37,9 +37,16 @@ def affected_non_complaints(
     complaints: ComplaintSet,
     *,
     tolerance: float = 1e-6,
+    repaired_state: Database | None = None,
 ) -> list[int]:
-    """Non-complaint tuples whose values change under the repaired log (``NC``)."""
-    repaired_state = replay(initial, repaired_log)
+    """Non-complaint tuples whose values change under the repaired log (``NC``).
+
+    ``repaired_state`` short-circuits the replay when the caller already holds
+    ``replay(initial, repaired_log)`` (e.g. :attr:`RepairResult.repaired_state`
+    cached by the step-1 finalization).
+    """
+    if repaired_state is None:
+        repaired_state = replay(initial, repaired_log)
     affected = []
     rids = sorted(set(dirty.rids) | set(repaired_state.rids))
     for rid in rids:
@@ -71,7 +78,13 @@ def refine_repair(
     """Run the refinement MILP; return the improved result (or ``step1`` unchanged)."""
     if not step1.feasible or not step1.changed_query_indices:
         return step1
-    nc_rids = affected_non_complaints(initial, final, step1.repaired_log, complaints)
+    nc_rids = affected_non_complaints(
+        initial,
+        final,
+        step1.repaired_log,
+        complaints,
+        repaired_state=step1.repaired_state,
+    )
     if not nc_rids:
         return step1
 
@@ -131,6 +144,7 @@ def refine_repair(
         total_seconds=step1.total_seconds + refined.total_seconds,
         windows_tried=step1.windows_tried,
         refined=True,
+        repaired_state=refined.repaired_state,
         problem_stats=dict(step1.problem_stats),
         message=refined.message,
         # Warm starts replay against the step-1 encoding (the refinement

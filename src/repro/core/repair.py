@@ -47,6 +47,12 @@ class RepairResult:
     #: Cached by the service layer and replayed as a warm start when the same
     #: (log, complaints, config) encoding is solved again.
     solution_values: dict[str, float] = field(default_factory=dict)
+    #: Cached ``replay(initial, repaired_log)`` state, populated as a
+    #: by-product of the complaint-resolution check in ``finalize_repair``.
+    #: Downstream passes (refinement's NC scan, the incremental window
+    #: search's sanity replay) reuse it instead of replaying the full log
+    #: again.  Never serialized; excluded from ``summary()``.
+    repaired_state: Database | None = field(default=None, repr=False, compare=False)
 
     @property
     def changed_queries(self) -> tuple[int, ...]:
@@ -113,9 +119,22 @@ def repair_resolves_complaints(
     complaints: ComplaintSet,
     *,
     tolerance: float = 1e-6,
+    final_state: Database | None = None,
 ) -> bool:
-    """Replay ``repaired_log`` and check that every complaint is resolved."""
-    final = replay(initial, repaired_log)
+    """Replay ``repaired_log`` and check that every complaint is resolved.
+
+    Pass ``final_state`` when ``replay(initial, repaired_log)`` has already
+    been computed (e.g. :attr:`RepairResult.repaired_state`) to skip the
+    replay; the caller is responsible for the state actually matching the
+    log.
+    """
+    final = final_state if final_state is not None else replay(initial, repaired_log)
+    return _complaints_resolved(final, complaints, tolerance=tolerance)
+
+
+def _complaints_resolved(
+    final: Database, complaints: ComplaintSet, *, tolerance: float = 1e-6
+) -> bool:
     for complaint in complaints:
         row = final.get(complaint.rid)
         if complaint.kind is ComplaintKind.REMOVE:
@@ -145,15 +164,40 @@ def finalize_repair(
     Rounded parameter values are preferred when they still resolve every
     complaint; otherwise the solver's fractional values are kept verbatim.
     """
+    repaired_log, values, _ = _finalize_repair(
+        initial, original_log, problem, solution, complaints, config=config
+    )
+    return repaired_log, values
+
+
+def _finalize_repair(
+    initial: Database,
+    original_log: QueryLog,
+    problem: EncodedProblem,
+    solution: Solution,
+    complaints: ComplaintSet,
+    *,
+    config: QFixConfig,
+) -> tuple[QueryLog, dict[str, float], Database | None]:
+    """:func:`finalize_repair` plus the replayed state of the chosen log.
+
+    The complaint-resolution check already replays the candidate log; the
+    resulting :class:`Database` is returned so downstream passes (refinement,
+    the incremental sanity check) never replay the same log twice.
+    """
     rounded = extract_param_values(problem, solution, config=config)
     candidate = original_log.with_params(rounded)
-    if rounded and not repair_resolves_complaints(initial, candidate, complaints):
+    if not rounded:
+        return candidate, rounded, None
+    candidate_state = replay(initial, candidate)
+    if not _complaints_resolved(candidate_state, complaints):
         raw = raw_param_values(problem, solution)
         if raw != rounded:
             fallback = original_log.with_params(raw)
-            if repair_resolves_complaints(initial, fallback, complaints):
-                return fallback, raw
-    return candidate, rounded
+            fallback_state = replay(initial, fallback)
+            if _complaints_resolved(fallback_state, complaints):
+                return fallback, raw, fallback_state
+    return candidate, rounded, candidate_state
 
 
 def build_repair_result(
@@ -182,13 +226,14 @@ def build_repair_result(
             problem_stats={**problem.stats, **solution.stats},
             message=solution.message,
         )
-    repaired_log, values = finalize_repair(
+    repaired_log, values, repaired_state = _finalize_repair(
         initial, original_log, problem, solution, complaints, config=config
     )
     changed = tuple(changed_queries(original_log, repaired_log))
     distance = log_distance(original_log, repaired_log)
     return RepairResult(
         solution_values=dict(solution.values),
+        repaired_state=repaired_state,
         original_log=original_log,
         repaired_log=repaired_log,
         feasible=True,

@@ -129,11 +129,23 @@ def build_parser() -> argparse.ArgumentParser:
             "unlimited)"
         ),
     )
+    parser.add_argument(
+        "--decompose",
+        action="store_true",
+        help=(
+            "batch/serve mode: enable the decompose-and-conquer pipeline by "
+            "default (log compaction + connected-component splitting with "
+            "intra-request parallelism) for requests that carry no explicit "
+            "config; harness mode: force decomposition on every cell of the "
+            "grid (the differential cells of the long-log family carry their "
+            "own decompose axis and do not need this flag)"
+        ),
+    )
     harness_group = parser.add_argument_group("harness mode")
     harness_group.add_argument(
         "--grid",
         default="smoke",
-        help="harness mode: named cell grid to sweep (micro, smoke, full)",
+        help="harness mode: named cell grid to sweep (micro, smoke, full, longlog)",
     )
     harness_group.add_argument(
         "--budget",
@@ -267,12 +279,27 @@ def run_experiment(name: str, scale: str, seed: int) -> ExperimentResult:
     return result
 
 
+def _default_engine_config(decompose: bool):
+    """Engine default config for ``--decompose`` (None keeps the engine's own).
+
+    Requests that carry an explicit config are untouched — the flag only
+    changes the default applied to config-less requests, mirroring how the
+    engine treats every other config field.
+    """
+    if not decompose:
+        return None
+    from repro.core.config import QFixConfig
+
+    return QFixConfig.fully_optimized(decompose=True)
+
+
 def run_batch(
     input_path: str | None,
     output_path: str | None,
     max_workers: int,
     executor: str = "thread",
     max_inflight: int | None = None,
+    decompose: bool = False,
     *,
     stdin: TextIO | None = None,
 ) -> int:
@@ -308,7 +335,10 @@ def run_batch(
             return 2
 
     engine = DiagnosisEngine(
-        max_workers=max_workers, executor=executor, max_inflight=max_inflight
+        config=_default_engine_config(decompose),
+        max_workers=max_workers,
+        executor=executor,
+        max_inflight=max_inflight,
     )
     try:
         responses = serve_jsonl_lines(engine, lines)
@@ -362,6 +392,7 @@ def run_harness(
     max_inflight: int | None = None,
     trace_dump: str | None = None,
     slow_trace_ms: float = 500.0,
+    decompose: bool = False,
 ) -> int:
     """Sweep a named scenario grid and report oracle violations.
 
@@ -393,6 +424,12 @@ def run_harness(
     except Exception as error:  # noqa: BLE001 - CLI boundary
         print(str(error), file=sys.stderr)
         return 2
+    if decompose:
+        # Force the decompose-and-conquer pipeline on every cell; cell ids
+        # pick up the "decomposed" marker so the report shows what ran.
+        from dataclasses import replace as _replace
+
+        cells = [_replace(cell, decompose=True) for cell in cells]
 
     tracer = None
     if trace_dump is not None:
@@ -490,6 +527,7 @@ def run_serve(
     slow_trace_ms: float = 500.0,
     log_level: str = "info",
     log_json: bool = False,
+    decompose: bool = False,
 ) -> int:
     """Boot the HTTP diagnosis service and block until stopped.
 
@@ -562,7 +600,11 @@ def run_serve(
     serve(
         host,
         port,
-        engine=DiagnosisEngine(max_workers=workers, executor=executor),
+        engine=DiagnosisEngine(
+            config=_default_engine_config(decompose),
+            max_workers=workers,
+            executor=executor,
+        ),
         max_request_bytes=limit,
         max_inflight=max_inflight,
         durability=durability,
@@ -709,10 +751,16 @@ def main(argv: list[str] | None = None) -> int:
             args.slow_trace_ms,
             args.log_level,
             args.log_json,
+            args.decompose,
         )
     if args.experiment == "batch":
         return run_batch(
-            args.input, args.output, args.max_workers, args.executor, args.max_inflight
+            args.input,
+            args.output,
+            args.max_workers,
+            args.executor,
+            args.max_inflight,
+            args.decompose,
         )
     if args.experiment == "harness":
         return run_harness(
@@ -725,6 +773,7 @@ def main(argv: list[str] | None = None) -> int:
             args.max_inflight,
             args.trace_dump,
             args.slow_trace_ms,
+            args.decompose,
         )
     if args.experiment == "trace":
         return run_trace(args.input, args.seed, args.output, args.slow_trace_ms)

@@ -3,8 +3,8 @@
 A :class:`CellSpec` pairs one data-side :class:`~repro.workload.spec.ScenarioSpec`
 with one algorithm-side configuration — diagnoser, MILP backend, presolve
 on/off, warm vs. cold — so a grid is just a list of cells.  Named grids live
-in a registry (``smoke``, ``micro``, ``full``) so the CLI, CI, and tests all
-sweep the same cells by name.
+in a registry (``smoke``, ``micro``, ``full``, ``longlog``) so the CLI, CI,
+and tests all sweep the same cells by name.
 
 The cell's :meth:`~CellSpec.config` chooses the algorithm configuration the
 way the paper's ablations do: the ``basic`` diagnoser runs the global
@@ -38,6 +38,11 @@ class CellSpec:
     solver: str = "highs"
     use_presolve: bool = True
     warm: bool = False
+    #: Route this cell through the decompose-and-conquer pipeline (log
+    #: compaction + connected-component splitting).  An axis like ``warm``:
+    #: the decomposition differential oracle compares each decomposed cell
+    #: against its monolithic twin.
+    decompose: bool = False
     #: Per-solve time limit for this cell (bounds worst-case sweep time).
     time_limit: float = 30.0
 
@@ -49,6 +54,8 @@ class CellSpec:
             parts.append("nopresolve")
         if self.warm:
             parts.append("warm")
+        if self.decompose:
+            parts.append("decomposed")
         return "|".join(parts)
 
     @property
@@ -68,6 +75,7 @@ class CellSpec:
             diagnoser=self.diagnoser,
             solver=self.solver,
             use_presolve=self.use_presolve,
+            decompose=self.decompose,
             time_limit=self.time_limit,
         )
 
@@ -82,6 +90,7 @@ class CellSpec:
             "solver": self.solver,
             "use_presolve": self.use_presolve,
             "warm": self.warm,
+            "decompose": self.decompose,
             "time_limit": self.time_limit,
         }
 
@@ -93,6 +102,7 @@ def expand_cells(
     solvers: Sequence[str] = ("highs",),
     presolve: Sequence[bool] = (True,),
     warm: Sequence[bool] = (False,),
+    decompose: Sequence[bool] = (False,),
     time_limit: float = 30.0,
 ) -> list[CellSpec]:
     """Cartesian product of the algorithm-side axes over ``scenarios``."""
@@ -102,16 +112,18 @@ def expand_cells(
             for solver in solvers:
                 for use_presolve in presolve:
                     for is_warm in warm:
-                        cells.append(
-                            CellSpec(
-                                scenario=scenario,
-                                diagnoser=diagnoser,
-                                solver=solver,
-                                use_presolve=use_presolve,
-                                warm=is_warm,
-                                time_limit=time_limit,
+                        for is_decomposed in decompose:
+                            cells.append(
+                                CellSpec(
+                                    scenario=scenario,
+                                    diagnoser=diagnoser,
+                                    solver=solver,
+                                    use_presolve=use_presolve,
+                                    warm=is_warm,
+                                    decompose=is_decomposed,
+                                    time_limit=time_limit,
+                                )
                             )
-                        )
     return cells
 
 
@@ -221,6 +233,35 @@ def _smoke_grid(seed: int) -> list[CellSpec]:
     cells += expand_cells(
         [riders_on], diagnosers=("dectree",), solvers=("highs",), time_limit=20.0
     )
+    # Long-history riders: clustered long-log scenarios in monolithic /
+    # decomposed pairs, so CI runs the decomposition differential oracle on
+    # every sweep (including a complaint set spanning two components).
+    longlog = [
+        ScenarioSpec(
+            family="long-log",
+            n_tuples=32,
+            n_queries=64,
+            corruption="set-clause",
+            position="early",
+            seed=seed,
+        ),
+        ScenarioSpec(
+            family="long-log",
+            n_tuples=32,
+            n_queries=64,
+            corruption="workload",
+            position="spread",
+            n_corruptions=2,
+            seed=seed,
+        ),
+    ]
+    cells += expand_cells(
+        longlog,
+        diagnosers=("basic", "incremental"),
+        solvers=("highs",),
+        decompose=(False, True),
+        time_limit=20.0,
+    )
     return cells
 
 
@@ -252,6 +293,44 @@ def _full_grid(seed: int) -> list[CellSpec]:
     return cells
 
 
+def _longlog_grid(seed: int) -> list[CellSpec]:
+    """The long-history differential sweep: decomposed vs monolithic at 1k queries.
+
+    Every cell appears twice — with and without ``decompose`` — so the
+    decomposition differential oracle certifies identical verdicts and repairs
+    at the scale the pipeline is built for.  The generous time limit lets the
+    monolithic twin finish (or honestly time out) instead of crashing the
+    comparison.
+    """
+    scenarios = [
+        ScenarioSpec(
+            family="long-log",
+            n_tuples=64,
+            n_queries=1000,
+            corruption="set-clause",
+            position="late",
+            seed=seed,
+        ),
+        ScenarioSpec(
+            family="long-log",
+            n_tuples=64,
+            n_queries=1000,
+            corruption="workload",
+            position="spread",
+            n_corruptions=2,
+            seed=seed,
+        ),
+    ]
+    return expand_cells(
+        scenarios,
+        diagnosers=("basic", "incremental"),
+        solvers=("highs",),
+        decompose=(False, True),
+        time_limit=120.0,
+    )
+
+
 register_grid("micro", _micro_grid)
 register_grid("smoke", _smoke_grid)
 register_grid("full", _full_grid)
+register_grid("longlog", _longlog_grid)

@@ -17,6 +17,12 @@ for every cell of the matrix, whatever the scenario:
   tuple slicing plus refinement legitimately trades repair distance for
   collateral-damage control, so only identical-config cells (the agreement
   oracle) are held to equal distance.
+* **decomposition** — a cell routed through the decompose-and-conquer
+  pipeline (log compaction + component splitting) agrees with its monolithic
+  twin: same feasibility verdict whenever both made a claim, and the same
+  repair distance and changed-query fingerprint whenever both proved
+  optimality.  The pipeline is an exactness-preserving transformation, so any
+  disagreement is a bug, not a trade-off.
 * **scoring** — reported accuracy metrics follow from their own tuple counts,
   and the ground-truth bookkeeping matches the scenario: ``true_errors``
   equals the full complaint set, and resolving a *complete* complaint set
@@ -225,9 +231,78 @@ def check_convergence(
     return violations
 
 
+def check_decomposition(
+    rows: Iterable[tuple[CellSpec, CellResult]],
+) -> list[OracleViolation]:
+    """Decomposed-vs-monolithic equivalence for otherwise identical cells.
+
+    Log compaction drops only queries that provably cannot reach the
+    complaint set, and component splitting partitions an exactly equivalent
+    MILP — so a decomposed cell must reach the *same verdict* as its
+    monolithic twin whenever both made a claim, and the *same repair*
+    (distance and changed-query fingerprint) whenever both proved optimality.
+    A twin that timed out claims nothing: decomposition finishing where the
+    monolith ran out of budget is the point, not a violation.
+    """
+    violations: list[OracleViolation] = []
+    twins: dict[tuple[str, str, str, bool, bool], dict[bool, tuple[CellSpec, CellResult]]] = {}
+    for cell, row in rows:
+        if row.skipped or not row.ok or not cell.exact or not _made_a_claim(row):
+            continue
+        key = (
+            cell.scenario.label(),
+            cell.diagnoser,
+            cell.solver,
+            cell.use_presolve,
+            cell.warm,
+        )
+        twins.setdefault(key, {})[cell.decompose] = (cell, row)
+    for pair in twins.values():
+        if False not in pair or True not in pair:
+            continue
+        mono_cell, mono = pair[False]
+        deco_cell, deco = pair[True]
+        if deco.feasible != mono.feasible:
+            violations.append(
+                OracleViolation(
+                    "decomposition",
+                    deco_cell.cell_id,
+                    f"feasibility {deco.feasible} disagrees with monolithic twin "
+                    f"{mono_cell.cell_id} ({mono.feasible})",
+                )
+            )
+            continue
+        if not (deco.feasible and _proved_optimal(deco) and _proved_optimal(mono)):
+            continue
+        if abs(deco.distance - mono.distance) > DISTANCE_TOLERANCE:
+            violations.append(
+                OracleViolation(
+                    "decomposition",
+                    deco_cell.cell_id,
+                    f"repair distance {deco.distance} disagrees with monolithic "
+                    f"twin {mono_cell.cell_id} ({mono.distance})",
+                )
+            )
+        if deco.changed_query_indices != mono.changed_query_indices:
+            violations.append(
+                OracleViolation(
+                    "decomposition",
+                    deco_cell.cell_id,
+                    f"repair fingerprint {list(deco.changed_query_indices)} disagrees "
+                    f"with monolithic twin {mono_cell.cell_id} "
+                    f"({list(mono.changed_query_indices)})",
+                )
+            )
+    return violations
+
+
 def check_matrix(
     rows: "list[tuple[CellSpec, CellResult]]",
     scenarios: Mapping[str, Scenario],
 ) -> list[OracleViolation]:
     """All cross-cell oracles over one sweep's executed cells."""
-    return check_agreement(rows) + check_convergence(rows, scenarios)
+    return (
+        check_agreement(rows)
+        + check_convergence(rows, scenarios)
+        + check_decomposition(rows)
+    )

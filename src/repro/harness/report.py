@@ -53,6 +53,7 @@ class CellResult:
     solver: str = ""
     use_presolve: bool = True
     warm: bool = False
+    decompose: bool = False
     ok: bool = False
     feasible: bool = False
     status: str = ""
@@ -69,6 +70,15 @@ class CellResult:
     #: presolve, search, lp…).  Timing detail, so it is serialized with the
     #: cell but — like ``elapsed_seconds`` — kept out of :meth:`stable_dict`.
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Decomposition counters from the response summary: how many independent
+    #: components the MILP split into, the variable count of the largest one,
+    #: and how many log queries compaction dropped before encoding.  Zero on
+    #: monolithic cells.  Diagnostics, not verdicts — serialized with the
+    #: cell but kept out of :meth:`stable_dict` (component counts can shift
+    #: with presolve tightening without the repair changing).
+    components: int = 0
+    largest_component_vars: int = 0
+    compacted_queries: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-native encoding (round-trips through :meth:`from_dict`)."""
@@ -80,6 +90,7 @@ class CellResult:
             "solver": self.solver,
             "use_presolve": self.use_presolve,
             "warm": self.warm,
+            "decompose": self.decompose,
             "ok": self.ok,
             "feasible": self.feasible,
             "status": self.status,
@@ -93,6 +104,9 @@ class CellResult:
             "error_message": self.error_message,
             "skipped": self.skipped,
             "phase_seconds": dict(self.phase_seconds),
+            "components": self.components,
+            "largest_component_vars": self.largest_component_vars,
+            "compacted_queries": self.compacted_queries,
         }
 
     @classmethod
@@ -106,6 +120,7 @@ class CellResult:
             solver=str(data.get("solver", "")),
             use_presolve=bool(data.get("use_presolve", True)),
             warm=bool(data.get("warm", False)),
+            decompose=bool(data.get("decompose", False)),
             ok=bool(data.get("ok", False)),
             feasible=bool(data.get("feasible", False)),
             status=str(data.get("status", "")),
@@ -123,6 +138,9 @@ class CellResult:
             phase_seconds={
                 str(k): float(v) for k, v in data.get("phase_seconds", {}).items()
             },
+            components=int(data.get("components", 0)),
+            largest_component_vars=int(data.get("largest_component_vars", 0)),
+            compacted_queries=int(data.get("compacted_queries", 0)),
         )
 
     def stable_dict(self) -> dict[str, Any]:

@@ -187,6 +187,7 @@ def _skipped_row(
         solver=cell.solver,
         use_presolve=cell.use_presolve,
         warm=cell.warm,
+        decompose=cell.decompose,
         status=reason,
         skipped=True,
     )
@@ -213,6 +214,7 @@ def _result_row(
         solver=cell.solver,
         use_presolve=cell.use_presolve,
         warm=cell.warm,
+        decompose=cell.decompose,
         ok=response.ok,
         feasible=response.feasible,
         status=response.status,
@@ -225,7 +227,18 @@ def _result_row(
         error_type=response.error_type,
         error_message=response.error_message,
         phase_seconds=_phase_seconds(response.summary),
+        components=_int_stat(response.summary, "stats.components"),
+        largest_component_vars=_int_stat(response.summary, "stats.largest_component_vars"),
+        compacted_queries=_int_stat(response.summary, "stats.compacted_queries"),
     )
+
+
+def _int_stat(summary: "dict[str, object]", key: str) -> int:
+    """An integer-valued counter from a response summary (0 when absent)."""
+    try:
+        return int(float(summary.get(key, 0)))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 0
 
 
 def _phase_seconds(summary: "dict[str, object]") -> dict[str, float]:

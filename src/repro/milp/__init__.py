@@ -35,6 +35,13 @@ from repro.milp.solvers import (
     available_solvers,
     get_solver,
 )
+from repro.milp.decompose import (
+    DecomposingSolver,
+    ModelSplit,
+    SubModel,
+    merge_solutions,
+    split_model,
+)
 
 __all__ = [
     "Variable",
@@ -55,6 +62,11 @@ __all__ = [
     "Solver",
     "HighsSolver",
     "BranchAndBoundSolver",
+    "DecomposingSolver",
+    "ModelSplit",
+    "SubModel",
+    "split_model",
+    "merge_solutions",
     "get_solver",
     "available_solvers",
 ]

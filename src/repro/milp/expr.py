@@ -43,10 +43,35 @@ class LinExpr:
 
     @classmethod
     def sum(cls, expressions: Iterable["LinExpr | Variable | float"]) -> "LinExpr":
-        """Sum an iterable of expressions / variables / numbers."""
+        """Sum an iterable of expressions / variables / numbers.
+
+        Accumulates into a single private result rather than chaining
+        ``__add__`` (which copies the growing term dict each step and turns a
+        long summation quadratic).
+        """
         total = cls()
+        terms = total._terms
+        constant = 0.0
         for item in expressions:
-            total = total + item
+            if isinstance(item, Number):
+                constant += float(item)
+            elif isinstance(item, Variable):
+                updated = terms.get(item, 0.0) + 1.0
+                if updated == 0.0:
+                    terms.pop(item, None)
+                else:
+                    terms[item] = updated
+            elif isinstance(item, LinExpr):
+                for variable, coeff in item._terms.items():
+                    updated = terms.get(variable, 0.0) + coeff
+                    if updated == 0.0:
+                        terms.pop(variable, None)
+                    else:
+                        terms[variable] = updated
+                constant += item.constant
+            else:
+                raise ModelError(f"cannot sum {item!r} into a linear expression")
+        total.constant = constant
         return total
 
     # -- inspection -------------------------------------------------------------

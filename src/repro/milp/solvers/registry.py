@@ -9,9 +9,18 @@ from repro.milp.solvers.base import Solver
 from repro.milp.solvers.branch_and_bound import BranchAndBoundSolver
 from repro.milp.solvers.scipy_backend import HighsSolver
 
+def _decomposed_factory(**options: object) -> Solver:
+    # Imported lazily: the decomposing solver resolves its inner backend
+    # through this registry, so a module-level import would be circular.
+    from repro.milp.decompose import DecomposingSolver
+
+    return DecomposingSolver(**options)  # type: ignore[arg-type]
+
+
 _FACTORIES: Dict[str, Callable[..., Solver]] = {
     HighsSolver.name: HighsSolver,
     BranchAndBoundSolver.name: BranchAndBoundSolver,
+    "decomposed": _decomposed_factory,
     # Convenience aliases.
     "scipy": HighsSolver,
     "bnb": BranchAndBoundSolver,

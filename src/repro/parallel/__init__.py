@@ -24,6 +24,12 @@ complete.  Strategies live in a registry mirroring the solver and diagnoser
 registries, so deployments select one by name
 (``DiagnosisEngine(executor="process")``, CLI ``--executor``, …) and new
 strategies plug in via :func:`register_executor`.
+
+Orthogonal to the batch strategies, :class:`ComponentScheduler`
+(:mod:`repro.parallel.components`) parallelizes *within* a single request:
+the decomposed solver path fans the independent components of one MILP over
+a shared, bounded thread pool, so a single huge diagnosis can use every core
+instead of only benefiting batch workloads.
 """
 
 from repro.parallel.base import (
@@ -35,6 +41,7 @@ from repro.parallel.base import (
     register_executor,
     validate_executor_name,
 )
+from repro.parallel.components import ComponentScheduler
 from repro.parallel.local import SerialExecutor, ThreadExecutor
 from repro.parallel.process import ProcessExecutor
 from repro.parallel.scheduler import stream_batch
@@ -45,6 +52,7 @@ register_executor(ProcessExecutor.name, ProcessExecutor)
 
 __all__ = [
     "BatchItem",
+    "ComponentScheduler",
     "Executor",
     "WorkUnit",
     "SerialExecutor",

@@ -1,0 +1,136 @@
+"""Intra-request parallelism: fan MILP components out over a worker pool.
+
+The batch executors in this package parallelize *across* requests; the
+:class:`ComponentScheduler` parallelizes *within* one solve.  The decomposing
+solver (:class:`repro.milp.decompose.DecomposingSolver`) hands it one callable
+per independent model component; the scheduler runs them on a shared thread
+pool with a bounded in-flight window, so a request that splits into hundreds
+of components cannot monopolize the pool the engine sized for the whole
+process.
+
+Threads are the right grain here for the same reason the ``thread`` batch
+strategy defaults to them: component solves spend their time inside native
+HiGHS code, which releases the GIL.  The scheduler propagates the caller's
+trace context into the workers, so per-component ``solver.search`` spans nest
+under the request's ``solver.decompose`` span exactly as they do serially.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from repro.obs import trace as obs
+
+T = TypeVar("T")
+
+
+class ComponentScheduler:
+    """Run independent component tasks on a bounded shared thread pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size.  ``1`` disables the pool entirely: tasks run inline on
+        the calling thread (deterministic, zero scheduling overhead).
+    max_inflight:
+        Upper bound on tasks submitted but not yet finished, across *all*
+        concurrent ``map`` calls sharing this scheduler.  Defaults to twice
+        the worker count — enough to keep the pool saturated without
+        enqueueing an unbounded backlog of solver tasks.
+    """
+
+    def __init__(self, max_workers: int = 4, max_inflight: int | None = None) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        self.max_inflight = max_inflight if max_inflight is not None else 2 * max_workers
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self._pool: ThreadPoolExecutor | None = None
+        # The scheduler is shared by every decomposed solve on an engine, so
+        # lazy pool creation must not race and leak a second pool's threads.
+        self._pool_lock = threading.Lock()
+        # In-flight accounting spans concurrent map() calls.
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    def map(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        """Run every task and return their results in submission order.
+
+        Tasks must not raise — a solver task reports failure through its
+        return value (the decomposing solver wraps exceptions into ERROR
+        solutions).  An exception escaping a task is re-raised here after the
+        remaining futures are drained, so the pool is never poisoned.
+        """
+        if not tasks:
+            return []
+        if self.max_workers == 1 or len(tasks) == 1:
+            return [task() for task in tasks]
+
+        pool = self._acquire_pool()
+        handle = obs.current_handle()
+        results: list[T] = [None] * len(tasks)  # type: ignore[list-item]
+        pending: dict[Future[T], int] = {}
+        error: BaseException | None = None
+        try:
+            for index, task in enumerate(tasks):
+                self._reserve_slot()
+                future = pool.submit(self._run, task, handle)
+                future.add_done_callback(self._release_slot)
+                pending[future] = index
+            for future, index in pending.items():
+                results[index] = future.result()
+        except BaseException as exc:  # noqa: BLE001 - drained and re-raised
+            error = exc
+            raise
+        finally:
+            if error is not None:
+                for future in pending:
+                    future.cancel()
+        return results
+
+    @staticmethod
+    def _run(task: Callable[[], T], handle: "obs.ContextHandle | None") -> T:
+        # Pool threads have no scope stack of their own; adopt the caller's
+        # trace context so component spans nest under the solve's span.
+        with obs.attached(handle):
+            return task()
+
+    def _acquire_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="qfix-component",
+                )
+            return self._pool
+
+    def _reserve_slot(self) -> None:
+        with self._inflight_cv:
+            while self._inflight >= self.max_inflight:
+                self._inflight_cv.wait()
+            self._inflight += 1
+
+    def _release_slot(self, _future: "Future[T]") -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            self._inflight_cv.notify()
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": "components",
+            "max_workers": self.max_workers,
+            "max_inflight": self.max_inflight,
+        }
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; the scheduler can be reused after)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+__all__ = ["ComponentScheduler"]

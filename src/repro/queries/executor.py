@@ -4,32 +4,51 @@ The executor is the reference semantics for the query model: the MILP encoder
 is correct exactly when, for any parameter assignment, the encoded constraints
 agree with what :func:`apply_query` computes.  The property-based tests in
 ``tests/core/test_encoder_properties.py`` check precisely that agreement.
+
+Point predicates (``attr = constant``) dominate the paper's workloads, so
+:func:`replay` maintains a :class:`_PointIndex` — a lazily built equality
+index over row values — that turns each point UPDATE/DELETE from a full table
+scan into a constant-time probe.  Matches are re-verified against the
+comparison's own tolerance, so indexed and scanned replays are value-identical.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Iterable
 
 from repro.db.database import Database
+from repro.db.table import Row
 from repro.exceptions import QueryModelError
+from repro.queries.expressions import Attr
 from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison, Predicate
 from repro.queries.query import DeleteQuery, InsertQuery, Query, UpdateQuery
 
 
-def apply_query(state: Database, query: Query, *, in_place: bool = False) -> Database:
+def apply_query(
+    state: Database,
+    query: Query,
+    *,
+    in_place: bool = False,
+    index: "_PointIndex | None" = None,
+) -> Database:
     """Apply a single query to ``state`` and return the resulting state.
 
     By default the input state is left untouched and a snapshot is modified;
     pass ``in_place=True`` to mutate ``state`` directly (used by
-    :func:`replay` to avoid quadratic copying).
+    :func:`replay` to avoid quadratic copying).  ``index`` is the replay-local
+    point index; it must have been created over ``state`` itself.
     """
     result = state if in_place else state.snapshot()
+    if index is not None and result is not state:
+        index = None
     if isinstance(query, UpdateQuery):
-        _apply_update(result, query)
+        _apply_update(result, query, index)
     elif isinstance(query, InsertQuery):
-        _apply_insert(result, query)
+        _apply_insert(result, query, index)
     elif isinstance(query, DeleteQuery):
-        _apply_delete(result, query)
+        _apply_delete(result, query, index)
     else:
         raise QueryModelError(f"unsupported query type: {type(query).__name__}")
     return result
@@ -41,8 +60,9 @@ def replay(initial: Database, log: QueryLog | Iterable[Query]) -> Database:
     ``initial`` is never modified.
     """
     state = initial.snapshot()
+    index = _PointIndex(state)
     for query in log:
-        apply_query(state, query, in_place=True)
+        apply_query(state, query, in_place=True, index=index)
     return state
 
 
@@ -57,19 +77,127 @@ def replay_states(
     """
     states = [initial.snapshot()]
     current = initial.snapshot()
+    index = _PointIndex(current)
     for query in log:
-        apply_query(current, query, in_place=True)
+        apply_query(current, query, in_place=True, index=index)
         states.append(current.snapshot())
     return states
+
+
+# -- point predicate recognition and indexing ------------------------------------
+
+
+def _point_test(where: Predicate) -> "tuple[str, float, float] | None":
+    """``(attribute, value, tolerance)`` when ``where`` is ``attr = <constant>``.
+
+    Point predicates dominate the replay workloads (the paper's logs are
+    key-equality UPDATEs), and evaluating one through the generic expression
+    interpreter costs ~10 function calls per row.  Recognizing the shape once
+    per query application reduces the per-row check to a dict lookup and a
+    float compare; the tolerance is the comparison's own, so the outcome is
+    bit-identical to :meth:`Comparison.evaluate`.
+    """
+    if type(where) is not Comparison or where.op != "=":
+        return None
+    left, right = where.left, where.right
+    if not isinstance(left, Attr):
+        left, right = right, left
+    if not isinstance(left, Attr) or isinstance(right, Attr) or right.attributes():
+        return None
+    return left.name, right.evaluate({}), where.tolerance
+
+
+class _PointIndex:
+    """A replay-local equality index: attribute -> value bucket -> rids.
+
+    Built lazily the first time a point query probes an attribute and
+    maintained incrementally across writes, inserts, and deletes, so a log of
+    point UPDATEs replays in O(log) instead of O(log x rows).  Values are
+    bucketed into tolerance-wide windows; a probe unions the three adjacent
+    buckets and re-checks ``|value - target| <= tolerance`` exactly, which
+    makes the matched row set identical to a full scan whenever the
+    comparison's tolerance fits inside the window (probes with a larger
+    tolerance decline, and the caller falls back to scanning).
+    """
+
+    #: Bucket width; must be >= any comparison tolerance the index accepts.
+    WINDOW = 1e-6
+
+    def __init__(self, state: Database) -> None:
+        self._state = state
+        self._by_attr: dict[str, dict[int, set[int]]] = {}
+
+    def _bucket(self, value: float) -> int:
+        return int(math.floor(value / self.WINDOW))
+
+    def _built(self, attribute: str) -> dict[int, set[int]]:
+        index = self._by_attr.get(attribute)
+        if index is None:
+            index = {}
+            for row in self._state.rows():
+                index.setdefault(self._bucket(row.values[attribute]), set()).add(row.rid)
+            self._by_attr[attribute] = index
+        return index
+
+    def probe(self, attribute: str, value: float, tolerance: float) -> "list[Row] | None":
+        """Rows matching ``attribute = value`` — or ``None`` to request a scan."""
+        if tolerance > self.WINDOW or not math.isfinite(value):
+            return None
+        index = self._built(attribute)
+        bucket = self._bucket(value)
+        rows = []
+        for neighbour in (bucket - 1, bucket, bucket + 1):
+            for rid in index.get(neighbour, ()):
+                row = self._state.get(rid)
+                if row is not None and abs(row.values[attribute] - value) <= tolerance:
+                    rows.append(row)
+        return rows
+
+    def note_update(self, rid: int, attribute: str, old: float, new: float) -> None:
+        index = self._by_attr.get(attribute)
+        if index is None:
+            return
+        old_bucket, new_bucket = self._bucket(old), self._bucket(new)
+        if old_bucket != new_bucket:
+            bucket = index.get(old_bucket)
+            if bucket is not None:
+                bucket.discard(rid)
+            index.setdefault(new_bucket, set()).add(rid)
+
+    def note_insert(self, row: Row) -> None:
+        for attribute, index in self._by_attr.items():
+            index.setdefault(self._bucket(row.values[attribute]), set()).add(row.rid)
+
+    def note_delete(self, rid: int, values: "dict[str, float]") -> None:
+        for attribute, index in self._by_attr.items():
+            bucket = index.get(self._bucket(values[attribute]))
+            if bucket is not None:
+                bucket.discard(rid)
 
 
 # -- per-query-type semantics ---------------------------------------------------
 
 
-def _apply_update(state: Database, query: UpdateQuery) -> None:
-    for row in state.rows():
-        if not query.where.evaluate(row.values):
-            continue
+def _matched_rows(
+    state: Database, where: Predicate, index: "_PointIndex | None"
+) -> list[Row]:
+    point = _point_test(where)
+    if point is not None:
+        if index is not None:
+            rows = index.probe(*point)
+            if rows is not None:
+                return rows
+        name, value, tolerance = point
+        return [
+            row for row in state.rows() if abs(row.values[name] - value) <= tolerance
+        ]
+    return [row for row in state.rows() if where.evaluate(row.values)]
+
+
+def _apply_update(
+    state: Database, query: UpdateQuery, index: "_PointIndex | None" = None
+) -> None:
+    for row in _matched_rows(state, query.where, index):
         # Evaluate every SET expression against the *pre-update* values so
         # that, e.g., ``SET a = b, b = a`` swaps rather than copies.
         new_values = {
@@ -77,10 +205,14 @@ def _apply_update(state: Database, query: UpdateQuery) -> None:
             for attribute, expr in query.set_clause
         }
         for attribute, value in new_values.items():
+            if index is not None:
+                index.note_update(row.rid, attribute, row.values[attribute], value)
             row[attribute] = value
 
 
-def _apply_insert(state: Database, query: InsertQuery) -> None:
+def _apply_insert(
+    state: Database, query: InsertQuery, index: "_PointIndex | None" = None
+) -> None:
     provided = query.value_expressions()
     values = {}
     for attribute in state.schema.attribute_names:
@@ -90,10 +222,16 @@ def _apply_insert(state: Database, query: InsertQuery) -> None:
             raise QueryModelError(
                 f"INSERT into '{query.table}' missing value for attribute '{attribute}'"
             )
-    state.insert(values)
+    row = state.insert(values)
+    if index is not None:
+        index.note_insert(row)
 
 
-def _apply_delete(state: Database, query: DeleteQuery) -> None:
-    doomed = [row.rid for row in state.rows() if query.where.evaluate(row.values)]
-    for rid in doomed:
-        state.delete(rid)
+def _apply_delete(
+    state: Database, query: DeleteQuery, index: "_PointIndex | None" = None
+) -> None:
+    doomed = _matched_rows(state, query.where, index)
+    for row in doomed:
+        if index is not None:
+            index.note_delete(row.rid, dict(row.values))
+        state.delete(row.rid)

@@ -75,14 +75,25 @@ class QueryLog:
         the log owns raise :class:`QueryModelError` immediately — silently
         ignoring them would make a misspelled repair look like a no-op repair.
         """
-        if mapping:
-            unknown = sorted(set(mapping) - set(self.params()))
-            if unknown:
-                raise QueryModelError(
-                    f"unknown parameter name(s) {unknown}; no query in the log "
-                    "owns them (valid repairs only change existing parameters)"
-                )
-        return QueryLog(query.with_params(mapping) for query in self._queries)
+        if not mapping:
+            return QueryLog(self._queries)
+        mapped = set(mapping)
+        found: set[str] = set()
+        rebuilt = list(self._queries)
+        for index, query in enumerate(self._queries):
+            owned = mapped.intersection(query.params())
+            if owned:
+                rebuilt[index] = query.with_params(mapping)
+                found |= owned
+        unknown = mapped - found
+        if unknown:
+            raise QueryModelError(
+                f"unknown parameter name(s) {sorted(unknown)}; no query in the "
+                "log owns them (valid repairs only change existing parameters)"
+            )
+        # Untouched queries are reused by identity, which keeps a sparse repair
+        # of a long log cheap and lets log comparisons skip unchanged entries.
+        return QueryLog(rebuilt)
 
     # -- introspection -----------------------------------------------------------
 
@@ -145,6 +156,14 @@ def log_distance(
     total = 0.0
     count = 0
     for query_a, query_b in zip(original_log, repaired_log):
+        if query_a is query_b:
+            # Sparse repairs reuse untouched queries by identity
+            # (:meth:`QueryLog.with_params`); their distance contribution is
+            # exactly zero, but their parameter count still matters for the
+            # normalized variant.
+            if normalized:
+                count += len(query_a.params())
+            continue
         params_a = query_a.params()
         params_b = query_b.params()
         if set(params_a) != set(params_b):
@@ -167,6 +186,8 @@ def changed_queries(
         raise QueryModelError("logs must have the same length")
     changed = []
     for index, (query_a, query_b) in enumerate(zip(original, repaired)):
+        if query_a is query_b:
+            continue
         params_a = query_a.params()
         params_b = query_b.params()
         if set(params_a) != set(params_b):

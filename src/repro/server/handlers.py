@@ -138,6 +138,7 @@ def handle_diagnose(app: "DiagnosisApp", request: "Request") -> "Response":
         raise HTTPError(400, str(error)) from error
     response = app.engine.submit(decoded)
     app.telemetry.record_diagnosis(response.ok)
+    app.telemetry.record_decomposition(response.summary)
     return _json_response(response.to_dict())
 
 
@@ -159,6 +160,7 @@ def handle_batch(app: "DiagnosisApp", request: "Request") -> "Response":
         raise HTTPError(400, "batch body carried no requests")
     for response in responses:
         app.telemetry.record_diagnosis(response.ok)
+        app.telemetry.record_decomposition(response.summary)
 
     from repro.server.app import Response
 
@@ -267,6 +269,7 @@ def handle_session_diagnose(app: "DiagnosisApp", request: "Request") -> "Respons
         diagnoser=str(diagnoser) if diagnoser is not None else None,
     )
     app.telemetry.record_diagnosis(response.ok)
+    app.telemetry.record_decomposition(response.summary)
     return _json_response(response.to_dict())
 
 

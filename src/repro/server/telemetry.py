@@ -41,6 +41,14 @@ def build_info() -> dict[str, str]:
     }
 
 
+def _summary_int(summary: "dict[str, Any]", key: str) -> int:
+    """An integer counter from a response summary (0 when absent/malformed)."""
+    try:
+        return int(float(summary.get(key, 0)))
+    except (TypeError, ValueError):
+        return 0
+
+
 class _LatencyWindow:
     """Running latency aggregate: count, total, min, max (seconds)."""
 
@@ -93,6 +101,14 @@ class Telemetry:
         #: engine-path counters
         self._diagnoses_ok = 0
         self._diagnoses_failed = 0
+        #: decompose-and-conquer counters, fed from response summaries:
+        #: requests that went through the pipeline, total components solved,
+        #: total log queries dropped by compaction, and the largest single
+        #: component seen (variables) — the capacity-planning number.
+        self._decomposed_requests = 0
+        self._components_total = 0
+        self._compacted_queries_total = 0
+        self._largest_component_vars = 0
         #: diagnosis requests currently admitted and in flight (gauge,
         #: maintained by the app's admission gate)
         self._queue_depth = 0
@@ -118,6 +134,27 @@ class Telemetry:
                 self._diagnoses_ok += 1
             else:
                 self._diagnoses_failed += 1
+
+    def record_decomposition(self, summary: "dict[str, Any] | None") -> None:
+        """Fold one response's decomposition counters into the totals.
+
+        ``summary`` is a :meth:`DiagnosisResponse.summary`-shaped dict; the
+        relevant keys (``stats.components`` et al.) are absent on monolithic
+        responses, which therefore count nothing here.
+        """
+        if not summary:
+            return
+        components = _summary_int(summary, "stats.components")
+        compacted = _summary_int(summary, "stats.compacted_queries")
+        largest = _summary_int(summary, "stats.largest_component_vars")
+        if components <= 0 and compacted <= 0:
+            return
+        with self._lock:
+            self._decomposed_requests += 1
+            self._components_total += max(0, components)
+            self._compacted_queries_total += max(0, compacted)
+            if largest > self._largest_component_vars:
+                self._largest_component_vars = largest
 
     def record_rejected(self) -> None:
         """Count one request refused before it reached a handler."""
@@ -177,6 +214,12 @@ class Telemetry:
                     "ok": self._diagnoses_ok,
                     "failed": self._diagnoses_failed,
                 },
+                "decomposition": {
+                    "requests": self._decomposed_requests,
+                    "components": self._components_total,
+                    "compacted_queries": self._compacted_queries_total,
+                    "largest_component_vars": self._largest_component_vars,
+                },
             }
         if durability is not None:
             snap["durability"] = durability
@@ -224,6 +267,21 @@ class Telemetry:
             "# TYPE qfix_diagnoses_total counter",
             f'qfix_diagnoses_total{{outcome="ok"}} {snap["diagnoses"]["ok"]}',
             f'qfix_diagnoses_total{{outcome="failed"}} {snap["diagnoses"]["failed"]}',
+        ]
+        decomposition = snap["decomposition"]
+        lines += [
+            "# HELP qfix_decomposed_requests_total Diagnoses served through the decompose-and-conquer pipeline.",
+            "# TYPE qfix_decomposed_requests_total counter",
+            f"qfix_decomposed_requests_total {decomposition['requests']}",
+            "# HELP qfix_decomposition_components_total Independent MILP components solved.",
+            "# TYPE qfix_decomposition_components_total counter",
+            f"qfix_decomposition_components_total {decomposition['components']}",
+            "# HELP qfix_decomposition_compacted_queries_total Log queries dropped by compaction before encoding.",
+            "# TYPE qfix_decomposition_compacted_queries_total counter",
+            f"qfix_decomposition_compacted_queries_total {decomposition['compacted_queries']}",
+            "# HELP qfix_decomposition_largest_component_vars Largest single component solved (variables).",
+            "# TYPE qfix_decomposition_largest_component_vars gauge",
+            f"qfix_decomposition_largest_component_vars {decomposition['largest_component_vars']}",
         ]
         durability = snap.get("durability")
         if durability is not None:

@@ -39,10 +39,11 @@ from repro.core.repair import RepairResult
 from repro.db.database import Database
 from repro.exceptions import ReproError
 from repro.milp.solvers.base import accepts_keyword
-from repro.milp.solvers import Solver, get_solver
+from repro.milp.solvers import DecomposingSolver, Solver, get_solver
 from repro.obs import trace as obs
 from repro.parallel import (
     BatchItem,
+    ComponentScheduler,
     Executor,
     get_executor,
     stream_batch,
@@ -106,6 +107,10 @@ class DiagnosisEngine:
         # (the harness's warm second pass depends on this).
         self._executors: dict[tuple[str, int], Executor] = {}
         self._executor_lock = threading.Lock()
+        # Intra-request fan-out for decomposed solves, created lazily on the
+        # first request with ``config.decompose`` and shared by all of them
+        # (one pool per engine, sized like the batch tier).
+        self._component_scheduler: ComponentScheduler | None = None
         self._shared_solver = solver
         # Warm-start cache: (diagnoser, config, log/complaint fingerprint)
         # -> solver assignment of the last feasible repair.  Re-solving the
@@ -119,12 +124,29 @@ class DiagnosisEngine:
     def _solver_for(self, config: QFixConfig) -> Solver:
         if self._shared_solver is not None:
             return self._shared_solver
+        if config.decompose:
+            return DecomposingSolver(
+                inner=config.solver,
+                time_limit=config.time_limit,
+                mip_gap=config.mip_gap,
+                use_presolve=config.use_presolve,
+                scheduler=self._acquire_component_scheduler(),
+            )
         return get_solver(
             config.solver,
             time_limit=config.time_limit,
             mip_gap=config.mip_gap,
             use_presolve=config.use_presolve,
         )
+
+    def _acquire_component_scheduler(self) -> ComponentScheduler:
+        with self._executor_lock:
+            if self._component_scheduler is None:
+                self._component_scheduler = ComponentScheduler(
+                    max_workers=self.max_workers,
+                    max_inflight=self._resolve_inflight(None, self.max_workers),
+                )
+            return self._component_scheduler
 
     # -- concurrency wiring ------------------------------------------------------
 
@@ -187,8 +209,11 @@ class DiagnosisEngine:
         with self._executor_lock:
             executors = list(self._executors.values())
             self._executors.clear()
+            scheduler, self._component_scheduler = self._component_scheduler, None
         for executor in executors:
             executor.close()
+        if scheduler is not None:
+            scheduler.close()
         if isinstance(self._executor_spec, Executor):
             self._executor_spec.close()
 

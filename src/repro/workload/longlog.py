@@ -1,0 +1,176 @@
+"""Long-history workloads with seeded, disjoint tuple clusters.
+
+The decompose-and-conquer pipeline (``QFixConfig.decompose``) wins exactly
+when a long query history splits into independent pieces: log compaction can
+drop the queries that provably cannot reach the complaint set, and component
+splitting can solve what remains as separate small MILPs.  This generator
+produces histories built to have that structure *by construction*, so the
+harness and benchmarks can measure the pipeline against a known ground truth:
+
+* the ``n_tuples`` initial rows are partitioned into ``n_clusters`` disjoint
+  clusters, and cluster ``c`` owns its own attribute ``a{c+1}``;
+* every query is a point UPDATE ``SET a{c+1} = ? WHERE id = <const>`` whose
+  target tuple lies inside cluster ``c = index % n_clusters``;
+* WHERE keys are :class:`~repro.queries.expressions.Const`, not
+  :class:`~repro.queries.expressions.Param` — predicates fold to constants at
+  encoding time, so the only MILP variables are the SET parameters and the
+  per-tuple cell chains, and tuples in different clusters never share a
+  variable.
+
+A corruption therefore perturbs one cluster only, complaints land in the
+corrupted clusters, compaction keeps only those clusters' queries (the others
+write attributes outside the encoded set), and the residual model decomposes
+into one component per complaint tuple.  Round-robin cluster assignment means
+``early`` / ``late`` / ``spread`` corruption placement all land consecutive
+corruptions in *distinct* clusters, which is what the differential cells of
+the harness need (complaints spanning two components).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.schema import AttributeSpec, Schema
+from repro.exceptions import ReproError
+from repro.queries.expressions import Attr, Const, Param
+from repro.queries.log import QueryLog
+from repro.queries.predicates import Comparison
+from repro.queries.query import Query, UpdateQuery
+from repro.workload.synthetic import Workload
+
+
+@dataclass(frozen=True)
+class LongLogConfig:
+    """Parameters of the long-history workload.
+
+    ``n_clusters`` also fixes the number of non-key attributes: cluster ``c``
+    writes only ``a{c+1}``, so attribute-level slicing and log compaction see
+    each cluster as its own write set.
+    """
+
+    n_tuples: int = 64
+    n_queries: int = 1000
+    n_clusters: int = 8
+    domain_max: int = 200
+    seed: int = 0
+
+    def with_overrides(self, **changes: object) -> "LongLogConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ReproError("n_clusters must be at least 1")
+        if self.n_tuples < self.n_clusters:
+            raise ReproError(
+                f"n_tuples ({self.n_tuples}) must cover every cluster "
+                f"({self.n_clusters})"
+            )
+
+
+class LongLogWorkloadGenerator:
+    """Deterministic (seeded) generator for clustered long-history workloads."""
+
+    def __init__(self, config: LongLogConfig | None = None) -> None:
+        self.config = config if config is not None else LongLogConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # -- public API ---------------------------------------------------------------
+
+    def generate(self) -> Workload:
+        """Generate the schema, the initial database, and the query log."""
+        schema = self.build_schema()
+        initial = self.build_initial_database(schema)
+        log = self.build_log()
+        workload = Workload(schema, initial, log)
+        workload.metadata.update(
+            family="long-log",
+            n_clusters=self.config.n_clusters,
+        )
+        return workload
+
+    def build_schema(self) -> Schema:
+        """Key attribute ``id`` plus one attribute per cluster."""
+        config = self.config
+        upper = float(config.domain_max)
+        specs = [
+            AttributeSpec(
+                "id", lower=0.0, upper=float(config.n_tuples + 10), key=True, integral=True
+            )
+        ]
+        for cluster in range(config.n_clusters):
+            specs.append(
+                AttributeSpec(f"a{cluster + 1}", lower=0.0, upper=upper, integral=True)
+            )
+        return Schema("longlog", tuple(specs))
+
+    def build_initial_database(self, schema: Schema) -> Database:
+        """Sequential ids, uniform attribute values."""
+        config = self.config
+        rows = []
+        for index in range(config.n_tuples):
+            values = {"id": float(index)}
+            for cluster in range(config.n_clusters):
+                values[f"a{cluster + 1}"] = float(
+                    self._rng.integers(0, config.domain_max + 1)
+                )
+            rows.append(values)
+        return Database(schema, rows)
+
+    def cluster_tuples(self, cluster: int) -> tuple[int, ...]:
+        """The tuple ids owned by ``cluster`` (a contiguous, disjoint slab)."""
+        config = self.config
+        size = config.n_tuples // config.n_clusters
+        start = cluster * size
+        # The last cluster absorbs the remainder so every tuple is owned.
+        end = config.n_tuples if cluster == config.n_clusters - 1 else start + size
+        return tuple(range(start, end))
+
+    def build_log(self) -> QueryLog:
+        """``n_queries`` point UPDATEs, round-robin over the clusters."""
+        config = self.config
+        queries: list[Query] = []
+        for index in range(config.n_queries):
+            cluster = index % config.n_clusters
+            owned = self.cluster_tuples(cluster)
+            target = int(owned[int(self._rng.integers(0, len(owned)))])
+            label = f"q{index + 1}"
+            value = float(self._rng.integers(0, config.domain_max + 1))
+            queries.append(
+                UpdateQuery(
+                    "longlog",
+                    {f"a{cluster + 1}": Param(f"{label}_set", value)},
+                    Comparison(Attr("id"), "=", Const(float(target))),
+                    label=label,
+                )
+            )
+        return QueryLog(queries)
+
+    # -- corruption ---------------------------------------------------------------
+
+    def corrupt_query(
+        self, query: Query, rng: "np.random.Generator | None" = None
+    ) -> tuple[Query, dict[str, float]]:
+        """Re-draw the query's SET constant from the value domain.
+
+        The WHERE key is a folded constant, so the SET parameter is the only
+        thing a corruption *can* perturb — which keeps the blast radius inside
+        the query's own cluster, the property the family exists to provide.
+        """
+        generator = rng if rng is not None else self._rng
+        params = query.params()
+        if not params:
+            return query, {}
+        new_values: dict[str, float] = {}
+        for name, value in params.items():
+            drawn = float(generator.integers(0, self.config.domain_max + 1))
+            if abs(drawn - value) < 1e-9:
+                drawn = float((int(value) + 1 + int(generator.integers(1, max(2, self.config.domain_max // 2)))) % (self.config.domain_max + 1))
+            new_values[name] = drawn
+        return query.with_params(new_values), new_values
+
+
+__all__ = ["LongLogConfig", "LongLogWorkloadGenerator"]

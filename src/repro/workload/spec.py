@@ -207,6 +207,20 @@ def _synthetic_family(
     return workload, generator.corrupt_query
 
 
+def _long_log_family(spec: ScenarioSpec) -> FamilyBuild:
+    # Lazy import keeps the family optional for callers that never sweep it.
+    from repro.workload.longlog import LongLogConfig, LongLogWorkloadGenerator
+
+    config = LongLogConfig(
+        n_tuples=spec.n_tuples,
+        n_queries=spec.n_queries,
+        n_clusters=min(8, spec.n_tuples),
+        seed=spec.seed,
+    )
+    generator = LongLogWorkloadGenerator(config)
+    return generator.generate(), generator.corrupt_query
+
+
 def _tpcc_family(spec: ScenarioSpec) -> FamilyBuild:
     config = TPCCConfig(
         n_initial_orders=spec.n_tuples, n_queries=spec.n_queries, seed=spec.seed
@@ -232,6 +246,7 @@ register_scenario_family(
     "synthetic-point",
     lambda spec: _synthetic_family(spec, where_type=WhereClauseType.POINT),
 )
+register_scenario_family("long-log", _long_log_family)
 register_scenario_family("tpcc", _tpcc_family)
 register_scenario_family("tatp", _tatp_family)
 

@@ -1,0 +1,250 @@
+"""Log compaction: bookkeeping, soundness edge cases, and pipeline integration."""
+
+import pytest
+
+from repro.core.basic import BasicRepairer
+from repro.core.complaints import Complaint, ComplaintSet
+from repro.core.config import QFixConfig
+from repro.core.incremental import IncrementalRepairer
+from repro.core.slicing import compact_log
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.queries.executor import replay
+from repro.queries.expressions import Attr, Const, Param
+from repro.queries.log import QueryLog, changed_queries, log_distance
+from repro.queries.predicates import Comparison
+from repro.queries.query import DeleteQuery, InsertQuery, UpdateQuery
+from repro.workload.spec import ScenarioSpec, build_spec_scenario
+
+
+@pytest.fixture()
+def schema():
+    return Schema.build("t", ["a", "b", "c", "d"], upper=100)
+
+
+def _update(write: str, read: str, label: str) -> UpdateQuery:
+    return UpdateQuery(
+        "t",
+        {write: Param(f"{label}_set", 1.0)},
+        Comparison(Attr(read), ">=", Const(0.0)),
+        label=label,
+    )
+
+
+@pytest.fixture()
+def chain_log():
+    # q0 writes a (reads d); q1 writes b reading a; q2 writes c reading b;
+    # q3 writes d reading d.  Full impacts: q0 -> {a,b,c}, q1 -> {b,c},
+    # q2 -> {c}, q3 -> {d}.
+    return QueryLog(
+        [
+            _update("a", "d", "q0"),
+            _update("b", "a", "q1"),
+            _update("c", "b", "q2"),
+            _update("d", "d", "q3"),
+        ]
+    )
+
+
+class TestCompactLog:
+    def test_drops_queries_outside_encoded_attrs(self, schema, chain_log):
+        compaction = compact_log(chain_log, frozenset({"c"}), schema)
+        # q3's impact {d} misses {c}; the chain q0->q1->q2 survives whole.
+        assert compaction.kept_indices == (0, 1, 2)
+        assert compaction.dropped == 1
+        assert compaction.original_size == 4
+        assert [query.label for query in compaction.log] == ["q0", "q1", "q2"]
+
+    def test_transitive_readers_of_kept_writes_are_kept(self, schema, chain_log):
+        # Nothing that reaches "c" through any read chain may be dropped,
+        # even queries that never write "c" themselves (q0, q1).
+        compaction = compact_log(chain_log, frozenset({"c"}), schema)
+        assert 0 in compaction.kept_indices
+        assert 1 in compaction.kept_indices
+
+    def test_index_bookkeeping_roundtrip(self, schema, chain_log):
+        compaction = compact_log(chain_log, frozenset({"d"}), schema)
+        assert compaction.kept_indices == (3,)
+        assert compaction.index_map() == {3: 0}
+        # remap drops original indices whose queries were compacted away.
+        assert compaction.remap([0, 3]) == [0]
+        assert compaction.to_original([0]) == (3,)
+
+    def test_full_log_survives_unchanged_by_identity(self, schema, chain_log):
+        compaction = compact_log(chain_log, frozenset({"a", "b", "c", "d"}), schema)
+        assert compaction.dropped == 0
+        assert compaction.log is chain_log
+
+    def test_insert_always_kept(self, schema):
+        log = QueryLog(
+            [
+                _update("a", "a", "q0"),
+                InsertQuery(
+                    "t",
+                    {name: Const(1.0) for name in ["a", "b", "c", "d"]},
+                    label="q1",
+                ),
+            ]
+        )
+        compaction = compact_log(log, frozenset({"b"}), schema)
+        # q0's impact {a} misses {b}, but the INSERT defines tuple liveness
+        # and survives every compaction.
+        assert compaction.kept_indices == (1,)
+
+    def test_delete_wildcard_always_kept(self, schema):
+        log = QueryLog(
+            [
+                _update("a", "a", "q0"),
+                DeleteQuery("t", Comparison(Attr("a"), "=", Const(50.0)), label="q1"),
+            ]
+        )
+        compaction = compact_log(log, frozenset({"b"}), schema)
+        # The DELETE's wildcard impact intersects every attribute set; q0 is
+        # kept too because the DELETE's predicate reads "a".
+        assert compaction.kept_indices == (0, 1)
+
+    def test_compaction_can_remove_everything(self, schema, chain_log):
+        compaction = compact_log(chain_log, frozenset(), schema)
+        assert compaction.kept_indices == ()
+        assert compaction.dropped == 4
+        assert len(compaction.log) == 0
+
+
+def _long_log_scenario(n_queries=48, n_corruptions=1, seed=3):
+    spec = ScenarioSpec(
+        family="long-log",
+        n_tuples=16,
+        n_queries=n_queries,
+        corruption="set-clause",
+        position="late",
+        n_corruptions=n_corruptions,
+        seed=seed,
+    )
+    return build_spec_scenario(spec)
+
+
+def _config(decompose):
+    return QFixConfig.basic(
+        tuple_slicing=True, refinement=True, attribute_slicing=True
+    ).with_overrides(decompose=decompose, time_limit=30.0)
+
+
+class TestRepairerCompaction:
+    @pytest.mark.parametrize("repairer_cls", [BasicRepairer, IncrementalRepairer])
+    def test_decomposed_repair_matches_monolithic(self, repairer_cls):
+        scenario = _long_log_scenario()
+        results = {}
+        for decompose in (False, True):
+            repairer = repairer_cls(_config(decompose))
+            results[decompose] = repairer.repair(
+                scenario.schema,
+                scenario.initial,
+                scenario.dirty,
+                scenario.corrupted_log,
+                scenario.complaints,
+            )
+        mono, deco = results[False], results[True]
+        assert mono.feasible and deco.feasible
+        assert deco.distance == pytest.approx(mono.distance, abs=1e-6)
+        assert changed_queries(
+            scenario.corrupted_log, deco.repaired_log
+        ) == changed_queries(scenario.corrupted_log, mono.repaired_log)
+        assert deco.problem_stats.get("compacted_queries", 0.0) > 0
+
+    def test_changed_indices_refer_to_the_original_log(self):
+        scenario = _long_log_scenario()
+        result = BasicRepairer(_config(True)).repair(
+            scenario.schema,
+            scenario.initial,
+            scenario.dirty,
+            scenario.corrupted_log,
+            scenario.complaints,
+        )
+        assert result.feasible
+        # The repaired log must be the full-length original with parameters
+        # substituted — never the compacted log.
+        assert len(result.repaired_log) == len(scenario.corrupted_log)
+        for index in result.changed_query_indices:
+            assert 0 <= index < len(scenario.corrupted_log)
+        assert result.changed_query_indices == tuple(
+            changed_queries(scenario.corrupted_log, result.repaired_log)
+        )
+
+    def test_complaints_spanning_two_components(self):
+        # Two corruptions land in distinct tuple clusters (queries are dealt
+        # round-robin), so the complaint set straddles two true components.
+        scenario = _long_log_scenario(n_corruptions=2, seed=5)
+        results = {}
+        for decompose in (False, True):
+            results[decompose] = BasicRepairer(_config(decompose)).repair(
+                scenario.schema,
+                scenario.initial,
+                scenario.dirty,
+                scenario.corrupted_log,
+                scenario.complaints,
+            )
+        mono, deco = results[False], results[True]
+        assert mono.feasible and deco.feasible
+        assert deco.distance == pytest.approx(mono.distance, abs=1e-6)
+        assert changed_queries(
+            scenario.corrupted_log, deco.repaired_log
+        ) == changed_queries(scenario.corrupted_log, mono.repaired_log)
+        assert replay(scenario.initial, deco.repaired_log).same_state(
+            replay(scenario.initial, mono.repaired_log)
+        )
+
+    def test_repair_replays_to_complaint_targets(self):
+        scenario = _long_log_scenario()
+        result = BasicRepairer(_config(True)).repair(
+            scenario.schema,
+            scenario.initial,
+            scenario.dirty,
+            scenario.corrupted_log,
+            scenario.complaints,
+        )
+        assert result.feasible
+        repaired_state = replay(scenario.initial, result.repaired_log)
+        for complaint in scenario.complaints:
+            row = repaired_state.get(complaint.rid)
+            assert row is not None
+            for name, value in complaint.target_values().items():
+                assert row.values[name] == pytest.approx(value, abs=1e-4)
+
+
+class TestCompactionRemovesEverything:
+    def test_unreachable_complaint_is_handled_without_crashing(self, schema):
+        # Every query writes "a"-family attributes; the complaint targets "d",
+        # which no query can reach, so compaction leaves an empty model.  The
+        # pipeline must answer (infeasibly) instead of crashing.
+        initial = Database(
+            schema, [{"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}]
+        )
+        log = QueryLog([_update("a", "a", "q0"), _update("b", "a", "q1")])
+        dirty = replay(initial, log)
+        rid = dirty.rows()[0].rid
+        complaints = ComplaintSet(
+            [Complaint(rid=rid, target={**dict(dirty.get(rid).values), "d": 99.0})]
+        )
+        result = BasicRepairer(_config(True)).repair(
+            schema, initial, dirty, log, complaints
+        )
+        assert not result.feasible
+        assert result.repaired_log == log
+
+    def test_vacuous_repair_when_targets_match_dirty(self, schema):
+        # Targets equal to the dirty values: the optimum is the zero repair.
+        initial = Database(
+            schema, [{"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}]
+        )
+        log = QueryLog([_update("a", "a", "q0")])
+        dirty = replay(initial, log)
+        rid = dirty.rows()[0].rid
+        complaints = ComplaintSet(
+            [Complaint(rid=rid, target=dict(dirty.get(rid).values))]
+        )
+        result = BasicRepairer(_config(True)).repair(
+            schema, initial, dirty, log, complaints
+        )
+        assert result.feasible
+        assert result.distance == pytest.approx(0.0, abs=1e-6)
+        assert log_distance(log, result.repaired_log) == pytest.approx(0.0, abs=1e-6)

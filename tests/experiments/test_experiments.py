@@ -156,6 +156,18 @@ class TestCLI:
         assert args.experiment == "example2"
         assert args.scale == "small" and args.seed == 3
 
+    def test_parser_decompose_flag(self):
+        assert build_parser().parse_args(["example2"]).decompose is False
+        args = build_parser().parse_args(["example2", "--decompose"])
+        assert args.decompose is True
+
+    def test_decompose_flag_builds_engine_default_config(self):
+        from repro.experiments.cli import _default_engine_config
+
+        assert _default_engine_config(False) is None
+        config = _default_engine_config(True)
+        assert config is not None and config.decompose is True
+
     def test_main_runs_example2(self, capsys):
         assert main(["example2"]) == 0
         captured = capsys.readouterr()

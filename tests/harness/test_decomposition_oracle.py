@@ -1,0 +1,145 @@
+"""The decomposed-vs-monolithic differential oracle and its cell plumbing."""
+
+from repro.harness.grid import CellSpec
+from repro.harness.oracle import check_decomposition
+from repro.harness.report import CellResult
+from repro.workload.spec import ScenarioSpec
+
+
+def _spec(decompose):
+    return CellSpec(
+        scenario=ScenarioSpec(
+            family="long-log", n_tuples=16, n_queries=32, seed=3
+        ),
+        diagnoser="basic",
+        decompose=decompose,
+    )
+
+
+def _row(
+    cell,
+    *,
+    status="optimal",
+    feasible=True,
+    distance=10.0,
+    changed=(5,),
+    ok=True,
+    skipped=False,
+):
+    return CellResult(
+        cell_id=cell.cell_id,
+        scenario_label=cell.scenario.label(),
+        diagnoser=cell.diagnoser,
+        solver=cell.solver,
+        decompose=cell.decompose,
+        ok=ok,
+        feasible=feasible,
+        status=status,
+        distance=distance,
+        changed_query_indices=tuple(changed),
+        skipped=skipped,
+    )
+
+
+def _twin_rows(**deco_overrides):
+    mono_cell, deco_cell = _spec(False), _spec(True)
+    return [
+        (mono_cell, _row(mono_cell)),
+        (deco_cell, _row(deco_cell, **deco_overrides)),
+    ]
+
+
+class TestCheckDecomposition:
+    def test_agreeing_twins_pass(self):
+        assert check_decomposition(_twin_rows()) == []
+
+    def test_feasibility_disagreement_is_a_violation(self):
+        violations = check_decomposition(
+            _twin_rows(status="infeasible", feasible=False, distance=0.0, changed=())
+        )
+        assert len(violations) == 1
+        assert violations[0].invariant == "decomposition"
+        assert "feasibility" in violations[0].message
+
+    def test_distance_disagreement_is_a_violation(self):
+        violations = check_decomposition(_twin_rows(distance=12.5))
+        assert any("distance" in v.message for v in violations)
+
+    def test_fingerprint_disagreement_is_a_violation(self):
+        violations = check_decomposition(_twin_rows(changed=(5, 9)))
+        assert any("fingerprint" in v.message for v in violations)
+
+    def test_timed_out_twin_claims_nothing(self):
+        # Decomposition finishing where the monolith ran out of budget is the
+        # feature, not a violation.
+        mono_cell, deco_cell = _spec(False), _spec(True)
+        rows = [
+            (mono_cell, _row(mono_cell, status="time_limit", feasible=False)),
+            (deco_cell, _row(deco_cell)),
+        ]
+        assert check_decomposition(rows) == []
+
+    def test_feasible_incumbents_skip_the_distance_comparison(self):
+        # ``feasible`` distances are upper bounds, not proven optima.
+        mono_cell, deco_cell = _spec(False), _spec(True)
+        rows = [
+            (mono_cell, _row(mono_cell, status="feasible", distance=10.0)),
+            (deco_cell, _row(deco_cell, status="feasible", distance=14.0)),
+        ]
+        assert check_decomposition(rows) == []
+
+    def test_unpaired_cells_are_ignored(self):
+        deco_cell = _spec(True)
+        assert check_decomposition([(deco_cell, _row(deco_cell))]) == []
+
+    def test_skipped_and_errored_cells_are_ignored(self):
+        mono_cell, deco_cell = _spec(False), _spec(True)
+        rows = [
+            (mono_cell, _row(mono_cell, skipped=True)),
+            (deco_cell, _row(deco_cell, ok=False, distance=999.0)),
+        ]
+        assert check_decomposition(rows) == []
+
+    def test_twins_from_different_scenarios_never_pair(self):
+        mono_cell = _spec(False)
+        other = CellSpec(
+            scenario=ScenarioSpec(
+                family="long-log", n_tuples=16, n_queries=48, seed=3
+            ),
+            diagnoser="basic",
+            decompose=True,
+        )
+        rows = [
+            (mono_cell, _row(mono_cell, distance=10.0)),
+            (other, _row(other, distance=99.0)),
+        ]
+        assert check_decomposition(rows) == []
+
+
+class TestCellPlumbing:
+    def test_cell_id_marks_decomposed_cells(self):
+        assert _spec(False).cell_id + "|decomposed" == _spec(True).cell_id
+
+    def test_decompose_flag_reaches_the_config(self):
+        assert _spec(True).config().decompose is True
+        assert _spec(False).config().decompose is False
+
+    def test_cell_result_roundtrips_decomposition_counters(self):
+        cell = _spec(True)
+        row = _row(cell)
+        row.components = 7
+        row.largest_component_vars = 42
+        row.compacted_queries = 900
+        restored = CellResult.from_dict(row.to_dict())
+        assert restored.components == 7
+        assert restored.largest_component_vars == 42
+        assert restored.compacted_queries == 900
+
+    def test_stable_dict_excludes_decomposition_diagnostics(self):
+        # Component counts can shift with presolve tightening without the
+        # repair changing; they must not churn golden files.
+        row = _row(_spec(True))
+        stable = row.stable_dict()
+        assert "components" not in stable
+        assert "largest_component_vars" not in stable
+        assert "compacted_queries" not in stable

@@ -89,3 +89,57 @@ class TestPrometheusRendering:
         assert "# HELP qfix_http_requests_total" in text
         assert "# TYPE qfix_http_requests_total counter" in text
         assert "# TYPE qfix_http_uptime_seconds gauge" in text
+
+
+class TestDecompositionCounters:
+    def _summary(self, components=4, compacted=120, largest=16):
+        return {
+            "stats.components": float(components),
+            "stats.compacted_queries": float(compacted),
+            "stats.largest_component_vars": float(largest),
+        }
+
+    def test_empty_snapshot_has_zeroed_decomposition_block(self):
+        snap = Telemetry().snapshot()
+        assert snap["decomposition"] == {
+            "requests": 0,
+            "components": 0,
+            "compacted_queries": 0,
+            "largest_component_vars": 0,
+        }
+
+    def test_decomposed_responses_accumulate(self):
+        telemetry = Telemetry()
+        telemetry.record_decomposition(self._summary(components=4, compacted=100, largest=16))
+        telemetry.record_decomposition(self._summary(components=2, compacted=50, largest=8))
+        deco = telemetry.snapshot()["decomposition"]
+        assert deco["requests"] == 2
+        assert deco["components"] == 6
+        assert deco["compacted_queries"] == 150
+        # Largest component is a high-water mark, not a sum.
+        assert deco["largest_component_vars"] == 16
+
+    def test_monolithic_responses_count_nothing(self):
+        telemetry = Telemetry()
+        telemetry.record_decomposition(None)
+        telemetry.record_decomposition({})
+        telemetry.record_decomposition({"stats.components": 0.0, "stats.compacted_queries": 0.0})
+        telemetry.record_decomposition({"feasible": True})
+        assert telemetry.snapshot()["decomposition"]["requests"] == 0
+
+    def test_compaction_without_splitting_still_counts(self):
+        # A request can compact the log yet solve as one component.
+        telemetry = Telemetry()
+        telemetry.record_decomposition(self._summary(components=0, compacted=30, largest=0))
+        deco = telemetry.snapshot()["decomposition"]
+        assert deco["requests"] == 1
+        assert deco["compacted_queries"] == 30
+
+    def test_prometheus_exposition_includes_decomposition_families(self):
+        telemetry = Telemetry()
+        telemetry.record_decomposition(self._summary())
+        text = telemetry.render_prometheus()
+        assert "qfix_decomposed_requests_total 1" in text
+        assert "qfix_decomposition_components_total 4" in text
+        assert "qfix_decomposition_compacted_queries_total 120" in text
+        assert "qfix_decomposition_largest_component_vars 16" in text

@@ -1,0 +1,140 @@
+"""Tests for the clustered long-history workload family."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.queries.expressions import Param
+from repro.queries.executor import replay
+from repro.queries.query import UpdateQuery
+from repro.workload.longlog import LongLogConfig, LongLogWorkloadGenerator
+from repro.workload.spec import ScenarioSpec, build_spec_scenario
+
+
+class TestLongLogConfig:
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ReproError):
+            LongLogConfig(n_clusters=0)
+
+    def test_rejects_more_clusters_than_tuples(self):
+        with pytest.raises(ReproError):
+            LongLogConfig(n_tuples=4, n_clusters=8)
+
+    def test_with_overrides(self):
+        config = LongLogConfig().with_overrides(n_queries=50, seed=7)
+        assert config.n_queries == 50
+        assert config.seed == 7
+        assert config.n_tuples == LongLogConfig().n_tuples
+
+
+class TestLongLogGenerator:
+    def _workload(self, **overrides):
+        config = LongLogConfig(
+            n_tuples=16, n_queries=24, n_clusters=4, seed=11
+        ).with_overrides(**overrides)
+        return LongLogWorkloadGenerator(config).generate()
+
+    def test_deterministic_given_seed(self):
+        first = self._workload()
+        second = self._workload()
+        assert first.log.render_sql() == second.log.render_sql()
+        assert first.initial.same_state(second.initial)
+
+    def test_schema_has_one_attribute_per_cluster(self):
+        workload = self._workload()
+        assert workload.schema.attribute_names == ("id", "a1", "a2", "a3", "a4")
+        assert workload.schema.key_attribute == "id"
+        assert workload.metadata["family"] == "long-log"
+        assert workload.metadata["n_clusters"] == 4
+
+    def test_clusters_partition_the_tuples(self):
+        generator = LongLogWorkloadGenerator(
+            LongLogConfig(n_tuples=18, n_queries=8, n_clusters=4, seed=0)
+        )
+        slabs = [generator.cluster_tuples(c) for c in range(4)]
+        flat = [t for slab in slabs for t in slab]
+        # Disjoint and complete: every tuple owned exactly once, the last
+        # cluster absorbing the remainder.
+        assert sorted(flat) == list(range(18))
+        assert len(slabs[-1]) >= len(slabs[0])
+
+    def test_queries_stay_inside_their_cluster(self):
+        workload = self._workload()
+        generator = LongLogWorkloadGenerator(
+            LongLogConfig(n_tuples=16, n_queries=24, n_clusters=4, seed=11)
+        )
+        for index, query in enumerate(workload.log):
+            cluster = index % 4
+            assert isinstance(query, UpdateQuery)
+            # The single SET attribute is the cluster's own.
+            (attribute, expr), = query.set_clause
+            assert attribute == f"a{cluster + 1}"
+            assert isinstance(expr, Param)
+            # The WHERE key is a folded constant targeting an owned tuple.
+            assert not query.where.params()
+            target = query.where.right.evaluate({})
+            assert int(target) in generator.cluster_tuples(cluster)
+
+    def test_one_parameter_per_query_with_unique_names(self):
+        workload = self._workload()
+        names = list(workload.log.params())
+        assert len(names) == len(workload.log)
+        assert len(set(names)) == len(names)
+
+    def test_log_replays_cleanly(self):
+        workload = self._workload()
+        final = replay(workload.initial, workload.log)
+        assert len(final) == len(workload.initial)
+
+    def test_corrupt_query_changes_exactly_the_set_parameter(self):
+        workload = self._workload()
+        generator = LongLogWorkloadGenerator(
+            LongLogConfig(n_tuples=16, n_queries=24, n_clusters=4, seed=11)
+        )
+        rng = np.random.default_rng(5)
+        query = workload.log[0]
+        corrupted, new_values = generator.corrupt_query(query, rng)
+        assert set(new_values) == set(query.params())
+        for name, value in new_values.items():
+            assert value != query.params()[name]
+            assert corrupted.params()[name] == value
+        # Structure untouched: same SQL shape modulo the one constant.
+        assert corrupted.label == query.label
+
+
+class TestLongLogFamilyIntegration:
+    def test_build_spec_scenario_produces_observable_corruption(self):
+        spec = ScenarioSpec(
+            family="long-log",
+            n_tuples=16,
+            n_queries=32,
+            corruption="set-clause",
+            position="late",
+            seed=3,
+        )
+        scenario = build_spec_scenario(spec)
+        assert len(scenario.corrupted_log) == 32
+        assert not scenario.complaints.is_empty()
+        assert replay(scenario.initial, scenario.corrupted_log).same_state(
+            scenario.dirty
+        )
+        # The corruption is confined to the corrupted queries' clusters.
+        assert scenario.corruptions
+
+    def test_spread_corruptions_hit_distinct_clusters(self):
+        spec = ScenarioSpec(
+            family="long-log",
+            n_tuples=16,
+            n_queries=32,
+            corruption="set-clause",
+            position="spread",
+            n_corruptions=2,
+            seed=3,
+        )
+        scenario = build_spec_scenario(spec)
+        clusters = set()
+        for corruption in scenario.corruptions:
+            query = scenario.corrupted_log[corruption.query_index]
+            (attribute, _), = query.set_clause
+            clusters.add(attribute)
+        assert len(clusters) == 2
