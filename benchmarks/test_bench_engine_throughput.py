@@ -141,6 +141,10 @@ def test_bench_engine_throughput():
         ),
         "cpu_count": cores,
         "max_workers": workers,
+        # Single-core runners still measure real pools (force=True above),
+        # but their speedup numbers are meaningless — stamp them invalid so
+        # downstream consumers (README, dashboards) cannot quote them.
+        "parallelism_valid": cores >= 2,
         "serial": {"seconds": round(serial_seconds, 4)},
         "thread": {
             "seconds": round(thread_seconds, 4),

@@ -79,6 +79,16 @@ class CellResult:
     components: int = 0
     largest_component_vars: int = 0
     compacted_queries: int = 0
+    #: Solver hot-path counters from the response summary: LP relaxations
+    #: solved vs skipped by the branch-and-bound engine, big-M coefficients
+    #: tightened by the matrix presolve, and whether the HiGHS Status-4
+    #: fallback retry fired (pinned to zero on the big-M harness families).
+    #: Diagnostics like the decomposition counters — serialized, but out of
+    #: :meth:`stable_dict`.
+    lp_relaxations: int = 0
+    lp_skipped: int = 0
+    bigm_tightened: int = 0
+    highs_presolve_retry: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-native encoding (round-trips through :meth:`from_dict`)."""
@@ -107,6 +117,10 @@ class CellResult:
             "components": self.components,
             "largest_component_vars": self.largest_component_vars,
             "compacted_queries": self.compacted_queries,
+            "lp_relaxations": self.lp_relaxations,
+            "lp_skipped": self.lp_skipped,
+            "bigm_tightened": self.bigm_tightened,
+            "highs_presolve_retry": self.highs_presolve_retry,
         }
 
     @classmethod
@@ -141,6 +155,10 @@ class CellResult:
             components=int(data.get("components", 0)),
             largest_component_vars=int(data.get("largest_component_vars", 0)),
             compacted_queries=int(data.get("compacted_queries", 0)),
+            lp_relaxations=int(data.get("lp_relaxations", 0)),
+            lp_skipped=int(data.get("lp_skipped", 0)),
+            bigm_tightened=int(data.get("bigm_tightened", 0)),
+            highs_presolve_retry=int(data.get("highs_presolve_retry", 0)),
         )
 
     def stable_dict(self) -> dict[str, Any]:

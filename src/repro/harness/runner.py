@@ -230,6 +230,10 @@ def _result_row(
         components=_int_stat(response.summary, "stats.components"),
         largest_component_vars=_int_stat(response.summary, "stats.largest_component_vars"),
         compacted_queries=_int_stat(response.summary, "stats.compacted_queries"),
+        lp_relaxations=_int_stat(response.summary, "stats.lp_relaxations"),
+        lp_skipped=_int_stat(response.summary, "stats.lp_skipped"),
+        bigm_tightened=_int_stat(response.summary, "stats.presolve_bigm_tightened"),
+        highs_presolve_retry=_int_stat(response.summary, "stats.highs_presolve_retry"),
     )
 
 

@@ -102,20 +102,31 @@ def add_comparison_indicator(
     if op not in INDICATOR_OPS:
         raise ModelError(f"unsupported comparison operator '{op}'")
     diff = as_linexpr(lhs) - as_linexpr(rhs)
+    # Every emitted on/off row is tagged with its big-M constant via
+    # Model.mark_big_m: the presolve's tightening pass reports (and the
+    # benchmarks histogram) declared-vs-effective M per row.
     if op == ">=":
         # binary = 1  =>  diff >= 0 ; binary = 0  =>  diff <= -epsilon
-        model.add_ge(diff, binary * big_m - big_m, f"{name}_on")
-        model.add_le(diff, binary * big_m - epsilon, f"{name}_off")
+        on = model.add_ge(diff, binary * big_m - big_m, f"{name}_on")
+        off = model.add_le(diff, binary * big_m - epsilon, f"{name}_off")
+        model.mark_big_m(on, big_m)
+        model.mark_big_m(off, big_m)
     elif op == "<=":
-        model.add_le(diff, big_m - binary * big_m, f"{name}_on")
-        model.add_ge(diff, epsilon - binary * big_m, f"{name}_off")
+        on = model.add_le(diff, big_m - binary * big_m, f"{name}_on")
+        off = model.add_ge(diff, epsilon - binary * big_m, f"{name}_off")
+        model.mark_big_m(on, big_m)
+        model.mark_big_m(off, big_m)
     elif op == ">":
         # binary = 1  =>  diff >= epsilon ; binary = 0  =>  diff <= 0
-        model.add_ge(diff, binary * (big_m + epsilon) - big_m, f"{name}_on")
-        model.add_le(diff, binary * big_m, f"{name}_off")
+        on = model.add_ge(diff, binary * (big_m + epsilon) - big_m, f"{name}_on")
+        off = model.add_le(diff, binary * big_m, f"{name}_off")
+        model.mark_big_m(on, big_m + epsilon)
+        model.mark_big_m(off, big_m)
     elif op == "<":
-        model.add_le(diff, big_m - binary * (big_m + epsilon), f"{name}_on")
-        model.add_ge(diff, -1.0 * binary * big_m, f"{name}_off")
+        on = model.add_le(diff, big_m - binary * (big_m + epsilon), f"{name}_on")
+        off = model.add_ge(diff, -1.0 * binary * big_m, f"{name}_off")
+        model.mark_big_m(on, big_m + epsilon)
+        model.mark_big_m(off, big_m)
     elif op == "=":
         # Equality needs two one-sided indicators conjoined.
         ge_bin = model.add_binary(f"{name}_ge")

@@ -32,6 +32,9 @@ class Model:
         self._constraints: list[Constraint] = []
         self._objective: LinExpr = LinExpr()
         self._constraint_counter = 0
+        #: big-M metadata for tightenable rows, keyed by constraint identity
+        #: (:class:`Constraint` is frozen and names may repeat across helpers).
+        self._big_m: dict[int, float] = {}
 
     # -- variables --------------------------------------------------------------
 
@@ -138,6 +141,24 @@ class Model:
                     f"'{variable.name}' that does not belong to this model"
                 )
 
+    def mark_big_m(self, constraint: Constraint, big_m: float) -> None:
+        """Tag ``constraint`` as a big-M row built with constant ``big_m``.
+
+        The linearization helpers call this for every indicator row they
+        emit; the tag flows into the matrix export (``bigm_rows``) so the
+        presolve can report how many declared big-M rows it tightened.
+        """
+        self._big_m[id(constraint)] = float(big_m)
+
+    def big_m_of(self, constraint: Constraint) -> float | None:
+        """The declared big-M constant of a row, or None when untagged."""
+        return self._big_m.get(id(constraint))
+
+    @property
+    def num_big_m_constraints(self) -> int:
+        """Number of rows tagged as big-M indicator rows."""
+        return len(self._big_m)
+
     @property
     def constraints(self) -> tuple[Constraint, ...]:
         """All constraints in insertion order."""
@@ -177,7 +198,9 @@ class Model:
         (constraint matrix, CSR — the QFix encoding is overwhelmingly sparse,
         so the dense form is never materialized), ``lb_con`` / ``ub_con``
         (constraint bounds), ``lb_var`` / ``ub_var`` (variable bounds), and
-        ``integrality`` (1 for integral variables, 0 otherwise).
+        ``integrality`` (1 for integral variables, 0 otherwise), and
+        ``bigm_rows`` (per-row declared big-M constant, NaN for rows that are
+        not tagged indicator rows).
         """
         arrays = self.to_sparse_arrays()
         A = sparse.csr_matrix(
@@ -192,6 +215,7 @@ class Model:
             "lb_var": arrays["lb_var"],
             "ub_var": arrays["ub_var"],
             "integrality": arrays["integrality"],
+            "bigm_rows": arrays["bigm_rows"],
         }
 
     def to_sparse_arrays(self) -> dict[str, object]:
@@ -211,7 +235,11 @@ class Model:
         data: list[float] = []
         lb_con = np.full(m, -np.inf)
         ub_con = np.full(m, np.inf)
+        bigm_rows = np.full(m, np.nan)
         for row, constraint in enumerate(self._constraints):
+            declared = self._big_m.get(id(constraint))
+            if declared is not None:
+                bigm_rows[row] = declared
             for variable, coeff in constraint.expr.terms.items():
                 rows.append(row)
                 cols.append(variable.index)
@@ -239,6 +267,7 @@ class Model:
             "lb_var": lb_var,
             "ub_var": ub_var,
             "integrality": integrality,
+            "bigm_rows": bigm_rows,
         }
 
     # -- verification ---------------------------------------------------------------

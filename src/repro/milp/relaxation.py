@@ -1,0 +1,302 @@
+"""LP-relaxation engine behind the branch-and-bound backend.
+
+The branch-and-bound search used to pay a full ``scipy.optimize.linprog``
+setup-and-solve per node, one node at a time, and conflated "the LP timed
+out" with "the box is infeasible".  This module centralizes the relaxation
+machinery and removes all three costs:
+
+* :meth:`RelaxationEngine.solve` / :meth:`RelaxationEngine.solve_batch` —
+  LP solves with *status-aware* outcomes (:class:`LPOutcome`): a relaxation
+  that hits the time budget is reported as ``timeout``, never as an
+  infeasible box, so a deadline can no longer masquerade as INFEASIBLE.
+* **frontier batching** — :meth:`solve_batch` runs several node relaxations
+  concurrently on a small shared thread pool.  HiGHS releases the GIL for
+  the duration of the solve, so even the single-core CI runner overlaps the
+  Python-side ``linprog`` setup of one node with the native solve of
+  another.  Every LP in a batch receives the same remaining wall-clock
+  budget and the batch runs concurrently, so the deadline overshoot is
+  bounded by one node's slice — exactly the pre-batching TIME_LIMIT
+  semantics.
+* **parent-solution inheritance** — :meth:`try_inherit` clamps the parent
+  optimum's branching variable onto the child bound and verifies, via one
+  sparse column delta, that the clamped point stays row-feasible without
+  moving the objective.  When it does, the point *is* the child's LP
+  optimum (the child optimum is sandwiched between the parent bound and the
+  clamped point's value), so the child LP is skipped outright.
+
+The engine owns the LP call counters (``lp_calls`` / ``lp_skipped`` /
+``lp_batched`` / ``lp_seconds``) that the solver surfaces as stats.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize, sparse
+
+#: Row-feasibility slack accepted when verifying an inherited point.  Rows
+#: leave the presolve equilibrated to O(1) magnitude, so an absolute
+#: tolerance this tight is meaningful.
+FEASIBILITY_TOLERANCE = 1e-7
+
+#: Relative tolerance within which the clamped point's objective must match
+#: the parent bound for inheritance to be sound.
+_OBJECTIVE_TOLERANCE = 1e-9
+
+#: Upper bound on the shared relaxation pool size; the effective size also
+#: never exceeds the machine's core count (HiGHS solves are CPU-bound).
+_MAX_POOL_WORKERS = 4
+
+_POOL_LOCK = threading.Lock()
+_POOL: ThreadPoolExecutor | None = None
+_POOL_PID: int | None = None
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    """The lazily-created process-wide LP relaxation pool.
+
+    Shared across every solver instance so concurrent diagnoses cannot
+    multiply thread counts; ``concurrent.futures`` registers its own atexit
+    shutdown, so the pool needs no explicit lifecycle management.
+
+    A pool is never shared across a fork: the child would inherit the
+    executor object without its worker threads and every submit would hang.
+    ``_reset_pool_after_fork`` (plus the pid check, for platforms without
+    ``register_at_fork``) makes the child lazily build its own pool.
+    """
+    global _POOL, _POOL_PID
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_PID != os.getpid():
+            workers = max(2, min(_MAX_POOL_WORKERS, os.cpu_count() or 1))
+            _POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="lp-relaxation"
+            )
+            _POOL_PID = os.getpid()
+        return _POOL
+
+
+def _reset_pool_after_fork() -> None:
+    """Drop the inherited (thread-less) pool and lock in a forked child."""
+    global _POOL_LOCK, _POOL, _POOL_PID
+    _POOL_LOCK = threading.Lock()
+    _POOL = None
+    _POOL_PID = None
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_pool_after_fork)
+
+
+@dataclass
+class LPOutcome:
+    """Outcome of one LP relaxation, with failure causes kept distinct."""
+
+    #: ``"optimal"`` | ``"timeout"`` | ``"infeasible"`` | ``"error"``
+    status: str
+    objective: float = 0.0
+    x: "np.ndarray | None" = None
+    #: True when the solution was inherited from the parent node (no LP ran).
+    inherited: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "optimal"
+
+
+class RelaxationEngine:
+    """Solves the LP relaxations of one model's branch-and-bound search.
+
+    Built once per ``solve()`` from the (presolved) matrix export; node
+    boxes are passed per call.  ``batch_size`` caps how many frontier nodes
+    are solved concurrently (1 disables batching); ``reuse`` gates the
+    parent-solution inheritance check.
+    """
+
+    def __init__(
+        self,
+        matrices: dict[str, object],
+        *,
+        batch_size: int = 4,
+        reuse: bool = True,
+    ) -> None:
+        self.c = np.asarray(matrices["c"], dtype=float)
+        self.A = matrices["A"].tocsr()
+        #: CSC copy for cheap single-column activity deltas in try_inherit.
+        self._A_csc = self.A.tocsc()
+        self.lb_con = np.asarray(matrices["lb_con"], dtype=float)
+        self.ub_con = np.asarray(matrices["ub_con"], dtype=float)
+        self.A_ub, self.b_ub, self.A_eq, self.b_eq = split_constraints(matrices)
+        self.batch_size = max(1, int(batch_size))
+        self.reuse = bool(reuse)
+        self.lp_calls = 0
+        self.lp_skipped = 0
+        self.lp_batched = 0
+        self.lp_seconds = 0.0
+
+    # -- LP solves ---------------------------------------------------------------
+
+    def solve(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        *,
+        time_limit: float | None = None,
+    ) -> LPOutcome:
+        """Solve one relaxation over the box ``[lower, upper]``."""
+        t0 = time.perf_counter()
+        outcome = self._solve_one(lower, upper, time_limit)
+        self.lp_seconds += time.perf_counter() - t0
+        self.lp_calls += 1
+        return outcome
+
+    def solve_batch(
+        self,
+        boxes: "list[tuple[np.ndarray, np.ndarray]]",
+        *,
+        time_limit: float | None = None,
+    ) -> list[LPOutcome]:
+        """Solve several relaxations, concurrently when batching is enabled.
+
+        ``time_limit`` is the caller's *remaining* budget; every LP in the
+        batch gets the same slice and the batch runs concurrently, so the
+        overall deadline behaviour matches solving one node at a time.
+        """
+        if len(boxes) <= 1 or self.batch_size <= 1:
+            return [
+                self.solve(lower, upper, time_limit=time_limit)
+                for lower, upper in boxes
+            ]
+        t0 = time.perf_counter()
+        pool = _shared_pool()
+        futures = [
+            pool.submit(self._solve_one, lower, upper, time_limit)
+            for lower, upper in boxes
+        ]
+        outcomes = [future.result() for future in futures]
+        self.lp_seconds += time.perf_counter() - t0
+        self.lp_calls += len(boxes)
+        self.lp_batched += len(boxes)
+        return outcomes
+
+    def _solve_one(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        time_limit: float | None,
+    ) -> LPOutcome:
+        """One ``linprog`` call, mapped onto a status-aware outcome."""
+        options: dict[str, float] = {}
+        if time_limit is not None:
+            options["time_limit"] = max(float(time_limit), 1e-3)
+        result = optimize.linprog(
+            self.c,
+            A_ub=self.A_ub,
+            b_ub=self.b_ub,
+            A_eq=self.A_eq,
+            b_eq=self.b_eq,
+            bounds=list(zip(lower, upper)),
+            method="highs",
+            options=options,
+        )
+        if result.success:
+            return LPOutcome("optimal", float(result.fun), np.asarray(result.x))
+        # linprog/HiGHS: 1 = iteration/time limit, 2 = infeasible; everything
+        # else (unbounded, numerical trouble) is an error for a relaxation.
+        status = int(getattr(result, "status", 4))
+        if status == 1:
+            return LPOutcome("timeout")
+        if status == 2:
+            return LPOutcome("infeasible")
+        return LPOutcome("error")
+
+    # -- parent-solution inheritance ----------------------------------------------
+
+    def row_activity(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` — computed once per expanded node, shared by both children."""
+        return self.A @ x
+
+    def try_inherit(
+        self,
+        parent_x: np.ndarray,
+        parent_objective: float,
+        parent_activity: np.ndarray,
+        branch_index: int,
+        child_lower: np.ndarray,
+        child_upper: np.ndarray,
+    ) -> "np.ndarray | None":
+        """The child's LP optimum without an LP solve, when provable.
+
+        The candidate point is the parent optimum with the branching
+        variable clamped onto the child's new bound.  Soundness: the child
+        box is contained in the parent box, so the child LP optimum is at
+        least ``parent_objective``; if the clamped point is feasible for the
+        child and its objective equals ``parent_objective`` (the branching
+        variable has zero objective weight for every indicator binary the
+        encoder emits), the sandwich closes and the clamped point attains
+        the child optimum exactly.  Returns the point, or None when the
+        proof does not go through (the caller then solves the child LP).
+        """
+        if not self.reuse:
+            return None
+        j = int(branch_index)
+        clamped = min(max(float(parent_x[j]), float(child_lower[j])), float(child_upper[j]))
+        delta = clamped - float(parent_x[j])
+        if abs(self.c[j] * delta) > _OBJECTIVE_TOLERANCE * max(1.0, abs(parent_objective)):
+            return None
+        start, end = self._A_csc.indptr[j], self._A_csc.indptr[j + 1]
+        touched = self._A_csc.indices[start:end]
+        activity = parent_activity[touched] + self._A_csc.data[start:end] * delta
+        if np.any(activity > self.ub_con[touched] + FEASIBILITY_TOLERANCE) or np.any(
+            activity < self.lb_con[touched] - FEASIBILITY_TOLERANCE
+        ):
+            return None
+        x = parent_x.copy()
+        x[j] = clamped
+        return x
+
+
+def split_constraints(
+    matrices: dict[str, object],
+) -> tuple[
+    "sparse.csr_matrix | None",
+    "np.ndarray | None",
+    "sparse.csr_matrix | None",
+    "np.ndarray | None",
+]:
+    """Convert two-sided row bounds into linprog's A_ub/b_ub and A_eq/b_eq.
+
+    Fully vectorized over the sparse constraint matrix: three boolean masks
+    and at most one ``sparse.vstack``, instead of a Python loop over rows.
+    Rows bounded on both sides (with distinct bounds) contribute one row to
+    each direction of ``A_ub``.
+    """
+    A = matrices["A"].tocsr()
+    lb = np.asarray(matrices["lb_con"], dtype=float)
+    ub = np.asarray(matrices["ub_con"], dtype=float)
+    if A.shape[0] == 0:
+        return None, None, None, None
+    eq_mask = np.isfinite(lb) & np.isfinite(ub) & (lb == ub)
+    ub_mask = ~eq_mask & np.isfinite(ub)
+    lb_mask = ~eq_mask & np.isfinite(lb)
+
+    A_eq = A[eq_mask] if eq_mask.any() else None
+    b_eq = ub[eq_mask] if eq_mask.any() else None
+
+    blocks = []
+    rhs = []
+    if ub_mask.any():
+        blocks.append(A[ub_mask])
+        rhs.append(ub[ub_mask])
+    if lb_mask.any():
+        blocks.append(-A[lb_mask])
+        rhs.append(-lb[lb_mask])
+    if not blocks:
+        return None, None, A_eq, b_eq
+    A_ub = blocks[0] if len(blocks) == 1 else sparse.vstack(blocks, format="csr")
+    b_ub = np.concatenate(rhs)
+    return A_ub, b_ub, A_eq, b_eq

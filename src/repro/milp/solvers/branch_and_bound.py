@@ -5,19 +5,27 @@ does not depend on any particular solver, and it provides a slow-but-simple
 cross-check for the HiGHS backend in the test suite (both must return repairs
 of identical objective value on small instances).
 
-The algorithm is textbook best-first branch-and-bound over the sparse matrix
-export:
+The algorithm is best-first branch-and-bound over the sparse matrix export,
+with the LP hot path factored into :mod:`repro.milp.relaxation`:
 
 1. run the matrix presolve (bound tightening, fixed-variable elimination,
-   trivial-infeasibility screening) once per model;
-2. split the two-sided row bounds into ``A_ub``/``A_eq`` once, vectorized,
-   keeping the constraint matrix in CSR form for every LP relaxation;
-3. optionally seed the incumbent from a caller-provided warm start (a full
-   feasible assignment from a previous solve of the same model);
-4. solve LP relaxations with ``scipy.optimize.linprog`` (HiGHS); when a
-   relaxation is integral record it as the incumbent, otherwise branch on the
-   most fractional integer variable, pruning nodes whose bound cannot beat
-   the incumbent.
+   big-M tightening, trivial-infeasibility screening) once per model;
+2. optionally seed the incumbent from a caller-provided warm start —
+   including *partial* hints, which are completed from presolve-pinned
+   bounds when that yields a feasible point;
+3. pop up to ``lp_batch_size`` frontier nodes per iteration and solve their
+   relaxations concurrently through the shared
+   :class:`~repro.milp.relaxation.RelaxationEngine` pool (HiGHS releases
+   the GIL); when a relaxation is integral record it as the incumbent,
+   otherwise branch on the most fractional integer variable, pruning nodes
+   whose bound cannot beat the incumbent;
+4. after branching, try to *inherit* the parent's LP optimum into each
+   child (clamp the branching variable to the child bound, verify row
+   feasibility via one sparse column delta): a child whose optimum is
+   proven this way never pays an LP solve (``lp_skipped``).
+
+LP failures are status-aware: a relaxation that hits the time budget stops
+the search with TIME_LIMIT and is never mistaken for an infeasible box.
 
 Branch feasibility is checked against the *current node's* tightened bounds,
 not the root bounds: the root-bounds check admits child boxes that the node's
@@ -34,16 +42,25 @@ from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 import numpy as np
-from scipy import optimize, sparse
 
 from repro.milp.model import Model
 from repro.milp.presolve import presolve
+from repro.milp.relaxation import LPOutcome, RelaxationEngine, split_constraints
 from repro.milp.solution import Solution, SolveStatus
 from repro.milp.solvers.base import Solver, finalize_solution_values
 from repro.obs import trace as obs
 
 #: Tolerance within which a relaxation value counts as integral.
 INTEGRALITY_TOLERANCE = 1e-6
+
+#: Bound width below which a presolved variable counts as pinned (used when
+#: completing partial warm-start hints).
+_PIN_TOLERANCE = 1e-9
+
+#: Re-exported for the benchmarks, which measure the legacy per-row split
+#: against the vectorized one; the implementation lives in
+#: :mod:`repro.milp.relaxation` now.
+_split_constraints = split_constraints
 
 
 @dataclass(order=True)
@@ -54,6 +71,9 @@ class _Node:
     sequence: int
     lower: np.ndarray = field(compare=False)
     upper: np.ndarray = field(compare=False)
+    #: The node's known LP optimum, inherited from its parent at branch time
+    #: (None when the node must solve its own relaxation).
+    inherited_x: "np.ndarray | None" = field(compare=False, default=None)
 
 
 class BranchAndBoundSolver(Solver):
@@ -68,10 +88,17 @@ class BranchAndBoundSolver(Solver):
         mip_gap: float = 1e-6,
         max_nodes: int = 50_000,
         use_presolve: bool = True,
+        lp_reuse: bool = True,
+        lp_batch_size: int = 4,
     ) -> None:
         super().__init__(time_limit=time_limit, mip_gap=mip_gap)
         self.max_nodes = max_nodes
         self.use_presolve = use_presolve
+        #: Gate for the parent-solution inheritance check (see module doc).
+        self.lp_reuse = lp_reuse
+        #: Frontier nodes whose relaxations are solved concurrently per
+        #: iteration; 1 restores strict one-node-at-a-time best-first order.
+        self.lp_batch_size = max(1, int(lp_batch_size))
 
     def solve(
         self, model: Model, *, warm_start: Mapping[str, float] | None = None
@@ -91,6 +118,9 @@ class BranchAndBoundSolver(Solver):
             with obs.span("solver.presolve", solver=self.name) as presolve_span:
                 reduction = presolve(matrices)
                 presolve_span.set_attribute("infeasible", reduction.infeasible)
+                presolve_span.set_attribute(
+                    "bigm_tightened", int(reduction.stats.get("bigm_tightened", 0))
+                )
             stats["presolve_seconds"] = time.perf_counter() - presolve_start
             stats.update({f"presolve_{key}": value for key, value in reduction.stats.items()})
             if reduction.infeasible:
@@ -101,21 +131,24 @@ class BranchAndBoundSolver(Solver):
                 )
             matrices = reduction.matrices
 
-        c = matrices["c"]
         integer_indices = np.flatnonzero(matrices["integrality"] == 1)
-        A_ub, b_ub, A_eq, b_eq = _split_constraints(matrices)
+        engine = RelaxationEngine(
+            matrices, batch_size=self.lp_batch_size, reuse=self.lp_reuse
+        )
 
         incumbent_x: np.ndarray | None = None
         incumbent_obj = np.inf
-        warm_seeded = self._seed_incumbent(model, warm_start)
+        stats["warm_start_partial"] = 0.0
+        stats["warm_start_discarded"] = 0.0
+        warm_seeded = self._seed_incumbent(
+            model, warm_start, matrices["lb_var"], matrices["ub_var"], stats
+        )
         if warm_seeded is not None:
             incumbent_obj, incumbent_x = warm_seeded
         stats["warm_start_used"] = 1.0 if warm_seeded is not None else 0.0
 
         counter = itertools.count()
         explored = 0
-        lp_calls = 0
-        lp_seconds = 0.0
         incumbent_updates = 0
         hit_limit = False
         limit_reason = ""
@@ -126,7 +159,7 @@ class BranchAndBoundSolver(Solver):
 
         search_start = time.perf_counter()
         with obs.span("solver.search", solver=self.name) as search_span:
-            while heap:
+            while heap and not hit_limit:
                 if explored >= self.max_nodes:
                     hit_limit, limit_reason = True, "node limit"
                     break
@@ -134,51 +167,82 @@ class BranchAndBoundSolver(Solver):
                 if remaining is not None and remaining <= 0.0:
                     hit_limit, limit_reason = True, "time limit"
                     break
-                node = heapq.heappop(heap)
-                if node.bound >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
+
+                gap = self.mip_gap * max(1.0, abs(incumbent_obj))
+                batch: list[_Node] = []
+                batch_cap = min(self.lp_batch_size, self.max_nodes - explored)
+                while heap and len(batch) < batch_cap:
+                    node = heapq.heappop(heap)
+                    if node.bound >= incumbent_obj - gap:
+                        continue
+                    batch.append(node)
+                if not batch:
                     continue
-                explored += 1
-                lp_t0 = time.perf_counter()
-                lp = _solve_relaxation(
-                    c, A_ub, b_ub, A_eq, b_eq, node.lower, node.upper, time_limit=remaining
-                )
-                lp_seconds += time.perf_counter() - lp_t0
-                lp_calls += 1
-                if lp is None:
-                    # A failed relaxation may be genuine infeasibility or HiGHS
-                    # hitting the remaining-time budget; re-check the clock so a
-                    # timed-out LP is not misreported as an infeasible box.
-                    still_left = self._remaining_time(start)
-                    if still_left is not None and still_left <= 0.0:
+
+                need_lp = [node for node in batch if node.inherited_x is None]
+                outcomes: dict[int, LPOutcome] = {}
+                if need_lp:
+                    results = engine.solve_batch(
+                        [(node.lower, node.upper) for node in need_lp],
+                        time_limit=remaining,
+                    )
+                    for node, outcome in zip(need_lp, results):
+                        outcomes[node.sequence] = outcome
+
+                for node in batch:
+                    explored += 1
+                    if node.inherited_x is not None:
+                        engine.lp_skipped += 1
+                        outcome = LPOutcome(
+                            "optimal", node.bound, node.inherited_x, inherited=True
+                        )
+                    else:
+                        outcome = outcomes[node.sequence]
+                    if outcome.status == "timeout":
+                        # The relaxation hit the remaining budget: stop with a
+                        # limit, never with a spurious infeasibility verdict.
                         hit_limit, limit_reason = True, "time limit"
                         break
-                    continue
-                relaxation_feasible_somewhere = True
-                lp_obj, lp_x = lp
-                if lp_obj >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
-                    continue
-                branch_index = _most_fractional(lp_x, integer_indices)
-                if branch_index is None:
-                    incumbent_obj = lp_obj
-                    incumbent_x = lp_x
-                    incumbent_updates += 1
-                    search_span.add_event(
-                        "incumbent", objective=float(lp_obj), node=explored
-                    )
-                    continue
-                for child in self._child_nodes(
-                    node, branch_index, np.floor(lp_x[branch_index]), lp_obj, counter
-                ):
-                    heapq.heappush(heap, child)
+                    if not outcome.ok:
+                        continue
+                    relaxation_feasible_somewhere = True
+                    lp_obj, lp_x = outcome.objective, outcome.x
+                    if lp_obj >= incumbent_obj - self.mip_gap * max(1.0, abs(incumbent_obj)):
+                        continue
+                    branch_index = _most_fractional(lp_x, integer_indices)
+                    if branch_index is None:
+                        incumbent_obj = lp_obj
+                        incumbent_x = lp_x
+                        incumbent_updates += 1
+                        search_span.add_event(
+                            "incumbent", objective=float(lp_obj), node=explored
+                        )
+                        continue
+                    children = list(self._child_nodes(
+                        node, branch_index, np.floor(lp_x[branch_index]), lp_obj, counter
+                    ))
+                    if children and self.lp_reuse:
+                        activity = engine.row_activity(lp_x)
+                        for child in children:
+                            child.inherited_x = engine.try_inherit(
+                                lp_x, lp_obj, activity, branch_index,
+                                child.lower, child.upper,
+                            )
+                    for child in children:
+                        heapq.heappush(heap, child)
             search_span.set_attribute("nodes_explored", explored)
-            search_span.set_attribute("lp_relaxations", lp_calls)
+            search_span.set_attribute("lp_relaxations", engine.lp_calls)
+            search_span.set_attribute("lp_skipped", engine.lp_skipped)
+            search_span.set_attribute("lp_batched", engine.lp_batched)
             search_span.set_attribute("incumbent_updates", incumbent_updates)
 
         elapsed = time.perf_counter() - start
         stats["nodes_explored"] = float(explored)
         stats["search_seconds"] = time.perf_counter() - search_start
-        stats["lp_seconds"] = lp_seconds
-        stats["lp_relaxations"] = float(lp_calls)
+        stats["lp_seconds"] = engine.lp_seconds
+        stats["lp_relaxations"] = float(engine.lp_calls)
+        stats["lp_skipped"] = float(engine.lp_skipped)
+        stats["lp_batched"] = float(engine.lp_batched)
         stats["incumbent_updates"] = float(incumbent_updates)
         if incumbent_x is not None:
             raw = {
@@ -240,29 +304,51 @@ class BranchAndBoundSolver(Solver):
             yield _Node(bound, next(counter), up_lower, node.upper.copy())
 
     def _seed_incumbent(
-        self, model: Model, warm_start: Mapping[str, float] | None
+        self,
+        model: Model,
+        warm_start: Mapping[str, float] | None,
+        lb_var: np.ndarray,
+        ub_var: np.ndarray,
+        stats: dict[str, float],
     ) -> tuple[float, np.ndarray] | None:
         """Validate a warm-start hint and return ``(objective, x)`` if usable.
 
-        The hint must cover every variable, satisfy integrality after
-        rounding, and satisfy every constraint; anything less is discarded so
-        a stale hint can never corrupt the search.
+        A *partial* hint — the common case after decomposition, where
+        :meth:`EncodedProblem.solution_hint` filters hints per component —
+        is completed from presolve-pinned bounds: a missing variable whose
+        (tightened) bounds coincide takes its pinned value.  A missing
+        variable that is genuinely free, an integrality violation, or a
+        constraint violation of the completed point discards the hint, so a
+        stale hint can never corrupt the search.  ``warm_start_partial`` /
+        ``warm_start_discarded`` record which path was taken.
         """
         if not warm_start:
             return None
         values: dict[str, float] = {}
+        completed = 0
         for variable in model.variables:
-            if variable.name not in warm_start:
-                return None
-            value = float(warm_start[variable.name])
+            if variable.name in warm_start:
+                value = float(warm_start[variable.name])
+            else:
+                lower = float(lb_var[variable.index])
+                upper = float(ub_var[variable.index])
+                if upper - lower > _PIN_TOLERANCE:
+                    stats["warm_start_discarded"] = 1.0
+                    return None
+                value = (lower + upper) / 2.0
+                completed += 1
             if variable.is_integral:
                 rounded = float(round(value))
                 if abs(value - rounded) > INTEGRALITY_TOLERANCE:
+                    stats["warm_start_discarded"] = 1.0
                     return None
                 value = rounded
             values[variable.name] = value
         if model.check_assignment(values):
+            stats["warm_start_discarded"] = 1.0
             return None
+        if completed:
+            stats["warm_start_partial"] = 1.0
         x = np.empty(model.num_variables)
         for variable in model.variables:
             x[variable.index] = values[variable.name]
@@ -279,83 +365,6 @@ class BranchAndBoundSolver(Solver):
         if self.time_limit is None:
             return None
         return self.time_limit - (time.perf_counter() - start)
-
-
-def _split_constraints(
-    matrices: dict[str, object],
-) -> tuple[
-    "sparse.csr_matrix | None",
-    np.ndarray | None,
-    "sparse.csr_matrix | None",
-    np.ndarray | None,
-]:
-    """Convert two-sided row bounds into linprog's A_ub/b_ub and A_eq/b_eq.
-
-    Fully vectorized over the sparse constraint matrix: three boolean masks
-    and at most one ``sparse.vstack``, instead of a Python loop over rows.
-    Rows bounded on both sides (with distinct bounds) contribute one row to
-    each direction of ``A_ub``.
-    """
-    A = matrices["A"].tocsr()
-    lb = np.asarray(matrices["lb_con"], dtype=float)
-    ub = np.asarray(matrices["ub_con"], dtype=float)
-    if A.shape[0] == 0:
-        return None, None, None, None
-    eq_mask = np.isfinite(lb) & np.isfinite(ub) & (lb == ub)
-    ub_mask = ~eq_mask & np.isfinite(ub)
-    lb_mask = ~eq_mask & np.isfinite(lb)
-
-    A_eq = A[eq_mask] if eq_mask.any() else None
-    b_eq = ub[eq_mask] if eq_mask.any() else None
-
-    blocks = []
-    rhs = []
-    if ub_mask.any():
-        blocks.append(A[ub_mask])
-        rhs.append(ub[ub_mask])
-    if lb_mask.any():
-        blocks.append(-A[lb_mask])
-        rhs.append(-lb[lb_mask])
-    if not blocks:
-        return None, None, A_eq, b_eq
-    A_ub = blocks[0] if len(blocks) == 1 else sparse.vstack(blocks, format="csr")
-    b_ub = np.concatenate(rhs)
-    return A_ub, b_ub, A_eq, b_eq
-
-
-def _solve_relaxation(
-    c: np.ndarray,
-    A_ub: "sparse.csr_matrix | None",
-    b_ub: np.ndarray | None,
-    A_eq: "sparse.csr_matrix | None",
-    b_eq: np.ndarray | None,
-    lower: np.ndarray,
-    upper: np.ndarray,
-    *,
-    time_limit: float | None = None,
-) -> tuple[float, np.ndarray] | None:
-    """Solve the LP relaxation; return (objective, x) or None if infeasible.
-
-    ``time_limit`` is the *remaining* solve budget: it is handed to HiGHS so
-    one slow relaxation cannot overshoot the caller's deadline unboundedly.
-    """
-    bounds = list(zip(lower, upper))
-    options: dict[str, float] = {}
-    if time_limit is not None:
-        options["time_limit"] = max(float(time_limit), 1e-3)
-    result = optimize.linprog(
-        c,
-        A_ub=A_ub,
-        b_ub=b_ub,
-        A_eq=A_eq,
-        b_eq=b_eq,
-        bounds=bounds,
-        method="highs",
-        options=options,
-    )
-    if not result.success:
-        return None
-    return float(result.fun), np.asarray(result.x)
 
 
 def _most_fractional(x: np.ndarray, integer_indices: np.ndarray) -> int | None:

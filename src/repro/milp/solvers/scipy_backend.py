@@ -71,6 +71,9 @@ class HighsSolver(Solver):
             with obs.span("solver.presolve", solver=self.name) as presolve_span:
                 reduction = presolve(matrices)
                 presolve_span.set_attribute("infeasible", reduction.infeasible)
+                presolve_span.set_attribute(
+                    "bigm_tightened", int(reduction.stats.get("bigm_tightened", 0))
+                )
             stats["presolve_seconds"] = time.perf_counter() - presolve_start
             stats.update({f"presolve_{key}": value for key, value in reduction.stats.items()})
             if reduction.infeasible:
@@ -107,11 +110,14 @@ class HighsSolver(Solver):
                     options=options,
                 )
                 if int(getattr(result, "status", 0)) == 4:
-                    # "HiGHS Status 4: Solve error" — HiGHS's *internal* presolve
-                    # is known to fall over on big-M indicator encodings with wide
-                    # domains (surfaced by the scenario harness on TATP-sized
-                    # models that branch-and-bound solves to optimality).  Retry
-                    # once with HiGHS presolve disabled before reporting an error.
+                    # "HiGHS Status 4: Solve error" — raw big-M indicator rows
+                    # (coefficients ~2e5) amplify sub-tolerance primal drift
+                    # past HiGHS's absolute 1e-6 feasibility tolerance, so an
+                    # *optimal* solve gets reported as a solve error.  The
+                    # matrix presolve's big-M tightening + row equilibration
+                    # removes that regime at the encoding level, so this retry
+                    # is a pure fallback now: it fires only when presolve is
+                    # disabled (or a caller hands HiGHS an untamed matrix).
                     search_span.add_event("highs_presolve_retry")
                     retry = optimize.milp(
                         c=matrices["c"],

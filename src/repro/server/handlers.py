@@ -139,6 +139,7 @@ def handle_diagnose(app: "DiagnosisApp", request: "Request") -> "Response":
     response = app.engine.submit(decoded)
     app.telemetry.record_diagnosis(response.ok)
     app.telemetry.record_decomposition(response.summary)
+    app.telemetry.record_solver_path(response.summary)
     return _json_response(response.to_dict())
 
 
@@ -161,6 +162,7 @@ def handle_batch(app: "DiagnosisApp", request: "Request") -> "Response":
     for response in responses:
         app.telemetry.record_diagnosis(response.ok)
         app.telemetry.record_decomposition(response.summary)
+        app.telemetry.record_solver_path(response.summary)
 
     from repro.server.app import Response
 
@@ -270,6 +272,7 @@ def handle_session_diagnose(app: "DiagnosisApp", request: "Request") -> "Respons
     )
     app.telemetry.record_diagnosis(response.ok)
     app.telemetry.record_decomposition(response.summary)
+    app.telemetry.record_solver_path(response.summary)
     return _json_response(response.to_dict())
 
 

@@ -109,6 +109,16 @@ class Telemetry:
         self._components_total = 0
         self._compacted_queries_total = 0
         self._largest_component_vars = 0
+        #: solver hot-path counters, fed from response summaries: LP
+        #: relaxations actually solved vs skipped via parent-solution
+        #: inheritance, LPs solved in concurrent frontier batches, big-M
+        #: coefficients tightened by the matrix presolve, and how often the
+        #: HiGHS Status-4 fallback retry still fired (expected to stay 0).
+        self._lp_relaxations_total = 0
+        self._lp_skipped_total = 0
+        self._lp_batched_total = 0
+        self._bigm_tightened_total = 0
+        self._highs_presolve_retries_total = 0
         #: diagnosis requests currently admitted and in flight (gauge,
         #: maintained by the app's admission gate)
         self._queue_depth = 0
@@ -155,6 +165,30 @@ class Telemetry:
             self._compacted_queries_total += max(0, compacted)
             if largest > self._largest_component_vars:
                 self._largest_component_vars = largest
+
+    def record_solver_path(self, summary: "dict[str, Any] | None") -> None:
+        """Fold one response's solver hot-path counters into the totals.
+
+        ``summary`` is a :meth:`DiagnosisResponse.summary`-shaped dict; the
+        relevant keys come from the branch-and-bound LP engine and the
+        matrix presolve and are simply absent (counting nothing) for
+        backends that do not report them.
+        """
+        if not summary:
+            return
+        lp_relaxations = _summary_int(summary, "stats.lp_relaxations")
+        lp_skipped = _summary_int(summary, "stats.lp_skipped")
+        lp_batched = _summary_int(summary, "stats.lp_batched")
+        bigm_tightened = _summary_int(summary, "stats.presolve_bigm_tightened")
+        retries = _summary_int(summary, "stats.highs_presolve_retry")
+        if max(lp_relaxations, lp_skipped, lp_batched, bigm_tightened, retries) <= 0:
+            return
+        with self._lock:
+            self._lp_relaxations_total += max(0, lp_relaxations)
+            self._lp_skipped_total += max(0, lp_skipped)
+            self._lp_batched_total += max(0, lp_batched)
+            self._bigm_tightened_total += max(0, bigm_tightened)
+            self._highs_presolve_retries_total += max(0, retries)
 
     def record_rejected(self) -> None:
         """Count one request refused before it reached a handler."""
@@ -220,6 +254,13 @@ class Telemetry:
                     "compacted_queries": self._compacted_queries_total,
                     "largest_component_vars": self._largest_component_vars,
                 },
+                "solver_path": {
+                    "lp_relaxations": self._lp_relaxations_total,
+                    "lp_skipped": self._lp_skipped_total,
+                    "lp_batched": self._lp_batched_total,
+                    "bigm_tightened": self._bigm_tightened_total,
+                    "highs_presolve_retries": self._highs_presolve_retries_total,
+                },
             }
         if durability is not None:
             snap["durability"] = durability
@@ -282,6 +323,24 @@ class Telemetry:
             "# HELP qfix_decomposition_largest_component_vars Largest single component solved (variables).",
             "# TYPE qfix_decomposition_largest_component_vars gauge",
             f"qfix_decomposition_largest_component_vars {decomposition['largest_component_vars']}",
+        ]
+        solver_path = snap["solver_path"]
+        lines += [
+            "# HELP qfix_lp_relaxations_total LP relaxations solved by the branch-and-bound hot path.",
+            "# TYPE qfix_lp_relaxations_total counter",
+            f"qfix_lp_relaxations_total {solver_path['lp_relaxations']}",
+            "# HELP qfix_lp_skipped_total Child LPs skipped via parent-solution inheritance.",
+            "# TYPE qfix_lp_skipped_total counter",
+            f"qfix_lp_skipped_total {solver_path['lp_skipped']}",
+            "# HELP qfix_lp_batched_total LP relaxations solved in concurrent frontier batches.",
+            "# TYPE qfix_lp_batched_total counter",
+            f"qfix_lp_batched_total {solver_path['lp_batched']}",
+            "# HELP qfix_bigm_tightened_total Big-M coefficients tightened by the matrix presolve.",
+            "# TYPE qfix_bigm_tightened_total counter",
+            f"qfix_bigm_tightened_total {solver_path['bigm_tightened']}",
+            "# HELP qfix_highs_presolve_retries_total HiGHS Status-4 fallback retries (expected 0 with presolve on).",
+            "# TYPE qfix_highs_presolve_retries_total counter",
+            f"qfix_highs_presolve_retries_total {solver_path['highs_presolve_retries']}",
         ]
         durability = snap.get("durability")
         if durability is not None:

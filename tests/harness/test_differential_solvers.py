@@ -133,3 +133,81 @@ def test_backends_agree_on_figure4_basic_diagnoser():
     highs, bnb = results["highs"], results["branch-and-bound"]
     assert highs.feasible and bnb.feasible
     assert highs.distance == pytest.approx(bnb.distance, abs=DISTANCE_TOLERANCE)
+
+
+def _tatp_spec():
+    from repro.workload import ScenarioSpec
+
+    return ScenarioSpec(
+        family="tatp",
+        corruption="set-clause",
+        position="late",
+        n_tuples=25,
+        n_queries=8,
+        seed=7,
+    )
+
+
+def test_bigm_tatp_solves_without_the_fallback_retry():
+    """PR 10 root-cause pin: the Status-4 retry no longer fires on TATP.
+
+    The failure above was never a HiGHS bug to work around: ~2e5 big-M
+    coefficients amplified sub-tolerance primal drift past HiGHS's absolute
+    feasibility tolerance.  With presolve's coefficient tightening + row
+    equilibration the model reaches HiGHS well-scaled, so the first solve
+    succeeds and the retry (kept as a fallback) must not fire at all.
+    """
+    from repro.service.types import DiagnosisRequest
+    from repro.workload import build_spec_scenario
+
+    scenario = build_spec_scenario(_tatp_spec())
+    engine = DiagnosisEngine(QFixConfig.basic(solver="highs", time_limit=60.0))
+    response = engine.submit(
+        DiagnosisRequest(
+            initial=scenario.initial,
+            log=scenario.corrupted_log,
+            complaints=scenario.complaints,
+            final=scenario.dirty,
+            diagnoser="basic",
+            request_id="tatp-bigm-pin",
+        )
+    )
+    assert response.ok and response.feasible, response.error_message
+    summary = response.summary
+    assert summary.get("stats.highs_presolve_retry", 0) == 0, summary
+    assert summary.get("stats.presolve_bigm_tightened", 0) > 0, summary
+
+
+def test_bigm_fallback_retry_still_rescues_untightened_models():
+    """The PR 4 retry stays wired as the fallback path.
+
+    With the matrix presolve disabled the raw ~2e5 coefficients reach HiGHS
+    unchanged; if its first solve reports the Status-4 error, the backend
+    must still rescue the model by retrying without HiGHS presolve — and the
+    repair must match the tightened path's distance either way.
+    """
+    from repro.service.types import DiagnosisRequest
+    from repro.workload import build_spec_scenario
+
+    scenario = build_spec_scenario(_tatp_spec())
+
+    def run(use_presolve: bool):
+        config = QFixConfig.basic(solver="highs", time_limit=60.0).with_overrides(
+            use_presolve=use_presolve
+        )
+        return DiagnosisEngine(config).submit(
+            DiagnosisRequest(
+                initial=scenario.initial,
+                log=scenario.corrupted_log,
+                complaints=scenario.complaints,
+                final=scenario.dirty,
+                diagnoser="basic",
+                request_id=f"tatp-bigm-presolve-{use_presolve}",
+            )
+        )
+
+    tightened = run(True)
+    raw = run(False)
+    assert tightened.ok and tightened.feasible, tightened.error_message
+    assert raw.ok and raw.feasible, raw.error_message
+    assert raw.distance == pytest.approx(tightened.distance, abs=DISTANCE_TOLERANCE)

@@ -200,3 +200,44 @@ class TestComponentHint:
     def test_empty_hint_is_none(self):
         assert _component_hint(None, self._submodel()) is None
         assert _component_hint({}, self._submodel()) is None
+
+
+def integer_block_model(blocks: int = 3) -> Model:
+    """Independent integer blocks: min x+y s.t. 2x+3y >= 7 (forces branching)."""
+    model = Model("int-blocks")
+    for index in range(blocks):
+        x = model.add_integer(f"x{index}", lower=0, upper=10)
+        y = model.add_integer(f"y{index}", lower=0, upper=10)
+        model.add_ge(2 * x + 3 * y, 7.0, f"cover{index}")
+        model.add_to_objective(x + y)
+    return model
+
+
+class TestTightDeadlines:
+    """A timed-out component must merge to TIME_LIMIT, never INFEASIBLE.
+
+    Regression for the PR 10 status-conflation fix: the pre-PR
+    branch-and-bound loop read "the LP returned nothing" as an infeasible
+    box, so a component whose budget expired mid-LP could flip a perfectly
+    feasible repair to INFEASIBLE after the worst-status-wins merge.
+    """
+
+    @pytest.mark.parametrize("inner", ["branch-and-bound", "highs"])
+    @pytest.mark.parametrize("time_limit", [0.0, 1e-7])
+    def test_near_zero_budget_reports_time_limit(self, inner, time_limit):
+        solver = DecomposingSolver(
+            inner=inner, min_group_vars=1, time_limit=time_limit
+        )
+        solution = solver.solve(integer_block_model(3))
+        assert solution.status is SolveStatus.TIME_LIMIT, (
+            solution.status,
+            solution.message,
+        )
+        assert solution.status is not SolveStatus.INFEASIBLE
+
+    def test_generous_budget_still_solves(self):
+        solution = DecomposingSolver(
+            inner="branch-and-bound", min_group_vars=1, time_limit=60.0
+        ).solve(integer_block_model(3))
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(9.0)  # 3 blocks x (x=2, y=1)

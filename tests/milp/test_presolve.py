@@ -118,3 +118,105 @@ class TestPresolvePreservesOptimum:
         assert without_presolve.status is SolveStatus.OPTIMAL
         assert with_presolve.objective == pytest.approx(without_presolve.objective, abs=1e-6)
         assert not model.check_assignment(with_presolve.values)
+
+
+class TestBigMTightening:
+    """Coefficient tightening + row equilibration on indicator-style rows.
+
+    This is the PR 10 root-cause fix for the HiGHS "Status 4" failures: big-M
+    coefficients (~2e5 on TATP encodings) amplify sub-tolerance primal drift
+    past HiGHS's absolute feasibility tolerance.  Presolve now shrinks every
+    shrinkable binary coefficient from row activity bounds and rescales any
+    row whose magnitude still exceeds the equilibration threshold.
+    """
+
+    def test_le_indicator_coefficient_shrinks_to_activity_bound(self):
+        # x <= 12*b with x in [0, 10]: M=12 is loose by 2, the tight link is
+        # x <= 10*b.  Both models admit exactly the same (x, b) points.
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        b = model.add_binary("b")
+        model.add_le(x - 12 * b, 0)
+        model.set_objective(-x)
+        result = _presolved(model)
+        assert not result.infeasible
+        assert result.stats["bigm_tightened"] >= 1
+        data = result.matrices["A"].toarray()
+        assert -10.0 in np.round(data, 6)
+        assert -12.0 not in np.round(data, 6)
+
+    def test_ge_indicator_row_tightens_too(self):
+        # x + 12*b >= 2 with x in [0, 10]: with b=1 the row is slack by 20,
+        # the tight on-coefficient is 2.
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        b = model.add_binary("b")
+        model.add_ge(x + 12 * b, 2)
+        model.set_objective(x)
+        result = _presolved(model)
+        assert not result.infeasible
+        assert result.stats["bigm_tightened"] >= 1
+
+    def test_redundant_one_sided_row_is_relaxed(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        b = model.add_binary("b")
+        model.add_le(x + b, 100)   # can never bind: max activity is 11
+        model.add_le(x + 2 * b, 9)  # genuine row
+        model.set_objective(-(x + b))
+        result = _presolved(model)
+        assert not result.infeasible
+        assert result.stats["bigm_redundant_rows"] >= 1
+
+    def test_huge_rows_are_equilibrated_below_threshold(self):
+        from repro.milp.presolve import _EQUILIBRATION_THRESHOLD
+
+        model = Model()
+        x = model.add_continuous("x", 0, 1)
+        y = model.add_continuous("y", 0, 1)
+        model.add_le(2.0e5 * x + 1.5e5 * y, 2.5e5)
+        model.set_objective(-(x + y))
+        result = _presolved(model)
+        assert not result.infeasible
+        assert result.stats["bigm_scaled_rows"] >= 1
+        assert result.bigm_rowmax_before.max() > _EQUILIBRATION_THRESHOLD
+        assert result.bigm_rowmax_after.max() <= _EQUILIBRATION_THRESHOLD + 1e-9
+
+    @pytest.mark.parametrize("solver_name", ["highs", "branch-and-bound"])
+    def test_tightening_preserves_the_optimum(self, solver_name):
+        # Indicator big-M rows in both directions plus a huge-magnitude row;
+        # the tightened/equilibrated model must agree with the raw one.
+        def build():
+            model = Model()
+            x = model.add_continuous("x", 0, 10)
+            y = model.add_integer("y", 0, 4)
+            on = model.add_binary("on")
+            off = model.add_binary("off")
+            model.add_le(x - 2.0e5 * on, 0)       # x <= M*on
+            model.add_ge(x + 2.0e5 * off, 3)      # off=0 forces x >= 3
+            model.add_le(1.0e5 * x + 2.0e5 * y, 9.0e5)
+            model.add_le(x + y + on + off, 12)
+            model.set_objective(-(2 * x + 3 * y) + on + off)
+            return model
+
+        with_presolve = get_solver(solver_name, use_presolve=True).solve(build())
+        without_presolve = get_solver(solver_name, use_presolve=False).solve(build())
+        assert with_presolve.status is SolveStatus.OPTIMAL
+        assert without_presolve.status is SolveStatus.OPTIMAL
+        assert with_presolve.objective == pytest.approx(
+            without_presolve.objective, abs=1e-6
+        )
+        assert not build().check_assignment(with_presolve.values)
+
+    def test_rowmax_snapshots_cover_every_surviving_row(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        b = model.add_binary("b")
+        model.add_le(x - 12 * b, 0)
+        model.add_le(x + b, 9)
+        model.set_objective(-x)
+        result = _presolved(model)
+        rows = result.matrices["A"].shape[0]
+        assert result.bigm_rowmax_before.shape == (rows,)
+        assert result.bigm_rowmax_after.shape == (rows,)
+        assert np.all(result.bigm_rowmax_after <= result.bigm_rowmax_before + 1e-9)

@@ -1,0 +1,197 @@
+"""Tests for the LP-relaxation engine behind branch-and-bound."""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.milp import relaxation
+from repro.milp.model import Model
+from repro.milp.relaxation import LPOutcome, RelaxationEngine
+
+
+def _engine(model, **kwargs):
+    return RelaxationEngine(model.to_matrices(), **kwargs)
+
+
+def _simple_model():
+    """min -x - 2y  s.t.  x + y <= 3,  x,y in [0, 2]."""
+    model = Model()
+    x = model.add_continuous("x", 0, 2)
+    y = model.add_continuous("y", 0, 2)
+    model.add_le(x + y, 3)
+    model.set_objective(-(x + 2 * y))
+    return model
+
+
+class TestStatusMapping:
+    def test_optimal(self):
+        model = _simple_model()
+        engine = _engine(model)
+        matrices = model.to_matrices()
+        outcome = engine.solve(matrices["lb_var"], matrices["ub_var"])
+        assert outcome.status == "optimal" and outcome.ok
+        assert outcome.objective == pytest.approx(-5.0)  # x=1, y=2
+        assert engine.lp_calls == 1
+
+    def test_infeasible_box(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 1)
+        model.add_ge(x, 2)
+        engine = _engine(model)
+        outcome = engine.solve(np.array([0.0]), np.array([1.0]))
+        assert outcome.status == "infeasible"
+        assert not outcome.ok
+
+    def test_time_limit_maps_to_timeout_not_infeasible(self, monkeypatch):
+        """linprog status 1 (limit hit) must never read as an infeasible box."""
+
+        class _FakeResult:
+            success = False
+            status = 1
+
+        monkeypatch.setattr(
+            relaxation.optimize, "linprog", lambda *args, **kwargs: _FakeResult()
+        )
+        model = _simple_model()
+        matrices = model.to_matrices()
+        outcome = _engine(model).solve(matrices["lb_var"], matrices["ub_var"])
+        assert outcome.status == "timeout"
+
+    def test_numerical_trouble_maps_to_error(self, monkeypatch):
+        class _FakeResult:
+            success = False
+            status = 4
+
+        monkeypatch.setattr(
+            relaxation.optimize, "linprog", lambda *args, **kwargs: _FakeResult()
+        )
+        model = _simple_model()
+        matrices = model.to_matrices()
+        outcome = _engine(model).solve(matrices["lb_var"], matrices["ub_var"])
+        assert outcome.status == "error"
+
+
+class TestBatching:
+    def test_batch_counts_and_matches_serial(self):
+        model = _simple_model()
+        matrices = model.to_matrices()
+        lb, ub = matrices["lb_var"], matrices["ub_var"]
+        boxes = [
+            (lb.copy(), ub.copy()),
+            (np.array([1.0, 0.0]), np.array([2.0, 2.0])),
+            (np.array([0.0, 0.0]), np.array([0.0, 2.0])),
+        ]
+        batched = _engine(model, batch_size=4)
+        serial = _engine(model, batch_size=1)
+        batched_out = batched.solve_batch(boxes, time_limit=10.0)
+        serial_out = serial.solve_batch(boxes, time_limit=10.0)
+        assert batched.lp_calls == serial.lp_calls == 3
+        assert batched.lp_batched == 3
+        assert serial.lp_batched == 0
+        for a, b in zip(batched_out, serial_out):
+            assert a.status == b.status == "optimal"
+            assert a.objective == pytest.approx(b.objective)
+
+    def test_single_box_never_hits_the_pool(self):
+        model = _simple_model()
+        matrices = model.to_matrices()
+        engine = _engine(model, batch_size=4)
+        engine.solve_batch([(matrices["lb_var"], matrices["ub_var"])])
+        assert engine.lp_batched == 0
+        assert engine.lp_calls == 1
+
+
+class TestInheritance:
+    def _engine_with_parent(self):
+        """x continuous (obj weight), b binary with zero objective weight.
+
+        Row: x + b <= 10.  Parent optimum x=2, b=0.5.
+        """
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        b = model.add_binary("b")
+        model.add_le(x + b, 10)
+        model.set_objective(-x)
+        engine = _engine(model)
+        parent_x = np.array([2.0, 0.5])
+        return engine, parent_x, -2.0, engine.row_activity(parent_x)
+
+    def test_zero_weight_branch_variable_inherits(self):
+        engine, parent_x, parent_obj, activity = self._engine_with_parent()
+        child = engine.try_inherit(
+            parent_x, parent_obj, activity, 1, np.array([0.0, 0.0]), np.array([10.0, 0.0])
+        )
+        assert child is not None
+        assert child[1] == pytest.approx(0.0)
+        assert child[0] == pytest.approx(2.0)
+
+    def test_row_violation_blocks_inheritance(self):
+        engine, _, _, _ = self._engine_with_parent()
+        # A parent near the row bound: clamping b up to 1 breaks x + b <= 10.
+        parent_x = np.array([9.6, 0.5])
+        activity = engine.row_activity(parent_x)
+        child = engine.try_inherit(
+            parent_x, -9.6, activity, 1, np.array([0.0, 1.0]), np.array([10.0, 1.0])
+        )
+        assert child is None  # 9.6 + 1 = 10.6 > 10
+
+    def test_objective_weight_blocks_inheritance(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        b = model.add_binary("b")
+        model.add_le(x + b, 10)
+        model.set_objective(-(x + b))  # b now carries objective weight
+        engine = _engine(model)
+        parent_x = np.array([2.0, 0.5])
+        child = engine.try_inherit(
+            parent_x, -2.5, engine.row_activity(parent_x), 1,
+            np.array([0.0, 0.0]), np.array([10.0, 0.0]),
+        )
+        assert child is None
+
+    def test_reuse_flag_disables_inheritance(self):
+        engine, parent_x, parent_obj, activity = self._engine_with_parent()
+        engine.reuse = False
+        child = engine.try_inherit(
+            parent_x, parent_obj, activity, 1, np.array([0.0, 0.0]), np.array([10.0, 0.0])
+        )
+        assert child is None
+
+
+def _fork_child_solves(queue):
+    """Run in a forked child: the inherited pool must not deadlock solves."""
+    model = _simple_model()
+    matrices = model.to_matrices()
+    engine = RelaxationEngine(model.to_matrices(), batch_size=4)
+    lb, ub = matrices["lb_var"], matrices["ub_var"]
+    outcomes = engine.solve_batch([(lb, ub), (lb, ub)], time_limit=10.0)
+    queue.put([outcome.status for outcome in outcomes])
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-only regression")
+def test_shared_pool_survives_fork():
+    """Regression: a pool warmed pre-fork hung every batched solve post-fork.
+
+    The forked child inherits the executor object without its worker
+    threads; without the at-fork reset, ``solve_batch`` blocks forever (this
+    is exactly how the engine-throughput bench's process phase deadlocked).
+    """
+    model = _simple_model()
+    matrices = model.to_matrices()
+    parent = RelaxationEngine(model.to_matrices(), batch_size=4)
+    lb, ub = matrices["lb_var"], matrices["ub_var"]
+    parent.solve_batch([(lb, ub), (lb, ub)], time_limit=10.0)  # warm the pool
+
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    child = ctx.Process(target=_fork_child_solves, args=(queue,))
+    child.start()
+    child.join(timeout=60.0)
+    if child.is_alive():
+        child.terminate()
+        child.join()
+        pytest.fail("forked child deadlocked on the inherited relaxation pool")
+    assert child.exitcode == 0
+    assert queue.get(timeout=10.0) == ["optimal", "optimal"]

@@ -181,10 +181,14 @@ class TestWarmStart:
         assert solution.objective == pytest.approx(-10.0)
         assert solution.stats["warm_start_used"] == 0.0
 
-    def test_partial_hint_is_discarded(self):
+    def test_partial_hint_with_free_variables_is_discarded(self):
+        # x2/x3 are genuinely free (no presolve pin can complete them), so
+        # the partial hint is still discarded — and now counted as such.
         solution = BranchAndBoundSolver().solve(_knapsack_model(), warm_start={"x1": 1.0})
         assert solution.status is SolveStatus.OPTIMAL
         assert solution.stats["warm_start_used"] == 0.0
+        assert solution.stats["warm_start_discarded"] == 1.0
+        assert solution.stats["warm_start_partial"] == 0.0
 
     def test_fractional_hint_for_integer_variable_is_discarded(self):
         solution = BranchAndBoundSolver().solve(
@@ -213,12 +217,85 @@ class TestWarmStart:
         assert solution.objective == pytest.approx(-10.0)
 
 
+class TestWarmStartCompletion:
+    """Partial hints are completed from presolve-pinned variables (PR 10).
+
+    The engine's warm cache replays assignments from a previous encoding; a
+    re-encoded model often adds variables the hint has never seen, but
+    presolve pins most of them (``lower == upper``), so discarding the whole
+    hint threw away a perfectly good incumbent.
+    """
+
+    @staticmethod
+    def _pinned_model():
+        """y is pinned to 3 by an equality row; x is genuinely free."""
+        model = Model()
+        x = model.add_integer("x", 0, 5)
+        y = model.add_integer("y", 0, 5)
+        model.add_equal(y, 3)
+        model.add_le(x + y, 7)
+        model.set_objective(-(x + y))
+        return model
+
+    def test_missing_pinned_variable_is_completed(self):
+        solution = BranchAndBoundSolver().solve(
+            self._pinned_model(), warm_start={"x": 4.0}
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-7.0)
+        assert solution.stats["warm_start_used"] == 1.0
+        assert solution.stats["warm_start_partial"] == 1.0
+        assert solution.stats["warm_start_discarded"] == 0.0
+
+    def test_completed_hint_must_still_be_feasible(self):
+        # Completion pins y=3, but the hinted x=4 then breaks x + y <= 5:
+        # the completed point is checked like any other hint and discarded.
+        model = Model()
+        x = model.add_integer("x", 0, 5)
+        y = model.add_integer("y", 0, 5)
+        model.add_equal(y, 3)
+        model.add_le(x + y, 5)
+        model.set_objective(-(x + y))
+        solution = BranchAndBoundSolver().solve(model, warm_start={"x": 4.0})
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.stats["warm_start_used"] == 0.0
+        assert solution.stats["warm_start_discarded"] == 1.0
+
+    def test_full_hint_reports_no_completion(self):
+        solution = BranchAndBoundSolver().solve(
+            self._pinned_model(), warm_start={"x": 4.0, "y": 3.0}
+        )
+        assert solution.stats["warm_start_used"] == 1.0
+        assert solution.stats["warm_start_partial"] == 0.0
+
+
 class TestTimeLimitHandling:
     def test_immediate_time_limit_is_not_reported_infeasible(self):
         solver = BranchAndBoundSolver(time_limit=0.0)
         solution = solver.solve(_knapsack_model())
         assert solution.status is SolveStatus.TIME_LIMIT
         assert "time limit" in solution.message
+
+    def test_lp_timeout_is_not_reported_infeasible(self, monkeypatch):
+        """An LP that hits its budget must surface as TIME_LIMIT.
+
+        The pre-PR loop only saw ``lp is None`` and re-checked the clock; a
+        relaxation killed by HiGHS's own time limit just before the deadline
+        read as an infeasible box.  The status-aware outcome keeps the two
+        apart even when every LP times out instantly.
+        """
+        from repro.milp.relaxation import LPOutcome, RelaxationEngine
+
+        monkeypatch.setattr(
+            RelaxationEngine,
+            "solve_batch",
+            lambda self, boxes, *, time_limit=None: [
+                LPOutcome("timeout") for _ in boxes
+            ],
+        )
+        solution = BranchAndBoundSolver(time_limit=30.0).solve(_knapsack_model())
+        assert solution.status is SolveStatus.TIME_LIMIT
+        assert solution.status is not SolveStatus.INFEASIBLE
 
     def test_node_limit_with_incumbent_reports_feasible(self):
         solver = BranchAndBoundSolver(max_nodes=1, use_presolve=False)
@@ -246,6 +323,26 @@ class TestTimeLimitHandling:
         solution = BranchAndBoundSolver(use_presolve=False).solve(integer_infeasible)
         assert solution.status is SolveStatus.INFEASIBLE
         assert "integer infeasible" in solution.message
+
+
+class TestLPKnobs:
+    def test_reuse_and_batching_knobs_do_not_change_the_answer(self):
+        reference = BranchAndBoundSolver().solve(_fractionally_capped_model())
+        assert reference.status is SolveStatus.OPTIMAL
+        for lp_reuse in (True, False):
+            for lp_batch_size in (1, 4):
+                solution = BranchAndBoundSolver(
+                    lp_reuse=lp_reuse, lp_batch_size=lp_batch_size
+                ).solve(_fractionally_capped_model())
+                assert solution.status is SolveStatus.OPTIMAL
+                assert solution.objective == pytest.approx(
+                    reference.objective, abs=1e-6
+                )
+                assert solution.stats["lp_relaxations"] >= 1.0
+                if lp_batch_size == 1:
+                    assert solution.stats["lp_batched"] == 0.0
+                if not lp_reuse:
+                    assert solution.stats["lp_skipped"] == 0.0
 
 
 class TestRoundingValidation:

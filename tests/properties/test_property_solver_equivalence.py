@@ -114,3 +114,68 @@ def test_presolve_never_changes_the_answer(specs, constraints, objective):
         assert with_presolve.objective == pytest.approx(
             without_presolve.objective, abs=1e-5
         )
+
+
+big_m_values = st.sampled_from([1.0e4, 5.0e4, 2.0e5])
+small_bounds = st.integers(min_value=1, max_value=6)
+small_rhs = st.integers(min_value=0, max_value=5)
+
+
+def _build_bigm_model(cap, indicators, link_rhs, objective):
+    """A continuous variable gated by big-M indicator rows, QFix-style.
+
+    Each indicator tuple is ``(direction, M, rhs)``: ``x - M*b <= rhs``
+    (on-row idiom) or ``x + M*b >= rhs`` (off-row idiom).  These are exactly
+    the row shapes :mod:`repro.milp.linearize` emits with ``M ~ 2e5``, the
+    magnitude that drove HiGHS past its feasibility tolerance.
+    """
+    model = Model("bigm-property")
+    x = model.add_continuous("x", 0, cap)
+    binaries = []
+    for index, (le_direction, big_m, rhs) in enumerate(indicators):
+        b = model.add_binary(f"b{index}")
+        binaries.append(b)
+        if le_direction:
+            model.add_le(x - big_m * b, float(rhs))
+        else:
+            model.add_ge(x + big_m * b, float(rhs))
+    model.add_le(sum(binaries, start=0.0 * x) + x, float(link_rhs + cap))
+    obj = objective[0] * x
+    for weight, b in zip(objective[1:], binaries):
+        obj = obj + weight * b
+    model.set_objective(obj)
+    return model
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cap=small_bounds,
+    indicators=st.lists(
+        st.tuples(st.booleans(), big_m_values, small_rhs), min_size=1, max_size=3
+    ),
+    link_rhs=small_rhs,
+    objective=st.lists(
+        st.integers(min_value=-3, max_value=3), min_size=4, max_size=4
+    ),
+)
+def test_bigm_tightening_never_changes_the_answer(cap, indicators, link_rhs, objective):
+    """Presolve's big-M tightening + equilibration preserves the model.
+
+    The tightened/rescaled path (``use_presolve=True``) and the raw path
+    must agree on feasibility and on the optimal objective for random
+    indicator encodings across the full big-M magnitude range.
+    """
+    tightened = get_solver("branch-and-bound", time_limit=20.0).solve(
+        _build_bigm_model(cap, indicators, link_rhs, objective)
+    )
+    original = get_solver(
+        "branch-and-bound", time_limit=20.0, use_presolve=False
+    ).solve(_build_bigm_model(cap, indicators, link_rhs, objective))
+    assert tightened.status is not SolveStatus.ERROR
+    assert original.status is not SolveStatus.ERROR
+    assert tightened.status.has_solution == original.status.has_solution, (
+        tightened.status,
+        original.status,
+    )
+    if tightened.status.has_solution:
+        assert tightened.objective == pytest.approx(original.objective, abs=1e-5)
